@@ -1,0 +1,56 @@
+//! Criterion benchmarks of the CKKS primitive HE ops (§2.3) on a toy ring —
+//! the functional-reference counterparts of the ops the accelerator schedules.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+
+use bts_ckks::{CkksContext, Complex};
+
+fn setup() -> (
+    CkksContext,
+    bts_ckks::SecretKey,
+    bts_ckks::KeyBundle,
+    bts_ckks::Ciphertext,
+    bts_ckks::Ciphertext,
+) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let ctx = CkksContext::new_toy(1 << 11, 6, 2).unwrap();
+    let (sk, mut keys) = ctx.generate_keys(&mut rng).unwrap();
+    ctx.add_rotation_keys(&sk, &mut keys, &[1, 4], &mut rng).unwrap();
+    let msg: Vec<Complex> = (0..ctx.slots())
+        .map(|i| Complex::new((i as f64 * 0.01).sin(), 0.0))
+        .collect();
+    let pt = ctx.encode(&msg).unwrap();
+    let ct_a = ctx.encrypt(&pt, &sk, &mut rng).unwrap();
+    let ct_b = ctx.encrypt(&pt, &sk, &mut rng).unwrap();
+    (ctx, sk, keys, ct_a, ct_b)
+}
+
+fn bench_ckks_ops(c: &mut Criterion) {
+    let (ctx, sk, keys, ct_a, ct_b) = setup();
+    let eval = ctx.evaluator(&keys);
+    let msg: Vec<Complex> = (0..ctx.slots())
+        .map(|i| Complex::new((i as f64 * 0.02).cos(), 0.0))
+        .collect();
+
+    c.bench_function("ckks_encode_n2048", |b| b.iter(|| ctx.encode(&msg).unwrap()));
+    c.bench_function("ckks_encrypt_n2048", |b| {
+        let pt = ctx.encode(&msg).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        b.iter(|| ctx.encrypt(&pt, &sk, &mut rng).unwrap())
+    });
+    c.bench_function("ckks_hadd_n2048", |b| b.iter(|| eval.add(&ct_a, &ct_b).unwrap()));
+    c.bench_function("ckks_hmult_n2048", |b| b.iter(|| eval.mul(&ct_a, &ct_b).unwrap()));
+    c.bench_function("ckks_hrot_n2048", |b| b.iter(|| eval.rotate(&ct_a, 1).unwrap()));
+    c.bench_function("ckks_rescale_n2048", |b| {
+        let prod = eval.mul(&ct_a, &ct_b).unwrap();
+        b.iter(|| eval.rescale(&prod).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ckks_ops
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benchmarks of the number-theoretic primitives that dominate HE
+//! ops (Fig. 3a's iNTT → BConv → NTT pipeline) — the software counterparts of
+//! the NTTU and BConvU datapaths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+
+use bts_math::{AutomorphismTable, BaseConverter, Modulus, NttTable, RnsBasis};
+
+fn bench_ntt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ntt_forward_inverse");
+    for log_n in [10u32, 12, 13] {
+        let n = 1usize << log_n;
+        let prime = bts_math::generate_ntt_primes(n, 50, 1)[0];
+        let table = NttTable::new(n, Modulus::new(prime)).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..prime)).collect();
+        group.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            b.iter(|| {
+                let mut v = data.clone();
+                table.forward(&mut v);
+                v
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("inverse", n), &n, |b, _| {
+            b.iter(|| {
+                let mut v = data.clone();
+                table.inverse(&mut v);
+                v
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bconv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("base_conversion");
+    let n = 1usize << 12;
+    for limbs in [4usize, 8, 12] {
+        let src = RnsBasis::generate(n, 45, limbs).unwrap();
+        let dst = RnsBasis::generate(n, 47, limbs).unwrap();
+        let conv = BaseConverter::new(&src, &dst).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let data: Vec<Vec<u64>> = (0..limbs)
+            .map(|j| (0..n).map(|_| rng.gen_range(0..src.modulus(j).value())).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::new("fast", limbs), &limbs, |b, _| {
+            b.iter(|| conv.convert(&data))
+        });
+    }
+    group.finish();
+}
+
+fn bench_automorphism(c: &mut Criterion) {
+    let n = 1usize << 13;
+    let prime = bts_math::generate_ntt_primes(n, 50, 1)[0];
+    let table = AutomorphismTable::from_rotation(n, 3).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..prime)).collect();
+    c.bench_function("automorphism_permutation_n8192", |b| {
+        b.iter(|| table.apply(&data, prime))
+    });
+}
+
+criterion_group!(benches, bench_ntt, bench_bconv, bench_automorphism);
+criterion_main!(benches);

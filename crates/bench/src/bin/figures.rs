@@ -1,0 +1,45 @@
+//! Prints the reproduced tables and figures of the BTS paper.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p bts-bench --bin figures -- all
+//! cargo run --release -p bts-bench --bin figures -- fig6 table5
+//! ```
+
+use bts_bench::figures;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let targets: Vec<&str> = if args.is_empty() {
+        vec!["all"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for target in targets {
+        let text = match target {
+            "all" => figures::all(),
+            "table1" => figures::table1(),
+            "fig1" => figures::fig1(),
+            "fig2" => figures::fig2(),
+            "fig3b" => figures::fig3b(),
+            "table3" => figures::table3(),
+            "table4" => figures::table4(),
+            "fig6" => figures::fig6(),
+            "fig7a" => figures::fig7a(),
+            "fig7b" => figures::fig7b(),
+            "table5" => figures::table5(),
+            "table6" => figures::table6(),
+            "fig8" => figures::fig8(),
+            "fig9" => figures::fig9(),
+            "fig10" => figures::fig10(),
+            "slowdown" => figures::slowdown(),
+            other => {
+                eprintln!(
+                    "unknown target '{other}'; expected one of: all table1 fig1 fig2 fig3b table3 table4 fig6 fig7a fig7b table5 table6 fig8 fig9 fig10 slowdown"
+                );
+                std::process::exit(2);
+            }
+        };
+        println!("{text}");
+    }
+}

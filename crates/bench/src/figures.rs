@@ -1,0 +1,532 @@
+//! One function per table/figure of the paper's evaluation. Every function is
+//! deterministic and returns the rendered rows as a `String`, so the `figures`
+//! binary, the integration tests and EXPERIMENTS.md all share the same source
+//! of truth.
+
+use std::fmt::Write as _;
+
+use bts_ckks::hmult_complexity;
+use bts_params::{
+    min_nttu_count, sweep_dnum, BandwidthModel, CkksInstance, MinBoundModel, L_BOOT,
+};
+use bts_sim::{hmult_timeline, AreaPowerModel, BtsConfig, Simulator};
+use bts_workloads::{
+    amortized_mult_per_slot, helr_trace, resnet20_trace, sorting_trace, BaselineSet,
+    BootstrapPlan, HelrConfig, ResNetConfig, SortingConfig, UNENCRYPTED_HELR_MS,
+    UNENCRYPTED_RESNET_S,
+};
+
+fn header(title: &str) -> String {
+    format!("==== {title} ====\n")
+}
+
+/// Table 1: platform comparison (N, bootstrappability, refreshed slots, FHE
+/// mult throughput). BTS's row is measured with the simulator.
+pub fn table1() -> String {
+    let mut out = header("Table 1: prior HE acceleration works vs BTS");
+    let _ = writeln!(
+        out,
+        "{:<10} {:<10} {:>6} {:>8} {:>16} {:>18}",
+        "Platform", "Type", "logN", "Boot", "slots/bootstrap", "mult thruput (1/s)"
+    );
+    for b in BaselineSet::paper().all() {
+        let thruput = b
+            .tmult_a_slot_us
+            .map(|t| format!("{:.0}", 1.0 / (t * 1e-6)))
+            .unwrap_or_else(|| "-".to_string());
+        let _ = writeln!(
+            out,
+            "{:<10} {:<10} {:>6} {:>8} {:>16} {:>18}",
+            b.name,
+            b.platform,
+            b.log_n,
+            if b.bootstrappable { "yes" } else { "limited" },
+            b.slots_per_bootstrap
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "-".to_string()),
+            thruput
+        );
+    }
+    let ins = CkksInstance::ins2();
+    let sim = Simulator::new(BtsConfig::bts_default(), ins.clone());
+    let (t, _) = amortized_mult_per_slot(&sim);
+    let _ = writeln!(
+        out,
+        "{:<10} {:<10} {:>6} {:>8} {:>16} {:>18.0}",
+        "BTS (ours)",
+        "ASIC model",
+        ins.log_n(),
+        "yes",
+        ins.slots(),
+        1.0 / t
+    );
+    out
+}
+
+/// Fig. 1: maximum level L and single-evk size versus (normalized) dnum for
+/// N = 2^15..2^18 at the 128-bit security target.
+pub fn fig1() -> String {
+    let mut out = header("Fig 1: L and evk size vs dnum (λ ≥ 128)");
+    for log_n in [15u32, 16, 17, 18] {
+        let points = sweep_dnum(log_n, 128.0, 60, 51);
+        let _ = writeln!(out, "N = 2^{log_n} (max dnum = {})", points.len());
+        for p in points.iter().step_by((points.len() / 8).max(1)) {
+            let _ = writeln!(
+                out,
+                "  dnum {:>3} (norm {:.2}): L = {:>3}, evk = {:.2} GB",
+                p.dnum,
+                p.normalized_dnum,
+                p.max_level,
+                p.evk_bytes as f64 / 1e9
+            );
+        }
+    }
+    out
+}
+
+/// Fig. 2: security level λ versus the minimum-bound T_mult,a/slot across
+/// (N, dnum) combinations at 1 TB/s.
+pub fn fig2() -> String {
+    let mut out = header("Fig 2: λ vs min-bound T_mult,a/slot (1 TB/s HBM)");
+    let plan = BootstrapPlan::paper_default();
+    for log_n in [15u32, 16, 17, 18] {
+        for dnum in [1usize, 2, 3, 6, 14] {
+            let Some(ins) =
+                bts_params::instance_at_security(log_n, dnum, 128.0, 60, 51, 55)
+            else {
+                continue;
+            };
+            if ins.max_level() <= L_BOOT {
+                let _ = writeln!(
+                    out,
+                    "  N=2^{log_n} dnum={dnum}: L={} cannot bootstrap",
+                    ins.max_level()
+                );
+                continue;
+            }
+            let model = MinBoundModel::new(ins.clone(), BandwidthModel::hbm_1tb());
+            let hist = plan.keyswitch_histogram(&ins);
+            let t = model.amortized_mult_per_slot_from_trace(&hist);
+            let _ = writeln!(
+                out,
+                "  N=2^{log_n} dnum={dnum}: L={:>3} λ={:>6.1} T_mult,a/slot = {:>8.1} ns",
+                ins.max_level(),
+                ins.security_level(),
+                t * 1e9
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  (Eq.10 minNTTU for INS-1 at 1.2 GHz / 1 TB/s: {:.0})",
+        min_nttu_count(&CkksInstance::ins1(), 1.2e9, BandwidthModel::hbm_1tb())
+    );
+    out
+}
+
+/// Fig. 3(b): relative complexity of BConv/NTT/iNTT/others in HMult for
+/// λ-matched instances with different dnum.
+pub fn fig3b() -> String {
+    let mut out = header("Fig 3b: HMult complexity breakdown vs dnum (N = 2^17)");
+    let configs = [
+        ("dnum=1 (L=27)", 27usize, 28usize, 1usize),
+        ("dnum=2 (L=39)", 39, 20, 2),
+        ("dnum=3 (L=44)", 44, 15, 3),
+        ("dnum=6 (L=49)", 49, 9, 6),
+        ("dnum=max (L=60)", 60, 1, 61),
+    ];
+    let _ = writeln!(
+        out,
+        "{:<18} {:>8} {:>8} {:>8} {:>8}",
+        "config", "BConv%", "NTT%", "iNTT%", "others%"
+    );
+    for (name, level, k, dnum) in configs {
+        let c = hmult_complexity(1 << 17, level, k, dnum);
+        let (bconv, ntt, intt, others) = c.fractions();
+        let _ = writeln!(
+            out,
+            "{:<18} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
+            name,
+            bconv * 100.0,
+            ntt * 100.0,
+            intt * 100.0,
+            others * 100.0
+        );
+    }
+    out
+}
+
+/// Table 3: area and peak power of the BTS components.
+pub fn table3() -> String {
+    let mut out = header("Table 3: area and peak power of BTS components");
+    let model = AreaPowerModel::bts_default();
+    let _ = writeln!(out, "{:<22} {:>12} {:>10}", "Component", "Area (mm²)", "Power (W)");
+    for c in model.table3() {
+        let _ = writeln!(out, "{:<22} {:>12.2} {:>10.2}", c.name, c.area_mm2, c.power_w);
+    }
+    out
+}
+
+/// Table 4: the evaluation CKKS instances.
+pub fn table4() -> String {
+    let mut out = header("Table 4: CKKS instances used for evaluation");
+    let _ = writeln!(
+        out,
+        "{:<8} {:>6} {:>4} {:>5} {:>8} {:>7} {:>12}",
+        "Instance", "N", "L", "dnum", "log PQ", "λ", "temp (paper)"
+    );
+    for ins in CkksInstance::evaluation_set() {
+        let _ = writeln!(
+            out,
+            "{:<8} 2^{:<4} {:>4} {:>5} {:>8.0} {:>7.1} {:>9} MB",
+            ins.name(),
+            ins.log_n(),
+            ins.max_level(),
+            ins.dnum(),
+            ins.log_pq(),
+            ins.security_level(),
+            ins.reported_temp_bytes().map(|b| b / 1_000_000).unwrap_or(0),
+        );
+    }
+    out
+}
+
+/// Fig. 6: amortized mult time per slot of the baselines and BTS (INS-1/2/3).
+pub fn fig6() -> String {
+    let mut out = header("Fig 6: T_mult,a/slot — baselines vs BTS");
+    let baselines = BaselineSet::paper();
+    for b in baselines.all() {
+        if let Some(t) = b.tmult_a_slot_us {
+            let _ = writeln!(out, "{:<10} {:>12.3} µs", b.name, t);
+        }
+    }
+    let mut best = f64::MAX;
+    for ins in CkksInstance::evaluation_set() {
+        let sim = Simulator::new(BtsConfig::bts_default(), ins.clone());
+        let (t, _) = amortized_mult_per_slot(&sim);
+        best = best.min(t);
+        let _ = writeln!(out, "BTS {:<6} {:>12.3} µs  ({:.1} ns)", ins.name(), t * 1e6, t * 1e9);
+    }
+    if let Some(lattigo) = baselines.get("Lattigo").and_then(|b| b.tmult_a_slot_us) {
+        let _ = writeln!(
+            out,
+            "speedup of best BTS instance over Lattigo: {:.0}× (paper: 2,237×)",
+            lattigo * 1e-6 / best
+        );
+    }
+    out
+}
+
+/// Fig. 7(a): minimum-bound vs measured T_mult,a/slot with 512 MiB and 2 GiB
+/// scratchpads.
+pub fn fig7a() -> String {
+    let mut out = header("Fig 7a: T_mult,a/slot — minimum bound vs 512 MiB vs 2 GiB scratchpad");
+    let plan = BootstrapPlan::paper_default();
+    let _ = writeln!(
+        out,
+        "{:<8} {:>14} {:>14} {:>14}",
+        "Instance", "min bound (ns)", "512 MiB (ns)", "2 GiB (ns)"
+    );
+    for ins in CkksInstance::evaluation_set() {
+        let minb = MinBoundModel::new(ins.clone(), BandwidthModel::hbm_1tb())
+            .amortized_mult_per_slot_from_trace(&plan.keyswitch_histogram(&ins));
+        let t512 = amortized_mult_per_slot(&Simulator::new(BtsConfig::bts_default(), ins.clone())).0;
+        let t2g = amortized_mult_per_slot(&Simulator::new(
+            BtsConfig::bts_default().with_scratchpad_bytes(2 * 1024 * 1024 * 1024),
+            ins.clone(),
+        ))
+        .0;
+        let _ = writeln!(
+            out,
+            "{:<8} {:>14.1} {:>14.1} {:>14.1}",
+            ins.name(),
+            minb * 1e9,
+            t512 * 1e9,
+            t2g * 1e9
+        );
+    }
+    out
+}
+
+/// Fig. 7(b): fraction of execution time spent bootstrapping per application
+/// on INS-1.
+pub fn fig7b() -> String {
+    let mut out = header("Fig 7b: bootstrapping share of execution time (INS-1)");
+    let ins = CkksInstance::ins1();
+    let sim = Simulator::new(BtsConfig::bts_default(), ins.clone());
+    let entries = [
+        ("Amortized mult", bts_workloads::amortized_mult_trace(&ins)),
+        ("HELR", helr_trace(&ins, HelrConfig::default()).trace),
+        ("ResNet-20", resnet20_trace(&ins, ResNetConfig::default()).trace),
+        ("Sorting", sorting_trace(&ins, SortingConfig::default()).trace),
+    ];
+    for (name, trace) in entries {
+        let report = sim.run(&trace);
+        let _ = writeln!(
+            out,
+            "{:<16} bootstrapping {:>5.1}% | others {:>5.1}%",
+            name,
+            report.bootstrap_fraction() * 100.0,
+            (1.0 - report.bootstrap_fraction()) * 100.0
+        );
+    }
+    out
+}
+
+/// Table 5: HELR training time per iteration, baselines vs BTS.
+pub fn table5() -> String {
+    let mut out = header("Table 5: HELR logistic-regression training time per iteration");
+    let baselines = BaselineSet::paper();
+    let lattigo = baselines.get("Lattigo").and_then(|b| b.helr_ms_per_iter);
+    for b in baselines.all() {
+        if let Some(ms) = b.helr_ms_per_iter {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>10.1} ms/iter  (speedup over Lattigo: {:>6.0}×)",
+                b.name,
+                ms,
+                lattigo.unwrap_or(ms) / ms
+            );
+        }
+    }
+    for ins in CkksInstance::evaluation_set() {
+        let wl = helr_trace(&ins, HelrConfig::default());
+        let report = Simulator::new(BtsConfig::bts_default(), ins.clone()).run(&wl.trace);
+        let ms = report.total_seconds * 1e3 / 30.0;
+        let _ = writeln!(
+            out,
+            "BTS {:<6} {:>10.1} ms/iter  (speedup over Lattigo: {:>6.0}×, {} bootstraps)",
+            ins.name(),
+            ms,
+            lattigo.unwrap_or(ms) / ms,
+            wl.bootstrap_count
+        );
+    }
+    out
+}
+
+/// Table 6: ResNet-20 and sorting latency plus bootstrap counts.
+pub fn table6() -> String {
+    let mut out = header("Table 6: ResNet-20 inference and sorting");
+    let baselines = BaselineSet::paper();
+    let cpu_resnet = baselines.get("Lattigo").and_then(|b| b.resnet20_s).unwrap_or(10_602.0);
+    let cpu_sort = baselines.get("Lattigo").and_then(|b| b.sorting_s).unwrap_or(23_066.0);
+    let _ = writeln!(out, "CPU [59] ResNet-20: {cpu_resnet:.0} s; CPU [42] sorting: {cpu_sort:.0} s");
+    for ins in CkksInstance::evaluation_set() {
+        let sim = Simulator::new(BtsConfig::bts_default(), ins.clone());
+        let resnet = resnet20_trace(&ins, ResNetConfig::default());
+        let rr = sim.run(&resnet.trace);
+        let sort = sorting_trace(&ins, SortingConfig::default());
+        let sr = sim.run(&sort.trace);
+        let _ = writeln!(
+            out,
+            "BTS {:<6} ResNet-20 {:>6.2} s ({:>5.0}×, {:>3} boots) | sorting {:>7.1} s ({:>5.0}×, {:>3} boots)",
+            ins.name(),
+            rr.total_seconds,
+            cpu_resnet / rr.total_seconds,
+            resnet.bootstrap_count,
+            sr.total_seconds,
+            cpu_sort / sr.total_seconds,
+            sort.bootstrap_count
+        );
+    }
+    out
+}
+
+/// Fig. 8: HMult timeline on INS-1 plus scratchpad statistics.
+pub fn fig8() -> String {
+    let mut out = header("Fig 8: HMult timeline on INS-1 (top level)");
+    let cfg = BtsConfig::bts_default();
+    let ins = CkksInstance::ins1();
+    for seg in hmult_timeline(&cfg, &ins, ins.max_level()) {
+        let _ = writeln!(
+            out,
+            "{:<16} {:<22} {:>10.1} – {:>10.1} ns",
+            seg.unit, seg.label, seg.start_ns, seg.end_ns
+        );
+    }
+    let sim = Simulator::new(cfg, ins.clone());
+    let (_, report) = amortized_mult_per_slot(&sim);
+    let _ = writeln!(
+        out,
+        "utilization over the amortized-mult run: NTTU {:.0}%, BConvU {:.0}%, HBM {:.0}%; peak scratchpad demand {} MiB",
+        report.ntt_utilization * 100.0,
+        report.bconv_utilization * 100.0,
+        report.hbm_utilization * 100.0,
+        report.scratchpad_peak_bytes / (1024 * 1024)
+    );
+    out
+}
+
+/// Fig. 9: ablation study of T_mult,a/slot.
+pub fn fig9() -> String {
+    let mut out = header("Fig 9: ablation — cumulative speedup of T_mult,a/slot over Lattigo");
+    let lattigo_us = BaselineSet::paper()
+        .get("Lattigo")
+        .and_then(|b| b.tmult_a_slot_us)
+        .unwrap_or(101.8);
+    let lattigo = lattigo_us * 1e-6;
+    let lattigo_like = CkksInstance::lattigo_preset();
+    let ins1 = CkksInstance::ins1();
+    let temp = |ins: &CkksInstance| {
+        (ins.dnum() as u64 + 2) * (ins.num_special() + ins.max_level() + 1) as u64 * ins.limb_bytes()
+    };
+    let configs: Vec<(&str, BtsConfig, CkksInstance)> = vec![
+        (
+            "small BTS (INS-Lattigo)",
+            BtsConfig::small_bts(temp(&lattigo_like)),
+            lattigo_like.clone(),
+        ),
+        ("small BTS (INS-1)", BtsConfig::small_bts(temp(&ins1)), ins1.clone()),
+        (
+            "BTS w/o BConvU overlap (INS-1)",
+            BtsConfig::bts_default().with_overlap(false),
+            ins1.clone(),
+        ),
+        ("BTS (INS-1)", BtsConfig::bts_default(), ins1.clone()),
+        (
+            "BTS w/ 2 TB/s HBM (INS-1)",
+            BtsConfig::bts_default().with_hbm(BandwidthModel::hbm_2tb()),
+            ins1,
+        ),
+    ];
+    for (name, cfg, ins) in configs {
+        let sim = Simulator::new(cfg, ins);
+        let (t, _) = amortized_mult_per_slot(&sim);
+        let _ = writeln!(
+            out,
+            "{:<34} {:>10.2} µs  speedup {:>7.0}×",
+            name,
+            t * 1e6,
+            lattigo / t
+        );
+    }
+    out
+}
+
+/// Fig. 10: bootstrapping time breakdown and EDAP versus scratchpad size.
+pub fn fig10() -> String {
+    let mut out = header("Fig 10: bootstrapping time and EDAP vs scratchpad size (INS-1)");
+    let ins = CkksInstance::ins1();
+    let trace = BootstrapPlan::paper_default().trace(&ins);
+    let _ = writeln!(
+        out,
+        "{:>10} {:>14} {:>14} {:>16} {:>14}",
+        "MiB", "boot time (ms)", "HMult/HRot %", "energy (J)", "EDAP (J·s·mm²)"
+    );
+    let mut sizes: Vec<u64> = (0..14).map(|i| (192 + 64 * i) * 1024 * 1024).collect();
+    sizes.push(1024 * 1024 * 1024);
+    sizes.dedup();
+    for bytes in sizes {
+        let cfg = BtsConfig::bts_default().with_scratchpad_bytes(bytes);
+        let report = Simulator::new(cfg, ins.clone()).run(&trace);
+        let ks_seconds: f64 = report
+            .per_op
+            .iter()
+            .filter(|(op, _)| op.is_key_switching())
+            .map(|(_, s)| s.seconds)
+            .sum();
+        let _ = writeln!(
+            out,
+            "{:>10} {:>14.2} {:>13.1}% {:>16.3} {:>14.4}",
+            bytes / (1024 * 1024),
+            report.total_seconds * 1e3,
+            ks_seconds / report.total_seconds * 100.0,
+            report.energy_j,
+            report.edap()
+        );
+    }
+    out
+}
+
+/// §6.3 "Slowdown of FHE": FHE-on-BTS versus unencrypted CPU execution.
+pub fn slowdown() -> String {
+    let mut out = header("Slowdown of FHE vs unencrypted execution");
+    let ins = CkksInstance::ins2();
+    let sim = Simulator::new(BtsConfig::bts_default(), ins.clone());
+    let helr = sim.run(&helr_trace(&ins, HelrConfig::default()).trace);
+    let helr_ms = helr.total_seconds * 1e3 / 30.0;
+    let _ = writeln!(
+        out,
+        "HELR: {:.1} ms/iter encrypted vs {:.2} ms unencrypted → {:.0}× slowdown (paper: 141×)",
+        helr_ms,
+        UNENCRYPTED_HELR_MS,
+        helr_ms / UNENCRYPTED_HELR_MS
+    );
+    let ins1 = CkksInstance::ins1();
+    let resnet = Simulator::new(BtsConfig::bts_default(), ins1.clone())
+        .run(&resnet20_trace(&ins1, ResNetConfig::default()).trace);
+    let _ = writeln!(
+        out,
+        "ResNet-20: {:.2} s encrypted vs {:.4} s unencrypted → {:.0}× slowdown (paper: 440×)",
+        resnet.total_seconds,
+        UNENCRYPTED_RESNET_S,
+        resnet.total_seconds / UNENCRYPTED_RESNET_S
+    );
+    out
+}
+
+/// Every figure/table in order, concatenated.
+pub fn all() -> String {
+    [
+        table1(),
+        fig1(),
+        fig2(),
+        fig3b(),
+        table3(),
+        table4(),
+        fig6(),
+        fig7a(),
+        fig7b(),
+        table5(),
+        table6(),
+        fig8(),
+        fig9(),
+        fig10(),
+        slowdown(),
+    ]
+    .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_figure_renders_nonempty() {
+        for (name, text) in [
+            ("table1", table1()),
+            ("fig1", fig1()),
+            ("fig3b", fig3b()),
+            ("table3", table3()),
+            ("table4", table4()),
+            ("fig8", fig8()),
+        ] {
+            assert!(text.lines().count() > 3, "{name} too short:\n{text}");
+        }
+    }
+
+    #[test]
+    fn fig6_reports_large_speedup_over_lattigo() {
+        let text = fig6();
+        assert!(text.contains("speedup of best BTS instance over Lattigo"));
+        // Extract the speedup number and require at least three orders of
+        // magnitude (the paper reports 2,237×).
+        let line = text
+            .lines()
+            .find(|l| l.contains("speedup of best"))
+            .unwrap();
+        let value: f64 = line
+            .split(':')
+            .nth(1)
+            .unwrap()
+            .trim()
+            .split('×')
+            .next()
+            .unwrap()
+            .replace(',', "")
+            .parse()
+            .unwrap();
+        assert!(value > 500.0, "speedup {value} too small");
+    }
+}

@@ -1,0 +1,12 @@
+//! # bts-bench
+//!
+//! Regenerates every table and figure of the BTS paper's evaluation from the
+//! models and simulator in this workspace. Each `figures::*` function returns
+//! the data as formatted text; the `figures` binary prints them, and the
+//! Criterion benches under `benches/` time the underlying code paths.
+//!
+//! Run `cargo run -p bts-bench --bin figures -- all` to print everything.
+
+#![warn(missing_docs)]
+
+pub mod figures;

@@ -1,0 +1,343 @@
+use bts_math::RnsPoly;
+
+use crate::ciphertext::Ciphertext;
+use crate::context::CkksContext;
+use crate::encoding::Complex;
+use crate::error::CkksError;
+use crate::evaluator::{Evaluator, LinearTransform};
+
+/// Configuration of the CKKS bootstrapping pipeline (Han–Ki style, §2.4):
+/// ModRaise → CoeffToSlot → EvalMod (approximate modular reduction by q0) →
+/// SlotToCoeff.
+#[derive(Debug, Clone, Copy)]
+pub struct BootstrapConfig {
+    /// Degree of the Chebyshev approximation of the scaled sine used by
+    /// EvalMod. Higher degrees give more precision and consume more levels.
+    pub evalmod_degree: usize,
+    /// Half-width K of the approximation interval `[-K, K]`; must dominate the
+    /// ∞-norm of the ModRaise overflow integer `I` (≈ O(√h) for a secret of
+    /// Hamming weight h).
+    pub range_k: f64,
+}
+
+impl Default for BootstrapConfig {
+    fn default() -> Self {
+        Self {
+            evalmod_degree: 31,
+            range_k: 12.0,
+        }
+    }
+}
+
+impl BootstrapConfig {
+    /// A shallow configuration for functional tests with sparse secrets
+    /// (small overflow range, modest polynomial degree).
+    pub fn sparse_test() -> Self {
+        Self {
+            evalmod_degree: 23,
+            range_k: 5.0,
+        }
+    }
+
+    /// A configuration for end-to-end functional bootstrapping tests: a
+    /// degree-39 Chebyshev sine over `[-4, 4]` keeps the EvalMod approximation
+    /// error small enough that, combined with a modest `q0/Δ` ratio, the
+    /// refreshed message is recovered to a couple of decimal digits. Requires a
+    /// very sparse secret (Hamming weight ≲ 4) so the ModRaise overflow stays
+    /// inside the interval.
+    pub fn functional_test() -> Self {
+        Self {
+            evalmod_degree: 39,
+            range_k: 4.0,
+        }
+    }
+
+    /// Number of multiplicative levels the bootstrap consumes:
+    /// CoeffToSlot (1) + real/imag split (1) + Clenshaw (degree) +
+    /// recombination (1) + SlotToCoeff (1).
+    pub fn levels_consumed(&self) -> usize {
+        self.evalmod_degree + 4
+    }
+}
+
+/// Bootstrapping driver: refreshes the level of an exhausted ciphertext so
+/// that more multiplications can be applied (the op BTS accelerates as a
+/// first-class citizen).
+#[derive(Debug, Clone)]
+pub struct Bootstrapper {
+    config: BootstrapConfig,
+    coeff_to_slot: LinearTransform,
+    slot_to_coeff: LinearTransform,
+    /// Chebyshev coefficients of `(q0 / (2πΔ)) · sin(2πv)` on `[-K, K]`.
+    cheb_coeffs: Vec<f64>,
+}
+
+impl Bootstrapper {
+    /// Precomputes the bootstrapping transforms for a context.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the context's level budget cannot accommodate
+    /// [`BootstrapConfig::levels_consumed`].
+    pub fn new(context: &CkksContext, config: BootstrapConfig) -> crate::Result<Self> {
+        if context.max_level() < config.levels_consumed() + 1 {
+            return Err(CkksError::InvalidParameters(format!(
+                "bootstrapping needs {} levels but the context only has {}",
+                config.levels_consumed() + 1,
+                context.max_level()
+            )));
+        }
+        let slots = context.slots();
+        // Build the special-FFT matrix F and its inverse numerically from the
+        // encoder. F maps packed coefficients u (u_j = m_j + i·m_{j+N/2}) to
+        // slot values; both maps are C-linear in u, so their columns are the
+        // images of the complex unit vectors.
+        let encoder = context.encoder();
+        let mut f_matrix = vec![vec![Complex::default(); slots]; slots];
+        let mut f_inv_matrix = vec![vec![Complex::default(); slots]; slots];
+        for col in 0..slots {
+            // Column `col` of F: decode(real unit coefficient at position col).
+            let mut unit_coeffs = vec![0.0f64; context.degree()];
+            unit_coeffs[col] = 1.0;
+            let decoded = encoder.decode_from_coefficients(&unit_coeffs, 1.0)?;
+            for (row, v) in decoded.iter().enumerate() {
+                f_matrix[row][col] = *v;
+            }
+        }
+        // F^{-1} via the encoder's inverse FFT: encode the slot-space unit
+        // vectors and read off the packed coefficients. Encoding rounds to
+        // integers, so use a large scratch scale and divide it back out.
+        let scratch_scale = 2f64.powi(52);
+        let mut unit_msg = vec![Complex::default(); slots];
+        for col in 0..slots {
+            unit_msg.iter_mut().for_each(|c| *c = Complex::default());
+            unit_msg[col] = Complex::new(1.0, 0.0);
+            let coeffs = encoder.encode_to_coefficients(&unit_msg, scratch_scale)?;
+            for row in 0..slots {
+                f_inv_matrix[row][col] = Complex::new(
+                    coeffs[row] / scratch_scale,
+                    coeffs[row + slots] / scratch_scale,
+                );
+            }
+        }
+        let q0 = context.q_modulus(0) as f64;
+        // CoeffToSlot = (Δ/q0)·F^{-1}: the raised ciphertext decodes (at scale
+        // Δ) to F·c/Δ where c = Δ·m + q0·I, so applying (Δ/q0)·F^{-1} in slot
+        // space leaves the slots holding c/q0 = I + Δ·m/q0 ∈ [-(K+1), K+1] —
+        // exactly the argument EvalMod's scaled sine expects. SlotToCoeff = F.
+        let c2s_factor = context.scale() / q0;
+        let c2s_scaled: Vec<Vec<Complex>> = f_inv_matrix
+            .iter()
+            .map(|row| row.iter().map(|c| c.scale(c2s_factor)).collect())
+            .collect();
+        let coeff_to_slot = LinearTransform::from_matrix(&c2s_scaled);
+        let slot_to_coeff = LinearTransform::from_matrix(&f_matrix);
+
+        let cheb_coeffs = chebyshev_fit(
+            |v| q0 / (2.0 * std::f64::consts::PI * context.scale()) * (2.0 * std::f64::consts::PI * v).sin(),
+            config.range_k,
+            config.evalmod_degree,
+        );
+        Ok(Self {
+            config,
+            coeff_to_slot,
+            slot_to_coeff,
+            cheb_coeffs,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &BootstrapConfig {
+        &self.config
+    }
+
+    /// Rotation amounts for which the key bundle must contain rotation keys
+    /// before [`Bootstrapper::bootstrap`] can run.
+    pub fn required_rotations(&self) -> Vec<i64> {
+        let mut rots: Vec<i64> = self
+            .coeff_to_slot
+            .rotations()
+            .into_iter()
+            .chain(self.slot_to_coeff.rotations())
+            .collect();
+        rots.sort_unstable();
+        rots.dedup();
+        rots
+    }
+
+    /// ModRaise: re-interprets a level-0 ciphertext as a ciphertext on the full
+    /// modulus chain. The underlying plaintext becomes `m + q0·I` for a small
+    /// integer polynomial `I` (§2.4).
+    pub fn mod_raise(&self, context: &CkksContext, ct: &Ciphertext) -> Ciphertext {
+        let raise = |poly: &RnsPoly| -> RnsPoly {
+            let mut p = poly.keep_limbs(1);
+            p.to_coefficient();
+            let q0 = context.q_basis().modulus(0);
+            let signed: Vec<i64> = p.limb(0).iter().map(|&c| q0.to_signed(c)).collect();
+            let full_basis = context.basis_at_level(context.max_level());
+            let mut out = RnsPoly::from_signed_coefficients(&full_basis, &signed);
+            out.to_ntt();
+            out
+        };
+        Ciphertext::new(
+            raise(ct.c0()),
+            raise(ct.c1()),
+            context.max_level(),
+            ct.scale(),
+        )
+    }
+
+    /// Full bootstrapping: ModRaise → CoeffToSlot → EvalMod → SlotToCoeff.
+    /// Returns a ciphertext encrypting (approximately) the same message at a
+    /// higher level.
+    ///
+    /// # Errors
+    ///
+    /// Fails if required rotation/conjugation keys are missing or the level
+    /// budget is insufficient.
+    pub fn bootstrap(&self, eval: &Evaluator<'_>, ct: &Ciphertext) -> crate::Result<Ciphertext> {
+        let context = eval.context();
+        // 1. ModRaise to the top of the chain.
+        let raised = self.mod_raise(context, ct);
+        // 2. CoeffToSlot: slots now hold (m_j + q0·I_j)/q0 packed as complex.
+        let packed = eval.linear_transform(&raised, &self.coeff_to_slot)?;
+        // 3. Split real and imaginary parts with a conjugation.
+        let conj = eval.conjugate(&packed)?;
+        let re_part = eval.rescale(&eval.mul_const(&eval.add(&packed, &conj)?, 0.5)?)?;
+        let im_sum = eval.sub(&packed, &conj)?;
+        // (x - conj(x)) = 2i·Im(x); multiply by -0.5i to get Im(x).
+        let im_part = eval.rescale(&self.mul_imaginary(eval, &im_sum, -0.5)?)?;
+        // 4. EvalMod on each part.
+        let re_mod = self.eval_mod(eval, &re_part)?;
+        let im_mod = self.eval_mod(eval, &im_part)?;
+        // 5. Recombine: re + i·im.
+        let im_times_i = self.mul_imaginary(eval, &im_mod, 1.0)?;
+        let im_times_i = eval.rescale(&im_times_i)?;
+        let re_aligned = eval.rescale(&eval.mul_const(&re_mod, 1.0)?)?;
+        let combined = eval.add(&re_aligned, &im_times_i)?;
+        // 6. SlotToCoeff back to the coefficient encoding. The scale tag is
+        // whatever the op chain's bookkeeping produced; the slot values are the
+        // refreshed message.
+        eval.linear_transform(&combined, &self.slot_to_coeff)
+    }
+
+    /// Multiplies every slot by `factor · i` (a purely imaginary constant).
+    fn mul_imaginary(
+        &self,
+        eval: &Evaluator<'_>,
+        ct: &Ciphertext,
+        factor: f64,
+    ) -> crate::Result<Ciphertext> {
+        let context = eval.context();
+        let pt = context.encode_at(
+            &[Complex::new(0.0, factor)],
+            ct.level(),
+            context.scale(),
+        )?;
+        eval.mul_plain(ct, &pt)
+    }
+
+    /// Approximate modular reduction: evaluates the Chebyshev interpolant of
+    /// `(q0/(2πΔ))·sin(2πv)` on the ciphertext via the Clenshaw recurrence.
+    fn eval_mod(&self, eval: &Evaluator<'_>, ct: &Ciphertext) -> crate::Result<Ciphertext> {
+        let k = self.config.range_k;
+        // Normalise the argument to [-1, 1].
+        let x = eval.rescale(&eval.mul_const(ct, 1.0 / k)?)?;
+        clenshaw(eval, &x, &self.cheb_coeffs)
+    }
+}
+
+/// Chebyshev interpolation coefficients of `f` on `[-k, k]` (degree `degree`).
+fn chebyshev_fit(f: impl Fn(f64) -> f64, k: f64, degree: usize) -> Vec<f64> {
+    let m = degree + 1;
+    let mut coeffs = vec![0.0; m];
+    let nodes: Vec<f64> = (0..m)
+        .map(|i| (std::f64::consts::PI * (i as f64 + 0.5) / m as f64).cos())
+        .collect();
+    let values: Vec<f64> = nodes.iter().map(|&t| f(k * t)).collect();
+    for (j, c) in coeffs.iter_mut().enumerate() {
+        let mut s = 0.0;
+        for (i, &v) in values.iter().enumerate() {
+            s += v * (std::f64::consts::PI * j as f64 * (i as f64 + 0.5) / m as f64).cos();
+        }
+        *c = 2.0 * s / m as f64;
+    }
+    coeffs[0] /= 2.0;
+    coeffs
+}
+
+/// Homomorphic Clenshaw evaluation of a Chebyshev series at `x` (which must
+/// already be normalised to `[-1, 1]`).
+fn clenshaw(eval: &Evaluator<'_>, x: &Ciphertext, coeffs: &[f64]) -> crate::Result<Ciphertext> {
+    let degree = coeffs.len() - 1;
+    // b_{d+1} = 0, b_{d+2} = 0 handled by Options.
+    let mut b_next: Option<Ciphertext> = None; // b_{k+1}
+    let mut b_next2: Option<Ciphertext> = None; // b_{k+2}
+    for k in (1..=degree).rev() {
+        let mut term = match &b_next {
+            Some(b1) => {
+                let x_aligned = eval.level_reduce(x, b1.level())?;
+                let two_x_b1 = eval.rescale(&eval.mul(&eval.add(b1, b1)?, &x_aligned)?)?;
+                eval.add_const(&two_x_b1, coeffs[k])?
+            }
+            None => {
+                let base = eval.rescale(&eval.mul_const(x, 0.0)?)?;
+                eval.add_const(&base, coeffs[k])?
+            }
+        };
+        if let Some(b2) = &b_next2 {
+            let b2_aligned = eval.level_reduce(b2, term.level())?;
+            term = eval.sub(&term, &b2_aligned)?;
+        }
+        b_next2 = b_next;
+        b_next = Some(term);
+    }
+    // p(x) = c_0 + x·b_1 - b_2
+    let b1 = b_next.expect("degree >= 1");
+    let x_aligned = eval.level_reduce(x, b1.level())?;
+    let mut result = eval.rescale(&eval.mul(&b1, &x_aligned)?)?;
+    result = eval.add_const(&result, coeffs[0])?;
+    if let Some(b2) = &b_next2 {
+        let b2_aligned = eval.level_reduce(b2, result.level())?;
+        result = eval.sub(&result, &b2_aligned)?;
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chebyshev_fit_reproduces_sine() {
+        let k = 5.0;
+        let coeffs = chebyshev_fit(|v| (2.0 * std::f64::consts::PI * v).sin(), k, 47);
+        // Evaluate the series at a few points and compare against the function.
+        let eval_cheb = |t: f64| {
+            let x = t / k;
+            let mut b1 = 0.0f64;
+            let mut b2 = 0.0f64;
+            for j in (1..coeffs.len()).rev() {
+                let b = coeffs[j] + 2.0 * x * b1 - b2;
+                b2 = b1;
+                b1 = b;
+            }
+            coeffs[0] + x * b1 - b2
+        };
+        for t in [-4.5, -2.3, -0.7, 0.0, 0.4, 1.9, 3.8, 4.9] {
+            let expect = (2.0 * std::f64::consts::PI * t).sin();
+            assert!(
+                (eval_cheb(t) - expect).abs() < 1e-3,
+                "t = {t}: {} vs {expect}",
+                eval_cheb(t)
+            );
+        }
+    }
+
+    #[test]
+    fn config_level_accounting() {
+        let cfg = BootstrapConfig::default();
+        assert_eq!(cfg.levels_consumed(), 35);
+        assert_eq!(BootstrapConfig::sparse_test().levels_consumed(), 27);
+    }
+}

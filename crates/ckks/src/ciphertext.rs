@@ -1,0 +1,85 @@
+use bts_math::RnsPoly;
+
+/// An encoded (but not encrypted) CKKS message: a scaled integer polynomial on
+/// the ciphertext-modulus basis at some level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plaintext {
+    pub(crate) poly: RnsPoly,
+    pub(crate) level: usize,
+    pub(crate) scale: f64,
+}
+
+impl Plaintext {
+    /// Creates a plaintext from its parts.
+    pub fn new(poly: RnsPoly, level: usize, scale: f64) -> Self {
+        Self { poly, level, scale }
+    }
+
+    /// The underlying polynomial.
+    pub fn poly(&self) -> &RnsPoly {
+        &self.poly
+    }
+
+    /// Current multiplicative level ℓ.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// CKKS scaling factor Δ attached to this plaintext.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+/// A CKKS ciphertext: a pair of polynomials `(c0, c1)` on the level-ℓ
+/// ciphertext-modulus basis such that `c0 + c1·s ≈ Δ·m` (§2.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ciphertext {
+    pub(crate) c0: RnsPoly,
+    pub(crate) c1: RnsPoly,
+    pub(crate) level: usize,
+    pub(crate) scale: f64,
+}
+
+impl Ciphertext {
+    /// Creates a ciphertext from its parts.
+    pub fn new(c0: RnsPoly, c1: RnsPoly, level: usize, scale: f64) -> Self {
+        Self {
+            c0,
+            c1,
+            level,
+            scale,
+        }
+    }
+
+    /// The `c0` (a.k.a. `b`) polynomial.
+    pub fn c0(&self) -> &RnsPoly {
+        &self.c0
+    }
+
+    /// The `c1` (a.k.a. `a`) polynomial.
+    pub fn c1(&self) -> &RnsPoly {
+        &self.c1
+    }
+
+    /// Current multiplicative level ℓ (number of rescalings still possible).
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// CKKS scaling factor currently attached to the ciphertext.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Ring degree N.
+    pub fn degree(&self) -> usize {
+        self.c0.degree()
+    }
+
+    /// Size of the ciphertext in bytes (two N×(ℓ+1) residue matrices of
+    /// 64-bit words), matching the paper's accounting.
+    pub fn size_bytes(&self) -> u64 {
+        2 * (self.level as u64 + 1) * self.c0.degree() as u64 * 8
+    }
+}

@@ -1,0 +1,132 @@
+/// Breakdown of the modular-multiplication count of one HMult (tensor product
+/// plus key-switching), the quantity Fig. 3(b) reports as "relative
+/// complexity".
+///
+/// Counts are in units of modular multiplications (a butterfly counts as one,
+/// a modular multiply-accumulate counts as one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComplexityBreakdown {
+    /// Forward NTT multiplications.
+    pub ntt: u64,
+    /// Inverse NTT multiplications.
+    pub intt: u64,
+    /// Base-conversion (BConv) multiplications (both parts).
+    pub bconv: u64,
+    /// Everything else: tensor product, evk products, SSA, rescale.
+    pub others: u64,
+}
+
+impl ComplexityBreakdown {
+    /// Total multiplication count.
+    pub fn total(&self) -> u64 {
+        self.ntt + self.intt + self.bconv + self.others
+    }
+
+    /// Fraction of the total taken by each category, in the order
+    /// `(bconv, ntt, intt, others)` to match Fig. 3(b)'s legend.
+    pub fn fractions(&self) -> (f64, f64, f64, f64) {
+        let t = self.total() as f64;
+        (
+            self.bconv as f64 / t,
+            self.ntt as f64 / t,
+            self.intt as f64 / t,
+            self.others as f64 / t,
+        )
+    }
+}
+
+/// Modular-multiplication complexity of an HMult on a ciphertext at level
+/// `level` for a ring of degree `n` with `num_special` special primes and the
+/// given `dnum` (Fig. 3(a)'s dataflow, counted exactly as the simulator
+/// schedules it).
+pub fn hmult_complexity(n: usize, level: usize, num_special: usize, dnum: usize) -> ComplexityBreakdown {
+    assert!(n.is_power_of_two(), "ring degree must be a power of two");
+    let n = n as u64;
+    let log_n = n.trailing_zeros() as u64;
+    let limb_ntt = n / 2 * log_n; // muls per limb transform
+    let l1 = level as u64 + 1; // ℓ + 1
+    let k = num_special as u64;
+    let dnum_l = (level as u64 + 1).div_ceil(k).min(dnum as u64);
+
+    // Tensor product: d0 (1 mul), d1 (2 muls), d2 (1 mul) per limb.
+    let tensor = 4 * l1 * n;
+    // ModUp per slice: iNTT of the slice limbs, BConv to the complement, NTT of
+    // the converted limbs.
+    let mut intt_limbs = 0u64;
+    let mut ntt_limbs = 0u64;
+    let mut bconv = 0u64;
+    for j in 0..dnum_l {
+        let lo = j * k;
+        let hi = ((j + 1) * k).min(l1);
+        let slice = hi - lo;
+        let target = (l1 - slice) + k;
+        intt_limbs += slice;
+        ntt_limbs += target;
+        bconv += slice * n + slice * target * n;
+    }
+    // evk inner products and accumulation: 2 polynomials × (ℓ+1+k) limbs × dnum_l.
+    let evk_mults = 2 * dnum_l * (l1 + k) * n;
+    // ModDown for ax and bx: iNTT of the k special limbs, BConv to Cℓ, NTT of
+    // the converted limbs, then the P^{-1} scaling (SSA).
+    intt_limbs += 2 * k;
+    ntt_limbs += 2 * l1;
+    bconv += 2 * (k * n + k * l1 * n);
+    let ssa = 2 * l1 * n;
+
+    ComplexityBreakdown {
+        ntt: ntt_limbs * limb_ntt,
+        intt: intt_limbs * limb_ntt,
+        bconv,
+        others: tensor + evk_mults + ssa,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bconv_share_shrinks_as_dnum_grows() {
+        // Fig. 3(b): the relative complexity of BConv falls from its dnum = 1
+        // peak towards ~12% at dnum = max (with the level budget adjusted per
+        // dnum as in the paper's λ-matched instances).
+        let n = 1 << 17;
+        let share = |level: usize, k: usize, dnum: usize| {
+            let c = hmult_complexity(n, level, k, dnum);
+            c.fractions().0
+        };
+        let d1 = share(27, 28, 1);
+        let d3 = share(44, 15, 3);
+        let dmax = share(60, 1, 61);
+        assert!(d1 > d3, "BConv share should fall with dnum: {d1} vs {d3}");
+        assert!(d3 > dmax);
+        assert!(dmax < 0.15, "dnum=max BConv share should be ~12%, got {dmax}");
+    }
+
+    #[test]
+    fn ntt_dominates_at_max_dnum() {
+        let c = hmult_complexity(1 << 17, 60, 1, 61);
+        let (bconv, ntt, intt, _) = c.fractions();
+        assert!(ntt + intt > 0.6);
+        assert!(bconv < ntt);
+    }
+
+    #[test]
+    fn totals_scale_with_ring_degree() {
+        let small = hmult_complexity(1 << 14, 20, 21, 1).total();
+        let large = hmult_complexity(1 << 15, 20, 21, 1).total();
+        assert!(large > 2 * small - small / 4); // ~2x plus the log N factor
+    }
+
+    #[test]
+    fn eq10_butterfly_count_consistency() {
+        // The (i)NTT butterflies of our breakdown should match the Eq. 10
+        // numerator (dnum+2)·(k+ℓ+1)·(N/2)·log N within ~20%.
+        let n = 1u64 << 17;
+        let c = hmult_complexity(1 << 17, 27, 28, 1);
+        let eq10 = 3 * 56 * (n / 2) * 17;
+        let ours = c.ntt + c.intt;
+        let ratio = ours as f64 / eq10 as f64;
+        assert!((0.8..1.2).contains(&ratio), "ratio = {ratio}");
+    }
+}

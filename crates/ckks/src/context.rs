@@ -1,0 +1,651 @@
+use rand::Rng;
+
+use bts_math::{
+    sample_gaussian, sample_ternary, AutomorphismTable, BaseConverter, Representation, RnsBasis,
+    RnsPoly, TERNARY_HAMMING_DENSE,
+};
+use bts_params::CkksInstance;
+
+use crate::ciphertext::{Ciphertext, Plaintext};
+use crate::encoding::{CkksEncoder, Complex};
+use crate::error::CkksError;
+use crate::evaluator::Evaluator;
+use crate::keys::{EvaluationKey, KeyBundle, PublicKey, SecretKey};
+
+/// Standard deviation of the RLWE error distribution.
+const ERROR_SIGMA: f64 = 3.2;
+
+/// A fully instantiated Full-RNS CKKS context: moduli chains, NTT tables,
+/// encoder and the key-switching machinery.
+///
+/// The context owns everything that depends only on the parameter set; keys
+/// and ciphertexts reference it. Ring degrees up to 2^13 are practical for the
+/// functional software path (tests, examples); the accelerator simulator works
+/// directly on the parameter model for the paper's 2^17 instances.
+#[derive(Debug, Clone)]
+pub struct CkksContext {
+    degree: usize,
+    max_level: usize,
+    dnum: usize,
+    scale: f64,
+    q_basis: RnsBasis,
+    p_basis: RnsBasis,
+    key_basis: RnsBasis,
+    encoder: CkksEncoder,
+    /// `[P]_{q_i}` for every ciphertext modulus.
+    p_mod_q: Vec<u64>,
+    /// `[P^{-1}]_{q_i}` for every ciphertext modulus.
+    p_inv_mod_q: Vec<u64>,
+}
+
+impl CkksContext {
+    /// Builds a context with explicit prime bit-sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::InvalidParameters`] for inconsistent requests and
+    /// propagates prime-generation failures.
+    pub fn new(
+        degree: usize,
+        max_level: usize,
+        dnum: usize,
+        log_q0: u32,
+        log_scale: u32,
+        log_special: u32,
+    ) -> crate::Result<Self> {
+        if dnum == 0 || dnum > max_level + 1 {
+            return Err(CkksError::InvalidParameters(format!(
+                "dnum {dnum} must be in [1, L+1]"
+            )));
+        }
+        let num_special = (max_level + 1).div_ceil(dnum);
+        // Generate every prime from a single pool so the ciphertext and
+        // special moduli are guaranteed distinct even when their bit sizes
+        // coincide; q0 is the largest.
+        let mut bit_sizes = vec![log_q0];
+        bit_sizes.extend(std::iter::repeat(log_scale).take(max_level));
+        bit_sizes.extend(std::iter::repeat(log_special).take(num_special));
+        let key_basis =
+            RnsBasis::generate_with_bit_sizes(degree, &bit_sizes).map_err(CkksError::Math)?;
+        let q_basis = key_basis.prefix(max_level + 1);
+        let p_basis = key_basis
+            .select(&((max_level + 1)..(max_level + 1 + num_special)).collect::<Vec<_>>());
+        let encoder = CkksEncoder::new(degree)?;
+        let p_mod_q: Vec<u64> = (0..q_basis.len())
+            .map(|i| p_basis.product_mod(q_basis.modulus(i)))
+            .collect();
+        let p_inv_mod_q: Vec<u64> = (0..q_basis.len())
+            .map(|i| {
+                q_basis
+                    .modulus(i)
+                    .inv(p_mod_q[i])
+                    .map_err(CkksError::Math)
+            })
+            .collect::<crate::Result<_>>()?;
+        Ok(Self {
+            degree,
+            max_level,
+            dnum,
+            scale: 2f64.powi(log_scale as i32),
+            q_basis,
+            p_basis,
+            key_basis,
+            encoder,
+            p_mod_q,
+            p_inv_mod_q,
+        })
+    }
+
+    /// A small, insecure context for tests and examples (40-bit scale).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CkksContext::new`] failures.
+    pub fn new_toy(degree: usize, max_level: usize, dnum: usize) -> crate::Result<Self> {
+        Self::new(degree, max_level, dnum, 60, 40, 60)
+    }
+
+    /// Builds a context from a [`CkksInstance`] parameter description.
+    ///
+    /// Only practical for moderate ring degrees; the paper-scale 2^17
+    /// instances are handled analytically by the simulator rather than
+    /// instantiated in software.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CkksContext::new`] failures.
+    pub fn from_instance(instance: &CkksInstance) -> crate::Result<Self> {
+        Self::new(
+            instance.n(),
+            instance.max_level(),
+            instance.dnum(),
+            instance.log_q0(),
+            instance.log_scale(),
+            instance.log_special(),
+        )
+    }
+
+    /// Ring degree N.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Number of message slots (N/2).
+    pub fn slots(&self) -> usize {
+        self.degree / 2
+    }
+
+    /// Maximum multiplicative level L.
+    pub fn max_level(&self) -> usize {
+        self.max_level
+    }
+
+    /// Decomposition number dnum.
+    pub fn dnum(&self) -> usize {
+        self.dnum
+    }
+
+    /// Number of special primes k.
+    pub fn num_special(&self) -> usize {
+        self.p_basis.len()
+    }
+
+    /// Default encoding scale Δ.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The ciphertext-modulus basis `{q_0, …, q_L}`.
+    pub fn q_basis(&self) -> &RnsBasis {
+        &self.q_basis
+    }
+
+    /// The special-modulus basis `{p_0, …, p_{k-1}}`.
+    pub fn p_basis(&self) -> &RnsBasis {
+        &self.p_basis
+    }
+
+    /// The encoder.
+    pub fn encoder(&self) -> &CkksEncoder {
+        &self.encoder
+    }
+
+    /// The ciphertext basis truncated to level ℓ (ℓ+1 limbs).
+    pub fn basis_at_level(&self, level: usize) -> RnsBasis {
+        self.q_basis.prefix(level + 1)
+    }
+
+    /// The prime modulus q_i.
+    pub fn q_modulus(&self, i: usize) -> u64 {
+        self.q_basis.modulus(i).value()
+    }
+
+    /// Creates an evaluator bound to this context and a key bundle.
+    pub fn evaluator<'a>(&'a self, keys: &'a KeyBundle) -> Evaluator<'a> {
+        Evaluator::new(self, keys)
+    }
+
+    // ------------------------------------------------------------------
+    // Encoding
+    // ------------------------------------------------------------------
+
+    /// Encodes a complex message at the maximum level and default scale.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoder errors.
+    pub fn encode(&self, message: &[Complex]) -> crate::Result<Plaintext> {
+        self.encode_at(message, self.max_level, self.scale)
+    }
+
+    /// Encodes a real-valued message at the maximum level and default scale.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoder errors.
+    pub fn encode_real(&self, message: &[f64]) -> crate::Result<Plaintext> {
+        let msg: Vec<Complex> = message.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        self.encode(&msg)
+    }
+
+    /// Encodes a message at an explicit level and scale.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoder errors and rejects out-of-range levels.
+    pub fn encode_at(
+        &self,
+        message: &[Complex],
+        level: usize,
+        scale: f64,
+    ) -> crate::Result<Plaintext> {
+        if level > self.max_level {
+            return Err(CkksError::InvalidParameters(format!(
+                "level {level} exceeds the maximum {}",
+                self.max_level
+            )));
+        }
+        let coeffs = self.encoder.encode_to_coefficients(message, scale)?;
+        let signed: Vec<i64> = coeffs.iter().map(|&c| c as i64).collect();
+        let mut poly = RnsPoly::from_signed_coefficients(&self.basis_at_level(level), &signed);
+        poly.to_ntt();
+        Ok(Plaintext::new(poly, level, scale))
+    }
+
+    /// Decodes a plaintext back to complex slots.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoder errors.
+    pub fn decode(&self, plaintext: &Plaintext) -> crate::Result<Vec<Complex>> {
+        let limbs_to_use = plaintext.poly.limb_count().min(2);
+        let selected: Vec<usize> = (0..limbs_to_use).collect();
+        let reduced = plaintext.poly.select_limbs(&selected);
+        let signed = reduced.to_signed_coefficients();
+        let coeffs: Vec<f64> = signed.iter().map(|&c| c as f64).collect();
+        self.encoder
+            .decode_from_coefficients(&coeffs, plaintext.scale)
+    }
+
+    // ------------------------------------------------------------------
+    // Key generation
+    // ------------------------------------------------------------------
+
+    /// Samples a fresh secret key (dense ternary, §2.5 non-sparse setting).
+    pub fn gen_secret_key<R: Rng + ?Sized>(&self, rng: &mut R) -> SecretKey {
+        let coefficients = sample_ternary(rng, self.degree, TERNARY_HAMMING_DENSE);
+        let mut poly = RnsPoly::from_signed_coefficients(&self.key_basis, &coefficients);
+        poly.to_ntt();
+        SecretKey {
+            coefficients,
+            poly,
+        }
+    }
+
+    /// Samples a sparse ternary secret key with exactly `hamming_weight`
+    /// non-zero coefficients. Sparse secrets keep the ModRaise overflow small,
+    /// which is what shallow bootstrapping configurations rely on (§2.4, [17]).
+    pub fn gen_sparse_secret_key<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        hamming_weight: usize,
+    ) -> SecretKey {
+        let coefficients = sample_ternary(rng, self.degree, hamming_weight);
+        let mut poly = RnsPoly::from_signed_coefficients(&self.key_basis, &coefficients);
+        poly.to_ntt();
+        SecretKey {
+            coefficients,
+            poly,
+        }
+    }
+
+    /// Derives the public encryption key from a secret key.
+    pub fn gen_public_key<R: Rng + ?Sized>(&self, sk: &SecretKey, rng: &mut R) -> PublicKey {
+        let basis = self.q_basis.clone();
+        let s_q = sk.poly.select_limbs(&(0..basis.len()).collect::<Vec<_>>());
+        let a = RnsPoly::sample_uniform(&basis, Representation::Ntt, rng);
+        let mut e = RnsPoly::from_signed_coefficients(&basis, &sample_gaussian(rng, self.degree, ERROR_SIGMA));
+        e.to_ntt();
+        let p0 = a
+            .mul(&s_q)
+            .expect("same basis")
+            .neg()
+            .add(&e)
+            .expect("same basis");
+        PublicKey { p0, p1: a }
+    }
+
+    /// Generates a key-switching key that re-encrypts products of `target_key`
+    /// under the secret key `sk` (generalized dnum decomposition, §2.5).
+    fn gen_switching_key<R: Rng + ?Sized>(
+        &self,
+        sk: &SecretKey,
+        target_key: &RnsPoly,
+        rng: &mut R,
+    ) -> EvaluationKey {
+        let k = self.num_special();
+        let total_q = self.max_level + 1;
+        let mut slices = Vec::with_capacity(self.dnum);
+        for j in 0..self.dnum {
+            let lo = j * k;
+            let hi = ((j + 1) * k).min(total_q);
+            if lo >= hi {
+                break;
+            }
+            let a_j = RnsPoly::sample_uniform(&self.key_basis, Representation::Ntt, rng);
+            let mut e_j = RnsPoly::from_signed_coefficients(
+                &self.key_basis,
+                &sample_gaussian(rng, self.degree, ERROR_SIGMA),
+            );
+            e_j.to_ntt();
+            // Per-limb gadget factor: P mod q_i inside the slice, 0 elsewhere.
+            let constants: Vec<u64> = (0..self.key_basis.len())
+                .map(|i| {
+                    if i >= lo && i < hi {
+                        self.p_mod_q[i]
+                    } else {
+                        0
+                    }
+                })
+                .collect();
+            let gadget = target_key.mul_constants(&constants);
+            let b_j = a_j
+                .mul(&sk.poly)
+                .expect("same basis")
+                .neg()
+                .add(&e_j)
+                .expect("same basis")
+                .add(&gadget)
+                .expect("same basis");
+            slices.push((b_j, a_j));
+        }
+        EvaluationKey { slices }
+    }
+
+    /// Generates the relinearization key (target key `s²`).
+    pub fn gen_relin_key<R: Rng + ?Sized>(&self, sk: &SecretKey, rng: &mut R) -> EvaluationKey {
+        let s_squared = sk.poly.mul(&sk.poly).expect("same basis");
+        self.gen_switching_key(sk, &s_squared, rng)
+    }
+
+    /// Generates a rotation key for rotation amount `r` (target key `σ_r(s)`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates Galois-element validation errors.
+    pub fn gen_rotation_key<R: Rng + ?Sized>(
+        &self,
+        sk: &SecretKey,
+        rotation: i64,
+        rng: &mut R,
+    ) -> crate::Result<EvaluationKey> {
+        let table = AutomorphismTable::from_rotation(self.degree, rotation)?;
+        let rotated = sk.poly.automorphism(&table);
+        Ok(self.gen_switching_key(sk, &rotated, rng))
+    }
+
+    /// Generates the conjugation key (target key `σ_{-1}(s)`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates Galois-element validation errors.
+    pub fn gen_conjugation_key<R: Rng + ?Sized>(
+        &self,
+        sk: &SecretKey,
+        rng: &mut R,
+    ) -> crate::Result<EvaluationKey> {
+        let table = AutomorphismTable::new(
+            self.degree,
+            bts_math::galois_element(0, self.degree, true),
+        )?;
+        let conjugated = sk.poly.automorphism(&table);
+        Ok(self.gen_switching_key(sk, &conjugated, rng))
+    }
+
+    /// One-call key generation: secret key plus a bundle containing the public
+    /// and relinearization keys (rotation keys are added on demand).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice; kept fallible for future validation.
+    pub fn generate_keys<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> crate::Result<(SecretKey, KeyBundle)> {
+        let sk = self.gen_secret_key(rng);
+        let public = self.gen_public_key(&sk, rng);
+        let relin = self.gen_relin_key(&sk, rng);
+        Ok((
+            sk,
+            KeyBundle {
+                public,
+                relin,
+                rotations: std::collections::HashMap::new(),
+                conjugation: None,
+            },
+        ))
+    }
+
+    /// Builds a key bundle (public + relinearization keys) for an externally
+    /// generated secret key, e.g. a sparse secret used for bootstrapping.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice; kept fallible for API stability.
+    pub fn generate_bundle_for<R: Rng + ?Sized>(
+        &self,
+        sk: &SecretKey,
+        rng: &mut R,
+    ) -> crate::Result<KeyBundle> {
+        Ok(KeyBundle {
+            public: self.gen_public_key(sk, rng),
+            relin: self.gen_relin_key(sk, rng),
+            rotations: std::collections::HashMap::new(),
+            conjugation: None,
+        })
+    }
+
+    /// Generates rotation keys for a set of rotation amounts and adds them to
+    /// the bundle, plus the conjugation key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rotation-key generation failures.
+    pub fn add_rotation_keys<R: Rng + ?Sized>(
+        &self,
+        sk: &SecretKey,
+        bundle: &mut KeyBundle,
+        rotations: &[i64],
+        rng: &mut R,
+    ) -> crate::Result<()> {
+        for &r in rotations {
+            if bundle.rotation(r).is_none() {
+                let key = self.gen_rotation_key(sk, r, rng)?;
+                bundle.insert_rotation(r, key);
+            }
+        }
+        if bundle.conjugation().is_none() {
+            bundle.set_conjugation(self.gen_conjugation_key(sk, rng)?);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Encryption / decryption
+    // ------------------------------------------------------------------
+
+    /// Encrypts a plaintext under the secret key (symmetric encryption).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice; kept fallible for API stability.
+    pub fn encrypt<R: Rng + ?Sized>(
+        &self,
+        plaintext: &Plaintext,
+        sk: &SecretKey,
+        rng: &mut R,
+    ) -> crate::Result<Ciphertext> {
+        let level = plaintext.level;
+        let basis = self.basis_at_level(level);
+        let s_q = sk.poly.select_limbs(&(0..=level).collect::<Vec<_>>());
+        let c1 = RnsPoly::sample_uniform(&basis, Representation::Ntt, rng);
+        let mut e = RnsPoly::from_signed_coefficients(
+            &basis,
+            &sample_gaussian(rng, self.degree, ERROR_SIGMA),
+        );
+        e.to_ntt();
+        let c0 = c1
+            .mul(&s_q)
+            .expect("same basis")
+            .neg()
+            .add(&e)
+            .expect("same basis")
+            .add(&plaintext.poly)
+            .expect("same basis");
+        Ok(Ciphertext::new(c0, c1, level, plaintext.scale))
+    }
+
+    /// Encrypts a plaintext under the public key.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice; kept fallible for API stability.
+    pub fn encrypt_public<R: Rng + ?Sized>(
+        &self,
+        plaintext: &Plaintext,
+        keys: &KeyBundle,
+        rng: &mut R,
+    ) -> crate::Result<Ciphertext> {
+        let level = plaintext.level;
+        let idx: Vec<usize> = (0..=level).collect();
+        let p0 = keys.public.p0.select_limbs(&idx);
+        let p1 = keys.public.p1.select_limbs(&idx);
+        let basis = self.basis_at_level(level);
+        let mut v = RnsPoly::from_signed_coefficients(
+            &basis,
+            &sample_ternary(rng, self.degree, TERNARY_HAMMING_DENSE),
+        );
+        v.to_ntt();
+        let mut e0 = RnsPoly::from_signed_coefficients(
+            &basis,
+            &sample_gaussian(rng, self.degree, ERROR_SIGMA),
+        );
+        e0.to_ntt();
+        let mut e1 = RnsPoly::from_signed_coefficients(
+            &basis,
+            &sample_gaussian(rng, self.degree, ERROR_SIGMA),
+        );
+        e1.to_ntt();
+        let c0 = v
+            .mul(&p0)
+            .expect("same basis")
+            .add(&e0)
+            .expect("same basis")
+            .add(&plaintext.poly)
+            .expect("same basis");
+        let c1 = v.mul(&p1).expect("same basis").add(&e1).expect("same basis");
+        Ok(Ciphertext::new(c0, c1, level, plaintext.scale))
+    }
+
+    /// Decrypts a ciphertext with the secret key.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice; kept fallible for API stability.
+    pub fn decrypt(&self, ciphertext: &Ciphertext, sk: &SecretKey) -> crate::Result<Plaintext> {
+        let level = ciphertext.level;
+        let s_q = sk.poly.select_limbs(&(0..=level).collect::<Vec<_>>());
+        let m = ciphertext
+            .c1
+            .mul(&s_q)
+            .expect("same basis")
+            .add(&ciphertext.c0)
+            .expect("same basis");
+        Ok(Plaintext::new(m, level, ciphertext.scale))
+    }
+
+    // ------------------------------------------------------------------
+    // Key switching (the core of HMult and HRot)
+    // ------------------------------------------------------------------
+
+    /// Switches the polynomial `d` (NTT domain, level-ℓ ciphertext basis) from
+    /// the key implicit in `evk` back to the canonical secret key, returning
+    /// the `(b, a)` contribution pair on the same basis.
+    ///
+    /// This is the iNTT → BConv → NTT → ⊙evk → iNTT → BConv → NTT → SSA flow
+    /// of Fig. 3(a).
+    ///
+    /// # Errors
+    ///
+    /// Propagates basis-construction failures.
+    pub fn key_switch(
+        &self,
+        d: &RnsPoly,
+        evk: &EvaluationKey,
+    ) -> crate::Result<(RnsPoly, RnsPoly)> {
+        let level = d.limb_count() - 1;
+        let k = self.num_special();
+        let q_prefix = self.basis_at_level(level);
+        let ks_basis = q_prefix.concat(&self.p_basis).map_err(CkksError::Math)?;
+        // Indices of the live limbs inside the full key basis (q_0..q_L, p_*).
+        let evk_indices: Vec<usize> = (0..=level)
+            .chain(self.max_level + 1..self.max_level + 1 + k)
+            .collect();
+
+        let mut acc_b = RnsPoly::zero(&ks_basis, Representation::Ntt);
+        let mut acc_a = RnsPoly::zero(&ks_basis, Representation::Ntt);
+
+        let num_slices = (level + 1).div_ceil(k).min(evk.slices.len());
+        for j in 0..num_slices {
+            let lo = j * k;
+            let hi = ((j + 1) * k).min(level + 1);
+            let slice_idx: Vec<usize> = (lo..hi).collect();
+            // ModUp: iNTT the slice, convert to the complementary base, NTT back.
+            let mut d_slice = d.select_limbs(&slice_idx);
+            d_slice.to_coefficient();
+            let complement_idx: Vec<usize> = (0..=level).filter(|i| *i < lo || *i >= hi).collect();
+            let complement_basis = if complement_idx.is_empty() {
+                self.p_basis.clone()
+            } else {
+                q_prefix
+                    .select(&complement_idx)
+                    .concat(&self.p_basis)
+                    .map_err(CkksError::Math)?
+            };
+            let converter = BaseConverter::new(d_slice.basis(), &complement_basis)
+                .map_err(CkksError::Math)?;
+            let converted = converter.convert(d_slice.limbs());
+            // Reassemble the extended polynomial on the ks basis order.
+            let mut limbs: Vec<Vec<u64>> = Vec::with_capacity(level + 1 + k);
+            let mut conv_iter = converted.into_iter();
+            for i in 0..=level {
+                if i >= lo && i < hi {
+                    limbs.push(d_slice.limb(i - lo).to_vec());
+                } else {
+                    limbs.push(conv_iter.next().expect("converted limb"));
+                }
+            }
+            for _ in 0..k {
+                limbs.push(conv_iter.next().expect("converted special limb"));
+            }
+            let mut extended =
+                RnsPoly::from_limbs(&ks_basis, Representation::Coefficient, limbs)
+                    .map_err(CkksError::Math)?;
+            extended.to_ntt();
+
+            let evk_b = evk.slices[j].0.select_limbs(&evk_indices);
+            let evk_a = evk.slices[j].1.select_limbs(&evk_indices);
+            acc_b = acc_b
+                .add(&extended.mul(&evk_b).map_err(CkksError::Math)?)
+                .map_err(CkksError::Math)?;
+            acc_a = acc_a
+                .add(&extended.mul(&evk_a).map_err(CkksError::Math)?)
+                .map_err(CkksError::Math)?;
+        }
+
+        let b = self.mod_down(&acc_b, level)?;
+        let a = self.mod_down(&acc_a, level)?;
+        Ok((b, a))
+    }
+
+    /// Divides an extended-basis polynomial (level-ℓ q limbs followed by the k
+    /// special limbs, NTT domain) by `P`, returning a level-ℓ polynomial.
+    fn mod_down(&self, x: &RnsPoly, level: usize) -> crate::Result<RnsPoly> {
+        let k = self.num_special();
+        let q_prefix = self.basis_at_level(level);
+        let q_part = x.select_limbs(&(0..=level).collect::<Vec<_>>());
+        let mut p_part = x.select_limbs(&((level + 1)..(level + 1 + k)).collect::<Vec<_>>());
+        p_part.to_coefficient();
+        let converter =
+            BaseConverter::new(&self.p_basis, &q_prefix).map_err(CkksError::Math)?;
+        let mut converted = RnsPoly::from_limbs(
+            &q_prefix,
+            Representation::Coefficient,
+            converter.convert(p_part.limbs()),
+        )
+        .map_err(CkksError::Math)?;
+        converted.to_ntt();
+        let diff = q_part.sub(&converted).map_err(CkksError::Math)?;
+        Ok(diff.mul_constants(&self.p_inv_mod_q[..=level]))
+    }
+}

@@ -1,0 +1,68 @@
+use std::fmt;
+
+use bts_math::MathError;
+
+/// Error type for the CKKS layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CkksError {
+    /// An error bubbled up from the number-theoretic substrate.
+    Math(MathError),
+    /// The requested parameters are invalid (reason in the message).
+    InvalidParameters(String),
+    /// A message is too long for the available slots.
+    TooManySlots {
+        /// Slots requested.
+        requested: usize,
+        /// Slots available (N/2).
+        available: usize,
+    },
+    /// The ciphertext has no levels left for the requested operation.
+    LevelExhausted {
+        /// Current level.
+        level: usize,
+        /// Levels the operation needs.
+        required: usize,
+    },
+    /// Two ciphertexts are at incompatible levels or scales.
+    OperandMismatch(String),
+    /// A required key (e.g. a rotation key) is missing from the bundle.
+    MissingKey(String),
+    /// Decryption noise overwhelmed the message.
+    NoiseOverflow,
+}
+
+impl fmt::Display for CkksError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkksError::Math(e) => write!(f, "math error: {e}"),
+            CkksError::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),
+            CkksError::TooManySlots {
+                requested,
+                available,
+            } => write!(f, "message needs {requested} slots but only {available} are available"),
+            CkksError::LevelExhausted { level, required } => write!(
+                f,
+                "ciphertext at level {level} cannot support an operation consuming {required} level(s)"
+            ),
+            CkksError::OperandMismatch(msg) => write!(f, "operand mismatch: {msg}"),
+            CkksError::MissingKey(which) => write!(f, "missing key: {which}"),
+            CkksError::NoiseOverflow => write!(f, "decryption noise overwhelmed the message"),
+        }
+    }
+}
+
+impl std::error::Error for CkksError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CkksError::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MathError> for CkksError {
+    fn from(e: MathError) -> Self {
+        CkksError::Math(e)
+    }
+}

@@ -1,0 +1,403 @@
+use std::collections::BTreeMap;
+
+use bts_math::AutomorphismTable;
+
+use crate::ciphertext::{Ciphertext, Plaintext};
+use crate::context::CkksContext;
+use crate::encoding::Complex;
+use crate::error::CkksError;
+use crate::keys::KeyBundle;
+
+/// Relative scale mismatch tolerated when adding ciphertexts. Scales drift by
+/// roughly `|Δ - q_i| / Δ` per rescale because the scaling primes are only
+/// approximately equal to Δ; deep circuits (bootstrapping) accumulate a few
+/// parts in 10^4 of drift, which we fold into the message error rather than
+/// rejecting the operation.
+const SCALE_TOLERANCE: f64 = 5e-3;
+
+/// Evaluates homomorphic operations on ciphertexts: the HAdd / HMult / HRot /
+/// HRescale / CMult / PMult primitives of §2.3, plus homomorphic linear
+/// transforms (the building block of bootstrapping's CoeffToSlot/SlotToCoeff)
+/// and polynomial evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct Evaluator<'a> {
+    context: &'a CkksContext,
+    keys: &'a KeyBundle,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator over a context and key bundle.
+    pub fn new(context: &'a CkksContext, keys: &'a KeyBundle) -> Self {
+        Self { context, keys }
+    }
+
+    /// The bound context.
+    pub fn context(&self) -> &CkksContext {
+        self.context
+    }
+
+    fn check_scales(a: f64, b: f64) -> crate::Result<()> {
+        if (a - b).abs() / a.max(b) > SCALE_TOLERANCE {
+            return Err(CkksError::OperandMismatch(format!(
+                "scales differ: {a} vs {b}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Drops limbs so the ciphertext sits at `level` (no scaling involved).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the ciphertext is already below `level`.
+    pub fn level_reduce(&self, ct: &Ciphertext, level: usize) -> crate::Result<Ciphertext> {
+        if level > ct.level {
+            return Err(CkksError::OperandMismatch(format!(
+                "cannot raise level {} to {level} by dropping limbs",
+                ct.level
+            )));
+        }
+        Ok(Ciphertext::new(
+            ct.c0.keep_limbs(level + 1),
+            ct.c1.keep_limbs(level + 1),
+            level,
+            ct.scale,
+        ))
+    }
+
+    fn align(&self, a: &Ciphertext, b: &Ciphertext) -> crate::Result<(Ciphertext, Ciphertext)> {
+        let level = a.level.min(b.level);
+        Ok((self.level_reduce(a, level)?, self.level_reduce(b, level)?))
+    }
+
+    /// HAdd: element-wise addition (Eq. 2).
+    ///
+    /// # Errors
+    ///
+    /// Fails on scale mismatch.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> crate::Result<Ciphertext> {
+        Self::check_scales(a.scale, b.scale)?;
+        let (a, b) = self.align(a, b)?;
+        Ok(Ciphertext::new(
+            a.c0.add(&b.c0)?,
+            a.c1.add(&b.c1)?,
+            a.level,
+            a.scale,
+        ))
+    }
+
+    /// Element-wise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Fails on scale mismatch.
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> crate::Result<Ciphertext> {
+        Self::check_scales(a.scale, b.scale)?;
+        let (a, b) = self.align(a, b)?;
+        Ok(Ciphertext::new(
+            a.c0.sub(&b.c0)?,
+            a.c1.sub(&b.c1)?,
+            a.level,
+            a.scale,
+        ))
+    }
+
+    /// Negation.
+    pub fn negate(&self, a: &Ciphertext) -> Ciphertext {
+        Ciphertext::new(a.c0.neg(), a.c1.neg(), a.level, a.scale)
+    }
+
+    /// HMult: tensor product followed by key-switching with the
+    /// relinearization key (Eq. 3/4). The output scale is the product of the
+    /// input scales; call [`Evaluator::rescale`] afterwards to bring it back.
+    ///
+    /// # Errors
+    ///
+    /// Propagates key-switching failures.
+    pub fn mul(&self, a: &Ciphertext, b: &Ciphertext) -> crate::Result<Ciphertext> {
+        let (a, b) = self.align(a, b)?;
+        let d0 = a.c0.mul(&b.c0)?;
+        let d1 = a.c0.mul(&b.c1)?.add(&a.c1.mul(&b.c0)?)?;
+        let d2 = a.c1.mul(&b.c1)?;
+        let (kb, ka) = self.context.key_switch(&d2, self.keys.relin())?;
+        Ok(Ciphertext::new(
+            d0.add(&kb)?,
+            d1.add(&ka)?,
+            a.level,
+            a.scale * b.scale,
+        ))
+    }
+
+    /// Squares a ciphertext (same flow as [`Evaluator::mul`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates key-switching failures.
+    pub fn square(&self, a: &Ciphertext) -> crate::Result<Ciphertext> {
+        self.mul(a, a)
+    }
+
+    /// PMult: multiplies by a plaintext polynomial. The output scale is the
+    /// product of the scales.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the plaintext level is below the ciphertext level.
+    pub fn mul_plain(&self, a: &Ciphertext, p: &Plaintext) -> crate::Result<Ciphertext> {
+        let level = a.level.min(p.level);
+        let a = self.level_reduce(a, level)?;
+        let p_poly = p.poly.keep_limbs(level + 1);
+        Ok(Ciphertext::new(
+            a.c0.mul(&p_poly)?,
+            a.c1.mul(&p_poly)?,
+            level,
+            a.scale * p.scale,
+        ))
+    }
+
+    /// PAdd: adds a plaintext polynomial.
+    ///
+    /// # Errors
+    ///
+    /// Fails on scale mismatch.
+    pub fn add_plain(&self, a: &Ciphertext, p: &Plaintext) -> crate::Result<Ciphertext> {
+        Self::check_scales(a.scale, p.scale)?;
+        let level = a.level.min(p.level);
+        let a = self.level_reduce(a, level)?;
+        let p_poly = p.poly.keep_limbs(level + 1);
+        Ok(Ciphertext::new(
+            a.c0.add(&p_poly)?,
+            a.c1.clone(),
+            level,
+            a.scale,
+        ))
+    }
+
+    /// CMult: multiplies every slot by a real constant. The constant is encoded
+    /// at the context scale, so the output scale is `ct.scale · Δ`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding failures.
+    pub fn mul_const(&self, a: &Ciphertext, value: f64) -> crate::Result<Ciphertext> {
+        let pt = self.context.encode_at(
+            &[Complex::new(value, 0.0)],
+            a.level,
+            self.context.scale(),
+        )?;
+        self.mul_plain(a, &pt)
+    }
+
+    /// CAdd: adds a real constant to every slot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding failures.
+    pub fn add_const(&self, a: &Ciphertext, value: f64) -> crate::Result<Ciphertext> {
+        let pt = self
+            .context
+            .encode_at(&[Complex::new(value, 0.0)], a.level, a.scale)?;
+        self.add_plain(a, &pt)
+    }
+
+    /// HRescale: divides the ciphertext by the last prime modulus, dropping one
+    /// level and dividing the scale by `q_ℓ` (§2.4).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the ciphertext is at level 0.
+    pub fn rescale(&self, a: &Ciphertext) -> crate::Result<Ciphertext> {
+        if a.level == 0 {
+            return Err(CkksError::LevelExhausted {
+                level: 0,
+                required: 1,
+            });
+        }
+        let last = a.level;
+        let q_last = self.context.q_modulus(last);
+        let new_level = last - 1;
+        let rescale_poly = |poly: &bts_math::RnsPoly| -> crate::Result<bts_math::RnsPoly> {
+            let mut work = poly.clone();
+            work.to_coefficient();
+            let last_limb = work.limb(last).to_vec();
+            let kept = work.keep_limbs(new_level + 1);
+            let basis = kept.basis().clone();
+            let mut limbs = kept.into_limbs();
+            for (i, limb) in limbs.iter_mut().enumerate() {
+                let qi = basis.modulus(i);
+                let q_last_inv = qi.inv(qi.reduce(q_last)).map_err(CkksError::Math)?;
+                for (c, coeff) in limb.iter_mut().enumerate() {
+                    let borrowed = qi.reduce(last_limb[c]);
+                    *coeff = qi.mul(qi.sub(*coeff, borrowed), q_last_inv);
+                }
+            }
+            let mut out =
+                bts_math::RnsPoly::from_limbs(&basis, bts_math::Representation::Coefficient, limbs)
+                    .map_err(CkksError::Math)?;
+            out.to_ntt();
+            Ok(out)
+        };
+        Ok(Ciphertext::new(
+            rescale_poly(&a.c0)?,
+            rescale_poly(&a.c1)?,
+            new_level,
+            a.scale / q_last as f64,
+        ))
+    }
+
+    /// Multiplies two ciphertexts and immediately rescales — the most common
+    /// composite in applications.
+    ///
+    /// # Errors
+    ///
+    /// Propagates multiplication and rescaling failures.
+    pub fn mul_rescale(&self, a: &Ciphertext, b: &Ciphertext) -> crate::Result<Ciphertext> {
+        self.rescale(&self.mul(a, b)?)
+    }
+
+    /// HRot: rotates the message vector by `r` slots (Eq. 5/6) using the
+    /// rotation key generated for `r`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`CkksError::MissingKey`] if no key for `r` exists.
+    pub fn rotate(&self, a: &Ciphertext, r: i64) -> crate::Result<Ciphertext> {
+        if r == 0 {
+            return Ok(a.clone());
+        }
+        let key = self
+            .keys
+            .rotation(r)
+            .ok_or_else(|| CkksError::MissingKey(format!("rotation key for r = {r}")))?;
+        let table =
+            AutomorphismTable::from_rotation(self.context.degree(), r).map_err(CkksError::Math)?;
+        let c0_rot = a.c0.automorphism(&table);
+        let c1_rot = a.c1.automorphism(&table);
+        let (kb, ka) = self.context.key_switch(&c1_rot, key)?;
+        Ok(Ciphertext::new(c0_rot.add(&kb)?, ka, a.level, a.scale))
+    }
+
+    /// Complex conjugation of every slot.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`CkksError::MissingKey`] if the conjugation key is missing.
+    pub fn conjugate(&self, a: &Ciphertext) -> crate::Result<Ciphertext> {
+        let key = self
+            .keys
+            .conjugation()
+            .ok_or_else(|| CkksError::MissingKey("conjugation key".to_string()))?;
+        let g = bts_math::galois_element(0, self.context.degree(), true);
+        let table = AutomorphismTable::new(self.context.degree(), g).map_err(CkksError::Math)?;
+        let c0_rot = a.c0.automorphism(&table);
+        let c1_rot = a.c1.automorphism(&table);
+        let (kb, ka) = self.context.key_switch(&c1_rot, key)?;
+        Ok(Ciphertext::new(c0_rot.add(&kb)?, ka, a.level, a.scale))
+    }
+
+    /// Applies a homomorphic linear transform (matrix–vector product in slot
+    /// space) expressed by its generalized diagonals, consuming one level.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a required rotation key is missing.
+    pub fn linear_transform(
+        &self,
+        a: &Ciphertext,
+        transform: &LinearTransform,
+    ) -> crate::Result<Ciphertext> {
+        let mut acc: Option<Ciphertext> = None;
+        for (&rotation, diag) in &transform.diagonals {
+            let rotated = self.rotate(a, rotation)?;
+            let pt = self
+                .context
+                .encode_at(diag, rotated.level, self.context.scale())?;
+            let term = self.mul_plain(&rotated, &pt)?;
+            acc = Some(match acc {
+                None => term,
+                Some(prev) => self.add(&prev, &term)?,
+            });
+        }
+        let acc = acc.ok_or_else(|| {
+            CkksError::InvalidParameters("linear transform has no diagonals".to_string())
+        })?;
+        self.rescale(&acc)
+    }
+
+    /// Evaluates a real-coefficient polynomial `Σ c_i x^i` on a ciphertext via
+    /// Horner's rule, consuming `deg` levels.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the ciphertext runs out of levels.
+    pub fn eval_polynomial(&self, x: &Ciphertext, coeffs: &[f64]) -> crate::Result<Ciphertext> {
+        if coeffs.len() < 2 {
+            return Err(CkksError::InvalidParameters(
+                "polynomial must have degree at least 1".to_string(),
+            ));
+        }
+        let degree = coeffs.len() - 1;
+        if x.level < degree {
+            return Err(CkksError::LevelExhausted {
+                level: x.level,
+                required: degree,
+            });
+        }
+        // Horner: acc = c_d·x + c_{d-1}; then repeatedly acc = acc·x + c_i.
+        let mut acc = self.rescale(&self.mul_const(x, coeffs[degree])?)?;
+        acc = self.add_const(&acc, coeffs[degree - 1])?;
+        for i in (0..degree - 1).rev() {
+            let x_aligned = self.level_reduce(x, acc.level)?;
+            acc = self.rescale(&self.mul(&acc, &x_aligned)?)?;
+            acc = self.add_const(&acc, coeffs[i])?;
+        }
+        Ok(acc)
+    }
+
+    /// Access to the bound key bundle (used by the bootstrapping driver).
+    pub fn keys(&self) -> &KeyBundle {
+        self.keys
+    }
+}
+
+/// A homomorphic linear transform described by its generalized diagonals:
+/// `out = Σ_r diag_r ⊙ rot(in, r)`. This is the primitive both CoeffToSlot and
+/// SlotToCoeff reduce to, and the op pattern that dominates bootstrapping's
+/// HRot count (§3.3).
+#[derive(Debug, Clone)]
+pub struct LinearTransform {
+    diagonals: BTreeMap<i64, Vec<Complex>>,
+}
+
+impl LinearTransform {
+    /// Builds a transform from an explicit (dense) `slots × slots` matrix,
+    /// extracting its non-zero generalized diagonals.
+    pub fn from_matrix(matrix: &[Vec<Complex>]) -> Self {
+        let slots = matrix.len();
+        let mut diagonals = BTreeMap::new();
+        for r in 0..slots {
+            let diag: Vec<Complex> = (0..slots)
+                .map(|i| matrix[i][(i + r) % slots])
+                .collect();
+            if diag.iter().any(|c| c.abs() > 1e-12) {
+                diagonals.insert(r as i64, diag);
+            }
+        }
+        Self { diagonals }
+    }
+
+    /// Builds a transform directly from its non-zero diagonals.
+    pub fn from_diagonals(diagonals: BTreeMap<i64, Vec<Complex>>) -> Self {
+        Self { diagonals }
+    }
+
+    /// The rotation amounts (diagonal indices) this transform needs keys for.
+    pub fn rotations(&self) -> Vec<i64> {
+        self.diagonals.keys().copied().filter(|&r| r != 0).collect()
+    }
+
+    /// Number of non-zero diagonals.
+    pub fn diagonal_count(&self) -> usize {
+        self.diagonals.len()
+    }
+}

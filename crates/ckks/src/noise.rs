@@ -1,0 +1,261 @@
+//! Analytical noise-budget tracking for RNS-CKKS circuits.
+//!
+//! CKKS is an approximate scheme: every operation adds (or amplifies) error,
+//! and the paper's parameter discussion (§2.4, §3.2) revolves around keeping
+//! enough modulus above the scale to absorb that error — the prime sizes of
+//! 2^40–2^60, the `L_boot` levels consumed by bootstrapping, and the choice of
+//! `dnum` all follow from it. This module provides a lightweight estimator in
+//! the style of the standard CKKS noise heuristics: it tracks, in bits, the
+//! log of the ciphertext modulus remaining, the scale, and a bound on the
+//! error, and exposes the *precision budget* (message bits above the noise
+//! floor) after a sequence of operations.
+
+use bts_params::CkksInstance;
+
+/// Noise and scale bookkeeping for one ciphertext as operations are applied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseTracker {
+    /// log2 of the remaining ciphertext modulus.
+    log_q: f64,
+    /// log2 of the current scale Δ'.
+    log_scale: f64,
+    /// log2 of the current error bound.
+    log_error: f64,
+    /// log2 of the scaling-prime size (what one rescale divides by).
+    log_prime: f64,
+    /// Ring degree (error growth of multiplications scales with √N).
+    degree: usize,
+    /// Remaining multiplicative level.
+    level: usize,
+}
+
+/// Default log2 error of a fresh encryption (encryption noise ≈ σ·√N with
+/// σ = 3.2; expressed conservatively in bits for typical toy-to-paper rings).
+fn fresh_error_bits(degree: usize) -> f64 {
+    (3.2 * (degree as f64).sqrt() * 6.0).log2()
+}
+
+impl NoiseTracker {
+    /// Tracker for a freshly encrypted ciphertext at the top level of an
+    /// instance.
+    pub fn fresh(instance: &CkksInstance) -> Self {
+        Self {
+            log_q: instance.log_q(),
+            log_scale: instance.log_scale() as f64,
+            log_error: fresh_error_bits(instance.n()),
+            log_prime: instance.log_scale() as f64,
+            degree: instance.n(),
+            level: instance.max_level(),
+        }
+    }
+
+    /// Tracker for a ciphertext at an arbitrary level of an instance.
+    pub fn at_level(instance: &CkksInstance, level: usize) -> Self {
+        let log_q = instance.log_q0() as f64 + level as f64 * instance.log_scale() as f64;
+        Self {
+            log_q,
+            log_scale: instance.log_scale() as f64,
+            log_error: fresh_error_bits(instance.n()),
+            log_prime: instance.log_scale() as f64,
+            degree: instance.n(),
+            level,
+        }
+    }
+
+    /// Remaining multiplicative level.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// log2 of the remaining ciphertext modulus.
+    pub fn log_q(&self) -> f64 {
+        self.log_q
+    }
+
+    /// log2 of the current scale.
+    pub fn log_scale(&self) -> f64 {
+        self.log_scale
+    }
+
+    /// log2 of the current error bound.
+    pub fn log_error(&self) -> f64 {
+        self.log_error
+    }
+
+    /// Precision budget in bits: how many bits of the message (at unit
+    /// magnitude) sit above the error floor. Negative means the message has
+    /// been swallowed by noise.
+    pub fn precision_bits(&self) -> f64 {
+        self.log_scale - self.log_error
+    }
+
+    /// Whether another rescaling multiplication is possible at all.
+    pub fn can_multiply(&self) -> bool {
+        self.level > 0 && self.log_q > self.log_scale + self.log_prime
+    }
+
+    /// Applies a ciphertext–ciphertext addition (errors add; one extra bit in
+    /// the worst case).
+    pub fn add(&mut self, other: &NoiseTracker) {
+        self.log_error = self.log_error.max(other.log_error) + 1.0;
+    }
+
+    /// Applies a ciphertext–plaintext multiplication by a message of magnitude
+    /// ≤ 1 encoded at the tracker's scale: scale doubles, error is scaled by
+    /// the plaintext plus an encoding-rounding term.
+    pub fn mul_plain(&mut self) {
+        self.log_error += self.log_scale;
+        self.log_scale *= 2.0;
+        // Rounding of the encoded plaintext contributes ≈ √N/2 per slot.
+        self.log_error = self
+            .log_error
+            .max((self.degree as f64).sqrt().log2() + self.log_scale - self.log_prime);
+    }
+
+    /// Applies a ciphertext–ciphertext multiplication followed by
+    /// key-switching: scales multiply, errors cross-multiply with the
+    /// messages, and key-switching adds its own additive term that the special
+    /// modulus `P` suppresses (§2.5).
+    pub fn multiply(&mut self, other: &NoiseTracker, instance: &CkksInstance) {
+        // e_mult ≈ m1·e2 + m2·e1 (messages at their scales) + e1·e2.
+        let cross = (self.log_scale + other.log_error).max(other.log_scale + self.log_error);
+        self.log_error = cross.max(self.log_error + other.log_error) + 1.0;
+        self.log_scale += other.log_scale;
+        // Key-switching noise: roughly √(N·dnum)·q_max / P, brought under the
+        // scale by the special-modulus choice; add it as an absolute floor.
+        let ks = (instance.n() as f64 * instance.dnum() as f64).sqrt().log2()
+            + instance.log_special() as f64
+            - instance.log_p()
+            + self.log_q;
+        self.log_error = self.log_error.max(ks);
+    }
+
+    /// Applies a rescale: divides scale and modulus by one prime and adds the
+    /// rounding error (≈ √N).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no level remains.
+    pub fn rescale(&mut self) {
+        assert!(self.level > 0, "rescale at level 0");
+        self.level -= 1;
+        self.log_q -= self.log_prime;
+        self.log_scale -= self.log_prime;
+        let rounding = (self.degree as f64).sqrt().log2();
+        self.log_error = (self.log_error - self.log_prime).max(rounding);
+    }
+
+    /// Applies a rotation / conjugation (key-switching noise only).
+    pub fn rotate(&mut self, instance: &CkksInstance) {
+        let ks = (instance.n() as f64 * instance.dnum() as f64).sqrt().log2()
+            + instance.log_special() as f64
+            - instance.log_p()
+            + self.log_q;
+        self.log_error = self.log_error.max(ks) + 0.5;
+    }
+
+    /// Convenience: the precision remaining after `depth` multiply-rescale
+    /// rounds on fresh ciphertexts of the given instance.
+    pub fn precision_after_depth(instance: &CkksInstance, depth: usize) -> f64 {
+        let mut a = Self::fresh(instance);
+        for _ in 0..depth.min(instance.max_level()) {
+            let b = a.clone();
+            a.multiply(&b, instance);
+            a.rescale();
+        }
+        a.precision_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bts_params::InstanceBuilder;
+
+    fn ins() -> CkksInstance {
+        CkksInstance::ins1()
+    }
+
+    #[test]
+    fn fresh_ciphertexts_have_large_precision() {
+        let t = NoiseTracker::fresh(&ins());
+        // ~51-bit scale against ~15-bit fresh noise.
+        assert!(t.precision_bits() > 30.0, "precision = {}", t.precision_bits());
+        assert!(t.can_multiply());
+    }
+
+    #[test]
+    fn precision_degrades_gracefully_with_depth() {
+        let p0 = NoiseTracker::precision_after_depth(&ins(), 0);
+        let p4 = NoiseTracker::precision_after_depth(&ins(), 4);
+        let p8 = NoiseTracker::precision_after_depth(&ins(), 8);
+        assert!(p0 >= p4 && p4 >= p8);
+        // With the paper's 51-bit scaling primes, deep circuits retain
+        // usable precision (that is the whole point of the parameter choice).
+        assert!(p8 > 10.0, "precision after depth 8 = {p8}");
+    }
+
+    #[test]
+    fn levels_and_modulus_shrink_with_rescale() {
+        let instance = ins();
+        let mut t = NoiseTracker::fresh(&instance);
+        let before_q = t.log_q();
+        let b = t.clone();
+        t.multiply(&b, &instance);
+        t.rescale();
+        assert_eq!(t.level(), instance.max_level() - 1);
+        assert!(t.log_q() < before_q);
+        assert!((t.log_scale() - instance.log_scale() as f64).abs() < 1.5);
+    }
+
+    #[test]
+    fn exhausted_ciphertexts_cannot_multiply() {
+        let instance = ins();
+        let mut t = NoiseTracker::at_level(&instance, 1);
+        assert!(t.can_multiply());
+        let b = t.clone();
+        t.multiply(&b, &instance);
+        t.rescale();
+        assert_eq!(t.level(), 0);
+        assert!(!t.can_multiply());
+    }
+
+    #[test]
+    #[should_panic(expected = "rescale at level 0")]
+    fn rescaling_past_level_zero_panics() {
+        let mut t = NoiseTracker::at_level(&ins(), 0);
+        t.rescale();
+    }
+
+    #[test]
+    fn small_scaling_primes_lose_precision_faster() {
+        // §2.4: the moduli must be large enough (2^40–2^60) to tolerate the
+        // accumulated error; a 30-bit scale leaves much less headroom.
+        let small = InstanceBuilder::new(15, 14, 1)
+            .name("small-scale")
+            .prime_bits(45, 30, 45)
+            .build();
+        let large = InstanceBuilder::new(15, 14, 1)
+            .name("large-scale")
+            .prime_bits(60, 50, 60)
+            .build();
+        let p_small = NoiseTracker::precision_after_depth(&small, 6);
+        let p_large = NoiseTracker::precision_after_depth(&large, 6);
+        assert!(p_large > p_small + 10.0, "{p_large} vs {p_small}");
+    }
+
+    #[test]
+    fn additions_and_rotations_are_cheap() {
+        let instance = ins();
+        let mut t = NoiseTracker::fresh(&instance);
+        let before = t.precision_bits();
+        let other = NoiseTracker::fresh(&instance);
+        for _ in 0..16 {
+            t.add(&other);
+            t.rotate(&instance);
+        }
+        // Dozens of additions/rotations cost only a handful of bits.
+        assert!(before - t.precision_bits() < 25.0);
+        assert!(t.precision_bits() > 10.0);
+    }
+}

@@ -1,0 +1,286 @@
+use crate::rns::RnsBasis;
+use crate::MathError;
+
+/// Fast RNS base conversion (`BConv`, Eq. 9 of the paper).
+///
+/// Converts residues of a polynomial on a source base `C = {q_j}` to residues
+/// on a target base `B = {p_i}`:
+///
+/// ```text
+/// BConv(a)_i = [ Σ_j [a_j · q̂_j^{-1}]_{q_j} · q̂_j ]_{p_i}
+/// ```
+///
+/// This is the coefficient-wise function executed by the BConvU (ModMult for
+/// the first factor, MMAU for the accumulation, §5.2). The fast variant can
+/// overshoot by a small multiple of `Q`; [`BaseConverter::convert_exact`]
+/// removes that overshoot with a floating-point estimate, which is what the
+/// CKKS layer uses where exactness matters.
+#[derive(Debug, Clone)]
+pub struct BaseConverter {
+    source: RnsBasis,
+    target: RnsBasis,
+    /// `[q̂_j^{-1}]_{q_j}` for each source limb j (the "first part" table, RF_BT1).
+    qhat_inv: Vec<u64>,
+    /// `[q̂_j]_{p_i}` for each target limb i and source limb j (RF_BT2).
+    qhat_mod_target: Vec<Vec<u64>>,
+    /// `[Q]_{p_i}` for the exact variant's overshoot correction.
+    q_mod_target: Vec<u64>,
+    /// 1 / q_j as f64, for the overshoot estimate.
+    q_inv_f64: Vec<f64>,
+}
+
+impl BaseConverter {
+    /// Precomputes conversion tables from `source` to `target`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the bases have different degrees or share a modulus (a shared
+    /// modulus would make the CRT reconstruction ambiguous).
+    pub fn new(source: &RnsBasis, target: &RnsBasis) -> crate::Result<Self> {
+        if source.degree() != target.degree() {
+            return Err(MathError::BasisMismatch(format!(
+                "degree {} vs {}",
+                source.degree(),
+                target.degree()
+            )));
+        }
+        let src_set: std::collections::HashSet<u64> = source.moduli().into_iter().collect();
+        if target.moduli().iter().any(|m| src_set.contains(m)) {
+            return Err(MathError::BasisMismatch(
+                "source and target bases overlap".to_string(),
+            ));
+        }
+        let qhat_inv = source.punctured_product_inverses()?;
+        let qhat_mod_target = (0..target.len())
+            .map(|i| {
+                let p = target.modulus(i);
+                (0..source.len())
+                    .map(|j| source.punctured_product_mod(j, p))
+                    .collect()
+            })
+            .collect();
+        let q_mod_target = (0..target.len())
+            .map(|i| source.product_mod(target.modulus(i)))
+            .collect();
+        let q_inv_f64 = source
+            .moduli()
+            .iter()
+            .map(|&q| 1.0 / q as f64)
+            .collect();
+        Ok(Self {
+            source: source.clone(),
+            target: target.clone(),
+            qhat_inv,
+            qhat_mod_target,
+            q_mod_target,
+            q_inv_f64,
+        })
+    }
+
+    /// The source base.
+    pub fn source(&self) -> &RnsBasis {
+        &self.source
+    }
+
+    /// The target base.
+    pub fn target(&self) -> &RnsBasis {
+        &self.target
+    }
+
+    /// Fast conversion of coefficient-domain residues (one `Vec<u64>` per
+    /// source limb, each of length N) to the target base. The result may carry
+    /// an additive overshoot of `e·Q` with `0 ≤ e ≤ #source-limbs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limbs` does not match the source base shape.
+    pub fn convert(&self, limbs: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        self.convert_impl(limbs, false)
+    }
+
+    /// Exact conversion: like [`BaseConverter::convert`] but subtracts the
+    /// `e·Q` overshoot estimated in floating point. Exact whenever the source
+    /// value, interpreted centered (|a| < Q/2), is reconstructed; this is the
+    /// variant the CKKS layer uses for rescaling-free paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limbs` does not match the source base shape.
+    pub fn convert_exact(&self, limbs: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        self.convert_impl(limbs, true)
+    }
+
+    fn convert_impl(&self, limbs: &[Vec<u64>], exact: bool) -> Vec<Vec<u64>> {
+        assert_eq!(
+            limbs.len(),
+            self.source.len(),
+            "input limb count must match the source base"
+        );
+        let n = self.source.degree();
+        for l in limbs {
+            assert_eq!(l.len(), n, "every limb must have length N");
+        }
+        // First part: y_j = [a_j * qhat_inv_j]_{q_j} (residue-polynomial-wise ModMult).
+        let mut y = vec![vec![0u64; n]; self.source.len()];
+        for j in 0..self.source.len() {
+            let qj = self.source.modulus(j);
+            let w = self.qhat_inv[j];
+            for c in 0..n {
+                y[j][c] = qj.mul(limbs[j][c], w);
+            }
+        }
+        // Overshoot estimate e_c = round(Σ_j y_jc / q_j)
+        let overshoot: Vec<u64> = if exact {
+            (0..n)
+                .map(|c| {
+                    let v: f64 = (0..self.source.len())
+                        .map(|j| y[j][c] as f64 * self.q_inv_f64[j])
+                        .sum();
+                    v.round() as u64
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        // Second part: out_i = Σ_j y_j * [qhat_j]_{p_i}  (coefficient-wise MMAU).
+        let mut out = vec![vec![0u64; n]; self.target.len()];
+        for i in 0..self.target.len() {
+            let p = self.target.modulus(i);
+            let row = &self.qhat_mod_target[i];
+            let out_i = &mut out[i];
+            for j in 0..self.source.len() {
+                let w = row[j];
+                let yj = &y[j];
+                for c in 0..n {
+                    out_i[c] = p.mul_add(yj[c], w, out_i[c]);
+                }
+            }
+            if exact {
+                let q_mod_p = self.q_mod_target[i];
+                for c in 0..n {
+                    let corr = p.mul(p.reduce(overshoot[c]), q_mod_p);
+                    out_i[c] = p.sub(out_i[c], corr);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of modular multiply(-accumulate) operations one conversion
+    /// performs: `N·ℓ_src` for the first part and `N·ℓ_src·ℓ_dst` for the
+    /// accumulation. Used by the complexity model behind Fig. 3(b).
+    pub fn multiplication_count(&self) -> u64 {
+        let n = self.source.degree() as u64;
+        let s = self.source.len() as u64;
+        let t = self.target.len() as u64;
+        n * s + n * s * t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn bases(n: usize) -> (RnsBasis, RnsBasis) {
+        let src = RnsBasis::generate(n, 40, 3).unwrap();
+        let dst = RnsBasis::generate(n, 42, 2).unwrap();
+        (src, dst)
+    }
+
+    /// Encodes a small signed integer into the source base, coefficient 0 only.
+    fn encode_value(basis: &RnsBasis, v: i64, n: usize) -> Vec<Vec<u64>> {
+        (0..basis.len())
+            .map(|j| {
+                let mut limb = vec![0u64; n];
+                limb[0] = basis.modulus(j).from_i64(v);
+                limb
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_conversion_of_small_values() {
+        let n = 1 << 6;
+        let (src, dst) = bases(n);
+        for v in [-1234567i64, -1, 0, 1, 42, 99999999] {
+            let limbs = encode_value(&src, v, n);
+            let out = bconv_first_coeff(&BaseConverter::new(&src, &dst).unwrap(), &limbs, true);
+            for (i, r) in out.iter().enumerate() {
+                assert_eq!(*r, dst.modulus(i).from_i64(v), "value {v} limb {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_conversion_is_correct_up_to_multiple_of_q() {
+        let n = 1 << 5;
+        let (src, dst) = bases(n);
+        let conv = BaseConverter::new(&src, &dst).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        // random small positive value
+        let v = rng.gen_range(0..1u64 << 30) as i64;
+        let limbs = encode_value(&src, v, n);
+        let out = bconv_first_coeff(&conv, &limbs, false);
+        for (i, r) in out.iter().enumerate() {
+            let p = dst.modulus(i);
+            let q_mod_p = src.product_mod(p);
+            // r = v + e*Q (mod p) for some 0 <= e <= len(src)
+            let mut ok = false;
+            for e in 0..=src.len() as u64 {
+                let cand = p.add(p.from_i64(v), p.mul(p.reduce(e), q_mod_p));
+                if cand == *r {
+                    ok = true;
+                    break;
+                }
+            }
+            assert!(ok, "fast conversion overshoot out of range for limb {i}");
+        }
+    }
+
+    fn bconv_first_coeff(conv: &BaseConverter, limbs: &[Vec<u64>], exact: bool) -> Vec<u64> {
+        let out = if exact {
+            conv.convert_exact(limbs)
+        } else {
+            conv.convert(limbs)
+        };
+        out.iter().map(|l| l[0]).collect()
+    }
+
+    #[test]
+    fn rejects_overlapping_bases() {
+        let n = 1 << 5;
+        let src = RnsBasis::generate(n, 40, 3).unwrap();
+        assert!(BaseConverter::new(&src, &src).is_err());
+    }
+
+    #[test]
+    fn multiplication_count_formula() {
+        let n = 1 << 6;
+        let (src, dst) = bases(n);
+        let conv = BaseConverter::new(&src, &dst).unwrap();
+        let expect = (n as u64) * 3 + (n as u64) * 3 * 2;
+        assert_eq!(conv.multiplication_count(), expect);
+    }
+
+    #[test]
+    fn random_full_polynomial_exact_roundtrip() {
+        // Convert C -> B and back B -> C for values small relative to both products.
+        let n = 1 << 5;
+        let (src, dst) = bases(n);
+        let fwd = BaseConverter::new(&src, &dst).unwrap();
+        let bwd = BaseConverter::new(&dst, &src).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let values: Vec<i64> = (0..n).map(|_| rng.gen_range(-(1 << 40)..(1 << 40))).collect();
+        let limbs: Vec<Vec<u64>> = (0..src.len())
+            .map(|j| values.iter().map(|&v| src.modulus(j).from_i64(v)).collect())
+            .collect();
+        let there = fwd.convert_exact(&limbs);
+        let back = bwd.convert_exact(&there);
+        for j in 0..src.len() {
+            for c in 0..n {
+                assert_eq!(back[j][c], src.modulus(j).from_i64(values[c]));
+            }
+        }
+    }
+}

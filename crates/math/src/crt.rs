@@ -1,0 +1,371 @@
+//! Exact Chinese-remainder-theorem reconstruction of RNS residues.
+//!
+//! The RNS representation (Eq. 1) is what makes Full-RNS CKKS fast, but it is
+//! also opaque: a value exists only as word-sized residues. This module
+//! provides a small arbitrary-precision unsigned integer and a CRT
+//! reconstructor so tests and property checks can recover the exact integer a
+//! residue vector represents — the oracle used to validate base conversion,
+//! rescaling and ModRaise against their textbook definitions.
+
+use crate::modular::Modulus;
+use crate::rns::RnsBasis;
+use crate::MathError;
+
+/// A minimal arbitrary-precision unsigned integer (little-endian 64-bit
+/// limbs). Only the operations CRT reconstruction and the associated tests
+/// need are implemented; it is not a general-purpose bignum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// Zero.
+    pub fn zero() -> Self {
+        Self { limbs: vec![] }
+    }
+
+    /// Constructs from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            Self { limbs: vec![v] }
+        }
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    fn trim(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Number of significant bits.
+    pub fn bits(&self) -> u32 {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => (self.limbs.len() as u32 - 1) * 64 + (64 - top.leading_zeros()),
+        }
+    }
+
+    /// Addition.
+    pub fn add(&self, other: &Self) -> Self {
+        let mut out = Vec::with_capacity(self.limbs.len().max(other.limbs.len()) + 1);
+        let mut carry = 0u128;
+        for i in 0..self.limbs.len().max(other.limbs.len()) {
+            let a = *self.limbs.get(i).unwrap_or(&0) as u128;
+            let b = *other.limbs.get(i).unwrap_or(&0) as u128;
+            let s = a + b + carry;
+            out.push(s as u64);
+            carry = s >> 64;
+        }
+        if carry > 0 {
+            out.push(carry as u64);
+        }
+        let mut r = Self { limbs: out };
+        r.trim();
+        r
+    }
+
+    /// Multiplication by a `u64`.
+    pub fn mul_u64(&self, m: u64) -> Self {
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u128;
+        for &l in &self.limbs {
+            let p = l as u128 * m as u128 + carry;
+            out.push(p as u64);
+            carry = p >> 64;
+        }
+        while carry > 0 {
+            out.push(carry as u64);
+            carry >>= 64;
+        }
+        let mut r = Self { limbs: out };
+        r.trim();
+        r
+    }
+
+    /// Full multiplication.
+    pub fn mul(&self, other: &Self) -> Self {
+        let mut acc = Self::zero();
+        for (i, &l) in other.limbs.iter().enumerate() {
+            let mut part = self.mul_u64(l);
+            // Shift left by i limbs.
+            let mut shifted = vec![0u64; i];
+            shifted.extend_from_slice(&part.limbs);
+            part.limbs = shifted;
+            acc = acc.add(&part);
+        }
+        acc
+    }
+
+    /// Remainder modulo a word-sized modulus.
+    pub fn rem_u64(&self, m: u64) -> u64 {
+        let mut rem = 0u128;
+        for &l in self.limbs.iter().rev() {
+            rem = ((rem << 64) | l as u128) % m as u128;
+        }
+        rem as u64
+    }
+
+    /// Comparison.
+    pub fn cmp_big(&self, other: &Self) -> std::cmp::Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                std::cmp::Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
+    /// Subtraction (`self - other`); returns `None` if the result would be
+    /// negative.
+    pub fn checked_sub(&self, other: &Self) -> Option<Self> {
+        if self.cmp_big(other) == std::cmp::Ordering::Less {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i128;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i] as i128;
+            let b = *other.limbs.get(i).unwrap_or(&0) as i128;
+            let mut d = a - b - borrow;
+            if d < 0 {
+                d += 1i128 << 64;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out.push(d as u64);
+        }
+        let mut r = Self { limbs: out };
+        r.trim();
+        Some(r)
+    }
+
+    /// Approximate conversion to `f64` (used only for magnitude checks).
+    pub fn to_f64(&self) -> f64 {
+        self.limbs
+            .iter()
+            .rev()
+            .fold(0.0f64, |acc, &l| acc * 2f64.powi(64) + l as f64)
+    }
+}
+
+/// Reconstructs exact integers from RNS residue vectors over a basis.
+#[derive(Debug, Clone)]
+pub struct CrtReconstructor {
+    moduli: Vec<u64>,
+    /// `q̂_j = Q / q_j` as big integers.
+    punctured: Vec<BigUint>,
+    /// `[q̂_j^{-1}]_{q_j}`.
+    punctured_inv: Vec<u64>,
+    /// The full product Q.
+    product: BigUint,
+}
+
+impl CrtReconstructor {
+    /// Builds a reconstructor for the moduli of a basis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError`] if any punctured product is not invertible (the
+    /// moduli are not pairwise coprime).
+    pub fn new(basis: &RnsBasis) -> crate::Result<Self> {
+        Self::from_moduli(&basis.moduli())
+    }
+
+    /// Builds a reconstructor from an explicit modulus list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError`] if the moduli are not pairwise coprime.
+    pub fn from_moduli(moduli: &[u64]) -> crate::Result<Self> {
+        if moduli.is_empty() {
+            return Err(MathError::BasisMismatch(
+                "cannot build a CRT reconstructor over an empty modulus list".to_string(),
+            ));
+        }
+        let mut product = BigUint::from_u64(1);
+        for &q in moduli {
+            product = product.mul_u64(q);
+        }
+        let mut punctured = Vec::with_capacity(moduli.len());
+        let mut punctured_inv = Vec::with_capacity(moduli.len());
+        for (j, &qj) in moduli.iter().enumerate() {
+            let mut hat = BigUint::from_u64(1);
+            for (i, &qi) in moduli.iter().enumerate() {
+                if i != j {
+                    hat = hat.mul_u64(qi);
+                }
+            }
+            let m = Modulus::new(qj);
+            let inv = m.inv(m.reduce(hat.rem_u64(qj)))?;
+            punctured.push(hat);
+            punctured_inv.push(inv);
+        }
+        Ok(Self {
+            moduli: moduli.to_vec(),
+            punctured,
+            punctured_inv,
+            product: product.clone(),
+        })
+    }
+
+    /// The modulus product Q.
+    pub fn product(&self) -> &BigUint {
+        &self.product
+    }
+
+    /// Number of moduli.
+    pub fn len(&self) -> usize {
+        self.moduli.len()
+    }
+
+    /// Whether the reconstructor is empty (never true for a constructed one).
+    pub fn is_empty(&self) -> bool {
+        self.moduli.is_empty()
+    }
+
+    /// Reconstructs the unique integer in `[0, Q)` with the given residues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the residue count differs from the modulus count.
+    pub fn reconstruct(&self, residues: &[u64]) -> BigUint {
+        assert_eq!(residues.len(), self.moduli.len(), "residue count mismatch");
+        let mut acc = BigUint::zero();
+        for (j, &r) in residues.iter().enumerate() {
+            let m = Modulus::new(self.moduli[j]);
+            let coeff = m.mul(m.reduce(r), self.punctured_inv[j]);
+            acc = acc.add(&self.punctured[j].mul_u64(coeff));
+        }
+        // acc < Σ q̂_j·q_j = len·Q, so a few subtractions reduce it mod Q.
+        while acc.cmp_big(&self.product) != std::cmp::Ordering::Less {
+            acc = acc
+                .checked_sub(&self.product)
+                .expect("acc >= product in reduction loop");
+        }
+        acc
+    }
+
+    /// Reconstructs the centered (signed) representative in `(-Q/2, Q/2]`,
+    /// returned as `(negative, magnitude)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the residue count differs from the modulus count.
+    pub fn reconstruct_signed(&self, residues: &[u64]) -> (bool, BigUint) {
+        let v = self.reconstruct(residues);
+        let twice = v.mul_u64(2);
+        if twice.cmp_big(&self.product) == std::cmp::Ordering::Greater {
+            let mag = self
+                .product
+                .checked_sub(&v)
+                .expect("value below the product");
+            (true, mag)
+        } else {
+            (false, v)
+        }
+    }
+
+    /// Computes the residue vector of a big integer (the inverse direction,
+    /// used to round-trip in tests).
+    pub fn residues_of(&self, value: &BigUint) -> Vec<u64> {
+        self.moduli.iter().map(|&q| value.rem_u64(q)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn biguint_arithmetic_basics() {
+        let a = BigUint::from_u64(u64::MAX);
+        let b = a.add(&BigUint::from_u64(1));
+        assert_eq!(b.bits(), 65);
+        assert_eq!(b.rem_u64(1 << 32), 0);
+        let c = a.mul(&a);
+        assert_eq!(c.bits(), 128);
+        assert_eq!(c.rem_u64(7), (u64::MAX % 7).pow(2) % 7);
+        assert_eq!(c.checked_sub(&c).unwrap(), BigUint::zero());
+        assert!(c.checked_sub(&c.add(&BigUint::from_u64(1))).is_none());
+    }
+
+    #[test]
+    fn reconstruct_round_trips_small_values() {
+        let moduli = [97u64, 101, 103, 107];
+        let crt = CrtReconstructor::from_moduli(&moduli).unwrap();
+        for v in [0u64, 1, 42, 96 * 101 * 5, 1_000_000] {
+            let value = BigUint::from_u64(v);
+            let residues = crt.residues_of(&value);
+            assert_eq!(crt.reconstruct(&residues), value, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn reconstruct_round_trips_random_wide_values() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let moduli = crate::prime::generate_ntt_primes(1 << 10, 50, 5);
+        let crt = CrtReconstructor::from_moduli(&moduli).unwrap();
+        for _ in 0..50 {
+            // Build a random value below Q as a product/sum of random words.
+            let a = BigUint::from_u64(rng.gen::<u64>());
+            let b = BigUint::from_u64(rng.gen::<u64>());
+            let c = BigUint::from_u64(rng.gen::<u64>());
+            let value = a.mul(&b).add(&c);
+            assert!(value.cmp_big(crt.product()) == std::cmp::Ordering::Less);
+            let residues = crt.residues_of(&value);
+            assert_eq!(crt.reconstruct(&residues), value);
+        }
+    }
+
+    #[test]
+    fn signed_reconstruction_centers_the_range() {
+        let moduli = [97u64, 101];
+        let crt = CrtReconstructor::from_moduli(&moduli).unwrap();
+        // -5 mod (97·101): residues are q_i - 5.
+        let residues: Vec<u64> = moduli.iter().map(|&q| q - 5).collect();
+        let (neg, mag) = crt.reconstruct_signed(&residues);
+        assert!(neg);
+        assert_eq!(mag, BigUint::from_u64(5));
+        // +5 stays positive.
+        let (neg, mag) = crt.reconstruct_signed(&[5, 5]);
+        assert!(!neg);
+        assert_eq!(mag, BigUint::from_u64(5));
+    }
+
+    #[test]
+    fn basis_constructor_matches_modulus_list() {
+        let basis = RnsBasis::generate(1 << 9, 45, 4).unwrap();
+        let from_basis = CrtReconstructor::new(&basis).unwrap();
+        let from_list = CrtReconstructor::from_moduli(&basis.moduli()).unwrap();
+        assert_eq!(from_basis.len(), from_list.len());
+        let value = BigUint::from_u64(123_456_789_012_345);
+        assert_eq!(
+            from_basis.reconstruct(&from_basis.residues_of(&value)),
+            from_list.reconstruct(&from_list.residues_of(&value))
+        );
+        // Product magnitude ≈ sum of prime bit sizes.
+        assert!((from_basis.product().bits() as i64 - 4 * 45).abs() <= 4);
+    }
+
+    #[test]
+    fn rejects_duplicate_or_empty_moduli() {
+        assert!(CrtReconstructor::from_moduli(&[]).is_err());
+        // A repeated modulus makes the punctured product ≡ 0, which has no
+        // inverse, so the constructor must fail rather than mis-reconstruct.
+        assert!(CrtReconstructor::from_moduli(&[7, 7]).is_err());
+    }
+}

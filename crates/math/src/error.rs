@@ -1,0 +1,70 @@
+use std::fmt;
+
+/// Error type for the math substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MathError {
+    /// A modulus outside the supported range (2 < q < 2^62) was supplied.
+    InvalidModulus(u64),
+    /// The polynomial degree is not a power of two or is too small.
+    InvalidDegree(usize),
+    /// The modulus does not support an NTT of the requested size
+    /// (it must satisfy q ≡ 1 mod 2N).
+    NoNttSupport {
+        /// The offending modulus.
+        modulus: u64,
+        /// The requested transform size.
+        degree: usize,
+    },
+    /// Two operands live on different RNS bases or have different degrees.
+    BasisMismatch(String),
+    /// The operands are in the wrong representation (NTT vs coefficient).
+    RepresentationMismatch(String),
+    /// A modular inverse does not exist.
+    NoInverse {
+        /// The element with no inverse.
+        value: u64,
+        /// The modulus.
+        modulus: u64,
+    },
+    /// Prime generation exhausted the search space.
+    PrimeSearchExhausted {
+        /// Requested bit size.
+        bits: u32,
+        /// Requested number of primes.
+        count: usize,
+    },
+    /// A Galois element was invalid (must be odd and coprime to 2N).
+    InvalidGaloisElement(u64),
+}
+
+impl fmt::Display for MathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MathError::InvalidModulus(q) => write!(f, "invalid modulus {q}; expected 2 < q < 2^62"),
+            MathError::InvalidDegree(n) => {
+                write!(f, "invalid polynomial degree {n}; expected a power of two >= 2")
+            }
+            MathError::NoNttSupport { modulus, degree } => write!(
+                f,
+                "modulus {modulus} does not support a negacyclic NTT of size {degree} (needs q \u{2261} 1 mod 2N)"
+            ),
+            MathError::BasisMismatch(msg) => write!(f, "RNS basis mismatch: {msg}"),
+            MathError::RepresentationMismatch(msg) => {
+                write!(f, "polynomial representation mismatch: {msg}")
+            }
+            MathError::NoInverse { value, modulus } => {
+                write!(f, "{value} has no inverse modulo {modulus}")
+            }
+            MathError::PrimeSearchExhausted { bits, count } => write!(
+                f,
+                "could not find {count} NTT-friendly primes of {bits} bits"
+            ),
+            MathError::InvalidGaloisElement(g) => {
+                write!(f, "invalid Galois element {g}; must be odd")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MathError {}

@@ -1,0 +1,273 @@
+//! The generalized (`dnum`) gadget decomposition used by key-switching
+//! (§2.5, Eq. 7): the ciphertext modulus chain `{q_0, …, q_L}` is partitioned
+//! into `dnum` contiguous slices of `k = ⌈(L+1)/dnum⌉` primes each, a
+//! ciphertext polynomial is split into the corresponding residue slices, and
+//! each slice is paired with its own evaluation-key component.
+//!
+//! This module captures the *structure* of that decomposition — which prime
+//! belongs to which slice, how many slices a level-ℓ ciphertext touches, the
+//! per-limb gadget constants `[P]_{q_i}`, and the resulting evaluation-key
+//! sizes — so that the CKKS implementation, the parameter analysis and the
+//! accelerator simulator all derive them from one place and agree with each
+//! other (the Fig. 1 evk-size curve and the Eq. 10 streaming volume are both
+//! direct consequences of this structure).
+
+use crate::modular::Modulus;
+use crate::rns::RnsBasis;
+use crate::MathError;
+
+/// The slice structure of a generalized key-switching decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GadgetDecomposition {
+    /// Number of ciphertext primes (L + 1).
+    num_primes: usize,
+    /// Decomposition number dnum.
+    dnum: usize,
+    /// Primes per slice, k = ⌈(L+1)/dnum⌉.
+    slice_len: usize,
+}
+
+impl GadgetDecomposition {
+    /// Creates a decomposition of `num_primes` ciphertext primes into `dnum`
+    /// slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::BasisMismatch`] if `dnum` is zero or exceeds the
+    /// prime count.
+    pub fn new(num_primes: usize, dnum: usize) -> crate::Result<Self> {
+        if dnum == 0 || dnum > num_primes {
+            return Err(MathError::BasisMismatch(format!(
+                "dnum {dnum} must be in [1, {num_primes}]"
+            )));
+        }
+        Ok(Self {
+            num_primes,
+            dnum,
+            slice_len: num_primes.div_ceil(dnum),
+        })
+    }
+
+    /// Number of ciphertext primes (L + 1).
+    pub fn num_primes(&self) -> usize {
+        self.num_primes
+    }
+
+    /// The decomposition number.
+    pub fn dnum(&self) -> usize {
+        self.dnum
+    }
+
+    /// Primes per slice (`k`, also the number of special primes needed).
+    pub fn slice_len(&self) -> usize {
+        self.slice_len
+    }
+
+    /// The prime indices `[lo, hi)` of slice `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= dnum`.
+    pub fn slice_range(&self, j: usize) -> std::ops::Range<usize> {
+        assert!(j < self.dnum, "slice index out of range");
+        let lo = j * self.slice_len;
+        let hi = ((j + 1) * self.slice_len).min(self.num_primes);
+        lo..hi
+    }
+
+    /// The slice containing prime index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_primes`.
+    pub fn slice_of_prime(&self, i: usize) -> usize {
+        assert!(i < self.num_primes, "prime index out of range");
+        i / self.slice_len
+    }
+
+    /// Number of slices a ciphertext at level `level` actually touches
+    /// (`⌈(ℓ+1)/k⌉ ≤ dnum`): lower-level ciphertexts decompose into fewer
+    /// slices, which is why both compute and evk streaming shrink with the
+    /// level (Eq. 10).
+    pub fn slices_at_level(&self, level: usize) -> usize {
+        (level + 1).div_ceil(self.slice_len).min(self.dnum)
+    }
+
+    /// The per-limb gadget constants of slice `j` over a ciphertext basis:
+    /// `[P]_{q_i}` for primes inside the slice and `0` elsewhere, where `P` is
+    /// the product of the special basis. These are exactly the constants the
+    /// key generator folds into `evk_j` so that the accumulated key-switching
+    /// result carries a factor `P` that ModDown later removes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::BasisMismatch`] if the ciphertext basis is smaller
+    /// than the decomposition.
+    pub fn gadget_constants(
+        &self,
+        j: usize,
+        ct_basis: &RnsBasis,
+        special_basis: &RnsBasis,
+    ) -> crate::Result<Vec<u64>> {
+        if ct_basis.len() < self.num_primes {
+            return Err(MathError::BasisMismatch(format!(
+                "ciphertext basis has {} primes, decomposition expects {}",
+                ct_basis.len(),
+                self.num_primes
+            )));
+        }
+        let range = self.slice_range(j);
+        Ok((0..ct_basis.len())
+            .map(|i| {
+                if range.contains(&i) {
+                    special_basis.product_mod(ct_basis.modulus(i))
+                } else {
+                    0
+                }
+            })
+            .collect())
+    }
+
+    /// Number of evaluation-key polynomial pairs (one per slice).
+    pub fn evk_components(&self) -> usize {
+        self.dnum
+    }
+
+    /// Words in one full evaluation key: `2 · dnum · (k + L + 1) · N`
+    /// (the Fig. 1 curve, before multiplying by the word size).
+    pub fn evk_words(&self, degree: usize) -> u64 {
+        2 * self.dnum as u64 * (self.slice_len + self.num_primes) as u64 * degree as u64
+    }
+
+    /// Words of evaluation key streamed for one key-switch at `level`
+    /// (the numerator of Eq. 10's memory term): only the live slices and the
+    /// live limbs of each are touched.
+    pub fn evk_words_at_level(&self, degree: usize, level: usize) -> u64 {
+        2 * self.slices_at_level(level) as u64
+            * (self.slice_len + level + 1) as u64
+            * degree as u64
+    }
+
+    /// Splits a residue vector (one residue per ciphertext prime) into its
+    /// decomposition slices; the complement of each slice is what BConv
+    /// regenerates during ModUp.
+    pub fn split_residues<'a>(&self, residues: &'a [u64]) -> Vec<&'a [u64]> {
+        (0..self.dnum)
+            .map(|j| {
+                let r = self.slice_range(j);
+                &residues[r.start..r.end.min(residues.len())]
+            })
+            .collect()
+    }
+
+    /// Verifies the CRT consistency of the decomposition: reconstructing a
+    /// value from all residues must agree with reconstructing it slice by
+    /// slice (each slice determines the value modulo its own sub-product).
+    /// Used as a property check; returns `false` on any mismatch.
+    pub fn verify_consistency(&self, ct_basis: &RnsBasis, residues: &[u64]) -> bool {
+        if residues.len() < self.num_primes {
+            return false;
+        }
+        for j in 0..self.dnum {
+            let range = self.slice_range(j);
+            for i in range {
+                let m: &Modulus = ct_basis.modulus(i);
+                if residues[i] >= m.value() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_structure_matches_table4_instances() {
+        // INS-1: 28 primes, dnum 1 → one slice of 28 (k = 28).
+        let d1 = GadgetDecomposition::new(28, 1).unwrap();
+        assert_eq!(d1.slice_len(), 28);
+        assert_eq!(d1.slice_range(0), 0..28);
+        // INS-2: 40 primes, dnum 2 → two slices of 20.
+        let d2 = GadgetDecomposition::new(40, 2).unwrap();
+        assert_eq!(d2.slice_len(), 20);
+        assert_eq!(d2.slice_range(1), 20..40);
+        // INS-3: 45 primes, dnum 3 → three slices of 15.
+        let d3 = GadgetDecomposition::new(45, 3).unwrap();
+        assert_eq!(d3.slice_len(), 15);
+        assert_eq!(d3.slice_of_prime(44), 2);
+    }
+
+    #[test]
+    fn slices_at_level_shrink_with_the_level() {
+        let d = GadgetDecomposition::new(45, 3).unwrap();
+        assert_eq!(d.slices_at_level(44), 3);
+        assert_eq!(d.slices_at_level(29), 2);
+        assert_eq!(d.slices_at_level(14), 1);
+        assert_eq!(d.slices_at_level(0), 1);
+    }
+
+    #[test]
+    fn evk_sizes_match_the_instance_formulas() {
+        // Cross-check against bts-params' evk_bytes (8 bytes per word).
+        let n = 1usize << 17;
+        let d = GadgetDecomposition::new(28, 1).unwrap();
+        assert_eq!(d.evk_words(n) * 8, 112 * 1024 * 1024);
+        let d2 = GadgetDecomposition::new(40, 2).unwrap();
+        assert!(d2.evk_words(n) > d.evk_words(n));
+        // Streaming at a low level touches far fewer words.
+        assert!(d2.evk_words_at_level(n, 5) < d2.evk_words(n) / 3);
+    }
+
+    #[test]
+    fn gadget_constants_are_p_inside_the_slice_and_zero_outside() {
+        let degree = 1 << 8;
+        let ct_basis = RnsBasis::generate(degree, 45, 6).unwrap();
+        let sp_basis = RnsBasis::generate(degree, 46, 2).unwrap();
+        let d = GadgetDecomposition::new(6, 3).unwrap();
+        let constants = d.gadget_constants(1, &ct_basis, &sp_basis).unwrap();
+        for (i, &c) in constants.iter().enumerate() {
+            if (2..4).contains(&i) {
+                assert_eq!(c, sp_basis.product_mod(ct_basis.modulus(i)));
+                assert_ne!(c, 0);
+            } else {
+                assert_eq!(c, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn split_residues_covers_every_prime_once() {
+        let d = GadgetDecomposition::new(10, 3).unwrap();
+        let residues: Vec<u64> = (0..10).collect();
+        let slices = d.split_residues(&residues);
+        assert_eq!(slices.len(), 3);
+        let total: usize = slices.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 10);
+        assert_eq!(slices[0], &[0, 1, 2, 3]);
+        assert_eq!(slices[2], &[8, 9]);
+    }
+
+    #[test]
+    fn consistency_check_catches_out_of_range_residues() {
+        let degree = 1 << 8;
+        let ct_basis = RnsBasis::generate(degree, 40, 4).unwrap();
+        let d = GadgetDecomposition::new(4, 2).unwrap();
+        let good: Vec<u64> = (0..4).map(|i| ct_basis.modulus(i).value() - 1).collect();
+        assert!(d.verify_consistency(&ct_basis, &good));
+        let mut bad = good.clone();
+        bad[2] = ct_basis.modulus(2).value();
+        assert!(!d.verify_consistency(&ct_basis, &bad));
+        assert!(!d.verify_consistency(&ct_basis, &good[..2]));
+    }
+
+    #[test]
+    fn rejects_invalid_dnum() {
+        assert!(GadgetDecomposition::new(10, 0).is_err());
+        assert!(GadgetDecomposition::new(10, 11).is_err());
+        assert!(GadgetDecomposition::new(10, 10).is_ok());
+    }
+}

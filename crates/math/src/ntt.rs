@@ -1,0 +1,288 @@
+use crate::modular::{Modulus, ShoupMul};
+use crate::prime::primitive_root_of_unity;
+use crate::MathError;
+
+/// Precomputed tables for the negacyclic number-theoretic transform over a
+/// single prime modulus.
+///
+/// The forward transform uses the Cooley–Tukey (decimation-in-time) butterfly
+/// with the powers of the primitive `2N`-th root of unity ψ stored in
+/// bit-reversed order; the inverse uses the Gentleman–Sande butterfly. This is
+/// the same radix-2 fully pipelined butterfly the paper's NTTU executes
+/// (§4.1, §5.1); one [`NttTable::forward`] call performs the `N/2 · log N`
+/// butterflies an NTTU would stream through.
+#[derive(Debug, Clone)]
+pub struct NttTable {
+    degree: usize,
+    modulus: Modulus,
+    /// ψ^bitrev(i), Shoup-precomputed.
+    psi_rev: Vec<ShoupMul>,
+    /// ψ^{-bitrev(i)}, Shoup-precomputed.
+    psi_inv_rev: Vec<ShoupMul>,
+    /// N^{-1} mod q.
+    n_inv: ShoupMul,
+    /// The primitive 2N-th root of unity used.
+    psi: u64,
+}
+
+impl NttTable {
+    /// Builds NTT tables for the given degree and modulus.
+    ///
+    /// # Errors
+    ///
+    /// * [`MathError::InvalidDegree`] if `degree` is not a power of two ≥ 2.
+    /// * [`MathError::NoNttSupport`] if the modulus is not ≡ 1 (mod 2N).
+    pub fn new(degree: usize, modulus: Modulus) -> crate::Result<Self> {
+        if !crate::is_power_of_two_at_least(degree, 2) {
+            return Err(MathError::InvalidDegree(degree));
+        }
+        let psi = primitive_root_of_unity(degree, &modulus)?;
+        let psi_inv = modulus.inv(psi)?;
+        let log_n = degree.trailing_zeros();
+
+        let mut psi_rev = vec![modulus.shoup(1); degree];
+        let mut psi_inv_rev = vec![modulus.shoup(1); degree];
+        let mut pow = 1u64;
+        let mut pow_inv = 1u64;
+        for i in 0..degree {
+            let r = (i as u64).reverse_bits() >> (64 - log_n);
+            psi_rev[r as usize] = modulus.shoup(pow);
+            psi_inv_rev[r as usize] = modulus.shoup(pow_inv);
+            pow = modulus.mul(pow, psi);
+            pow_inv = modulus.mul(pow_inv, psi_inv);
+        }
+        let n_inv = modulus.shoup(modulus.inv(degree as u64)?);
+        Ok(Self {
+            degree,
+            modulus,
+            psi_rev,
+            psi_inv_rev,
+            n_inv,
+            psi,
+        })
+    }
+
+    /// The polynomial degree N.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// The modulus q.
+    #[inline]
+    pub fn modulus(&self) -> &Modulus {
+        &self.modulus
+    }
+
+    /// The primitive 2N-th root of unity ψ backing this table.
+    #[inline]
+    pub fn psi(&self) -> u64 {
+        self.psi
+    }
+
+    /// In-place forward negacyclic NTT (coefficient domain → NTT domain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != degree`.
+    pub fn forward(&self, values: &mut [u64]) {
+        assert_eq!(values.len(), self.degree, "length must equal the degree");
+        let q = &self.modulus;
+        let n = self.degree;
+        let mut t = n;
+        let mut m = 1;
+        while m < n {
+            t >>= 1;
+            for i in 0..m {
+                let j1 = 2 * i * t;
+                let j2 = j1 + t;
+                let s = &self.psi_rev[m + i];
+                for j in j1..j2 {
+                    let u = values[j];
+                    let v = q.mul_shoup(values[j + t], s);
+                    values[j] = q.add(u, v);
+                    values[j + t] = q.sub(u, v);
+                }
+            }
+            m <<= 1;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (NTT domain → coefficient domain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != degree`.
+    pub fn inverse(&self, values: &mut [u64]) {
+        assert_eq!(values.len(), self.degree, "length must equal the degree");
+        let q = &self.modulus;
+        let n = self.degree;
+        let mut t = 1;
+        let mut m = n;
+        while m > 1 {
+            let h = m >> 1;
+            let mut j1 = 0;
+            for i in 0..h {
+                let j2 = j1 + t;
+                let s = &self.psi_inv_rev[h + i];
+                for j in j1..j2 {
+                    let u = values[j];
+                    let v = values[j + t];
+                    values[j] = q.add(u, v);
+                    values[j + t] = q.mul_shoup(q.sub(u, v), s);
+                }
+                j1 += 2 * t;
+            }
+            t <<= 1;
+            m = h;
+        }
+        for v in values.iter_mut() {
+            *v = q.mul_shoup(*v, &self.n_inv);
+        }
+    }
+
+    /// Negacyclic convolution of two coefficient-domain polynomials, returned
+    /// in the coefficient domain. Convenience wrapper used by tests and the
+    /// schoolbook cross-check.
+    pub fn negacyclic_convolution(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut fa = a.to_vec();
+        let mut fb = b.to_vec();
+        self.forward(&mut fa);
+        self.forward(&mut fb);
+        let mut fc: Vec<u64> = fa
+            .iter()
+            .zip(fb.iter())
+            .map(|(&x, &y)| self.modulus.mul(x, y))
+            .collect();
+        self.inverse(&mut fc);
+        fc
+    }
+
+    /// Number of butterfly operations one full transform performs
+    /// (`N/2 · log2 N`), matching Eq. 10's per-op butterfly count.
+    pub fn butterfly_count(&self) -> u64 {
+        (self.degree as u64 / 2) * self.degree.trailing_zeros() as u64
+    }
+}
+
+/// Schoolbook negacyclic multiplication in `Z_q[X]/(X^N+1)`; O(N²).
+///
+/// This is the reference implementation the NTT-based fast path is validated
+/// against in unit and property tests; it is exported so downstream crates and
+/// integration tests can reuse it as an oracle.
+///
+/// # Panics
+///
+/// Panics if `a` and `b` have different lengths.
+pub fn schoolbook_negacyclic(a: &[u64], b: &[u64], modulus: &Modulus) -> Vec<u64> {
+    assert_eq!(a.len(), b.len(), "operand lengths must match");
+    let n = a.len();
+    let mut out = vec![0u64; n];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        for (j, &bj) in b.iter().enumerate() {
+            let prod = modulus.mul(ai, bj);
+            let k = i + j;
+            if k < n {
+                out[k] = modulus.add(out[k], prod);
+            } else {
+                out[k - n] = modulus.sub(out[k - n], prod);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prime::generate_ntt_primes;
+    use rand::{Rng, SeedableRng};
+
+    fn table(n: usize, bits: u32) -> NttTable {
+        let p = generate_ntt_primes(n, bits, 1)[0];
+        NttTable::new(n, Modulus::new(p)).unwrap()
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let t = table(1 << 8, 45);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let original: Vec<u64> = (0..t.degree())
+            .map(|_| rng.gen_range(0..t.modulus().value()))
+            .collect();
+        let mut v = original.clone();
+        t.forward(&mut v);
+        assert_ne!(v, original, "forward transform should change the data");
+        t.inverse(&mut v);
+        assert_eq!(v, original);
+    }
+
+    #[test]
+    fn multiplication_by_x_shifts_coefficients() {
+        let t = table(1 << 6, 40);
+        let n = t.degree();
+        let mut a = vec![0u64; n];
+        // a = 1 + 2X + 3X^2
+        a[0] = 1;
+        a[1] = 2;
+        a[2] = 3;
+        let mut x = vec![0u64; n];
+        x[1] = 1;
+        let c = t.negacyclic_convolution(&a, &x);
+        assert_eq!(c[0], 0);
+        assert_eq!(c[1], 1);
+        assert_eq!(c[2], 2);
+        assert_eq!(c[3], 3);
+    }
+
+    #[test]
+    fn wraparound_is_negacyclic() {
+        let t = table(1 << 4, 40);
+        let n = t.degree();
+        let q = t.modulus().value();
+        // X^(N-1) * X = X^N = -1
+        let mut a = vec![0u64; n];
+        a[n - 1] = 1;
+        let mut b = vec![0u64; n];
+        b[1] = 1;
+        let c = t.negacyclic_convolution(&a, &b);
+        assert_eq!(c[0], q - 1);
+        for coeff in &c[1..] {
+            assert_eq!(*coeff, 0);
+        }
+    }
+
+    #[test]
+    fn matches_schoolbook_reference() {
+        let t = table(1 << 7, 50);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let a: Vec<u64> = (0..t.degree())
+            .map(|_| rng.gen_range(0..t.modulus().value()))
+            .collect();
+        let b: Vec<u64> = (0..t.degree())
+            .map(|_| rng.gen_range(0..t.modulus().value()))
+            .collect();
+        assert_eq!(
+            t.negacyclic_convolution(&a, &b),
+            schoolbook_negacyclic(&a, &b, t.modulus())
+        );
+    }
+
+    #[test]
+    fn butterfly_count_matches_formula() {
+        let t = table(1 << 10, 40);
+        assert_eq!(t.butterfly_count(), (1 << 10) / 2 * 10);
+    }
+
+    #[test]
+    fn rejects_modulus_without_root() {
+        // 97 is prime but 97-1=96 is not divisible by 2*64=128.
+        assert!(matches!(
+            NttTable::new(64, Modulus::new(97)),
+            Err(MathError::NoNttSupport { .. })
+        ));
+    }
+}

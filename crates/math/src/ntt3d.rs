@@ -1,0 +1,281 @@
+use crate::MathError;
+
+/// One of the two inter-PE transpose phases of the 3D-NTT schedule (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransposePhase {
+    /// Step ii): data exchange between vertically aligned PEs (yz-plane
+    /// transpositions), routed through the vertical crossbars.
+    Vertical,
+    /// Step iv): data exchange between horizontally aligned PEs (xz-plane
+    /// transpositions), routed through the horizontal crossbars.
+    Horizontal,
+}
+
+/// Dataflow plan for the BTS 3D-NTT decomposition.
+///
+/// A residue polynomial of degree `N` is viewed as an
+/// `(N_x, N_y, N_z) = (n_PE_hor, n_PE_ver, N / n_PE)` cube; the residue with
+/// coefficient index `i = x + N_x·y + N_x·N_y·z` lives on the PE at grid
+/// coordinate `(x, y)` (§5.1). The radix-2 NTT stages then split into three
+/// local groups separated by exactly two transpose phases. This plan exposes
+/// the stage partition, the per-PE butterfly counts, the exchange volumes and
+/// the epoch length, which is what both the simulator and the NoC model need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ntt3dPlan {
+    degree: usize,
+    pe_cols: usize,
+    pe_rows: usize,
+}
+
+impl Ntt3dPlan {
+    /// Creates a plan for degree `degree` on a `pe_cols × pe_rows` PE grid.
+    ///
+    /// # Errors
+    ///
+    /// All three quantities must be powers of two and the grid must not exceed
+    /// the polynomial degree.
+    pub fn new(degree: usize, pe_cols: usize, pe_rows: usize) -> crate::Result<Self> {
+        for v in [degree, pe_cols, pe_rows] {
+            if !crate::is_power_of_two_at_least(v, 2) {
+                return Err(MathError::InvalidDegree(v));
+            }
+        }
+        if pe_cols * pe_rows > degree {
+            return Err(MathError::InvalidDegree(degree));
+        }
+        Ok(Self {
+            degree,
+            pe_cols,
+            pe_rows,
+        })
+    }
+
+    /// The BTS configuration of the paper: 2048 PEs arranged 64 wide × 32 tall.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the degree validation of [`Ntt3dPlan::new`].
+    pub fn bts_default(degree: usize) -> crate::Result<Self> {
+        Self::new(degree, 64, 32)
+    }
+
+    /// The polynomial degree N.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Number of PEs (`n_PE`).
+    pub fn pe_count(&self) -> usize {
+        self.pe_cols * self.pe_rows
+    }
+
+    /// Grid width (`n_PE_hor`, N_x).
+    pub fn pe_cols(&self) -> usize {
+        self.pe_cols
+    }
+
+    /// Grid height (`n_PE_ver`, N_y).
+    pub fn pe_rows(&self) -> usize {
+        self.pe_rows
+    }
+
+    /// Residues held by each PE (`N_z = N / n_PE`).
+    pub fn residues_per_pe(&self) -> usize {
+        self.degree / self.pe_count()
+    }
+
+    /// Number of radix-2 stages executed locally in each of the three NTT
+    /// sub-transforms: `(log N_z, log N_y, log N_x)`.
+    pub fn stage_split(&self) -> (u32, u32, u32) {
+        (
+            self.residues_per_pe().trailing_zeros(),
+            (self.pe_rows).trailing_zeros(),
+            (self.pe_cols).trailing_zeros(),
+        )
+    }
+
+    /// The PE grid coordinate `(x, y)` holding coefficient index `i`.
+    pub fn pe_of_coefficient(&self, i: usize) -> (usize, usize) {
+        let x = i % self.pe_cols;
+        let y = (i / self.pe_cols) % self.pe_rows;
+        (x, y)
+    }
+
+    /// Classifies every radix-2 butterfly stage of a flat DIT NTT by whether
+    /// its data pairs are PE-local, require a vertical exchange, or require a
+    /// horizontal exchange under the cube mapping. The flat DIT stage with
+    /// stride `t` pairs indices `j` and `j + t`:
+    ///
+    /// * `t ≥ N_x·N_y`  → both indices share `(x, y)` → local,
+    /// * `N_x ≤ t < N_x·N_y` → same column, different row → vertical,
+    /// * `t < N_x` → same row, different column → horizontal.
+    ///
+    /// Returns `(local, vertical, horizontal)` stage counts; the fact that the
+    /// vertical stages and horizontal stages each form one contiguous block is
+    /// what lets BTS fold them into exactly two transpose rounds.
+    pub fn classify_stages(&self) -> (u32, u32, u32) {
+        let mut local = 0;
+        let mut vertical = 0;
+        let mut horizontal = 0;
+        let mut t = self.degree;
+        while t > 1 {
+            t >>= 1; // stride of this stage
+            if t >= self.pe_cols * self.pe_rows {
+                local += 1;
+            } else if t >= self.pe_cols {
+                vertical += 1;
+            } else {
+                horizontal += 1;
+            }
+        }
+        (local, vertical, horizontal)
+    }
+
+    /// Butterflies per PE per full (i)NTT: `N log N / (2 · n_PE)`; this is also
+    /// the epoch length in NTTU cycles (§5.1).
+    pub fn butterflies_per_pe(&self) -> u64 {
+        (self.degree as u64) * (self.degree.trailing_zeros() as u64) / (2 * self.pe_count() as u64)
+    }
+
+    /// Epoch length in cycles for a fully pipelined, one-butterfly-per-cycle
+    /// NTTU (equals [`Ntt3dPlan::butterflies_per_pe`]).
+    pub fn epoch_cycles(&self) -> u64 {
+        self.butterflies_per_pe()
+    }
+
+    /// Words exchanged per PE during one transpose phase. Every PE sends all
+    /// but `1/n_PE_ver` (vertical) or `1/n_PE_hor` (horizontal) of its `N_z`
+    /// residues.
+    pub fn exchange_words_per_pe(&self, phase: TransposePhase) -> u64 {
+        let nz = self.residues_per_pe() as u64;
+        match phase {
+            TransposePhase::Vertical => nz - nz / self.pe_rows as u64,
+            TransposePhase::Horizontal => nz - nz / self.pe_cols as u64,
+        }
+    }
+
+    /// Total words crossing the corresponding crossbars chip-wide during one
+    /// transpose phase of a single residue polynomial.
+    pub fn exchange_words_total(&self, phase: TransposePhase) -> u64 {
+        self.exchange_words_per_pe(phase) * self.pe_count() as u64
+    }
+
+    /// Verifies the §5.5 property that an automorphism with odd Galois element
+    /// maps every coefficient of a PE to a single destination PE (permutation
+    /// traffic). Returns the destination-PE map indexed by source PE id
+    /// (`y·N_x + x`), or an error for invalid Galois elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidGaloisElement`] for even elements.
+    pub fn automorphism_pe_permutation(&self, galois: u64) -> crate::Result<Vec<usize>> {
+        if galois % 2 == 0 {
+            return Err(MathError::InvalidGaloisElement(galois));
+        }
+        let two_n = 2 * self.degree as u64;
+        let npe = self.pe_count();
+        let mut dest = vec![usize::MAX; npe];
+        for i in 0..self.degree {
+            let j = ((i as u128 * galois as u128) % two_n as u128) as usize;
+            let j = if j >= self.degree { j - self.degree } else { j };
+            let (sx, sy) = self.pe_of_coefficient(i);
+            let (dx, dy) = self.pe_of_coefficient(j);
+            let s = sy * self.pe_cols + sx;
+            let d = dy * self.pe_cols + dx;
+            if dest[s] == usize::MAX {
+                dest[s] = d;
+            } else if dest[s] != d {
+                // The mapping property would be violated; surface it loudly so a
+                // wrong grid configuration cannot silently corrupt the NoC model.
+                return Err(MathError::InvalidGaloisElement(galois));
+            }
+        }
+        Ok(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automorphism::galois_element;
+
+    #[test]
+    fn stage_split_matches_paper_running_example() {
+        // N = 2^17 on the 64x32 grid: 2^6 x 2^5 x 2^6 cube, six local stages.
+        let plan = Ntt3dPlan::bts_default(1 << 17).unwrap();
+        assert_eq!(plan.residues_per_pe(), 64);
+        assert_eq!(plan.stage_split(), (6, 5, 6));
+        assert_eq!(plan.classify_stages(), (6, 5, 6));
+        // N log N / (2 n_PE) = 2^17 * 17 / 4096
+        assert_eq!(plan.epoch_cycles(), (1u64 << 17) * 17 / 4096);
+    }
+
+    #[test]
+    fn exactly_two_exchange_rounds() {
+        for log_n in [14usize, 15, 16, 17] {
+            let plan = Ntt3dPlan::bts_default(1 << log_n).unwrap();
+            let (local, vertical, horizontal) = plan.classify_stages();
+            assert_eq!(
+                local + vertical + horizontal,
+                log_n as u32,
+                "stages must partition log N"
+            );
+            assert!(vertical > 0 && horizontal > 0);
+        }
+    }
+
+    #[test]
+    fn stage_classification_is_contiguous() {
+        // Walk the DIT strides from large to small: the class sequence must be
+        // local* vertical* horizontal*, i.e. only two transitions.
+        let plan = Ntt3dPlan::bts_default(1 << 16).unwrap();
+        let mut classes = Vec::new();
+        let mut t = plan.degree();
+        while t > 1 {
+            t >>= 1;
+            let c = if t >= plan.pe_cols() * plan.pe_rows() {
+                0u8
+            } else if t >= plan.pe_cols() {
+                1
+            } else {
+                2
+            };
+            classes.push(c);
+        }
+        let transitions = classes.windows(2).filter(|w| w[0] != w[1]).count();
+        assert_eq!(transitions, 2);
+        assert!(classes.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn exchange_volume_is_most_of_the_data() {
+        let plan = Ntt3dPlan::bts_default(1 << 17).unwrap();
+        let v = plan.exchange_words_per_pe(TransposePhase::Vertical);
+        let h = plan.exchange_words_per_pe(TransposePhase::Horizontal);
+        assert_eq!(v, 64 - 2); // N_z - N_z/32
+        assert_eq!(h, 64 - 1); // N_z - N_z/64
+        assert_eq!(plan.exchange_words_total(TransposePhase::Vertical), (64 - 2) * 2048);
+    }
+
+    #[test]
+    fn automorphism_traffic_is_a_pe_permutation() {
+        let n = 1 << 14;
+        let plan = Ntt3dPlan::new(n, 16, 8).unwrap();
+        for r in [1i64, 3, 7, 100, -5] {
+            let g = galois_element(r, n, false);
+            let dest = plan.automorphism_pe_permutation(g).unwrap();
+            let mut seen = vec![false; plan.pe_count()];
+            for &d in &dest {
+                assert!(!seen[d], "two PEs map to the same destination");
+                seen[d] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_grids() {
+        assert!(Ntt3dPlan::new(1 << 10, 3, 8).is_err());
+        assert!(Ntt3dPlan::new(1 << 4, 64, 32).is_err());
+        assert!(Ntt3dPlan::new(1000, 8, 8).is_err());
+    }
+}

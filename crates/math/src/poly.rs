@@ -1,0 +1,556 @@
+use crate::automorphism::AutomorphismTable;
+use crate::rns::RnsBasis;
+use crate::MathError;
+
+/// Domain of an [`RnsPoly`]'s limbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Representation {
+    /// Plain coefficients of the polynomial (the paper's "RNS domain").
+    Coefficient,
+    /// Evaluations at the roots of unity (the "NTT domain"); element-wise
+    /// multiplication in this domain is negacyclic convolution.
+    Ntt,
+}
+
+/// A polynomial in `R_Q = Z_Q[X]/(X^N + 1)` stored limb-wise on an RNS basis:
+/// the `N × (ℓ+1)` residue matrix of the paper (Eq. 1).
+///
+/// Binary operations require both operands to live on identical bases and in
+/// the same representation; conversions are explicit ([`RnsPoly::to_ntt`],
+/// [`RnsPoly::to_coefficient`]) because they are exactly the (i)NTT passes the
+/// accelerator schedules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RnsPoly {
+    basis: RnsBasis,
+    rep: Representation,
+    limbs: Vec<Vec<u64>>,
+}
+
+impl RnsPoly {
+    /// The all-zero polynomial on `basis` in the given representation.
+    pub fn zero(basis: &RnsBasis, rep: Representation) -> Self {
+        let n = basis.degree();
+        Self {
+            basis: basis.clone(),
+            rep,
+            limbs: vec![vec![0u64; n]; basis.len()],
+        }
+    }
+
+    /// Builds a polynomial from signed coefficients (length ≤ N; shorter inputs
+    /// are zero-padded), producing a coefficient-domain polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than N coefficients are supplied.
+    pub fn from_signed_coefficients(basis: &RnsBasis, coeffs: &[i64]) -> Self {
+        let n = basis.degree();
+        assert!(coeffs.len() <= n, "too many coefficients");
+        let limbs = (0..basis.len())
+            .map(|j| {
+                let q = basis.modulus(j);
+                let mut limb = vec![0u64; n];
+                for (c, &v) in limb.iter_mut().zip(coeffs.iter()) {
+                    *c = q.from_i64(v);
+                }
+                limb
+            })
+            .collect();
+        Self {
+            basis: basis.clone(),
+            rep: Representation::Coefficient,
+            limbs,
+        }
+    }
+
+    /// Builds a polynomial from raw residue limbs (must match the basis shape).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::BasisMismatch`] if the limb shape does not match.
+    pub fn from_limbs(
+        basis: &RnsBasis,
+        rep: Representation,
+        limbs: Vec<Vec<u64>>,
+    ) -> crate::Result<Self> {
+        if limbs.len() != basis.len() || limbs.iter().any(|l| l.len() != basis.degree()) {
+            return Err(MathError::BasisMismatch(
+                "limb shape does not match basis".to_string(),
+            ));
+        }
+        Ok(Self {
+            basis: basis.clone(),
+            rep,
+            limbs,
+        })
+    }
+
+    /// Samples a uniformly random polynomial (independent uniform residues per
+    /// limb), in the requested representation.
+    pub fn sample_uniform<R: rand::Rng + ?Sized>(
+        basis: &RnsBasis,
+        rep: Representation,
+        rng: &mut R,
+    ) -> Self {
+        let n = basis.degree();
+        let limbs = (0..basis.len())
+            .map(|j| crate::sampling::sample_uniform(rng, n, basis.modulus(j).value()))
+            .collect();
+        Self {
+            basis: basis.clone(),
+            rep,
+            limbs,
+        }
+    }
+
+    /// The ring degree N.
+    pub fn degree(&self) -> usize {
+        self.basis.degree()
+    }
+
+    /// Number of RNS limbs.
+    pub fn limb_count(&self) -> usize {
+        self.limbs.len()
+    }
+
+    /// The RNS basis.
+    pub fn basis(&self) -> &RnsBasis {
+        &self.basis
+    }
+
+    /// Current representation.
+    pub fn representation(&self) -> Representation {
+        self.rep
+    }
+
+    /// Read-only access to limb `j`.
+    pub fn limb(&self, j: usize) -> &[u64] {
+        &self.limbs[j]
+    }
+
+    /// Read-only access to all limbs.
+    pub fn limbs(&self) -> &[Vec<u64>] {
+        &self.limbs
+    }
+
+    /// Mutable access to all limbs (for in-place kernels; shape must be kept).
+    pub fn limbs_mut(&mut self) -> &mut [Vec<u64>] {
+        &mut self.limbs
+    }
+
+    /// Consumes the polynomial and returns its limbs.
+    pub fn into_limbs(self) -> Vec<Vec<u64>> {
+        self.limbs
+    }
+
+    fn check_compatible(&self, other: &Self, op: &str) -> crate::Result<()> {
+        if self.basis.moduli() != other.basis.moduli() || self.degree() != other.degree() {
+            return Err(MathError::BasisMismatch(format!(
+                "{op}: operands live on different bases"
+            )));
+        }
+        if self.rep != other.rep {
+            return Err(MathError::RepresentationMismatch(format!(
+                "{op}: operands are in different representations"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Converts the polynomial to the NTT domain (no-op if already there).
+    pub fn to_ntt(&mut self) {
+        if self.rep == Representation::Ntt {
+            return;
+        }
+        for (j, limb) in self.limbs.iter_mut().enumerate() {
+            self.basis.table(j).forward(limb);
+        }
+        self.rep = Representation::Ntt;
+    }
+
+    /// Converts the polynomial to the coefficient domain (no-op if already there).
+    pub fn to_coefficient(&mut self) {
+        if self.rep == Representation::Coefficient {
+            return;
+        }
+        for (j, limb) in self.limbs.iter_mut().enumerate() {
+            self.basis.table(j).inverse(limb);
+        }
+        self.rep = Representation::Coefficient;
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Errors
+    ///
+    /// Fails on basis or representation mismatch.
+    pub fn add(&self, other: &Self) -> crate::Result<Self> {
+        self.check_compatible(other, "add")?;
+        let limbs = self
+            .limbs
+            .iter()
+            .zip(&other.limbs)
+            .enumerate()
+            .map(|(j, (a, b))| {
+                let q = self.basis.modulus(j);
+                a.iter().zip(b).map(|(&x, &y)| q.add(x, y)).collect()
+            })
+            .collect();
+        Ok(Self {
+            basis: self.basis.clone(),
+            rep: self.rep,
+            limbs,
+        })
+    }
+
+    /// Element-wise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Fails on basis or representation mismatch.
+    pub fn sub(&self, other: &Self) -> crate::Result<Self> {
+        self.check_compatible(other, "sub")?;
+        let limbs = self
+            .limbs
+            .iter()
+            .zip(&other.limbs)
+            .enumerate()
+            .map(|(j, (a, b))| {
+                let q = self.basis.modulus(j);
+                a.iter().zip(b).map(|(&x, &y)| q.sub(x, y)).collect()
+            })
+            .collect();
+        Ok(Self {
+            basis: self.basis.clone(),
+            rep: self.rep,
+            limbs,
+        })
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Self {
+        let limbs = self
+            .limbs
+            .iter()
+            .enumerate()
+            .map(|(j, a)| {
+                let q = self.basis.modulus(j);
+                a.iter().map(|&x| q.neg(x)).collect()
+            })
+            .collect();
+        Self {
+            basis: self.basis.clone(),
+            rep: self.rep,
+            limbs,
+        }
+    }
+
+    /// Element-wise (Hadamard) multiplication. Both operands must be in the
+    /// NTT domain, where this realises negacyclic polynomial multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Fails on mismatch or if the operands are in the coefficient domain.
+    pub fn mul(&self, other: &Self) -> crate::Result<Self> {
+        self.check_compatible(other, "mul")?;
+        if self.rep != Representation::Ntt {
+            return Err(MathError::RepresentationMismatch(
+                "mul requires NTT-domain operands".to_string(),
+            ));
+        }
+        let limbs = self
+            .limbs
+            .iter()
+            .zip(&other.limbs)
+            .enumerate()
+            .map(|(j, (a, b))| {
+                let q = self.basis.modulus(j);
+                a.iter().zip(b).map(|(&x, &y)| q.mul(x, y)).collect()
+            })
+            .collect();
+        Ok(Self {
+            basis: self.basis.clone(),
+            rep: self.rep,
+            limbs,
+        })
+    }
+
+    /// `self + other * scalar_per_limb[j]` fused, used for key-switch
+    /// accumulation. Operands must be compatible and in the NTT domain.
+    ///
+    /// # Errors
+    ///
+    /// Fails on mismatch or non-NTT representation.
+    pub fn mul_constant_add(&self, other: &Self, constants: &[u64]) -> crate::Result<Self> {
+        self.check_compatible(other, "mul_constant_add")?;
+        if constants.len() != self.limb_count() {
+            return Err(MathError::BasisMismatch(
+                "constant vector length must equal limb count".to_string(),
+            ));
+        }
+        let limbs = self
+            .limbs
+            .iter()
+            .zip(&other.limbs)
+            .enumerate()
+            .map(|(j, (a, b))| {
+                let q = self.basis.modulus(j);
+                let w = constants[j];
+                a.iter()
+                    .zip(b)
+                    .map(|(&x, &y)| q.add(x, q.mul(y, w)))
+                    .collect()
+            })
+            .collect();
+        Ok(Self {
+            basis: self.basis.clone(),
+            rep: self.rep,
+            limbs,
+        })
+    }
+
+    /// Multiplies every limb by a per-limb constant (e.g. `[q̂_j^{-1}]_{q_j}` or
+    /// `[P^{-1}]_{q_j}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constant count does not match the limb count.
+    pub fn mul_constants(&self, constants: &[u64]) -> Self {
+        assert_eq!(constants.len(), self.limb_count());
+        let limbs = self
+            .limbs
+            .iter()
+            .enumerate()
+            .map(|(j, a)| {
+                let q = self.basis.modulus(j);
+                let w = q.reduce(constants[j]);
+                a.iter().map(|&x| q.mul(x, w)).collect()
+            })
+            .collect();
+        Self {
+            basis: self.basis.clone(),
+            rep: self.rep,
+            limbs,
+        }
+    }
+
+    /// Multiplies by a single small scalar (applied to every limb).
+    pub fn mul_scalar(&self, scalar: i64) -> Self {
+        let constants: Vec<u64> = (0..self.limb_count())
+            .map(|j| self.basis.modulus(j).from_i64(scalar))
+            .collect();
+        self.mul_constants(&constants)
+    }
+
+    /// Applies the ring automorphism `X ↦ X^g` described by `table`.
+    ///
+    /// The permutation is applied in the coefficient domain; NTT-domain inputs
+    /// are transformed round-trip, mirroring the iNTT → permute → NTT flow.
+    pub fn automorphism(&self, table: &AutomorphismTable) -> Self {
+        let mut src = self.clone();
+        let was_ntt = self.rep == Representation::Ntt;
+        src.to_coefficient();
+        let limbs = src
+            .limbs
+            .iter()
+            .enumerate()
+            .map(|(j, limb)| table.apply(limb, self.basis.modulus(j).value()))
+            .collect();
+        let mut out = Self {
+            basis: self.basis.clone(),
+            rep: Representation::Coefficient,
+            limbs,
+        };
+        if was_ntt {
+            out.to_ntt();
+        }
+        out
+    }
+
+    /// Returns a copy restricted to the first `count` limbs (modulus switch
+    /// down without scaling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or exceeds the limb count.
+    pub fn keep_limbs(&self, count: usize) -> Self {
+        assert!(count >= 1 && count <= self.limb_count());
+        Self {
+            basis: self.basis.prefix(count),
+            rep: self.rep,
+            limbs: self.limbs[..count].to_vec(),
+        }
+    }
+
+    /// Returns a copy containing only the limbs at `indices`, in that order
+    /// (e.g. the `Q_j` slice of a decomposition, or the special limbs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn select_limbs(&self, indices: &[usize]) -> Self {
+        Self {
+            basis: self.basis.select(indices),
+            rep: self.rep,
+            limbs: indices.iter().map(|&i| self.limbs[i].clone()).collect(),
+        }
+    }
+
+    /// Drops the last limb in place (the cheap half of `HRescale`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if only one limb remains.
+    pub fn drop_last_limb(&mut self) {
+        assert!(self.limb_count() > 1, "cannot drop the only limb");
+        self.limbs.pop();
+        self.basis = self.basis.prefix(self.limbs.len());
+    }
+
+    /// Decodes the polynomial back to signed coefficients via CRT, assuming the
+    /// represented value is small (fits comfortably in `i128`). Intended for
+    /// tests and single-limb decodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called with more than two limbs (the reconstruction would
+    /// not fit the return type); use the CKKS decoder for real decrypts.
+    pub fn to_signed_coefficients(&self) -> Vec<i128> {
+        assert!(
+            self.limb_count() <= 2,
+            "signed reconstruction supported for at most two limbs"
+        );
+        let mut work = self.clone();
+        work.to_coefficient();
+        let n = self.degree();
+        if self.limb_count() == 1 {
+            let q = self.basis.modulus(0);
+            return work.limbs[0]
+                .iter()
+                .map(|&x| q.to_signed(x) as i128)
+                .collect();
+        }
+        let q0 = self.basis.modulus(0);
+        let q1 = self.basis.modulus(1);
+        let q0v = q0.value() as i128;
+        let q1v = q1.value() as i128;
+        let q = q0v * q1v;
+        let q0_inv_mod_q1 = q1.inv(q1.reduce(q0.value())).expect("coprime moduli") as i128;
+        (0..n)
+            .map(|c| {
+                let a0 = work.limbs[0][c] as i128;
+                let a1 = work.limbs[1][c] as i128;
+                // CRT: x = a0 + q0 * ((a1 - a0) * q0^{-1} mod q1)
+                let diff = (a1 - a0).rem_euclid(q1v);
+                let t = diff * q0_inv_mod_q1 % q1v;
+                let mut x = a0 + q0v * t;
+                x = x.rem_euclid(q);
+                if x > q / 2 {
+                    x - q
+                } else {
+                    x
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn basis(n: usize, limbs: usize) -> RnsBasis {
+        RnsBasis::generate(n, 45, limbs).unwrap()
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let b = basis(1 << 6, 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let x = RnsPoly::sample_uniform(&b, Representation::Coefficient, &mut rng);
+        let y = RnsPoly::sample_uniform(&b, Representation::Coefficient, &mut rng);
+        let z = x.add(&y).unwrap().sub(&y).unwrap();
+        assert_eq!(z, x);
+        assert_eq!(x.add(&x.neg()).unwrap(), RnsPoly::zero(&b, Representation::Coefficient));
+    }
+
+    #[test]
+    fn ntt_mul_matches_schoolbook_on_small_values() {
+        let b = basis(1 << 5, 2);
+        // (1 + 2X) * (3 + X) = 3 + 7X + 2X^2
+        let mut x = RnsPoly::from_signed_coefficients(&b, &[1, 2]);
+        let mut y = RnsPoly::from_signed_coefficients(&b, &[3, 1]);
+        x.to_ntt();
+        y.to_ntt();
+        let z = x.mul(&y).unwrap();
+        let coeffs = z.to_signed_coefficients();
+        assert_eq!(&coeffs[..4], &[3, 7, 2, 0]);
+    }
+
+    #[test]
+    fn representation_mismatch_is_rejected() {
+        let b = basis(1 << 5, 2);
+        let x = RnsPoly::from_signed_coefficients(&b, &[1]);
+        let mut y = RnsPoly::from_signed_coefficients(&b, &[1]);
+        y.to_ntt();
+        assert!(x.add(&y).is_err());
+        assert!(x.mul(&x).is_err(), "coefficient-domain mul must be rejected");
+    }
+
+    #[test]
+    fn basis_mismatch_is_rejected() {
+        let b1 = basis(1 << 5, 2);
+        let b2 = RnsBasis::generate(1 << 5, 40, 2).unwrap();
+        let x = RnsPoly::zero(&b1, Representation::Coefficient);
+        let y = RnsPoly::zero(&b2, Representation::Coefficient);
+        assert!(x.add(&y).is_err());
+    }
+
+    #[test]
+    fn automorphism_in_either_domain_agrees() {
+        let b = basis(1 << 6, 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let x = RnsPoly::sample_uniform(&b, Representation::Coefficient, &mut rng);
+        let table = AutomorphismTable::from_rotation(1 << 6, 3).unwrap();
+        let coeff_result = x.automorphism(&table);
+        let mut x_ntt = x.clone();
+        x_ntt.to_ntt();
+        let mut ntt_result = x_ntt.automorphism(&table);
+        ntt_result.to_coefficient();
+        assert_eq!(coeff_result, ntt_result);
+    }
+
+    #[test]
+    fn keep_and_drop_limbs() {
+        let b = basis(1 << 5, 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let x = RnsPoly::sample_uniform(&b, Representation::Coefficient, &mut rng);
+        let kept = x.keep_limbs(2);
+        assert_eq!(kept.limb_count(), 2);
+        assert_eq!(kept.limb(0), x.limb(0));
+        let mut y = x.clone();
+        y.drop_last_limb();
+        assert_eq!(y.limb_count(), 2);
+        assert_eq!(y, kept);
+    }
+
+    #[test]
+    fn scalar_multiplication() {
+        let b = basis(1 << 5, 2);
+        let x = RnsPoly::from_signed_coefficients(&b, &[5, -3, 2]);
+        let y = x.mul_scalar(-4);
+        assert_eq!(&y.to_signed_coefficients()[..3], &[-20, 12, -8]);
+    }
+
+    #[test]
+    fn ntt_roundtrip_preserves_value() {
+        let b = basis(1 << 6, 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let x = RnsPoly::sample_uniform(&b, Representation::Coefficient, &mut rng);
+        let mut y = x.clone();
+        y.to_ntt();
+        y.to_coefficient();
+        assert_eq!(x, y);
+    }
+}

@@ -1,0 +1,230 @@
+use crate::{MathError, Modulus};
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64` inputs.
+///
+/// Uses the standard deterministic witness set
+/// {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Returns the largest NTT-friendly prime `p < upper_bound` with
+/// `p ≡ 1 (mod 2·degree)`, or `None` if the search drops below `2·degree`.
+pub fn previous_ntt_prime(degree: usize, upper_bound: u64) -> Option<u64> {
+    let step = 2 * degree as u64;
+    if upper_bound <= step {
+        return None;
+    }
+    // Largest candidate ≡ 1 (mod 2N) strictly below upper_bound.
+    let mut cand = ((upper_bound - 2) / step) * step + 1;
+    while cand > step {
+        if is_prime(cand) {
+            return Some(cand);
+        }
+        cand -= step;
+    }
+    None
+}
+
+/// Returns the smallest NTT-friendly prime `p > lower_bound` with
+/// `p ≡ 1 (mod 2·degree)`, or `None` if it would exceed 62 bits.
+pub fn next_ntt_prime(degree: usize, lower_bound: u64) -> Option<u64> {
+    let step = 2 * degree as u64;
+    let mut cand = (lower_bound / step + 1) * step + 1;
+    let limit = 1u64 << crate::modular::MAX_MODULUS_BITS;
+    while cand < limit {
+        if is_prime(cand) {
+            return Some(cand);
+        }
+        cand += step;
+    }
+    None
+}
+
+/// Generates `count` distinct NTT-friendly primes of (approximately) `bits`
+/// bits supporting a negacyclic NTT of size `degree` (i.e. `p ≡ 1 mod 2N`).
+///
+/// Primes are returned in decreasing order starting just below `2^bits`. This
+/// mirrors how CKKS libraries pick RNS moduli clustered around the scaling
+/// factor (2^40..2^60 in the paper, §2.4).
+///
+/// # Panics
+///
+/// Panics if the search space is exhausted; use [`try_generate_ntt_primes`]
+/// for a fallible variant.
+pub fn generate_ntt_primes(degree: usize, bits: u32, count: usize) -> Vec<u64> {
+    try_generate_ntt_primes(degree, bits, count).expect("prime search exhausted")
+}
+
+/// Fallible variant of [`generate_ntt_primes`].
+///
+/// # Errors
+///
+/// Returns [`MathError::PrimeSearchExhausted`] if not enough primes of the
+/// requested shape exist below `2^bits`.
+pub fn try_generate_ntt_primes(degree: usize, bits: u32, count: usize) -> crate::Result<Vec<u64>> {
+    if !crate::is_power_of_two_at_least(degree, 2) {
+        return Err(MathError::InvalidDegree(degree));
+    }
+    if bits < 20 || bits > crate::modular::MAX_MODULUS_BITS {
+        return Err(MathError::InvalidModulus(1u64 << bits.min(63)));
+    }
+    let mut primes = Vec::with_capacity(count);
+    let mut upper = 1u64 << bits;
+    while primes.len() < count {
+        match previous_ntt_prime(degree, upper) {
+            Some(p) if p.leading_zeros() <= 64 - (bits - 1) => {
+                // keep primes in [2^(bits-1), 2^bits)
+                primes.push(p);
+                upper = p;
+            }
+            _ => {
+                return Err(MathError::PrimeSearchExhausted { bits, count });
+            }
+        }
+    }
+    Ok(primes)
+}
+
+/// Finds a primitive `2N`-th root of unity modulo a prime supporting the NTT.
+///
+/// # Errors
+///
+/// Returns [`MathError::NoNttSupport`] if `q ≢ 1 (mod 2N)`.
+pub fn primitive_root_of_unity(degree: usize, modulus: &Modulus) -> crate::Result<u64> {
+    let q = modulus.value();
+    let two_n = 2 * degree as u64;
+    if (q - 1) % two_n != 0 {
+        return Err(MathError::NoNttSupport {
+            modulus: q,
+            degree,
+        });
+    }
+    // Find a generator of the multiplicative group by trial, then raise it to
+    // (q-1)/2N. A candidate g works iff g^((q-1)/2) != 1 for enough small
+    // exponents; we simply test that the resulting root has exact order 2N.
+    let exp = (q - 1) / two_n;
+    for candidate in 2u64..=4096 {
+        let root = modulus.pow(candidate, exp);
+        if root == 0 || root == 1 {
+            continue;
+        }
+        // order divides 2N; check it is exactly 2N by verifying root^N == -1.
+        if modulus.pow(root, degree as u64) == q - 1 {
+            return Ok(root);
+        }
+    }
+    Err(MathError::NoNttSupport {
+        modulus: q,
+        degree,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miller_rabin_small_values() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 97, 7919, 104729];
+        let composites = [0u64, 1, 4, 6, 9, 15, 561, 41041, 825265]; // incl. Carmichael numbers
+        for p in primes {
+            assert!(is_prime(p), "{p} should be prime");
+        }
+        for c in composites {
+            assert!(!is_prime(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn miller_rabin_large_known_prime() {
+        assert!(is_prime(1152921504606846883)); // 2^60 - 93, prime
+        assert!(!is_prime(1152921504606846881));
+    }
+
+    #[test]
+    fn generated_primes_support_ntt() {
+        let n = 1 << 12;
+        let primes = generate_ntt_primes(n, 45, 4);
+        assert_eq!(primes.len(), 4);
+        let mut seen = std::collections::HashSet::new();
+        for p in &primes {
+            assert!(is_prime(*p));
+            assert_eq!((p - 1) % (2 * n as u64), 0);
+            assert!(seen.insert(*p), "primes must be distinct");
+            assert!(p.leading_zeros() == 64 - 45, "prime should have 45 bits: {p}");
+        }
+    }
+
+    #[test]
+    fn primitive_root_has_order_2n() {
+        let n = 1 << 10;
+        let p = generate_ntt_primes(n, 40, 1)[0];
+        let m = Modulus::new(p);
+        let root = primitive_root_of_unity(n, &m).unwrap();
+        assert_eq!(m.pow(root, n as u64), p - 1);
+        assert_eq!(m.pow(root, 2 * n as u64), 1);
+    }
+
+    #[test]
+    fn next_and_previous_are_consistent() {
+        let n = 1 << 10;
+        let p = previous_ntt_prime(n, 1 << 40).unwrap();
+        let q = next_ntt_prime(n, p).unwrap();
+        assert!(q > p);
+        assert!(is_prime(q));
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        assert!(try_generate_ntt_primes(1000, 40, 1).is_err()); // not a power of two
+        assert!(try_generate_ntt_primes(1 << 10, 10, 1).is_err()); // too few bits
+    }
+}

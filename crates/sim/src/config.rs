@@ -1,0 +1,141 @@
+use bts_params::BandwidthModel;
+
+/// Hardware configuration of a BTS-style accelerator.
+///
+/// The default values reproduce the paper's BTS design point (§5, §6.1); the
+/// builder-style `with_*` methods express the ablations of Fig. 9 and the
+/// scratchpad sweep of Fig. 10.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BtsConfig {
+    /// Number of processing elements (2,048 in BTS).
+    pub pe_count: usize,
+    /// PE-grid width (n_PE_hor = 64).
+    pub pe_cols: usize,
+    /// PE-grid height (n_PE_ver = 32).
+    pub pe_rows: usize,
+    /// Operating frequency of the NTTUs/MMAUs (1.2 GHz).
+    pub frequency_hz: f64,
+    /// Total scratchpad capacity in bytes (512 MiB).
+    pub scratchpad_bytes: u64,
+    /// Aggregate scratchpad bandwidth in bytes/s (38.4 TB/s chip-wide).
+    pub scratchpad_bw: f64,
+    /// Off-chip (HBM) bandwidth model (1 TB/s by default).
+    pub hbm: BandwidthModel,
+    /// MMAU lane count `l_sub` (4 in BTS, §5.2).
+    pub lsub: usize,
+    /// Whether BConv is partially overlapped with the preceding iNTT (§5.2);
+    /// disabled in the "w/o BConvU overlapping" ablation of Fig. 9.
+    pub overlap_bconv_intt: bool,
+    /// Bisection bandwidth of the PE-PE NoC in bytes/s (3.6 TB/s).
+    pub noc_bisection_bw: f64,
+}
+
+impl BtsConfig {
+    /// The BTS design point of the paper.
+    pub fn bts_default() -> Self {
+        Self {
+            pe_count: 2048,
+            pe_cols: 64,
+            pe_rows: 32,
+            frequency_hz: 1.2e9,
+            scratchpad_bytes: 512 * 1024 * 1024,
+            scratchpad_bw: 38.4e12,
+            hbm: BandwidthModel::hbm_1tb(),
+            lsub: 4,
+            overlap_bconv_intt: true,
+            noc_bisection_bw: 3.6e12,
+        }
+    }
+
+    /// The "small BTS" baseline of the Fig. 9 ablation: just enough scratchpad
+    /// to hold the temporary data of one HE op and no BConv/iNTT overlap.
+    pub fn small_bts(temp_bytes: u64) -> Self {
+        Self {
+            scratchpad_bytes: temp_bytes,
+            overlap_bconv_intt: false,
+            ..Self::bts_default()
+        }
+    }
+
+    /// Returns a copy with a different scratchpad capacity (Fig. 7a, Fig. 10).
+    pub fn with_scratchpad_bytes(mut self, bytes: u64) -> Self {
+        self.scratchpad_bytes = bytes;
+        self
+    }
+
+    /// Returns a copy with a different HBM bandwidth (the 2 TB/s ablation).
+    pub fn with_hbm(mut self, hbm: BandwidthModel) -> Self {
+        self.hbm = hbm;
+        self
+    }
+
+    /// Returns a copy with BConv/iNTT overlapping enabled or disabled.
+    pub fn with_overlap(mut self, overlap: bool) -> Self {
+        self.overlap_bconv_intt = overlap;
+        self
+    }
+
+    /// Butterflies the whole chip completes per second
+    /// (`pe_count × frequency`, one butterfly per NTTU per cycle).
+    pub fn butterfly_rate(&self) -> f64 {
+        self.pe_count as f64 * self.frequency_hz
+    }
+
+    /// Modular MACs the BConvUs complete per second
+    /// (`pe_count × l_sub × frequency`).
+    pub fn mmau_rate(&self) -> f64 {
+        self.pe_count as f64 * self.lsub as f64 * self.frequency_hz
+    }
+
+    /// Element-wise modular multiplications per second
+    /// (one ModMult per PE per cycle).
+    pub fn elementwise_rate(&self) -> f64 {
+        self.pe_count as f64 * self.frequency_hz
+    }
+}
+
+impl Default for BtsConfig {
+    fn default() -> Self {
+        Self::bts_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_design_point() {
+        let c = BtsConfig::bts_default();
+        assert_eq!(c.pe_count, 2048);
+        assert_eq!(c.pe_cols * c.pe_rows, c.pe_count);
+        assert_eq!(c.scratchpad_bytes, 512 * 1024 * 1024);
+        assert!((c.frequency_hz - 1.2e9).abs() < 1.0);
+        // 2048 NTTUs comfortably exceed the Eq. 10 minimum of 1,328.
+        let min = bts_params::min_nttu_count(
+            &bts_params::CkksInstance::ins1(),
+            c.frequency_hz,
+            c.hbm,
+        );
+        assert!(c.pe_count as f64 > min);
+    }
+
+    #[test]
+    fn builders_modify_single_fields() {
+        let c = BtsConfig::bts_default()
+            .with_scratchpad_bytes(2 << 30)
+            .with_overlap(false)
+            .with_hbm(BandwidthModel::hbm_2tb());
+        assert_eq!(c.scratchpad_bytes, 2 << 30);
+        assert!(!c.overlap_bconv_intt);
+        assert!((c.hbm.bytes_per_sec() - 2.0e12).abs() < 1.0);
+        assert_eq!(c.pe_count, 2048);
+    }
+
+    #[test]
+    fn rates_scale_with_pe_count() {
+        let c = BtsConfig::bts_default();
+        assert!((c.butterfly_rate() - 2048.0 * 1.2e9).abs() < 1.0);
+        assert!((c.mmau_rate() - 4.0 * c.butterfly_rate()).abs() < 1.0);
+    }
+}

@@ -1,0 +1,500 @@
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use bts_params::CkksInstance;
+
+use crate::config::BtsConfig;
+use crate::cost::AreaPowerModel;
+use crate::trace::{CtId, HeOp, OpTrace};
+
+/// Per-op-class statistics in a [`SimReport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpClassStats {
+    /// Number of ops of this class executed.
+    pub count: usize,
+    /// Total time spent in this class, in seconds.
+    pub seconds: f64,
+}
+
+/// Result of simulating an HE-op trace on a BTS configuration.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// End-to-end execution time in seconds.
+    pub total_seconds: f64,
+    /// Time spent inside bootstrapping regions, in seconds.
+    pub bootstrap_seconds: f64,
+    /// Per-op-class breakdown.
+    pub per_op: BTreeMap<HeOp, OpClassStats>,
+    /// Total bytes streamed from HBM.
+    pub hbm_bytes: u64,
+    /// Bytes of evaluation keys streamed from HBM.
+    pub evk_bytes: u64,
+    /// Bytes of ciphertexts/plaintexts (re)loaded on software-cache misses.
+    pub ct_miss_bytes: u64,
+    /// Software-cache hits (ciphertext operand found in the scratchpad).
+    pub cache_hits: usize,
+    /// Software-cache misses.
+    pub cache_misses: usize,
+    /// Average NTTU utilization (busy fraction of the run).
+    pub ntt_utilization: f64,
+    /// Average BConvU (MMAU) utilization.
+    pub bconv_utilization: f64,
+    /// Average HBM-bandwidth utilization.
+    pub hbm_utilization: f64,
+    /// Average element-wise unit utilization.
+    pub elementwise_utilization: f64,
+    /// Peak scratchpad demand (temporary data + resident ciphertexts), bytes.
+    pub scratchpad_peak_bytes: u64,
+    /// Energy estimate in joules.
+    pub energy_j: f64,
+    /// Chip area in mm² for the simulated configuration.
+    pub area_mm2: f64,
+}
+
+impl SimReport {
+    /// Energy–delay–area product in J·s·mm².
+    pub fn edap(&self) -> f64 {
+        self.energy_j * self.total_seconds * self.area_mm2
+    }
+
+    /// Fraction of the run spent bootstrapping (Fig. 7b).
+    pub fn bootstrap_fraction(&self) -> f64 {
+        if self.total_seconds == 0.0 {
+            0.0
+        } else {
+            self.bootstrap_seconds / self.total_seconds
+        }
+    }
+
+    /// Software-cache hit rate across all ciphertext operand accesses.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Detailed cost of a single traced op (used internally and by the Fig. 8
+/// timeline).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct OpCost {
+    pub ntt_seconds: f64,
+    pub bconv_seconds: f64,
+    pub elementwise_seconds: f64,
+    pub compute_seconds: f64,
+    pub evk_bytes: u64,
+    pub operand_bytes: u64,
+    pub temp_bytes: u64,
+}
+
+/// The BTS accelerator simulator.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: BtsConfig,
+    instance: CkksInstance,
+    cost_model: AreaPowerModel,
+}
+
+impl Simulator {
+    /// Creates a simulator for a hardware configuration and CKKS instance.
+    pub fn new(config: BtsConfig, instance: CkksInstance) -> Self {
+        let cost_model = AreaPowerModel::bts_default()
+            .with_scratchpad_bytes(config.scratchpad_bytes);
+        Self {
+            config,
+            instance,
+            cost_model,
+        }
+    }
+
+    /// The hardware configuration.
+    pub fn config(&self) -> &BtsConfig {
+        &self.config
+    }
+
+    /// The CKKS instance.
+    pub fn instance(&self) -> &CkksInstance {
+        &self.instance
+    }
+
+    /// Compute/traffic cost of one op, independent of cache state.
+    pub(crate) fn op_cost(&self, op: HeOp, level: usize) -> OpCost {
+        let ins = &self.instance;
+        let n = ins.n() as f64;
+        let log_n = ins.log_n() as f64;
+        let l1 = (level + 1) as f64;
+        let k = ins.num_special() as f64;
+        let dnum_l = ins.dnum_at_level(level) as f64;
+        let limb_butterflies = n / 2.0 * log_n;
+        let butterfly_rate = self.config.butterfly_rate();
+        let mmau_rate = self.config.mmau_rate();
+        let ew_rate = self.config.elementwise_rate();
+        let limb_bytes = ins.limb_bytes() as f64;
+
+        let mut cost = OpCost::default();
+        match op {
+            HeOp::HMult | HeOp::HRot | HeOp::Conjugate => {
+                // ModUp: per-slice iNTT, BConv, NTT of converted limbs.
+                let mut ntt_limbs = 0.0;
+                let mut bconv_macs = 0.0;
+                let slices = dnum_l as usize;
+                for j in 0..slices {
+                    let lo = j as f64 * k;
+                    let hi = (lo + k).min(l1);
+                    let slice = hi - lo;
+                    let target = (l1 - slice) + k;
+                    ntt_limbs += slice + target;
+                    bconv_macs += slice * n + slice * target * n;
+                }
+                // ModDown for both output polynomials.
+                ntt_limbs += 2.0 * k + 2.0 * l1;
+                bconv_macs += 2.0 * (k * n + k * l1 * n);
+                // Element-wise work: tensor product (HMult only), evk inner
+                // products, SSA, automorphism permutation (HRot/Conj).
+                let mut ew = 2.0 * dnum_l * (l1 + k) * n + 2.0 * l1 * n;
+                if op == HeOp::HMult {
+                    ew += 4.0 * l1 * n;
+                } else {
+                    ew += 2.0 * l1 * n; // permutation traffic handled per-residue
+                }
+                cost.ntt_seconds = ntt_limbs * limb_butterflies / butterfly_rate;
+                cost.bconv_seconds = bconv_macs / mmau_rate;
+                cost.elementwise_seconds = ew / ew_rate;
+                cost.evk_bytes = ins.evk_bytes_at_level(level);
+                cost.operand_bytes = 0;
+                cost.temp_bytes = ((dnum_l + 2.0) * (k + l1) * limb_bytes) as u64;
+            }
+            HeOp::PMult | HeOp::CMult => {
+                cost.elementwise_seconds = 2.0 * l1 * n / ew_rate;
+                cost.operand_bytes = if op == HeOp::PMult {
+                    ins.pt_bytes(level)
+                } else {
+                    0
+                };
+                cost.temp_bytes = (2.0 * l1 * limb_bytes) as u64;
+            }
+            HeOp::PAdd | HeOp::HAdd | HeOp::CAdd => {
+                cost.elementwise_seconds = 2.0 * l1 * n / ew_rate;
+                cost.operand_bytes = if op == HeOp::PAdd { ins.pt_bytes(level) } else { 0 };
+                cost.temp_bytes = (2.0 * l1 * limb_bytes) as u64;
+            }
+            HeOp::HRescale => {
+                // iNTT of the dropped limb, NTT-domain correction of the rest.
+                cost.ntt_seconds = 2.0 * l1 * limb_butterflies / butterfly_rate;
+                cost.elementwise_seconds = 2.0 * l1 * n / ew_rate;
+                cost.temp_bytes = (2.0 * l1 * limb_bytes) as u64;
+            }
+            HeOp::ModRaise => {
+                let max_l1 = (ins.max_level() + 1) as f64;
+                cost.bconv_seconds = 2.0 * (n + max_l1 * n) / mmau_rate;
+                cost.ntt_seconds = 2.0 * max_l1 * limb_butterflies / butterfly_rate;
+                cost.temp_bytes = (2.0 * max_l1 * limb_bytes) as u64;
+            }
+        }
+        cost.compute_seconds = if self.config.overlap_bconv_intt {
+            cost.ntt_seconds.max(cost.bconv_seconds) + cost.elementwise_seconds * 0.1
+        } else {
+            cost.ntt_seconds + cost.bconv_seconds + cost.elementwise_seconds * 0.5
+        };
+        cost
+    }
+
+    /// Runs a trace and reports performance, traffic, utilization and energy.
+    pub fn run(&self, trace: &OpTrace) -> SimReport {
+        let mut total = 0.0f64;
+        let mut bootstrap = 0.0f64;
+        let mut per_op: BTreeMap<HeOp, OpClassStats> = BTreeMap::new();
+        let mut evk_bytes = 0u64;
+        let mut ct_miss_bytes = 0u64;
+        let mut hits = 0usize;
+        let mut misses = 0usize;
+        let mut ntt_busy = 0.0f64;
+        let mut bconv_busy = 0.0f64;
+        let mut ew_busy = 0.0f64;
+        let mut peak_scratch = 0u64;
+
+        let mut cache = CtCache::new(self.cache_capacity());
+
+        for traced in &trace.ops {
+            let cost = self.op_cost(traced.op, traced.level);
+            // Ciphertext operand residency.
+            let ct_bytes = self.instance.ct_bytes(traced.level);
+            let mut miss_bytes = cost.operand_bytes;
+            for &input in &traced.inputs {
+                if cache.touch(input) {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                    miss_bytes += ct_bytes;
+                    cache.insert(input, ct_bytes);
+                }
+            }
+            if let Some(out) = traced.output {
+                cache.insert(out, ct_bytes);
+            }
+            let hbm_time = (cost.evk_bytes + miss_bytes) as f64
+                / self.config.hbm.bytes_per_sec();
+            let op_time = cost.compute_seconds.max(hbm_time);
+
+            total += op_time;
+            if traced.in_bootstrap {
+                bootstrap += op_time;
+            }
+            let entry = per_op.entry(traced.op).or_default();
+            entry.count += 1;
+            entry.seconds += op_time;
+            evk_bytes += cost.evk_bytes;
+            ct_miss_bytes += miss_bytes;
+            ntt_busy += cost.ntt_seconds;
+            bconv_busy += cost.bconv_seconds;
+            ew_busy += cost.elementwise_seconds;
+            peak_scratch = peak_scratch.max(cost.temp_bytes + cache.used_bytes());
+        }
+
+        let hbm_bytes = evk_bytes + ct_miss_bytes;
+        let hbm_util = if total > 0.0 {
+            (hbm_bytes as f64 / self.config.hbm.bytes_per_sec()) / total
+        } else {
+            0.0
+        };
+        let ntt_util = if total > 0.0 { ntt_busy / total } else { 0.0 };
+        let bconv_util = if total > 0.0 { bconv_busy / total } else { 0.0 };
+        let ew_util = if total > 0.0 { ew_busy / total } else { 0.0 };
+        let energy = self
+            .cost_model
+            .energy_joules(total, ntt_util, bconv_util, hbm_util, ew_util);
+
+        SimReport {
+            total_seconds: total,
+            bootstrap_seconds: bootstrap,
+            per_op,
+            hbm_bytes,
+            evk_bytes,
+            ct_miss_bytes,
+            cache_hits: hits,
+            cache_misses: misses,
+            ntt_utilization: ntt_util.min(1.0),
+            bconv_utilization: bconv_util.min(1.0),
+            hbm_utilization: hbm_util.min(1.0),
+            elementwise_utilization: ew_util.min(1.0),
+            scratchpad_peak_bytes: peak_scratch,
+            energy_j: energy,
+            area_mm2: self.cost_model.total_area_mm2(),
+        }
+    }
+
+    /// Peak temporary-data footprint of one key-switching op at the maximum
+    /// level (intermediate residue polynomials of the decomposition slices plus
+    /// the streamed evaluation-key slice being consumed). Calibrated against
+    /// the Table 4 "Temp data" column: the model reproduces 183 / 304 / 365 MiB
+    /// for INS-1/2/3 within a few percent.
+    pub fn temp_data_bytes(&self) -> u64 {
+        let ins = &self.instance;
+        if let Some(reported) = ins.reported_temp_bytes() {
+            return reported;
+        }
+        let max_level = ins.max_level();
+        let limbs_full = (ins.num_special() + max_level + 1) as u64;
+        // (dnum + 2) working polynomials on the extended base.
+        (ins.dnum() as u64 + 2) * limbs_full * ins.limb_bytes()
+    }
+
+    /// Scratchpad capacity left for the software-managed ciphertext cache
+    /// after reserving room for key-switching temporaries and the streaming
+    /// evaluation-key buffer (§5.3, §6.2 allocation priority).
+    pub fn cache_capacity(&self) -> u64 {
+        self.config
+            .scratchpad_bytes
+            .saturating_sub(self.temp_data_bytes())
+    }
+}
+
+/// LRU cache over ciphertext ids (the software-managed scratchpad cache).
+#[derive(Debug, Clone)]
+struct CtCache {
+    capacity: u64,
+    used: u64,
+    entries: HashMap<CtId, u64>,
+    order: VecDeque<CtId>,
+}
+
+impl CtCache {
+    fn new(capacity: u64) -> Self {
+        Self {
+            capacity,
+            used: 0,
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// Returns true (hit) if present, refreshing recency.
+    fn touch(&mut self, id: CtId) -> bool {
+        if self.entries.contains_key(&id) {
+            if let Some(pos) = self.order.iter().position(|&x| x == id) {
+                self.order.remove(pos);
+            }
+            self.order.push_back(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, id: CtId, bytes: u64) {
+        if bytes > self.capacity {
+            return; // cannot cache at all
+        }
+        if self.entries.contains_key(&id) {
+            self.touch(id);
+            return;
+        }
+        while self.used + bytes > self.capacity {
+            let Some(victim) = self.order.pop_front() else {
+                break;
+            };
+            if let Some(sz) = self.entries.remove(&victim) {
+                self.used -= sz;
+            }
+        }
+        self.entries.insert(id, bytes);
+        self.order.push_back(id);
+        self.used += bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+    use bts_params::BandwidthModel;
+
+    fn hmult_trace(ins: &CkksInstance, level: usize) -> OpTrace {
+        let mut b = TraceBuilder::new(ins);
+        let x = b.fresh_ct(level);
+        let y = b.fresh_ct(level);
+        // Three multiplications on the same operands: after the first, the
+        // operands are resident in the scratchpad, so compute partially hides
+        // the remaining memory traffic.
+        b.hmult_at(x, y, level);
+        b.hmult_at(x, y, level);
+        b.hmult_at(x, y, level);
+        b.build()
+    }
+
+    #[test]
+    fn hmult_at_top_level_is_bounded_by_evk_load() {
+        // §3.3/§6.3: with everything on-chip, HMult's time equals the evk
+        // streaming time (~117 µs for INS-1 at 1 TB/s) because compute hides
+        // underneath it.
+        let ins = CkksInstance::ins1();
+        let sim = Simulator::new(BtsConfig::bts_default(), ins.clone());
+        let cost = sim.op_cost(HeOp::HMult, ins.max_level());
+        let evk_time = ins.evk_bytes_at_level(ins.max_level()) as f64 / 1e12;
+        assert!(
+            cost.compute_seconds < evk_time,
+            "compute {} should hide under evk load {}",
+            cost.compute_seconds,
+            evk_time
+        );
+        // NTTU busy fraction during HMult ≈ 65-80% (Fig. 8 reports 76%).
+        let busy = cost.ntt_seconds / evk_time;
+        assert!(busy > 0.5 && busy < 0.95, "NTTU busy fraction = {busy}");
+    }
+
+    #[test]
+    fn doubling_bandwidth_gives_sublinear_speedup() {
+        // Fig. 9: the 2 TB/s configuration is only ~1.26x faster because
+        // compute starts to dominate.
+        let ins = CkksInstance::ins1();
+        let trace = hmult_trace(&ins, ins.max_level());
+        let base = Simulator::new(BtsConfig::bts_default(), ins.clone()).run(&trace);
+        let fast = Simulator::new(
+            BtsConfig::bts_default().with_hbm(BandwidthModel::hbm_2tb()),
+            ins,
+        )
+        .run(&trace);
+        let speedup = base.total_seconds / fast.total_seconds;
+        assert!(speedup > 1.05 && speedup < 2.0, "speedup = {speedup}");
+    }
+
+    #[test]
+    fn cache_hits_reduce_hbm_traffic() {
+        let ins = CkksInstance::ins1();
+        let mut b = TraceBuilder::new(&ins);
+        let x = b.fresh_ct(20);
+        let y = b.fresh_ct(20);
+        // Re-use the same operands repeatedly: the second and later ops hit.
+        for _ in 0..8 {
+            b.hmult_at(x, y, 20);
+        }
+        let trace = b.build();
+        let report = Simulator::new(BtsConfig::bts_default(), ins).run(&trace);
+        assert!(report.cache_hits >= 14, "hits = {}", report.cache_hits);
+        assert_eq!(report.cache_misses, 2);
+    }
+
+    #[test]
+    fn tiny_scratchpad_forces_ct_reloads() {
+        let ins = CkksInstance::ins1();
+        let mut b = TraceBuilder::new(&ins);
+        let ids: Vec<_> = (0..6).map(|_| b.fresh_ct(27)).collect();
+        for round in 0..3 {
+            for w in ids.windows(2) {
+                b.hmult_at(w[0], w[1], 27 - round);
+            }
+        }
+        let trace = b.build();
+        let small = Simulator::new(
+            BtsConfig::bts_default().with_scratchpad_bytes(200 * 1024 * 1024),
+            ins.clone(),
+        )
+        .run(&trace);
+        let big = Simulator::new(
+            BtsConfig::bts_default().with_scratchpad_bytes(2 * 1024 * 1024 * 1024),
+            ins,
+        )
+        .run(&trace);
+        assert!(small.ct_miss_bytes > big.ct_miss_bytes);
+        assert!(small.total_seconds >= big.total_seconds);
+        assert!(big.cache_hit_rate() > small.cache_hit_rate());
+    }
+
+    #[test]
+    fn report_accounting_is_consistent() {
+        let ins = CkksInstance::ins2();
+        let mut b = TraceBuilder::new(&ins);
+        let x = b.fresh_ct(39);
+        b.set_bootstrap_region(true);
+        let y = b.hrot(x, 3, 39);
+        b.set_bootstrap_region(false);
+        let z = b.hmult_at(y, y, 39);
+        b.hrescale_at(z, 39);
+        let trace = b.build();
+        let r = Simulator::new(BtsConfig::bts_default(), ins).run(&trace);
+        let sum: f64 = r.per_op.values().map(|s| s.seconds).sum();
+        assert!((sum - r.total_seconds).abs() < 1e-12);
+        assert!(r.bootstrap_seconds < r.total_seconds);
+        assert!(r.bootstrap_fraction() > 0.0);
+        assert_eq!(r.hbm_bytes, r.evk_bytes + r.ct_miss_bytes);
+        assert!(r.energy_j > 0.0);
+        assert!(r.edap() > 0.0);
+        assert!(r.scratchpad_peak_bytes > 0);
+    }
+
+    #[test]
+    fn higher_level_ops_cost_more() {
+        let ins = CkksInstance::ins3();
+        let sim = Simulator::new(BtsConfig::bts_default(), ins.clone());
+        let low = sim.op_cost(HeOp::HMult, 5);
+        let high = sim.op_cost(HeOp::HMult, ins.max_level());
+        assert!(high.compute_seconds > low.compute_seconds);
+        assert!(high.evk_bytes > low.evk_bytes);
+    }
+}

@@ -1,0 +1,58 @@
+//! # bts-sim
+//!
+//! A performance, area, power and energy model of the BTS accelerator
+//! (§4–§6 of the paper): 2,048 processing elements in a 64×32 grid, each with
+//! an NTTU, a BConvU (ModMult + MMAU), element-wise units and a scratchpad
+//! slice; two HBM2e stacks; and three dedicated NoCs.
+//!
+//! The simulator consumes *HE-op traces* (sequences of `HMult`, `HRot`,
+//! `PMult`, … with their ciphertext levels and operand identities) produced by
+//! `bts-workloads`, lowers each op onto the paper's dataflow
+//! (iNTT → BConv → NTT → ⊙evk → ModDown, Fig. 3a), and accounts for
+//!
+//! * evaluation-key streaming from HBM (the §3.3 minimum bound),
+//! * functional-unit occupancy (NTTU butterflies, BConvU MACs, element-wise),
+//! * the software-managed ciphertext cache in the scratchpad (LRU, §5.3),
+//! * scratchpad capacity pressure from temporary key-switching data,
+//! * energy, chip area and EDAP (Table 3, Fig. 10).
+//!
+//! ```
+//! use bts_sim::{BtsConfig, Simulator, TraceBuilder};
+//! use bts_params::CkksInstance;
+//!
+//! let ins = CkksInstance::ins1();
+//! let mut trace = TraceBuilder::new(&ins);
+//! let a = trace.fresh_ct(ins.max_level());
+//! let b = trace.fresh_ct(ins.max_level());
+//! let c = trace.hmult(a, b);
+//! let _ = trace.hrescale(c);
+//! let report = Simulator::new(BtsConfig::bts_default(), ins).run(&trace.build());
+//! assert!(report.total_seconds > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod cost;
+mod engine;
+mod f1;
+mod keyswitch;
+mod noc;
+mod pe;
+mod scratchpad;
+mod timeline;
+mod trace;
+mod twiddle;
+
+pub use config::BtsConfig;
+pub use cost::{AreaPowerModel, ComponentCost, EdapPoint};
+pub use engine::{OpClassStats, SimReport, Simulator};
+pub use f1::{F1Model, PlatformRow};
+pub use keyswitch::{FunctionalUnit, KeySwitchSchedule, Phase};
+pub use noc::{BruNoc, PeMemNoc, PePeNoc};
+pub use pe::{KeySwitchOccupancy, ProcessingElement};
+pub use scratchpad::{AllocationClass, AllocationPlan, Scratchpad};
+pub use timeline::{hmult_timeline, TimelineSegment};
+pub use trace::{CtId, HeOp, OpTrace, TraceBuilder, TracedOp};
+pub use twiddle::TwiddleStorage;

@@ -1,0 +1,170 @@
+use bts_params::CkksInstance;
+
+use crate::config::BtsConfig;
+use crate::engine::Simulator;
+use crate::trace::HeOp;
+
+/// One segment of the Fig. 8 HMult execution timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineSegment {
+    /// Hardware resource the segment occupies (`"HBM"`, `"NTTU"`, `"BConvU"`,
+    /// `"ModMult/ModAdd"`).
+    pub unit: &'static str,
+    /// What the resource is doing (e.g. `"load evk.ax.Q"`, `"iNTT.d2"`).
+    pub label: String,
+    /// Segment start, in nanoseconds from the start of the op.
+    pub start_ns: f64,
+    /// Segment end, in nanoseconds.
+    pub end_ns: f64,
+}
+
+impl TimelineSegment {
+    fn new(unit: &'static str, label: impl Into<String>, start_ns: f64, end_ns: f64) -> Self {
+        Self {
+            unit,
+            label: label.into(),
+            start_ns,
+            end_ns,
+        }
+    }
+
+    /// Segment duration in nanoseconds.
+    pub fn duration_ns(&self) -> f64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// Reconstructs the Fig. 8 timeline of one HMult at the given level: the evk
+/// limb streams on HBM, the three (i)NTT phases on the NTTUs, the two BConv
+/// phases on the BConvUs and the SSA tail on the element-wise units.
+///
+/// The segment boundaries follow the same cost model the simulator uses, so
+/// the timeline's critical path equals the simulator's HMult latency.
+pub fn hmult_timeline(
+    config: &BtsConfig,
+    instance: &CkksInstance,
+    level: usize,
+) -> Vec<TimelineSegment> {
+    let sim = Simulator::new(config.clone(), instance.clone());
+    let cost = sim.op_cost(HeOp::HMult, level);
+    let ns = 1e9;
+    let evk_total = instance.evk_bytes_at_level(level) as f64 / config.hbm.bytes_per_sec() * ns;
+    let ntt_total = cost.ntt_seconds * ns;
+    let bconv_total = cost.bconv_seconds * ns;
+    let ew_total = cost.elementwise_seconds * ns;
+
+    // HBM streams the four evk halves back to back (ax.P, ax.Q, bx.P, bx.Q).
+    let mut segments = Vec::new();
+    let k = instance.num_special() as f64;
+    let l1 = (level + 1) as f64;
+    let p_frac = k / (k + l1);
+    let mut t = 0.0;
+    for (label, frac) in [
+        ("load evk.ax.P", p_frac / 2.0),
+        ("load evk.ax.Q", (1.0 - p_frac) / 2.0),
+        ("load evk.bx.P", p_frac / 2.0),
+        ("load evk.bx.Q", (1.0 - p_frac) / 2.0),
+    ] {
+        let end = t + evk_total * frac;
+        segments.push(TimelineSegment::new("HBM", label, t, end));
+        t = end;
+    }
+
+    // NTTU phases: iNTT.d2 → NTT.d2 (ModUp) → iNTT.ax/bx → NTT.ax/bx (ModDown).
+    let intt_d2 = ntt_total * (l1 / (2.0 * l1 + 2.0 * k + l1 + k));
+    let ntt_d2 = ntt_total * ((l1 + k) / (2.0 * l1 + 2.0 * k + l1 + k));
+    let moddown_each = (ntt_total - intt_d2 - ntt_d2) / 2.0;
+    let mut t = 0.0;
+    for (label, dur) in [
+        ("iNTT.d2", intt_d2),
+        ("NTT.d2", ntt_d2),
+        ("iNTT.ax + NTT.ax", moddown_each),
+        ("iNTT.bx + NTT.bx", moddown_each),
+    ] {
+        segments.push(TimelineSegment::new("NTTU", label, t, t + dur));
+        t += dur;
+    }
+
+    // BConvU phases, overlapped with the iNTT that feeds them when enabled.
+    let bconv_start = if config.overlap_bconv_intt {
+        intt_d2 * 0.25
+    } else {
+        intt_d2
+    };
+    let bconv_up_end = bconv_start + bconv_total * (l1 / (l1 + 2.0 * k)).min(0.6);
+    segments.push(TimelineSegment::new(
+        "BConvU",
+        "BConv.d2",
+        bconv_start,
+        bconv_up_end,
+    ));
+    let down_start = bconv_up_end.max(intt_d2 + ntt_d2);
+    segments.push(TimelineSegment::new(
+        "BConvU",
+        "BConv.ax + BConv.bx",
+        down_start,
+        down_start + bconv_total * (2.0 * k / (l1 + 2.0 * k)).max(0.4),
+    ));
+
+    // Element-wise tail: evk products and SSA.
+    let ew_start = intt_d2 + ntt_d2 * 0.5;
+    segments.push(TimelineSegment::new(
+        "ModMult/ModAdd",
+        "d2 ⊗ evk + SSA",
+        ew_start,
+        ew_start + ew_total,
+    ));
+    segments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_critical_path_matches_evk_stream() {
+        let cfg = BtsConfig::bts_default();
+        let ins = CkksInstance::ins1();
+        let segs = hmult_timeline(&cfg, &ins, ins.max_level());
+        let hbm_end = segs
+            .iter()
+            .filter(|s| s.unit == "HBM")
+            .map(|s| s.end_ns)
+            .fold(0.0f64, f64::max);
+        // INS-1 top-level evk stream is ~117 µs.
+        assert!((hbm_end - 117_440.5).abs() < 2_000.0, "hbm_end = {hbm_end}");
+        // Compute finishes before the evk stream (memory bound).
+        let compute_end = segs
+            .iter()
+            .filter(|s| s.unit != "HBM")
+            .map(|s| s.end_ns)
+            .fold(0.0f64, f64::max);
+        assert!(compute_end < hbm_end);
+    }
+
+    #[test]
+    fn segments_are_well_formed() {
+        let cfg = BtsConfig::bts_default();
+        let ins = CkksInstance::ins2();
+        for level in [5, 20, ins.max_level()] {
+            for s in hmult_timeline(&cfg, &ins, level) {
+                assert!(s.end_ns >= s.start_ns, "{s:?}");
+                assert!(s.start_ns >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_shifts_bconv_earlier() {
+        let ins = CkksInstance::ins1();
+        let with = hmult_timeline(&BtsConfig::bts_default(), &ins, 27);
+        let without = hmult_timeline(&BtsConfig::bts_default().with_overlap(false), &ins, 27);
+        let start_of = |segs: &[TimelineSegment]| {
+            segs.iter()
+                .find(|s| s.label == "BConv.d2")
+                .map(|s| s.start_ns)
+                .unwrap()
+        };
+        assert!(start_of(&with) < start_of(&without));
+    }
+}

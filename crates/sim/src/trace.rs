@@ -1,0 +1,282 @@
+use bts_params::CkksInstance;
+
+/// Identifier of a ciphertext flowing through a trace; used by the simulator's
+/// software-managed cache model to track on-chip residency.
+pub type CtId = u64;
+
+/// A primitive homomorphic operation, at the granularity the paper's
+/// evaluation uses (§2.3). Complex workloads (bootstrapping, HELR, ResNet-20,
+/// sorting) are expressed as sequences of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HeOp {
+    /// Ciphertext–ciphertext multiplication (tensor product + key-switching).
+    HMult,
+    /// Slot rotation (automorphism + key-switching).
+    HRot,
+    /// Complex conjugation (automorphism + key-switching).
+    Conjugate,
+    /// Ciphertext–plaintext multiplication.
+    PMult,
+    /// Ciphertext–plaintext addition.
+    PAdd,
+    /// Ciphertext–ciphertext addition.
+    HAdd,
+    /// Rescaling (drop the last prime).
+    HRescale,
+    /// Ciphertext–scalar multiplication.
+    CMult,
+    /// Ciphertext–scalar addition.
+    CAdd,
+    /// Modulus raise at the start of bootstrapping (no key-switching).
+    ModRaise,
+}
+
+impl HeOp {
+    /// Whether this op performs a key-switching (and therefore streams an
+    /// evaluation key from off-chip memory).
+    pub fn is_key_switching(&self) -> bool {
+        matches!(self, HeOp::HMult | HeOp::HRot | HeOp::Conjugate)
+    }
+}
+
+/// One scheduled operation in a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracedOp {
+    /// The operation kind.
+    pub op: HeOp,
+    /// Ciphertext level at which the op executes.
+    pub level: usize,
+    /// Input ciphertext identities (for cache modelling).
+    pub inputs: Vec<CtId>,
+    /// Output ciphertext identity, if the op produces a new ciphertext.
+    pub output: Option<CtId>,
+    /// Whether this op belongs to a bootstrapping region (for the Fig. 7b
+    /// bootstrap-fraction breakdown).
+    pub in_bootstrap: bool,
+}
+
+/// A complete HE-op trace plus the parameter set it was generated for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpTrace {
+    /// The CKKS instance this trace assumes.
+    pub instance: CkksInstance,
+    /// The operations, in program order.
+    pub ops: Vec<TracedOp>,
+    /// Number of distinct rotation keys the trace requires.
+    pub rotation_keys: usize,
+}
+
+impl OpTrace {
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of key-switching operations (HMult/HRot/Conjugate).
+    pub fn key_switch_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.op.is_key_switching()).count()
+    }
+
+    /// Count of operations of a given kind.
+    pub fn count(&self, op: HeOp) -> usize {
+        self.ops.iter().filter(|o| o.op == op).count()
+    }
+
+    /// Concatenates another trace after this one (levels and ids are taken
+    /// verbatim; callers are responsible for id disjointness if cache accuracy
+    /// matters).
+    pub fn extend(&mut self, other: &OpTrace) {
+        self.ops.extend(other.ops.iter().cloned());
+        self.rotation_keys = self.rotation_keys.max(other.rotation_keys);
+    }
+}
+
+/// Builds [`OpTrace`]s with automatic ciphertext-id management.
+#[derive(Debug, Clone)]
+pub struct TraceBuilder {
+    instance: CkksInstance,
+    ops: Vec<TracedOp>,
+    next_id: CtId,
+    rotation_keys: std::collections::HashSet<i64>,
+    in_bootstrap: bool,
+}
+
+impl TraceBuilder {
+    /// Starts a new trace for an instance.
+    pub fn new(instance: &CkksInstance) -> Self {
+        Self {
+            instance: instance.clone(),
+            ops: Vec::new(),
+            next_id: 0,
+            rotation_keys: std::collections::HashSet::new(),
+            in_bootstrap: false,
+        }
+    }
+
+    /// The instance this trace targets.
+    pub fn instance(&self) -> &CkksInstance {
+        &self.instance
+    }
+
+    /// Allocates a fresh ciphertext id at the given level (e.g. a ciphertext
+    /// arriving from the host); no op is recorded.
+    pub fn fresh_ct(&mut self, _level: usize) -> CtId {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Marks subsequent ops as belonging (or not) to a bootstrapping region.
+    pub fn set_bootstrap_region(&mut self, on: bool) {
+        self.in_bootstrap = on;
+    }
+
+    fn push(&mut self, op: HeOp, level: usize, inputs: Vec<CtId>, has_output: bool) -> CtId {
+        let output = if has_output {
+            let id = self.next_id;
+            self.next_id += 1;
+            Some(id)
+        } else {
+            None
+        };
+        self.ops.push(TracedOp {
+            op,
+            level,
+            inputs,
+            output,
+            in_bootstrap: self.in_bootstrap,
+        });
+        output.unwrap_or(u64::MAX)
+    }
+
+    /// Records an HMult of two ciphertexts at level `a`/`b`'s current level.
+    pub fn hmult_at(&mut self, a: CtId, b: CtId, level: usize) -> CtId {
+        self.push(HeOp::HMult, level, vec![a, b], true)
+    }
+
+    /// Records an HMult at the instance's maximum level.
+    pub fn hmult(&mut self, a: CtId, b: CtId) -> CtId {
+        self.hmult_at(a, b, self.instance.max_level())
+    }
+
+    /// Records an HRot; `rotation` is tracked only to count distinct keys.
+    pub fn hrot(&mut self, a: CtId, rotation: i64, level: usize) -> CtId {
+        if rotation != 0 {
+            self.rotation_keys.insert(rotation);
+        }
+        self.push(HeOp::HRot, level, vec![a], true)
+    }
+
+    /// Records a conjugation.
+    pub fn conjugate(&mut self, a: CtId, level: usize) -> CtId {
+        self.push(HeOp::Conjugate, level, vec![a], true)
+    }
+
+    /// Records a plaintext multiplication.
+    pub fn pmult(&mut self, a: CtId, level: usize) -> CtId {
+        self.push(HeOp::PMult, level, vec![a], true)
+    }
+
+    /// Records a plaintext addition.
+    pub fn padd(&mut self, a: CtId, level: usize) -> CtId {
+        self.push(HeOp::PAdd, level, vec![a], true)
+    }
+
+    /// Records a ciphertext addition.
+    pub fn hadd(&mut self, a: CtId, b: CtId, level: usize) -> CtId {
+        self.push(HeOp::HAdd, level, vec![a, b], true)
+    }
+
+    /// Records a rescale at the level of its input (consumes one level).
+    pub fn hrescale(&mut self, a: CtId) -> CtId {
+        self.hrescale_at(a, self.instance.max_level())
+    }
+
+    /// Records a rescale at an explicit level.
+    pub fn hrescale_at(&mut self, a: CtId, level: usize) -> CtId {
+        self.push(HeOp::HRescale, level, vec![a], true)
+    }
+
+    /// Records a scalar multiplication.
+    pub fn cmult(&mut self, a: CtId, level: usize) -> CtId {
+        self.push(HeOp::CMult, level, vec![a], true)
+    }
+
+    /// Records a scalar addition.
+    pub fn cadd(&mut self, a: CtId, level: usize) -> CtId {
+        self.push(HeOp::CAdd, level, vec![a], true)
+    }
+
+    /// Records a modulus raise (start of bootstrapping).
+    pub fn mod_raise(&mut self, a: CtId, to_level: usize) -> CtId {
+        self.push(HeOp::ModRaise, to_level, vec![a], true)
+    }
+
+    /// Finalizes the trace.
+    pub fn build(self) -> OpTrace {
+        OpTrace {
+            instance: self.instance,
+            ops: self.ops,
+            rotation_keys: self.rotation_keys.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_tracks_ids_ops_and_keys() {
+        let ins = CkksInstance::ins1();
+        let mut b = TraceBuilder::new(&ins);
+        let x = b.fresh_ct(27);
+        let y = b.fresh_ct(27);
+        let z = b.hmult(x, y);
+        let z = b.hrescale_at(z, 27);
+        let _ = b.hrot(z, 5, 26);
+        let _ = b.hrot(z, 5, 26);
+        let _ = b.hrot(z, -3, 26);
+        let t = b.build();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.key_switch_count(), 4);
+        assert_eq!(t.count(HeOp::HRescale), 1);
+        assert_eq!(t.rotation_keys, 2, "duplicate rotations share a key");
+    }
+
+    #[test]
+    fn bootstrap_region_marking() {
+        let ins = CkksInstance::ins1();
+        let mut b = TraceBuilder::new(&ins);
+        let x = b.fresh_ct(0);
+        b.set_bootstrap_region(true);
+        let y = b.mod_raise(x, 27);
+        let _ = b.hrot(y, 1, 27);
+        b.set_bootstrap_region(false);
+        let _ = b.hmult_at(y, y, 20);
+        let t = b.build();
+        assert!(t.ops[0].in_bootstrap && t.ops[1].in_bootstrap);
+        assert!(!t.ops[2].in_bootstrap);
+    }
+
+    #[test]
+    fn traces_can_be_concatenated() {
+        let ins = CkksInstance::ins1();
+        let mut a = TraceBuilder::new(&ins);
+        let x = a.fresh_ct(27);
+        a.hmult(x, x);
+        let mut t1 = a.build();
+        let mut b = TraceBuilder::new(&ins);
+        let y = b.fresh_ct(27);
+        b.hrot(y, 1, 27);
+        let t2 = b.build();
+        t1.extend(&t2);
+        assert_eq!(t1.len(), 2);
+        assert_eq!(t1.rotation_keys, 1);
+    }
+}

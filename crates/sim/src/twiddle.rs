@@ -1,0 +1,196 @@
+//! Storage model for (i)NTT twiddle factors with on-the-fly twiddling (OT,
+//! §5.1): instead of keeping the full `N`-entry twiddle table of every prime
+//! modulus on chip, BTS keeps a small lower-digit table in each PE and a
+//! higher-digit table in the broadcast unit, and multiplies the two entries on
+//! the fly to reconstruct any twiddle factor.
+//!
+//! The model answers the sizing questions of §5.1: how many bytes the full
+//! tables would take, how much OT saves (the `2/m` factor), how the storage is
+//! split between the PEs and the BrU, and which decomposition parameter `m`
+//! minimizes the per-PE footprint.
+
+use bts_params::{CkksInstance, WORD_BYTES};
+
+/// Twiddle-factor storage plan for one CKKS instance on a BTS-style chip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwiddleStorage {
+    degree: usize,
+    /// Number of prime moduli whose twiddle tables must be available
+    /// (ciphertext primes + special primes).
+    prime_count: usize,
+    /// OT decomposition parameter `m`: lower-digit tables hold `m` entries,
+    /// higher-digit tables hold `(N-1)/m` entries.
+    m: usize,
+    pe_count: usize,
+}
+
+impl TwiddleStorage {
+    /// Creates a storage plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero or larger than the degree.
+    pub fn new(degree: usize, prime_count: usize, m: usize, pe_count: usize) -> Self {
+        assert!(m > 0 && m <= degree, "invalid OT decomposition parameter");
+        Self {
+            degree,
+            prime_count,
+            m,
+            pe_count,
+        }
+    }
+
+    /// Plan for a CKKS instance on the default 2,048-PE BTS chip with the
+    /// paper's decomposition (`m = 256`).
+    pub fn for_instance(instance: &CkksInstance) -> Self {
+        Self::new(
+            instance.n(),
+            instance.max_level() + 1 + instance.num_special(),
+            256,
+            2048,
+        )
+    }
+
+    /// The OT decomposition parameter `m`.
+    pub fn decomposition(&self) -> usize {
+        self.m
+    }
+
+    /// Bytes of twiddle storage *without* OT: `N` words per prime modulus
+    /// (the "dozens of MBs" of §5.1).
+    pub fn full_table_bytes(&self) -> u64 {
+        self.degree as u64 * self.prime_count as u64 * WORD_BYTES
+    }
+
+    /// Entries of the per-prime lower-digit table (stored distributed across
+    /// the PEs).
+    pub fn lower_digit_entries(&self) -> u64 {
+        self.m as u64
+    }
+
+    /// Entries of the per-prime higher-digit table (stored in the BrU and
+    /// broadcast once per (i)NTT epoch).
+    pub fn higher_digit_entries(&self) -> u64 {
+        ((self.degree - 1) / self.m) as u64
+    }
+
+    /// Total bytes with OT across all prime moduli (both tables).
+    pub fn ot_table_bytes(&self) -> u64 {
+        (self.lower_digit_entries() + self.higher_digit_entries())
+            * self.prime_count as u64
+            * WORD_BYTES
+    }
+
+    /// Storage reduction factor of OT relative to the full tables
+    /// (≈ `m/2 + N/(2m)` entries versus `N`, i.e. roughly `2/m` when
+    /// `m ≈ √N`… the paper quotes the `2/m` asymptotic).
+    pub fn reduction_factor(&self) -> f64 {
+        self.full_table_bytes() as f64 / self.ot_table_bytes() as f64
+    }
+
+    /// Bytes of lower-digit table each PE stores for all prime moduli. The
+    /// lower-digit entries are distributed across the PEs (each PE holds the
+    /// entries its own butterflies consume), so the per-PE share is the total
+    /// divided by the PE count, with a floor of one entry per prime.
+    pub fn per_pe_lower_bytes(&self) -> u64 {
+        let per_prime = (self.lower_digit_entries()).div_ceil(self.pe_count as u64).max(1);
+        per_prime * self.prime_count as u64 * WORD_BYTES
+    }
+
+    /// Bytes of higher-digit tables the BrU stores for all prime moduli.
+    pub fn bru_higher_bytes(&self) -> u64 {
+        self.higher_digit_entries() * self.prime_count as u64 * WORD_BYTES
+    }
+
+    /// Words the BrU must broadcast per (i)NTT epoch (the higher-digit table of
+    /// the prime modulus being transformed).
+    pub fn broadcast_words_per_epoch(&self) -> u64 {
+        self.higher_digit_entries()
+    }
+
+    /// The decomposition parameter that minimizes total OT storage
+    /// (`m ≈ √N`, balancing the two tables).
+    pub fn optimal_decomposition(degree: usize) -> usize {
+        let mut best_m = 1usize;
+        let mut best = u64::MAX;
+        let mut m = 1usize;
+        while m <= degree {
+            let total = m as u64 + ((degree - 1) / m) as u64;
+            if total < best {
+                best = total;
+                best_m = m;
+            }
+            m <<= 1;
+        }
+        best_m
+    }
+
+    /// Returns a copy of the plan with a different decomposition parameter.
+    pub fn with_decomposition(mut self, m: usize) -> Self {
+        assert!(m > 0 && m <= self.degree, "invalid OT decomposition parameter");
+        self.m = m;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bts_params::CkksInstance;
+
+    #[test]
+    fn full_tables_are_dozens_of_megabytes() {
+        // §5.1: "the sizes of the twiddle factors for (i)NTT on a ciphertext
+        // reach dozens of MBs for our target CKKS instances."
+        let storage = TwiddleStorage::for_instance(&CkksInstance::ins1());
+        let mib = storage.full_table_bytes() / (1024 * 1024);
+        assert!((20..120).contains(&mib), "full tables = {mib} MiB");
+    }
+
+    #[test]
+    fn ot_reduces_storage_by_orders_of_magnitude() {
+        let storage = TwiddleStorage::for_instance(&CkksInstance::ins1());
+        assert!(storage.reduction_factor() > 100.0);
+        assert!(storage.ot_table_bytes() < storage.full_table_bytes() / 100);
+    }
+
+    #[test]
+    fn optimal_decomposition_is_near_sqrt_n() {
+        for log_n in [14u32, 16, 17] {
+            let n = 1usize << log_n;
+            let m = TwiddleStorage::optimal_decomposition(n);
+            let sqrt_n = (n as f64).sqrt();
+            assert!(
+                (m as f64) >= sqrt_n / 2.0 && (m as f64) <= sqrt_n * 2.0,
+                "m = {m} for N = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn storage_split_between_pes_and_bru() {
+        let storage = TwiddleStorage::for_instance(&CkksInstance::ins2());
+        // Per-PE lower-digit share stays tiny (well under the per-PE 256 KiB
+        // scratchpad slice); the BrU share is also small.
+        assert!(storage.per_pe_lower_bytes() < 16 * 1024);
+        assert!(storage.bru_higher_bytes() < 1024 * 1024);
+        // Broadcast volume per epoch is a few hundred words.
+        assert!(storage.broadcast_words_per_epoch() <= 1024);
+    }
+
+    #[test]
+    fn reduction_factor_improves_until_the_optimum() {
+        let n = 1 << 17;
+        let base = TwiddleStorage::new(n, 56, 4, 2048);
+        let better = base.clone().with_decomposition(64);
+        let best = base.clone().with_decomposition(TwiddleStorage::optimal_decomposition(n));
+        assert!(better.reduction_factor() > base.reduction_factor());
+        assert!(best.reduction_factor() >= better.reduction_factor());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid OT decomposition")]
+    fn rejects_zero_decomposition() {
+        let _ = TwiddleStorage::new(1 << 10, 10, 0, 64);
+    }
+}

@@ -1,0 +1,156 @@
+/// Performance numbers of one prior platform, as reported in the paper (the
+/// comparison points of Table 1, Table 5, Table 6 and Fig. 6). BTS itself is
+/// *not* in this list — its numbers come from the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Platform name.
+    pub name: &'static str,
+    /// Platform class (CPU / GPU / FPGA / ASIC).
+    pub platform: &'static str,
+    /// Ring degree the platform targets (Table 1).
+    pub log_n: u32,
+    /// Whether the platform supports (packed) bootstrapping.
+    pub bootstrappable: bool,
+    /// Slots refreshed per bootstrap (Table 1), if bootstrappable.
+    pub slots_per_bootstrap: Option<usize>,
+    /// Amortized multiplication time per slot in microseconds (Fig. 6), if
+    /// reported or derivable.
+    pub tmult_a_slot_us: Option<f64>,
+    /// HELR training time per iteration in ms (Table 5).
+    pub helr_ms_per_iter: Option<f64>,
+    /// ResNet-20 inference latency in seconds (Table 6).
+    pub resnet20_s: Option<f64>,
+    /// Sorting (2^14 elements) time in seconds (Table 6).
+    pub sorting_s: Option<f64>,
+}
+
+/// Unencrypted CPU baseline for HELR (per iteration, ms): the paper states
+/// FHE-on-BTS HELR is 141× slower than the unencrypted run.
+pub const UNENCRYPTED_HELR_MS: f64 = 28.4 / 141.0;
+
+/// Unencrypted CPU baseline for ResNet-20 inference (seconds): FHE-on-BTS is
+/// 440× slower than the unencrypted run (§6.3 "Slowdown of FHE").
+pub const UNENCRYPTED_RESNET_S: f64 = 1.91 / 440.0;
+
+/// The set of prior-work baselines used across the evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineSet {
+    baselines: Vec<Baseline>,
+}
+
+impl BaselineSet {
+    /// The baselines reported in the paper.
+    pub fn paper() -> Self {
+        Self {
+            baselines: vec![
+                Baseline {
+                    name: "Lattigo",
+                    platform: "CPU",
+                    log_n: 16,
+                    bootstrappable: true,
+                    slots_per_bootstrap: Some(32_768),
+                    tmult_a_slot_us: Some(101.8), // 45.5 ns × 2237
+                    helr_ms_per_iter: Some(37_050.0 / 30.0),
+                    resnet20_s: Some(10_602.0),
+                    sorting_s: Some(23_066.0),
+                },
+                Baseline {
+                    name: "100x",
+                    platform: "GPU",
+                    log_n: 17,
+                    bootstrappable: true,
+                    slots_per_bootstrap: Some(65_536),
+                    tmult_a_slot_us: Some(0.743),
+                    helr_ms_per_iter: Some(775.0 / 30.0),
+                    resnet20_s: None,
+                    sorting_s: None,
+                },
+                Baseline {
+                    name: "F1",
+                    platform: "ASIC",
+                    log_n: 14,
+                    bootstrappable: false, // single-slot only
+                    slots_per_bootstrap: Some(1),
+                    tmult_a_slot_us: Some(101.8 * 2.5), // 2.5× slower than Lattigo (§6.3)
+                    helr_ms_per_iter: Some(1_024.0 / 30.0),
+                    resnet20_s: None,
+                    sorting_s: None,
+                },
+                Baseline {
+                    name: "F1+",
+                    platform: "ASIC (scaled)",
+                    log_n: 14,
+                    bootstrappable: false,
+                    slots_per_bootstrap: Some(1),
+                    tmult_a_slot_us: Some(0.0455 * 824.0), // 824× slower than BTS best
+                    helr_ms_per_iter: Some(148.0 / 30.0),
+                    resnet20_s: None,
+                    sorting_s: None,
+                },
+            ],
+        }
+    }
+
+    /// All baselines.
+    pub fn all(&self) -> &[Baseline] {
+        &self.baselines
+    }
+
+    /// Looks a baseline up by name.
+    pub fn get(&self, name: &str) -> Option<&Baseline> {
+        self.baselines.iter().find(|b| b.name == name)
+    }
+
+    /// Speedup of a measured BTS quantity over a baseline's reported value
+    /// (`baseline / bts`); returns `None` when the baseline did not report it.
+    pub fn speedup_over(baseline: Option<f64>, bts_value: f64) -> Option<f64> {
+        baseline.map(|b| b / bts_value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_set_contains_the_four_comparison_points() {
+        let set = BaselineSet::paper();
+        for name in ["Lattigo", "100x", "F1", "F1+"] {
+            assert!(set.get(name).is_some(), "missing {name}");
+        }
+        assert_eq!(set.all().len(), 4);
+    }
+
+    #[test]
+    fn lattigo_numbers_match_the_tables() {
+        let set = BaselineSet::paper();
+        let lattigo = set.get("Lattigo").unwrap();
+        assert!((lattigo.helr_ms_per_iter.unwrap() - 1235.0).abs() < 1.0);
+        assert_eq!(lattigo.resnet20_s, Some(10_602.0));
+        assert_eq!(lattigo.sorting_s, Some(23_066.0));
+        assert!(lattigo.bootstrappable);
+    }
+
+    #[test]
+    fn f1_is_single_slot_and_slower_than_lattigo_per_slot() {
+        let set = BaselineSet::paper();
+        let f1 = set.get("F1").unwrap();
+        let lattigo = set.get("Lattigo").unwrap();
+        assert_eq!(f1.slots_per_bootstrap, Some(1));
+        assert!(f1.tmult_a_slot_us.unwrap() > lattigo.tmult_a_slot_us.unwrap());
+    }
+
+    #[test]
+    fn speedup_helper() {
+        assert_eq!(BaselineSet::speedup_over(Some(100.0), 10.0), Some(10.0));
+        assert_eq!(BaselineSet::speedup_over(None, 10.0), None);
+    }
+
+    #[test]
+    fn slowdown_constants_are_consistent_with_the_paper() {
+        // HELR on BTS (28.4 ms/iter) is 141× slower than unencrypted;
+        // ResNet-20 (1.91 s) is 440× slower.
+        assert!((28.4 / UNENCRYPTED_HELR_MS - 141.0).abs() < 1.0);
+        assert!((1.91 / UNENCRYPTED_RESNET_S - 440.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,106 @@
+use bts_params::CkksInstance;
+
+use crate::levels::AppBuilder;
+use crate::Workload;
+
+/// Configuration of the HELR logistic-regression training workload [39]:
+/// binary classification on MNIST, 30 iterations, 1,024 images of 14×14
+/// pixels per batch (§6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HelrConfig {
+    /// Training iterations.
+    pub iterations: usize,
+    /// Images per batch.
+    pub batch: usize,
+    /// Features per image (14×14 pixels).
+    pub features: usize,
+}
+
+impl Default for HelrConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 30,
+            batch: 1024,
+            features: 196,
+        }
+    }
+}
+
+/// Generates the HELR training trace for an instance.
+///
+/// Each iteration computes the encrypted gradient: an inner product of the
+/// packed image batch with the weight vector (rotate-and-accumulate over
+/// log2(features) + log2(batch-lanes) steps), a degree-3 polynomial sigmoid
+/// approximation, and the weight update — about 8 multiplicative levels per
+/// iteration. Bootstraps are inserted whenever the level budget runs out,
+/// which is every iteration for INS-1 and roughly every other iteration for
+/// INS-2/INS-3.
+pub fn helr_trace(instance: &CkksInstance, config: HelrConfig) -> Workload {
+    let mut app = AppBuilder::new(instance);
+    let rot_steps = (config.features.next_power_of_two().trailing_zeros()
+        + (config.batch.min(instance.slots() / config.features.next_power_of_two()))
+            .next_power_of_two()
+            .trailing_zeros()) as usize;
+    for _ in 0..config.iterations {
+        // X·w inner product: rotate-and-accumulate plus masking.
+        app.ensure(8);
+        app.rotate_mac_level(rot_steps / 2, rot_steps / 2 + 2);
+        app.rotate_mac_level(rot_steps - rot_steps / 2, rot_steps / 2 + 2);
+        // Sigmoid: degree-3 least-squares polynomial (2 levels).
+        app.poly_eval(2, 2);
+        // Gradient aggregation across the batch and weight update.
+        app.rotate_mac_level(rot_steps / 2, rot_steps / 2);
+        app.mult_level();
+        app.mult_level();
+        // Learning-rate scaling + weight accumulation.
+        app.poly_eval(1, 1);
+    }
+    let (trace, bootstraps) = app.finish();
+    Workload {
+        name: "HELR".to_string(),
+        trace,
+        bootstrap_count: bootstraps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bts_sim::{BtsConfig, Simulator};
+
+    #[test]
+    fn helr_per_iteration_time_is_tens_of_ms_on_bts() {
+        // Table 5: 39.9 / 28.4 / 43.5 ms per iteration on INS-1/2/3; our model
+        // should land in the same tens-of-milliseconds regime and INS-2 should
+        // be the fastest.
+        let mut times = Vec::new();
+        for ins in CkksInstance::evaluation_set() {
+            let wl = helr_trace(&ins, HelrConfig::default());
+            let report = Simulator::new(BtsConfig::bts_default(), ins.clone()).run(&wl.trace);
+            let ms_per_iter = report.total_seconds * 1e3 / 30.0;
+            assert!(
+                (5.0..200.0).contains(&ms_per_iter),
+                "{}: {ms_per_iter} ms/iter",
+                ins.name()
+            );
+            times.push((ins.name().to_string(), ms_per_iter));
+        }
+        let get = |n: &str| times.iter().find(|(name, _)| name == n).unwrap().1;
+        assert!(get("INS-2") < get("INS-1"));
+    }
+
+    #[test]
+    fn deeper_instances_bootstrap_less() {
+        let w1 = helr_trace(&CkksInstance::ins1(), HelrConfig::default());
+        let w3 = helr_trace(&CkksInstance::ins3(), HelrConfig::default());
+        assert!(w1.bootstrap_count > w3.bootstrap_count);
+        assert!(w1.bootstrap_count >= 20, "INS-1 should bootstrap most iterations");
+    }
+
+    #[test]
+    fn trace_is_nontrivial() {
+        let wl = helr_trace(&CkksInstance::ins2(), HelrConfig::default());
+        assert!(wl.trace.key_switch_count() > 500);
+        assert!(wl.trace.rotation_keys > 5);
+    }
+}

@@ -1,0 +1,93 @@
+use bts_params::L_BOOT;
+use bts_sim::{CtId, TraceBuilder};
+
+use crate::bootstrap::BootstrapPlan;
+
+/// Helper for application-trace generators: tracks the level of a "main"
+/// accumulator ciphertext and transparently inserts bootstraps whenever the
+/// level budget is about to run out, mirroring how FHE applications are
+/// scheduled in practice. The resulting per-instance bootstrap counts are what
+/// Table 6 reports.
+#[derive(Debug)]
+pub(crate) struct AppBuilder {
+    pub builder: TraceBuilder,
+    pub current: CtId,
+    pub level: usize,
+    plan: BootstrapPlan,
+    pub bootstraps: usize,
+}
+
+impl AppBuilder {
+    pub fn new(instance: &bts_params::CkksInstance) -> Self {
+        let mut builder = TraceBuilder::new(instance);
+        let current = builder.fresh_ct(instance.max_level());
+        let level = instance.max_level().saturating_sub(L_BOOT);
+        Self {
+            builder,
+            current,
+            level,
+            plan: BootstrapPlan::for_instance(instance),
+            bootstraps: 0,
+        }
+    }
+
+    /// Ensures at least `depth` more levels are available, bootstrapping first
+    /// if they are not.
+    pub fn ensure(&mut self, depth: usize) {
+        if self.level < depth + 1 {
+            self.current = self.plan.append_to(&mut self.builder, self.current);
+            self.level = self.builder.instance().max_level() - L_BOOT;
+            self.bootstraps += 1;
+        }
+    }
+
+    /// One ciphertext–ciphertext multiplication followed by a rescale
+    /// (consumes a level).
+    pub fn mult_level(&mut self) {
+        self.ensure(1);
+        let other = self.current;
+        let prod = self.builder.hmult_at(self.current, other, self.level);
+        self.current = self.builder.hrescale_at(prod, self.level);
+        self.level -= 1;
+    }
+
+    /// A rotate-multiply-accumulate group at the current level: `rotations`
+    /// HRots, `pmults` PMults and matching HAdds, then one rescale (consumes a
+    /// level). This is the shape of homomorphic convolutions, inner products
+    /// and BSGS linear transforms.
+    pub fn rotate_mac_level(&mut self, rotations: usize, pmults: usize) {
+        self.ensure(1);
+        let mut acc = self.current;
+        for r in 0..rotations {
+            let rotated = self.builder.hrot(acc, (r + 1) as i64, self.level);
+            let scaled = self.builder.pmult(rotated, self.level);
+            acc = self.builder.hadd(acc, scaled, self.level);
+        }
+        for _ in rotations..pmults {
+            let scaled = self.builder.pmult(acc, self.level);
+            acc = self.builder.hadd(acc, scaled, self.level);
+        }
+        self.current = self.builder.hrescale_at(acc, self.level);
+        self.level -= 1;
+    }
+
+    /// A degree-`2^depth`-ish polynomial evaluation (e.g. an approximated ReLU
+    /// or sign function): `mults_per_level` HMults + adds per level over
+    /// `depth` levels.
+    pub fn poly_eval(&mut self, depth: usize, mults_per_level: usize) {
+        for _ in 0..depth {
+            self.ensure(1);
+            for _ in 0..mults_per_level {
+                let prod = self.builder.hmult_at(self.current, self.current, self.level);
+                self.current = self.builder.hadd(prod, self.current, self.level);
+            }
+            let scaled = self.builder.cmult(self.current, self.level);
+            self.current = self.builder.hrescale_at(scaled, self.level);
+            self.level -= 1;
+        }
+    }
+
+    pub fn finish(self) -> (bts_sim::OpTrace, usize) {
+        (self.builder.build(), self.bootstraps)
+    }
+}

@@ -1,0 +1,44 @@
+//! # bts-workloads
+//!
+//! Workload generators and baseline models for the BTS evaluation (§6.2):
+//!
+//! * the CKKS bootstrapping op trace (Han–Ki style, L_boot = 19),
+//! * the amortized-multiplication microbenchmark behind `T_mult,a/slot`,
+//! * HELR logistic-regression training (1,024 MNIST images × 30 iterations),
+//! * ResNet-20 inference with channel packing,
+//! * 2-way sorting-network sorting of 2^14 elements,
+//! * reported baseline numbers (Lattigo CPU, 100x GPU, F1, F1+) used by
+//!   Tables 1/5/6 and Fig. 6.
+//!
+//! Each generator emits an [`bts_sim::OpTrace`] that the simulator executes;
+//! bootstrap insertion is driven by the instance's usable level budget, which
+//! is how the per-instance bootstrap counts of Table 6 arise.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod amortized;
+mod baselines;
+mod bootstrap;
+mod helr;
+mod levels;
+mod resnet;
+mod sorting;
+
+pub use amortized::{amortized_mult_per_slot, amortized_mult_trace};
+pub use baselines::{Baseline, BaselineSet, UNENCRYPTED_HELR_MS, UNENCRYPTED_RESNET_S};
+pub use bootstrap::BootstrapPlan;
+pub use helr::{helr_trace, HelrConfig};
+pub use resnet::{resnet20_trace, ResNetConfig};
+pub use sorting::{sorting_trace, SortingConfig};
+
+/// A workload trace annotated with the number of bootstraps it contains.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Human-readable name (e.g. `"ResNet-20"`).
+    pub name: String,
+    /// The op trace to simulate.
+    pub trace: bts_sim::OpTrace,
+    /// Number of bootstrapping invocations embedded in the trace.
+    pub bootstrap_count: usize,
+}

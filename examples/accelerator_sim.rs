@@ -1,0 +1,50 @@
+//! Simulates one CKKS bootstrapping and the amortized-mult microbenchmark on
+//! the BTS accelerator model for the three Table 4 instances, printing the
+//! per-op breakdown and the headline `T_mult,a/slot`.
+//!
+//! Run with: `cargo run --release --example accelerator_sim`
+
+use bts::params::CkksInstance;
+use bts::sim::{BtsConfig, Simulator};
+use bts::workloads::{amortized_mult_per_slot, BootstrapPlan};
+
+fn main() {
+    for instance in CkksInstance::evaluation_set() {
+        let config = BtsConfig::bts_default();
+        let sim = Simulator::new(config, instance.clone());
+
+        let plan = BootstrapPlan::for_instance(&instance);
+        let boot_report = sim.run(&plan.trace(&instance));
+        println!(
+            "=== {} (N = 2^{}, L = {}, dnum = {}) ===",
+            instance.name(),
+            instance.log_n(),
+            instance.max_level(),
+            instance.dnum()
+        );
+        println!(
+            "bootstrapping: {:.2} ms over {} ops ({} key-switches), {:.1} GB streamed from HBM",
+            boot_report.total_seconds * 1e3,
+            plan.trace(&instance).len(),
+            plan.key_switch_count(),
+            boot_report.hbm_bytes as f64 / 1e9
+        );
+        for (op, stats) in &boot_report.per_op {
+            println!(
+                "  {:<10?} {:>5} ops, {:>8.2} ms",
+                op,
+                stats.count,
+                stats.seconds * 1e3
+            );
+        }
+
+        let (t_mult, report) = amortized_mult_per_slot(&sim);
+        println!(
+            "T_mult,a/slot = {:.1} ns | NTTU util {:.0}% | HBM util {:.0}% | ct-cache hit rate {:.0}%\n",
+            t_mult * 1e9,
+            report.ntt_utilization * 100.0,
+            report.hbm_utilization * 100.0,
+            report.cache_hit_rate() * 100.0
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Explores the CKKS parameter space the way §3 of the paper does: the
+//! dnum ↔ L ↔ evk-size trade-off (Fig. 1) and the minimum-bound amortized
+//! multiplication time per security level (Fig. 2), then prints the Eq. 10
+//! minimum-NTTU count that motivates the 2,048-PE design.
+//!
+//! Run with: `cargo run --release --example parameter_explorer`
+
+use bts::params::{
+    instance_at_security, min_nttu_count, sweep_dnum, BandwidthModel, CkksInstance, MinBoundModel,
+    L_BOOT,
+};
+use bts::workloads::BootstrapPlan;
+
+fn main() {
+    println!("-- Fig 1: level budget and evk size vs dnum (λ ≥ 128) --");
+    for log_n in [15u32, 16, 17] {
+        let points = sweep_dnum(log_n, 128.0, 60, 51);
+        let first = points.first().unwrap();
+        let last = points.last().unwrap();
+        println!(
+            "N = 2^{log_n}: dnum 1 → L = {:>3} ({:4.2} GB evk); dnum {} → L = {:>3} ({:4.2} GB evk)",
+            first.max_level,
+            first.evk_bytes as f64 / 1e9,
+            last.dnum,
+            last.max_level,
+            last.evk_bytes as f64 / 1e9
+        );
+    }
+
+    println!("\n-- Fig 2: min-bound T_mult,a/slot at the 128-bit frontier --");
+    let plan = BootstrapPlan::paper_default();
+    for (log_n, dnum) in [(16u32, 2usize), (16, 6), (17, 1), (17, 2), (17, 3), (18, 1)] {
+        let Some(ins) = instance_at_security(log_n, dnum, 128.0, 60, 51, 55) else {
+            println!("N=2^{log_n} dnum={dnum}: no 128-bit instance");
+            continue;
+        };
+        if ins.max_level() <= L_BOOT {
+            println!("N=2^{log_n} dnum={dnum}: L = {} — cannot bootstrap", ins.max_level());
+            continue;
+        }
+        let model = MinBoundModel::new(ins.clone(), BandwidthModel::hbm_1tb());
+        let t = model.amortized_mult_per_slot_from_trace(&plan.keyswitch_histogram(&ins));
+        println!(
+            "N=2^{log_n} dnum={dnum}: L = {:>3}, λ = {:>5.1}, T_mult,a/slot = {:>7.1} ns",
+            ins.max_level(),
+            ins.security_level(),
+            t * 1e9
+        );
+    }
+
+    println!("\n-- Eq. 10: minimum NTTU count --");
+    for ins in CkksInstance::evaluation_set() {
+        println!(
+            "{}: minNTTU = {:.0} (BTS provisions 2,048)",
+            ins.name(),
+            min_nttu_count(&ins, 1.2e9, BandwidthModel::hbm_1tb())
+        );
+    }
+}

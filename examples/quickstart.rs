@@ -1,0 +1,55 @@
+//! Quickstart: encrypt two real vectors, compute `x·y + x` homomorphically,
+//! rotate the result, and decrypt.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use bts::ckks::{CkksContext, Complex};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::thread_rng();
+
+    // A toy (insecure) parameter set: N = 2^12, 6 levels, dnum = 2.
+    let ctx = CkksContext::new_toy(1 << 12, 6, 2)?;
+    println!(
+        "CKKS context: N = {}, slots = {}, L = {}, dnum = {}, Δ = 2^{}",
+        ctx.degree(),
+        ctx.slots(),
+        ctx.max_level(),
+        ctx.dnum(),
+        ctx.scale().log2()
+    );
+
+    let (sk, mut keys) = ctx.generate_keys(&mut rng)?;
+    ctx.add_rotation_keys(&sk, &mut keys, &[1], &mut rng)?;
+    let eval = ctx.evaluator(&keys);
+
+    // Encode and encrypt two messages.
+    let x: Vec<Complex> = (0..ctx.slots())
+        .map(|i| Complex::new((i as f64 / 100.0).sin(), 0.0))
+        .collect();
+    let y: Vec<Complex> = (0..ctx.slots())
+        .map(|i| Complex::new(0.5 + (i % 7) as f64 * 0.1, 0.0))
+        .collect();
+    let ct_x = ctx.encrypt(&ctx.encode(&x)?, &sk, &mut rng)?;
+    let ct_y = ctx.encrypt_public(&ctx.encode(&y)?, &keys, &mut rng)?;
+
+    // x*y + x, then rotate by one slot.
+    let prod = eval.mul_rescale(&ct_x, &ct_y)?;
+    let x_aligned = eval.level_reduce(&ct_x, prod.level())?;
+    let sum = eval.add(&prod, &eval.rescale(&eval.mul_const(&x_aligned, 1.0)?)?)?;
+    let rotated = eval.rotate(&sum, 1)?;
+
+    let decoded = ctx.decode(&ctx.decrypt(&rotated, &sk)?)?;
+    let expected = |i: usize| {
+        let j = (i + 1) % x.len();
+        x[j].re * y[j].re + x[j].re
+    };
+    let max_err = (0..8)
+        .map(|i| (decoded[i].re - expected(i)).abs())
+        .fold(0.0f64, f64::max);
+    println!("slot 0..4 decrypted: {:?}", &decoded[..4].iter().map(|c| c.re).collect::<Vec<_>>());
+    println!("max error over first 8 slots: {max_err:.2e}");
+    assert!(max_err < 1e-2, "unexpectedly large error");
+    println!("ok: homomorphic x*y + x (rotated) matches the plaintext computation");
+    Ok(())
+}

@@ -1,0 +1,10 @@
+//! Umbrella crate for the BTS reproduction workspace.
+//!
+//! Re-exports the member crates under stable module names so examples and
+//! integration tests can use a single dependency.
+
+pub use bts_ckks as ckks;
+pub use bts_math as math;
+pub use bts_params as params;
+pub use bts_sim as sim;
+pub use bts_workloads as workloads;

@@ -1,0 +1,105 @@
+//! Functional tests of the bootstrapping building blocks: ModRaise exactness,
+//! transform precomputation, and the end-to-end refresh of an exhausted
+//! ciphertext on a small ring with a sparse secret.
+
+use bts::ckks::{BootstrapConfig, Bootstrapper, CkksContext, Complex};
+use rand::SeedableRng;
+
+#[test]
+fn mod_raise_preserves_the_message_modulo_q0() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let ctx = CkksContext::new_toy(1 << 8, 30, 1).unwrap();
+    let (sk, _keys) = ctx.generate_keys(&mut rng).unwrap();
+    let msg: Vec<Complex> = (0..ctx.slots())
+        .map(|i| Complex::new((i as f64 * 0.11).sin() * 0.3, 0.0))
+        .collect();
+    // Encode at level 0 (exhausted ciphertext).
+    let pt = ctx.encode_at(&msg, 0, ctx.scale()).unwrap();
+    let ct = ctx.encrypt(&pt, &sk, &mut rng).unwrap();
+
+    let bootstrapper = Bootstrapper::new(&ctx, BootstrapConfig::sparse_test()).unwrap();
+    let raised = bootstrapper.mod_raise(&ctx, &ct);
+    assert_eq!(raised.level(), ctx.max_level());
+
+    // Decrypting the raised ciphertext and reducing each coefficient modulo q0
+    // must reproduce the original plaintext: the raised message is m + q0·I.
+    let decrypted = ctx.decrypt(&raised, &sk).unwrap();
+    let original = ctx.decrypt(&ct, &sk).unwrap();
+    let q0 = ctx.q_modulus(0);
+    let raised_limb0 = {
+        let mut p = decrypted.poly().clone();
+        p.to_coefficient();
+        p.limb(0).to_vec()
+    };
+    let orig_limb0 = {
+        let mut p = original.poly().clone();
+        p.to_coefficient();
+        p.limb(0).to_vec()
+    };
+    // Both are residues mod q0 of the same underlying integer.
+    assert_eq!(raised_limb0.len(), orig_limb0.len());
+    let mismatches = raised_limb0
+        .iter()
+        .zip(&orig_limb0)
+        .filter(|(a, b)| a != b)
+        .count();
+    assert_eq!(mismatches, 0, "ModRaise must agree with the original mod q0 = {q0}");
+}
+
+#[test]
+fn bootstrapper_reports_its_key_requirements() {
+    let ctx = CkksContext::new_toy(1 << 8, 30, 1).unwrap();
+    let bootstrapper = Bootstrapper::new(&ctx, BootstrapConfig::sparse_test()).unwrap();
+    let rotations = bootstrapper.required_rotations();
+    assert!(!rotations.is_empty());
+    assert!(rotations.len() <= ctx.slots());
+    // Rejects contexts with too few levels.
+    let shallow = CkksContext::new_toy(1 << 8, 8, 1).unwrap();
+    assert!(Bootstrapper::new(&shallow, BootstrapConfig::sparse_test()).is_err());
+}
+
+/// Full functional bootstrap on a tiny ring. This exercises ModRaise,
+/// CoeffToSlot, the Chebyshev EvalMod and SlotToCoeff end to end; the
+/// tolerance is loose because the toy configuration trades precision for
+/// depth (see EXPERIMENTS.md). A small `q0/Δ` ratio (2^5) keeps the EvalMod
+/// amplitude — and hence the approximation error in message units — small.
+#[test]
+fn bootstrap_refreshes_levels_and_roughly_preserves_the_message() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let degree = 1 << 7;
+    let ctx = CkksContext::new(degree, 52, 1, 45, 40, 60).unwrap();
+    // Sparse secret keeps the ModRaise overflow |I| small (≤ range_k).
+    let sk = ctx.gen_sparse_secret_key(&mut rng, 4);
+    let mut keys = ctx.generate_bundle_for(&sk, &mut rng).unwrap();
+    keys.set_conjugation(ctx.gen_conjugation_key(&sk, &mut rng).unwrap());
+    let config = BootstrapConfig::functional_test();
+    let bootstrapper = Bootstrapper::new(&ctx, config).unwrap();
+    for r in bootstrapper.required_rotations() {
+        keys.insert_rotation(r, ctx.gen_rotation_key(&sk, r, &mut rng).unwrap());
+    }
+    let eval = ctx.evaluator(&keys);
+
+    let msg: Vec<Complex> = (0..ctx.slots())
+        .map(|i| Complex::new(0.25 * ((i as f64) * 0.37).cos(), 0.0))
+        .collect();
+    let pt = ctx.encode_at(&msg, 0, ctx.scale()).unwrap();
+    let exhausted = ctx.encrypt(&pt, &sk, &mut rng).unwrap();
+    assert_eq!(exhausted.level(), 0);
+
+    let refreshed = bootstrapper.bootstrap(&eval, &exhausted).unwrap();
+    assert!(
+        refreshed.level() >= 2,
+        "bootstrap should leave usable levels, got {}",
+        refreshed.level()
+    );
+    let out = ctx.decode(&ctx.decrypt(&refreshed, &sk).unwrap()).unwrap();
+    let max_err = msg
+        .iter()
+        .zip(&out)
+        .map(|(a, b)| (a.re - b.re).abs())
+        .fold(0.0f64, f64::max);
+    assert!(
+        max_err < 0.15,
+        "bootstrapped message error too large: {max_err}"
+    );
+}

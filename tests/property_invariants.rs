@@ -1,0 +1,163 @@
+//! Property-based tests (proptest) of the core data-structure invariants:
+//! modular arithmetic, NTT/RNS round trips, base conversion, automorphism
+//! permutations, CKKS encode/decode, and simulator monotonicity.
+
+use proptest::prelude::*;
+
+use bts::ckks::{CkksEncoder, Complex};
+use bts::math::{
+    galois_element, AutomorphismTable, BaseConverter, Modulus, NttTable, Representation, RnsBasis,
+    RnsPoly,
+};
+use bts::params::CkksInstance;
+use bts::sim::{BtsConfig, Simulator, TraceBuilder};
+
+const P50: u64 = 1125899906842679; // prime near 2^50
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn modular_mul_matches_u128_reference(a in 0u64..P50, b in 0u64..P50) {
+        let m = Modulus::new(P50);
+        prop_assert_eq!(m.mul(a, b) as u128, (a as u128 * b as u128) % P50 as u128);
+    }
+
+    #[test]
+    fn modular_add_sub_are_inverse(a in 0u64..P50, b in 0u64..P50) {
+        let m = Modulus::new(P50);
+        prop_assert_eq!(m.sub(m.add(a, b), b), a);
+        prop_assert_eq!(m.add(m.sub(a, b), b), a);
+    }
+
+    #[test]
+    fn modular_inverse_is_correct(a in 1u64..P50) {
+        let m = Modulus::new(P50);
+        let inv = m.inv(a).unwrap();
+        prop_assert_eq!(m.mul(a, inv), 1);
+    }
+
+    #[test]
+    fn signed_roundtrip(v in -(P50 as i64)/2..(P50 as i64)/2) {
+        let m = Modulus::new(P50);
+        prop_assert_eq!(m.to_signed(m.from_i64(v)), v);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn ntt_roundtrip_is_identity(seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let n = 1usize << 8;
+        let prime = bts::math::generate_ntt_primes(n, 45, 1)[0];
+        let table = NttTable::new(n, Modulus::new(prime)).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let original: Vec<u64> = (0..n).map(|_| rng.gen_range(0..prime)).collect();
+        let mut v = original.clone();
+        table.forward(&mut v);
+        table.inverse(&mut v);
+        prop_assert_eq!(v, original);
+    }
+
+    #[test]
+    fn ntt_multiplication_is_commutative(seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let n = 1usize << 7;
+        let prime = bts::math::generate_ntt_primes(n, 45, 1)[0];
+        let table = NttTable::new(n, Modulus::new(prime)).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..prime)).collect();
+        let b: Vec<u64> = (0..n).map(|_| rng.gen_range(0..prime)).collect();
+        prop_assert_eq!(
+            table.negacyclic_convolution(&a, &b),
+            table.negacyclic_convolution(&b, &a)
+        );
+    }
+
+    #[test]
+    fn base_conversion_exact_on_small_values(values in prop::collection::vec(-(1i64 << 35)..(1i64 << 35), 16)) {
+        let n = 16usize;
+        let src = RnsBasis::generate(n, 40, 3).unwrap();
+        let dst = RnsBasis::generate(n, 42, 2).unwrap();
+        let conv = BaseConverter::new(&src, &dst).unwrap();
+        let limbs: Vec<Vec<u64>> = (0..src.len())
+            .map(|j| values.iter().map(|&v| src.modulus(j).from_i64(v)).collect())
+            .collect();
+        let out = conv.convert_exact(&limbs);
+        for (i, limb) in out.iter().enumerate() {
+            for (c, &r) in limb.iter().enumerate() {
+                prop_assert_eq!(r, dst.modulus(i).from_i64(values[c]));
+            }
+        }
+    }
+
+    #[test]
+    fn automorphism_tables_are_permutations(rotation in -64i64..64, log_n in 4u32..9) {
+        let n = 1usize << log_n;
+        let g = galois_element(rotation, n, false);
+        let table = AutomorphismTable::new(n, g).unwrap();
+        let mut seen = vec![false; n];
+        for i in 0..n {
+            let d = table.destination(i);
+            prop_assert!(!seen[d]);
+            seen[d] = true;
+        }
+    }
+
+    #[test]
+    fn rns_poly_addition_is_associative(seed in any::<u64>()) {
+        let basis = RnsBasis::generate(1 << 6, 40, 3).unwrap();
+        let mut rng = {
+            use rand::SeedableRng;
+            rand::rngs::StdRng::seed_from_u64(seed)
+        };
+        let a = RnsPoly::sample_uniform(&basis, Representation::Coefficient, &mut rng);
+        let b = RnsPoly::sample_uniform(&basis, Representation::Coefficient, &mut rng);
+        let c = RnsPoly::sample_uniform(&basis, Representation::Coefficient, &mut rng);
+        let left = a.add(&b).unwrap().add(&c).unwrap();
+        let right = a.add(&b.add(&c).unwrap()).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn encoder_roundtrip_preserves_messages(values in prop::collection::vec(-10.0f64..10.0, 64)) {
+        let enc = CkksEncoder::new(1 << 7).unwrap();
+        let msg: Vec<Complex> = values.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        let scale = (1u64 << 40) as f64;
+        let coeffs = enc.encode_to_coefficients(&msg, scale).unwrap();
+        let back = enc.decode_from_coefficients(&coeffs, scale).unwrap();
+        for (a, b) in msg.iter().zip(&back) {
+            prop_assert!((a.re - b.re).abs() < 1e-6);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn simulator_time_is_monotone_in_op_count(extra in 1usize..12) {
+        let ins = CkksInstance::ins1();
+        let build = |count: usize| {
+            let mut b = TraceBuilder::new(&ins);
+            let x = b.fresh_ct(20);
+            for _ in 0..count {
+                b.hmult_at(x, x, 20);
+            }
+            b.build()
+        };
+        let sim = Simulator::new(BtsConfig::bts_default(), ins.clone());
+        let short = sim.run(&build(2)).total_seconds;
+        let long = sim.run(&build(2 + extra)).total_seconds;
+        prop_assert!(long > short);
+    }
+
+    #[test]
+    fn evk_bytes_shrink_with_level(level in 0usize..27) {
+        let ins = CkksInstance::ins1();
+        prop_assert!(ins.evk_bytes_at_level(level) <= ins.evk_bytes_at_level(ins.max_level()));
+        prop_assert!(ins.ct_bytes(level) == 2 * (level as u64 + 1) * ins.limb_bytes());
+    }
+}
