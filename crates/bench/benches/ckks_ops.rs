@@ -16,7 +16,8 @@ fn setup() -> (
     let mut rng = rand::rngs::StdRng::seed_from_u64(77);
     let ctx = CkksContext::new_toy(1 << 11, 6, 2).unwrap();
     let (sk, mut keys) = ctx.generate_keys(&mut rng).unwrap();
-    ctx.add_rotation_keys(&sk, &mut keys, &[1, 4], &mut rng).unwrap();
+    ctx.add_rotation_keys(&sk, &mut keys, &[1, 4], &mut rng)
+        .unwrap();
     let msg: Vec<Complex> = (0..ctx.slots())
         .map(|i| Complex::new((i as f64 * 0.01).sin(), 0.0))
         .collect();
@@ -33,15 +34,23 @@ fn bench_ckks_ops(c: &mut Criterion) {
         .map(|i| Complex::new((i as f64 * 0.02).cos(), 0.0))
         .collect();
 
-    c.bench_function("ckks_encode_n2048", |b| b.iter(|| ctx.encode(&msg).unwrap()));
+    c.bench_function("ckks_encode_n2048", |b| {
+        b.iter(|| ctx.encode(&msg).unwrap())
+    });
     c.bench_function("ckks_encrypt_n2048", |b| {
         let pt = ctx.encode(&msg).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         b.iter(|| ctx.encrypt(&pt, &sk, &mut rng).unwrap())
     });
-    c.bench_function("ckks_hadd_n2048", |b| b.iter(|| eval.add(&ct_a, &ct_b).unwrap()));
-    c.bench_function("ckks_hmult_n2048", |b| b.iter(|| eval.mul(&ct_a, &ct_b).unwrap()));
-    c.bench_function("ckks_hrot_n2048", |b| b.iter(|| eval.rotate(&ct_a, 1).unwrap()));
+    c.bench_function("ckks_hadd_n2048", |b| {
+        b.iter(|| eval.add(&ct_a, &ct_b).unwrap())
+    });
+    c.bench_function("ckks_hmult_n2048", |b| {
+        b.iter(|| eval.mul(&ct_a, &ct_b).unwrap())
+    });
+    c.bench_function("ckks_hrot_n2048", |b| {
+        b.iter(|| eval.rotate(&ct_a, 1).unwrap())
+    });
     c.bench_function("ckks_rescale_n2048", |b| {
         let prod = eval.mul(&ct_a, &ct_b).unwrap();
         b.iter(|| eval.rescale(&prod).unwrap())

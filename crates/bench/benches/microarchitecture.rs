@@ -7,9 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use bts_math::Ntt3dPlan;
 use bts_params::CkksInstance;
-use bts_sim::{
-    AllocationPlan, BtsConfig, KeySwitchSchedule, PePeNoc, Simulator, TwiddleStorage,
-};
+use bts_sim::{AllocationPlan, BtsConfig, KeySwitchSchedule, PePeNoc, Simulator, TwiddleStorage};
 use bts_workloads::amortized_mult_per_slot;
 
 fn bench_microarchitecture(c: &mut Criterion) {

@@ -42,7 +42,11 @@ fn bench_bconv(c: &mut Criterion) {
         let conv = BaseConverter::new(&src, &dst).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let data: Vec<Vec<u64>> = (0..limbs)
-            .map(|j| (0..n).map(|_| rng.gen_range(0..src.modulus(j).value())).collect())
+            .map(|j| {
+                (0..n)
+                    .map(|_| rng.gen_range(0..src.modulus(j).value()))
+                    .collect()
+            })
             .collect();
         group.bench_with_input(BenchmarkId::new("fast", limbs), &limbs, |b, _| {
             b.iter(|| conv.convert(&data))

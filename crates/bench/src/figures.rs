@@ -6,14 +6,11 @@
 use std::fmt::Write as _;
 
 use bts_ckks::hmult_complexity;
-use bts_params::{
-    min_nttu_count, sweep_dnum, BandwidthModel, CkksInstance, MinBoundModel, L_BOOT,
-};
+use bts_params::{min_nttu_count, sweep_dnum, BandwidthModel, CkksInstance, MinBoundModel, L_BOOT};
 use bts_sim::{hmult_timeline, AreaPowerModel, BtsConfig, Simulator};
 use bts_workloads::{
-    amortized_mult_per_slot, helr_trace, resnet20_trace, sorting_trace, BaselineSet,
-    BootstrapPlan, HelrConfig, ResNetConfig, SortingConfig, UNENCRYPTED_HELR_MS,
-    UNENCRYPTED_RESNET_S,
+    amortized_mult_per_slot, helr_trace, resnet20_trace, sorting_trace, BaselineSet, BootstrapPlan,
+    HelrConfig, ResNetConfig, SortingConfig, UNENCRYPTED_HELR_MS, UNENCRYPTED_RESNET_S,
 };
 
 fn header(title: &str) -> String {
@@ -91,9 +88,7 @@ pub fn fig2() -> String {
     let plan = BootstrapPlan::paper_default();
     for log_n in [15u32, 16, 17, 18] {
         for dnum in [1usize, 2, 3, 6, 14] {
-            let Some(ins) =
-                bts_params::instance_at_security(log_n, dnum, 128.0, 60, 51, 55)
-            else {
+            let Some(ins) = bts_params::instance_at_security(log_n, dnum, 128.0, 60, 51, 55) else {
                 continue;
             };
             if ins.max_level() <= L_BOOT {
@@ -160,9 +155,17 @@ pub fn fig3b() -> String {
 pub fn table3() -> String {
     let mut out = header("Table 3: area and peak power of BTS components");
     let model = AreaPowerModel::bts_default();
-    let _ = writeln!(out, "{:<22} {:>12} {:>10}", "Component", "Area (mm²)", "Power (W)");
+    let _ = writeln!(
+        out,
+        "{:<22} {:>12} {:>10}",
+        "Component", "Area (mm²)", "Power (W)"
+    );
     for c in model.table3() {
-        let _ = writeln!(out, "{:<22} {:>12.2} {:>10.2}", c.name, c.area_mm2, c.power_w);
+        let _ = writeln!(
+            out,
+            "{:<22} {:>12.2} {:>10.2}",
+            c.name, c.area_mm2, c.power_w
+        );
     }
     out
 }
@@ -185,7 +188,9 @@ pub fn table4() -> String {
             ins.dnum(),
             ins.log_pq(),
             ins.security_level(),
-            ins.reported_temp_bytes().map(|b| b / 1_000_000).unwrap_or(0),
+            ins.reported_temp_bytes()
+                .map(|b| b / 1_000_000)
+                .unwrap_or(0),
         );
     }
     out
@@ -205,7 +210,13 @@ pub fn fig6() -> String {
         let sim = Simulator::new(BtsConfig::bts_default(), ins.clone());
         let (t, _) = amortized_mult_per_slot(&sim);
         best = best.min(t);
-        let _ = writeln!(out, "BTS {:<6} {:>12.3} µs  ({:.1} ns)", ins.name(), t * 1e6, t * 1e9);
+        let _ = writeln!(
+            out,
+            "BTS {:<6} {:>12.3} µs  ({:.1} ns)",
+            ins.name(),
+            t * 1e6,
+            t * 1e9
+        );
     }
     if let Some(lattigo) = baselines.get("Lattigo").and_then(|b| b.tmult_a_slot_us) {
         let _ = writeln!(
@@ -230,7 +241,8 @@ pub fn fig7a() -> String {
     for ins in CkksInstance::evaluation_set() {
         let minb = MinBoundModel::new(ins.clone(), BandwidthModel::hbm_1tb())
             .amortized_mult_per_slot_from_trace(&plan.keyswitch_histogram(&ins));
-        let t512 = amortized_mult_per_slot(&Simulator::new(BtsConfig::bts_default(), ins.clone())).0;
+        let t512 =
+            amortized_mult_per_slot(&Simulator::new(BtsConfig::bts_default(), ins.clone())).0;
         let t2g = amortized_mult_per_slot(&Simulator::new(
             BtsConfig::bts_default().with_scratchpad_bytes(2 * 1024 * 1024 * 1024),
             ins.clone(),
@@ -257,8 +269,14 @@ pub fn fig7b() -> String {
     let entries = [
         ("Amortized mult", bts_workloads::amortized_mult_trace(&ins)),
         ("HELR", helr_trace(&ins, HelrConfig::default()).trace),
-        ("ResNet-20", resnet20_trace(&ins, ResNetConfig::default()).trace),
-        ("Sorting", sorting_trace(&ins, SortingConfig::default()).trace),
+        (
+            "ResNet-20",
+            resnet20_trace(&ins, ResNetConfig::default()).trace,
+        ),
+        (
+            "Sorting",
+            sorting_trace(&ins, SortingConfig::default()).trace,
+        ),
     ];
     for (name, trace) in entries {
         let report = sim.run(&trace);
@@ -309,9 +327,18 @@ pub fn table5() -> String {
 pub fn table6() -> String {
     let mut out = header("Table 6: ResNet-20 inference and sorting");
     let baselines = BaselineSet::paper();
-    let cpu_resnet = baselines.get("Lattigo").and_then(|b| b.resnet20_s).unwrap_or(10_602.0);
-    let cpu_sort = baselines.get("Lattigo").and_then(|b| b.sorting_s).unwrap_or(23_066.0);
-    let _ = writeln!(out, "CPU [59] ResNet-20: {cpu_resnet:.0} s; CPU [42] sorting: {cpu_sort:.0} s");
+    let cpu_resnet = baselines
+        .get("Lattigo")
+        .and_then(|b| b.resnet20_s)
+        .unwrap_or(10_602.0);
+    let cpu_sort = baselines
+        .get("Lattigo")
+        .and_then(|b| b.sorting_s)
+        .unwrap_or(23_066.0);
+    let _ = writeln!(
+        out,
+        "CPU [59] ResNet-20: {cpu_resnet:.0} s; CPU [42] sorting: {cpu_sort:.0} s"
+    );
     for ins in CkksInstance::evaluation_set() {
         let sim = Simulator::new(BtsConfig::bts_default(), ins.clone());
         let resnet = resnet20_trace(&ins, ResNetConfig::default());
@@ -369,7 +396,9 @@ pub fn fig9() -> String {
     let lattigo_like = CkksInstance::lattigo_preset();
     let ins1 = CkksInstance::ins1();
     let temp = |ins: &CkksInstance| {
-        (ins.dnum() as u64 + 2) * (ins.num_special() + ins.max_level() + 1) as u64 * ins.limb_bytes()
+        (ins.dnum() as u64 + 2)
+            * (ins.num_special() + ins.max_level() + 1) as u64
+            * ins.limb_bytes()
     };
     let configs: Vec<(&str, BtsConfig, CkksInstance)> = vec![
         (
@@ -377,7 +406,11 @@ pub fn fig9() -> String {
             BtsConfig::small_bts(temp(&lattigo_like)),
             lattigo_like.clone(),
         ),
-        ("small BTS (INS-1)", BtsConfig::small_bts(temp(&ins1)), ins1.clone()),
+        (
+            "small BTS (INS-1)",
+            BtsConfig::small_bts(temp(&ins1)),
+            ins1.clone(),
+        ),
         (
             "BTS w/o BConvU overlap (INS-1)",
             BtsConfig::bts_default().with_overlap(false),

@@ -134,7 +134,10 @@ impl Bootstrapper {
         let slot_to_coeff = LinearTransform::from_matrix(&f_matrix);
 
         let cheb_coeffs = chebyshev_fit(
-            |v| q0 / (2.0 * std::f64::consts::PI * context.scale()) * (2.0 * std::f64::consts::PI * v).sin(),
+            |v| {
+                q0 / (2.0 * std::f64::consts::PI * context.scale())
+                    * (2.0 * std::f64::consts::PI * v).sin()
+            },
             config.range_k,
             config.evalmod_degree,
         );
@@ -229,11 +232,7 @@ impl Bootstrapper {
         factor: f64,
     ) -> crate::Result<Ciphertext> {
         let context = eval.context();
-        let pt = context.encode_at(
-            &[Complex::new(0.0, factor)],
-            ct.level(),
-            context.scale(),
-        )?;
+        let pt = context.encode_at(&[Complex::new(0.0, factor)], ct.level(), context.scale())?;
         eval.mul_plain(ct, &pt)
     }
 

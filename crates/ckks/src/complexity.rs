@@ -39,7 +39,12 @@ impl ComplexityBreakdown {
 /// `level` for a ring of degree `n` with `num_special` special primes and the
 /// given `dnum` (Fig. 3(a)'s dataflow, counted exactly as the simulator
 /// schedules it).
-pub fn hmult_complexity(n: usize, level: usize, num_special: usize, dnum: usize) -> ComplexityBreakdown {
+pub fn hmult_complexity(
+    n: usize,
+    level: usize,
+    num_special: usize,
+    dnum: usize,
+) -> ComplexityBreakdown {
     assert!(n.is_power_of_two(), "ring degree must be a power of two");
     let n = n as u64;
     let log_n = n.trailing_zeros() as u64;
@@ -100,7 +105,10 @@ mod tests {
         let dmax = share(60, 1, 61);
         assert!(d1 > d3, "BConv share should fall with dnum: {d1} vs {d3}");
         assert!(d3 > dmax);
-        assert!(dmax < 0.15, "dnum=max BConv share should be ~12%, got {dmax}");
+        assert!(
+            dmax < 0.15,
+            "dnum=max BConv share should be ~12%, got {dmax}"
+        );
     }
 
     #[test]

@@ -63,24 +63,19 @@ impl CkksContext {
         // special moduli are guaranteed distinct even when their bit sizes
         // coincide; q0 is the largest.
         let mut bit_sizes = vec![log_q0];
-        bit_sizes.extend(std::iter::repeat(log_scale).take(max_level));
-        bit_sizes.extend(std::iter::repeat(log_special).take(num_special));
+        bit_sizes.extend(std::iter::repeat_n(log_scale, max_level));
+        bit_sizes.extend(std::iter::repeat_n(log_special, num_special));
         let key_basis =
             RnsBasis::generate_with_bit_sizes(degree, &bit_sizes).map_err(CkksError::Math)?;
         let q_basis = key_basis.prefix(max_level + 1);
-        let p_basis = key_basis
-            .select(&((max_level + 1)..(max_level + 1 + num_special)).collect::<Vec<_>>());
+        let p_basis =
+            key_basis.select(&((max_level + 1)..(max_level + 1 + num_special)).collect::<Vec<_>>());
         let encoder = CkksEncoder::new(degree)?;
         let p_mod_q: Vec<u64> = (0..q_basis.len())
             .map(|i| p_basis.product_mod(q_basis.modulus(i)))
             .collect();
         let p_inv_mod_q: Vec<u64> = (0..q_basis.len())
-            .map(|i| {
-                q_basis
-                    .modulus(i)
-                    .inv(p_mod_q[i])
-                    .map_err(CkksError::Math)
-            })
+            .map(|i| q_basis.modulus(i).inv(p_mod_q[i]).map_err(CkksError::Math))
             .collect::<crate::Result<_>>()?;
         Ok(Self {
             degree,
@@ -256,15 +251,12 @@ impl CkksContext {
         let coefficients = sample_ternary(rng, self.degree, TERNARY_HAMMING_DENSE);
         let mut poly = RnsPoly::from_signed_coefficients(&self.key_basis, &coefficients);
         poly.to_ntt();
-        SecretKey {
-            coefficients,
-            poly,
-        }
+        SecretKey { coefficients, poly }
     }
 
     /// Samples a sparse ternary secret key with exactly `hamming_weight`
     /// non-zero coefficients. Sparse secrets keep the ModRaise overflow small,
-    /// which is what shallow bootstrapping configurations rely on (§2.4, [17]).
+    /// which is what shallow bootstrapping configurations rely on (§2.4, \[17\]).
     pub fn gen_sparse_secret_key<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
@@ -273,10 +265,7 @@ impl CkksContext {
         let coefficients = sample_ternary(rng, self.degree, hamming_weight);
         let mut poly = RnsPoly::from_signed_coefficients(&self.key_basis, &coefficients);
         poly.to_ntt();
-        SecretKey {
-            coefficients,
-            poly,
-        }
+        SecretKey { coefficients, poly }
     }
 
     /// Derives the public encryption key from a secret key.
@@ -284,7 +273,10 @@ impl CkksContext {
         let basis = self.q_basis.clone();
         let s_q = sk.poly.select_limbs(&(0..basis.len()).collect::<Vec<_>>());
         let a = RnsPoly::sample_uniform(&basis, Representation::Ntt, rng);
-        let mut e = RnsPoly::from_signed_coefficients(&basis, &sample_gaussian(rng, self.degree, ERROR_SIGMA));
+        let mut e = RnsPoly::from_signed_coefficients(
+            &basis,
+            &sample_gaussian(rng, self.degree, ERROR_SIGMA),
+        );
         e.to_ntt();
         let p0 = a
             .mul(&s_q)
@@ -374,10 +366,8 @@ impl CkksContext {
         sk: &SecretKey,
         rng: &mut R,
     ) -> crate::Result<EvaluationKey> {
-        let table = AutomorphismTable::new(
-            self.degree,
-            bts_math::galois_element(0, self.degree, true),
-        )?;
+        let table =
+            AutomorphismTable::new(self.degree, bts_math::galois_element(0, self.degree, true))?;
         let conjugated = sk.poly.automorphism(&table);
         Ok(self.gen_switching_key(sk, &conjugated, rng))
     }
@@ -523,7 +513,11 @@ impl CkksContext {
             .expect("same basis")
             .add(&plaintext.poly)
             .expect("same basis");
-        let c1 = v.mul(&p1).expect("same basis").add(&e1).expect("same basis");
+        let c1 = v
+            .mul(&p1)
+            .expect("same basis")
+            .add(&e1)
+            .expect("same basis");
         Ok(Ciphertext::new(c0, c1, level, plaintext.scale))
     }
 
@@ -592,8 +586,8 @@ impl CkksContext {
                     .concat(&self.p_basis)
                     .map_err(CkksError::Math)?
             };
-            let converter = BaseConverter::new(d_slice.basis(), &complement_basis)
-                .map_err(CkksError::Math)?;
+            let converter =
+                BaseConverter::new(d_slice.basis(), &complement_basis).map_err(CkksError::Math)?;
             let converted = converter.convert(d_slice.limbs());
             // Reassemble the extended polynomial on the ks basis order.
             let mut limbs: Vec<Vec<u64>> = Vec::with_capacity(level + 1 + k);
@@ -608,9 +602,8 @@ impl CkksContext {
             for _ in 0..k {
                 limbs.push(conv_iter.next().expect("converted special limb"));
             }
-            let mut extended =
-                RnsPoly::from_limbs(&ks_basis, Representation::Coefficient, limbs)
-                    .map_err(CkksError::Math)?;
+            let mut extended = RnsPoly::from_limbs(&ks_basis, Representation::Coefficient, limbs)
+                .map_err(CkksError::Math)?;
             extended.to_ntt();
 
             let evk_b = evk.slices[j].0.select_limbs(&evk_indices);
@@ -636,8 +629,7 @@ impl CkksContext {
         let q_part = x.select_limbs(&(0..=level).collect::<Vec<_>>());
         let mut p_part = x.select_limbs(&((level + 1)..(level + 1 + k)).collect::<Vec<_>>());
         p_part.to_coefficient();
-        let converter =
-            BaseConverter::new(&self.p_basis, &q_prefix).map_err(CkksError::Math)?;
+        let converter = BaseConverter::new(&self.p_basis, &q_prefix).map_err(CkksError::Math)?;
         let mut converted = RnsPoly::from_limbs(
             &q_prefix,
             Representation::Coefficient,

@@ -117,8 +117,7 @@ impl ChebyshevSeries {
             let mut term = match &b_next {
                 Some(b1) => {
                     let x_aligned = eval.level_reduce(&x, b1.level())?;
-                    let two_x_b1 =
-                        eval.rescale(&eval.mul(&eval.add(b1, b1)?, &x_aligned)?)?;
+                    let two_x_b1 = eval.rescale(&eval.mul(&eval.add(b1, b1)?, &x_aligned)?)?;
                     eval.add_const(&two_x_b1, self.coefficients[k])?
                 }
                 None => {
@@ -271,7 +270,11 @@ mod tests {
         // Degree-15 Chebyshev on the reduced interval + 3 double angles covers
         // [-6, 6] with small error — far cheaper than a direct degree-~60 fit.
         let sine = SineEvaluator::new(6.0, 15, 3, 1.0);
-        assert!(sine.max_error(600) < 1e-4, "error = {}", sine.max_error(600));
+        assert!(
+            sine.max_error(600) < 1e-4,
+            "error = {}",
+            sine.max_error(600)
+        );
         // The direct fit at the same total multiplicative depth is worse.
         let direct = ChebyshevSeries::fit(
             |t| (2.0 * std::f64::consts::PI * t).sin(),
@@ -279,8 +282,7 @@ mod tests {
             sine.levels_consumed() - 1,
         );
         assert!(
-            sine.max_error(600)
-                < direct.max_error(|t| (2.0 * std::f64::consts::PI * t).sin(), 600)
+            sine.max_error(600) < direct.max_error(|t| (2.0 * std::f64::consts::PI * t).sin(), 600)
         );
     }
 
@@ -303,12 +305,18 @@ mod tests {
         let msg: Vec<crate::Complex> = (0..ctx.slots())
             .map(|i| crate::Complex::new(-1.8 + 3.6 * (i as f64) / ctx.slots() as f64, 0.0))
             .collect();
-        let ct = ctx.encrypt(&ctx.encode(&msg).unwrap(), &sk, &mut rng).unwrap();
+        let ct = ctx
+            .encrypt(&ctx.encode(&msg).unwrap(), &sk, &mut rng)
+            .unwrap();
         let out_ct = series.eval_homomorphic(&eval, &ct).unwrap();
         let out = ctx.decode(&ctx.decrypt(&out_ct, &sk).unwrap()).unwrap();
         for (i, o) in out.iter().enumerate().step_by(16) {
             let expect = series.eval(msg[i].re);
-            assert!((o.re - expect).abs() < 5e-2, "slot {i}: {} vs {expect}", o.re);
+            assert!(
+                (o.re - expect).abs() < 5e-2,
+                "slot {i}: {} vs {expect}",
+                o.re
+            );
         }
     }
 
@@ -324,12 +332,18 @@ mod tests {
         let msg: Vec<crate::Complex> = (0..ctx.slots())
             .map(|i| crate::Complex::new(-1.2 + 2.4 * (i as f64) / ctx.slots() as f64, 0.0))
             .collect();
-        let ct = ctx.encrypt(&ctx.encode(&msg).unwrap(), &sk, &mut rng).unwrap();
+        let ct = ctx
+            .encrypt(&ctx.encode(&msg).unwrap(), &sk, &mut rng)
+            .unwrap();
         let out_ct = sine.eval_homomorphic(&eval, &ct).unwrap();
         let out = ctx.decode(&ctx.decrypt(&out_ct, &sk).unwrap()).unwrap();
         for (i, o) in out.iter().enumerate().step_by(16) {
             let expect = sine.eval(msg[i].re);
-            assert!((o.re - expect).abs() < 8e-2, "slot {i}: {} vs {expect}", o.re);
+            assert!(
+                (o.re - expect).abs() < 8e-2,
+                "slot {i}: {} vs {expect}",
+                o.re
+            );
         }
     }
 

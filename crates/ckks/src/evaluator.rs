@@ -180,11 +180,9 @@ impl<'a> Evaluator<'a> {
     ///
     /// Propagates encoding failures.
     pub fn mul_const(&self, a: &Ciphertext, value: f64) -> crate::Result<Ciphertext> {
-        let pt = self.context.encode_at(
-            &[Complex::new(value, 0.0)],
-            a.level,
-            self.context.scale(),
-        )?;
+        let pt =
+            self.context
+                .encode_at(&[Complex::new(value, 0.0)], a.level, self.context.scale())?;
         self.mul_plain(a, &pt)
     }
 
@@ -376,9 +374,7 @@ impl LinearTransform {
         let slots = matrix.len();
         let mut diagonals = BTreeMap::new();
         for r in 0..slots {
-            let diag: Vec<Complex> = (0..slots)
-                .map(|i| matrix[i][(i + r) % slots])
-                .collect();
+            let diag: Vec<Complex> = (0..slots).map(|i| matrix[i][(i + r) % slots]).collect();
             if diag.iter().any(|c| c.abs() > 1e-12) {
                 diagonals.insert(r as i64, diag);
             }

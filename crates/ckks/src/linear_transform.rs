@@ -50,9 +50,7 @@ impl BsgsTransform {
         }
         let mut diagonals = BTreeMap::new();
         for r in 0..slots {
-            let diag: Vec<Complex> = (0..slots)
-                .map(|i| matrix[i][(i + r) % slots])
-                .collect();
+            let diag: Vec<Complex> = (0..slots).map(|i| matrix[i][(i + r) % slots]).collect();
             if diag.iter().any(|c| c.abs() > 1e-12) {
                 diagonals.insert(r, diag);
             }
@@ -315,7 +313,9 @@ mod tests {
         let msg: Vec<Complex> = (0..slots)
             .map(|i| Complex::new(0.4 * (i as f64 * 0.21).cos(), 0.1))
             .collect();
-        let ct = ctx.encrypt(&ctx.encode(&msg).unwrap(), &sk, &mut rng).unwrap();
+        let ct = ctx
+            .encrypt(&ctx.encode(&msg).unwrap(), &sk, &mut rng)
+            .unwrap();
         let out_ct = t.evaluate(&eval, &ct).unwrap();
         assert_eq!(out_ct.level(), ctx.max_level() - 1);
         let out = ctx.decode(&ctx.decrypt(&out_ct, &sk).unwrap()).unwrap();
@@ -341,8 +341,12 @@ mod tests {
         ctx.add_rotation_keys(&sk, &mut keys, &t.required_rotations(), &mut rng)
             .unwrap();
         let eval = ctx.evaluator(&keys);
-        let msg: Vec<Complex> = (0..slots).map(|i| Complex::new(i as f64 * 0.01, 0.0)).collect();
-        let ct = ctx.encrypt(&ctx.encode(&msg).unwrap(), &sk, &mut rng).unwrap();
+        let msg: Vec<Complex> = (0..slots)
+            .map(|i| Complex::new(i as f64 * 0.01, 0.0))
+            .collect();
+        let ct = ctx
+            .encrypt(&ctx.encode(&msg).unwrap(), &sk, &mut rng)
+            .unwrap();
         let out = ctx
             .decode(&ctx.decrypt(&t.evaluate(&eval, &ct).unwrap(), &sk).unwrap())
             .unwrap();

@@ -180,7 +180,11 @@ mod tests {
     fn fresh_ciphertexts_have_large_precision() {
         let t = NoiseTracker::fresh(&ins());
         // ~51-bit scale against ~15-bit fresh noise.
-        assert!(t.precision_bits() > 30.0, "precision = {}", t.precision_bits());
+        assert!(
+            t.precision_bits() > 30.0,
+            "precision = {}",
+            t.precision_bits()
+        );
         assert!(t.can_multiply());
     }
 

@@ -54,7 +54,7 @@ impl AutomorphismTable {
         if !crate::is_power_of_two_at_least(degree, 2) {
             return Err(MathError::InvalidDegree(degree));
         }
-        if galois % 2 == 0 {
+        if galois.is_multiple_of(2) {
             return Err(MathError::InvalidGaloisElement(galois));
         }
         let two_n = 2 * degree as u64;
@@ -106,12 +106,12 @@ impl AutomorphismTable {
     pub fn apply(&self, src: &[u64], modulus_value: u64) -> Vec<u64> {
         assert_eq!(src.len(), self.degree);
         let mut out = vec![0u64; self.degree];
-        for i in 0..self.degree {
+        for (i, &s) in src.iter().enumerate() {
             let d = self.dest[i] as usize;
-            out[d] = if self.negate[i] && src[i] != 0 {
-                modulus_value - src[i]
+            out[d] = if self.negate[i] && s != 0 {
+                modulus_value - s
             } else {
-                src[i]
+                s
             };
         }
         out
@@ -137,7 +137,7 @@ mod tests {
         let n = 16;
         assert_eq!(galois_element(0, n, false), 1);
         assert_eq!(galois_element(1, n, false), 5);
-        assert_eq!(galois_element(2, n, false), 25 % 32);
+        assert_eq!(galois_element(2, n, false), 25); // 5^2 mod 2N, 2N = 32
         assert_eq!(galois_element(0, n, true), 31);
         // rotation by slots (N/2) is the identity on slots
         assert_eq!(

@@ -62,11 +62,7 @@ impl BaseConverter {
         let q_mod_target = (0..target.len())
             .map(|i| source.product_mod(target.modulus(i)))
             .collect();
-        let q_inv_f64 = source
-            .moduli()
-            .iter()
-            .map(|&q| 1.0 / q as f64)
-            .collect();
+        let q_inv_f64 = source.moduli().iter().map(|&q| 1.0 / q as f64).collect();
         Ok(Self {
             source: source.clone(),
             target: target.clone(),
@@ -144,10 +140,9 @@ impl BaseConverter {
         };
         // Second part: out_i = Σ_j y_j * [qhat_j]_{p_i}  (coefficient-wise MMAU).
         let mut out = vec![vec![0u64; n]; self.target.len()];
-        for i in 0..self.target.len() {
+        for (i, out_i) in out.iter_mut().enumerate() {
             let p = self.target.modulus(i);
             let row = &self.qhat_mod_target[i];
-            let out_i = &mut out[i];
             for j in 0..self.source.len() {
                 let w = row[j];
                 let yj = &y[j];
@@ -271,15 +266,17 @@ mod tests {
         let fwd = BaseConverter::new(&src, &dst).unwrap();
         let bwd = BaseConverter::new(&dst, &src).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-        let values: Vec<i64> = (0..n).map(|_| rng.gen_range(-(1 << 40)..(1 << 40))).collect();
+        let values: Vec<i64> = (0..n)
+            .map(|_| rng.gen_range(-(1 << 40)..(1 << 40)))
+            .collect();
         let limbs: Vec<Vec<u64>> = (0..src.len())
             .map(|j| values.iter().map(|&v| src.modulus(j).from_i64(v)).collect())
             .collect();
         let there = fwd.convert_exact(&limbs);
         let back = bwd.convert_exact(&there);
-        for j in 0..src.len() {
-            for c in 0..n {
-                assert_eq!(back[j][c], src.modulus(j).from_i64(values[c]));
+        for (j, limb) in back.iter().enumerate() {
+            for (c, &r) in limb.iter().enumerate() {
+                assert_eq!(r, src.modulus(j).from_i64(values[c]));
             }
         }
     }

@@ -143,9 +143,7 @@ impl GadgetDecomposition {
     /// (the numerator of Eq. 10's memory term): only the live slices and the
     /// live limbs of each are touched.
     pub fn evk_words_at_level(&self, degree: usize, level: usize) -> u64 {
-        2 * self.slices_at_level(level) as u64
-            * (self.slice_len + level + 1) as u64
-            * degree as u64
+        2 * self.slices_at_level(level) as u64 * (self.slice_len + level + 1) as u64 * degree as u64
     }
 
     /// Splits a residue vector (one residue per ciphertext prime) into its

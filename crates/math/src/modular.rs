@@ -264,7 +264,13 @@ mod tests {
     #[test]
     fn reduce_u128_edge_cases() {
         let m = Modulus::new(Q);
-        for x in [0u128, 1, Q as u128, (Q as u128) * (Q as u128) - 1, u128::MAX / 4] {
+        for x in [
+            0u128,
+            1,
+            Q as u128,
+            (Q as u128) * (Q as u128) - 1,
+            u128::MAX / 4,
+        ] {
             assert_eq!(m.reduce_u128(x), (x % Q as u128) as u64, "x={x}");
         }
     }

@@ -169,7 +169,7 @@ impl Ntt3dPlan {
     ///
     /// Returns [`MathError::InvalidGaloisElement`] for even elements.
     pub fn automorphism_pe_permutation(&self, galois: u64) -> crate::Result<Vec<usize>> {
-        if galois % 2 == 0 {
+        if galois.is_multiple_of(2) {
             return Err(MathError::InvalidGaloisElement(galois));
         }
         let two_n = 2 * self.degree as u64;
@@ -254,7 +254,10 @@ mod tests {
         let h = plan.exchange_words_per_pe(TransposePhase::Horizontal);
         assert_eq!(v, 64 - 2); // N_z - N_z/32
         assert_eq!(h, 64 - 1); // N_z - N_z/64
-        assert_eq!(plan.exchange_words_total(TransposePhase::Vertical), (64 - 2) * 2048);
+        assert_eq!(
+            plan.exchange_words_total(TransposePhase::Vertical),
+            (64 - 2) * 2048
+        );
     }
 
     #[test]

@@ -472,7 +472,10 @@ mod tests {
         let y = RnsPoly::sample_uniform(&b, Representation::Coefficient, &mut rng);
         let z = x.add(&y).unwrap().sub(&y).unwrap();
         assert_eq!(z, x);
-        assert_eq!(x.add(&x.neg()).unwrap(), RnsPoly::zero(&b, Representation::Coefficient));
+        assert_eq!(
+            x.add(&x.neg()).unwrap(),
+            RnsPoly::zero(&b, Representation::Coefficient)
+        );
     }
 
     #[test]
@@ -495,7 +498,10 @@ mod tests {
         let mut y = RnsPoly::from_signed_coefficients(&b, &[1]);
         y.to_ntt();
         assert!(x.add(&y).is_err());
-        assert!(x.mul(&x).is_err(), "coefficient-domain mul must be rejected");
+        assert!(
+            x.mul(&x).is_err(),
+            "coefficient-domain mul must be rejected"
+        );
     }
 
     #[test]

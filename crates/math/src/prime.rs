@@ -12,13 +12,13 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
     let mut d = n - 1;
     let mut r = 0u32;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         r += 1;
     }
@@ -97,8 +97,8 @@ pub fn next_ntt_prime(degree: usize, lower_bound: u64) -> Option<u64> {
 ///
 /// # Panics
 ///
-/// Panics if the search space is exhausted; use [`try_generate_ntt_primes`]
-/// for a fallible variant.
+/// Panics if the search space is exhausted; use the crate-internal
+/// `try_generate_ntt_primes` for a fallible variant.
 pub fn generate_ntt_primes(degree: usize, bits: u32, count: usize) -> Vec<u64> {
     try_generate_ntt_primes(degree, bits, count).expect("prime search exhausted")
 }
@@ -113,7 +113,7 @@ pub fn try_generate_ntt_primes(degree: usize, bits: u32, count: usize) -> crate:
     if !crate::is_power_of_two_at_least(degree, 2) {
         return Err(MathError::InvalidDegree(degree));
     }
-    if bits < 20 || bits > crate::modular::MAX_MODULUS_BITS {
+    if !(20..=crate::modular::MAX_MODULUS_BITS).contains(&bits) {
         return Err(MathError::InvalidModulus(1u64 << bits.min(63)));
     }
     let mut primes = Vec::with_capacity(count);
@@ -141,11 +141,8 @@ pub fn try_generate_ntt_primes(degree: usize, bits: u32, count: usize) -> crate:
 pub fn primitive_root_of_unity(degree: usize, modulus: &Modulus) -> crate::Result<u64> {
     let q = modulus.value();
     let two_n = 2 * degree as u64;
-    if (q - 1) % two_n != 0 {
-        return Err(MathError::NoNttSupport {
-            modulus: q,
-            degree,
-        });
+    if !(q - 1).is_multiple_of(two_n) {
+        return Err(MathError::NoNttSupport { modulus: q, degree });
     }
     // Find a generator of the multiplicative group by trial, then raise it to
     // (q-1)/2N. A candidate g works iff g^((q-1)/2) != 1 for enough small
@@ -161,10 +158,7 @@ pub fn primitive_root_of_unity(degree: usize, modulus: &Modulus) -> crate::Resul
             return Ok(root);
         }
     }
-    Err(MathError::NoNttSupport {
-        modulus: q,
-        degree,
-    })
+    Err(MathError::NoNttSupport { modulus: q, degree })
 }
 
 #[cfg(test)]
@@ -199,7 +193,10 @@ mod tests {
             assert!(is_prime(*p));
             assert_eq!((p - 1) % (2 * n as u64), 0);
             assert!(seen.insert(*p), "primes must be distinct");
-            assert!(p.leading_zeros() == 64 - 45, "prime should have 45 bits: {p}");
+            assert!(
+                p.leading_zeros() == 64 - 45,
+                "prime should have 45 bits: {p}"
+            );
         }
     }
 

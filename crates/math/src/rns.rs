@@ -240,7 +240,11 @@ mod tests {
     fn generate_with_bit_sizes_handles_repeats() {
         let basis = RnsBasis::generate_with_bit_sizes(1 << 8, &[50, 40, 40, 40, 45]).unwrap();
         assert_eq!(basis.len(), 5);
-        let bits: Vec<u32> = basis.moduli().iter().map(|m| 64 - m.leading_zeros()).collect();
+        let bits: Vec<u32> = basis
+            .moduli()
+            .iter()
+            .map(|m| 64 - m.leading_zeros())
+            .collect();
         assert_eq!(bits, vec![50, 40, 40, 40, 45]);
         let unique: std::collections::HashSet<_> = basis.moduli().into_iter().collect();
         assert_eq!(unique.len(), 5);
@@ -250,10 +254,10 @@ mod tests {
     fn crt_constants_are_consistent() {
         let basis = RnsBasis::generate(1 << 8, 40, 4).unwrap();
         let invs = basis.punctured_product_inverses().unwrap();
-        for j in 0..basis.len() {
+        for (j, &inv) in invs.iter().enumerate() {
             let qj = basis.modulus(j);
             let prod = basis.punctured_product_mod(j, qj);
-            assert_eq!(qj.mul(prod, invs[j]), 1);
+            assert_eq!(qj.mul(prod, inv), 1);
         }
     }
 

@@ -2,7 +2,7 @@ use rand::Rng;
 
 /// Hamming weight marker meaning "dense ternary" (every coefficient drawn
 /// uniformly from {-1, 0, 1}); the paper's security analysis follows the
-/// non-sparse-key setting of Bossuat et al. [12].
+/// non-sparse-key setting of Bossuat et al. \[12\].
 pub const TERNARY_HAMMING_DENSE: usize = usize::MAX;
 
 /// Samples a uniformly random residue polynomial modulo `q`.
@@ -28,7 +28,7 @@ pub fn sample_ternary<R: Rng + ?Sized>(
     while placed < hamming_weight {
         let idx = rng.gen_range(0..degree);
         if out[idx] == 0 {
-            out[idx] = if placed % 2 == 0 { 1 } else { -1 };
+            out[idx] = if placed.is_multiple_of(2) { 1 } else { -1 };
             placed += 1;
         }
     }
@@ -89,7 +89,11 @@ mod tests {
         let mean = v.iter().map(|&x| x as f64).sum::<f64>() / n;
         let var = v.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
         assert!(mean.abs() < 0.2, "mean {mean} too far from zero");
-        assert!((var.sqrt() - sigma).abs() < 0.3, "std {} vs {sigma}", var.sqrt());
+        assert!(
+            (var.sqrt() - sigma).abs() < 0.3,
+            "std {} vs {sigma}",
+            var.sqrt()
+        );
         let clip = (6.0 * sigma).ceil() as i64;
         assert!(v.iter().all(|&x| x.abs() <= clip));
     }

@@ -318,10 +318,7 @@ mod tests {
         // At the top level the whole 112 MiB key streams in.
         assert_eq!(ins1.evk_bytes_at_level(ins1.max_level()), ins1.evk_bytes());
         // At level 8 only (28 + 9) limbs per polynomial are needed.
-        assert_eq!(
-            ins1.evk_bytes_at_level(8),
-            2 * (28 + 9) * ins1.limb_bytes()
-        );
+        assert_eq!(ins1.evk_bytes_at_level(8), 2 * (28 + 9) * ins1.limb_bytes());
     }
 
     #[test]

@@ -30,7 +30,9 @@ mod tradeoff;
 pub use instance::{CkksInstance, InstanceBuilder, WORD_BYTES};
 pub use minbound::{min_nttu_count, BandwidthModel, MinBoundModel};
 pub use security::{max_log_pq_for_security, security_level, MIN_SECURE_LOG_N};
-pub use tradeoff::{evk_bytes, instance_at_security, max_dnum, max_level_for, sweep_dnum, DnumPoint};
+pub use tradeoff::{
+    evk_bytes, instance_at_security, max_dnum, max_level_for, sweep_dnum, DnumPoint,
+};
 
 /// Levels consumed by the bootstrapping algorithm assumed throughout the
 /// paper (§2.4: "the value of L_boot is 19").

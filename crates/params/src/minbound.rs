@@ -56,7 +56,11 @@ impl Default for BandwidthModel {
 /// evaluated at the maximum level. For the paper's running example
 /// (N = 2^17, dnum = 1, 1.2 GHz, 1 TB/s) this is 1,328, motivating the 2,048
 /// NTTUs BTS provisions.
-pub fn min_nttu_count(instance: &CkksInstance, frequency_hz: f64, bandwidth: BandwidthModel) -> f64 {
+pub fn min_nttu_count(
+    instance: &CkksInstance,
+    frequency_hz: f64,
+    bandwidth: BandwidthModel,
+) -> f64 {
     let n = instance.n() as f64;
     let log_n = instance.log_n() as f64;
     let dnum = instance.dnum() as f64;

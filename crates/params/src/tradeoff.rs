@@ -187,6 +187,6 @@ mod tests {
         // A 2^14 ring at the same security target cannot reach a bootstrappable
         // level budget (§3.2).
         let small = instance_at_security(14, 1, 128.0, 60, 51, 58);
-        assert!(small.map_or(true, |i| i.max_level() < MIN_BOOT_LEVEL));
+        assert!(small.is_none_or(|i| i.max_level() < MIN_BOOT_LEVEL));
     }
 }

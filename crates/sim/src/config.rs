@@ -112,11 +112,8 @@ mod tests {
         assert_eq!(c.scratchpad_bytes, 512 * 1024 * 1024);
         assert!((c.frequency_hz - 1.2e9).abs() < 1.0);
         // 2048 NTTUs comfortably exceed the Eq. 10 minimum of 1,328.
-        let min = bts_params::min_nttu_count(
-            &bts_params::CkksInstance::ins1(),
-            c.frequency_hz,
-            c.hbm,
-        );
+        let min =
+            bts_params::min_nttu_count(&bts_params::CkksInstance::ins1(), c.frequency_hz, c.hbm);
         assert!(c.pe_count as f64 > min);
     }
 

@@ -156,7 +156,11 @@ impl AreaPowerModel {
             ),
             row("RFs", PE_RF_AREA_UM2, PE_RF_POWER_MW),
             row("NTTU", PE_NTTU_AREA_UM2, PE_NTTU_POWER_MW),
-            row("ModMult (BConvU)", PE_BCONV_MODMULT_AREA_UM2, PE_BCONV_MODMULT_POWER_MW),
+            row(
+                "ModMult (BConvU)",
+                PE_BCONV_MODMULT_AREA_UM2,
+                PE_BCONV_MODMULT_POWER_MW,
+            ),
             row("MMAU (BConvU)", PE_MMAU_AREA_UM2, PE_MMAU_POWER_MW),
             row("Exchange unit", PE_EXCHANGE_AREA_UM2, PE_EXCHANGE_POWER_MW),
             row("ModMult", PE_MODMULT_AREA_UM2, PE_MODMULT_POWER_MW),
@@ -212,15 +216,26 @@ impl AreaPowerModel {
     ) -> f64 {
         const STATIC_FRACTION: f64 = 0.2;
         let pe = self.pe_count as f64 / 1e3; // mW → W conversion folded in
-        let dynamic = |peak_w: f64, util: f64| peak_w * (STATIC_FRACTION + (1.0 - STATIC_FRACTION) * util.clamp(0.0, 1.0));
+        let dynamic = |peak_w: f64, util: f64| {
+            peak_w * (STATIC_FRACTION + (1.0 - STATIC_FRACTION) * util.clamp(0.0, 1.0))
+        };
         let ntt_w = dynamic(pe * PE_NTTU_POWER_MW, ntt_util);
-        let bconv_w = dynamic(pe * (PE_MMAU_POWER_MW + PE_BCONV_MODMULT_POWER_MW), bconv_util);
-        let elementwise_w = dynamic(pe * (PE_MODMULT_POWER_MW + PE_MODADD_POWER_MW), elementwise_util);
+        let bconv_w = dynamic(
+            pe * (PE_MMAU_POWER_MW + PE_BCONV_MODMULT_POWER_MW),
+            bconv_util,
+        );
+        let elementwise_w = dynamic(
+            pe * (PE_MODMULT_POWER_MW + PE_MODADD_POWER_MW),
+            elementwise_util,
+        );
         let sram_w = dynamic(
             pe * (PE_SCRATCHPAD_POWER_MW * self.scratchpad_scale() + PE_RF_POWER_MW),
             (ntt_util + bconv_util) / 2.0,
         );
-        let noc_w = dynamic(NOC_POWER_W + GLOBAL_BRU_POWER_W + LOCAL_BRU_POWER_W + HBM_NOC_POWER_W, ntt_util);
+        let noc_w = dynamic(
+            NOC_POWER_W + GLOBAL_BRU_POWER_W + LOCAL_BRU_POWER_W + HBM_NOC_POWER_W,
+            ntt_util,
+        );
         let hbm_w = dynamic(HBM_POWER_W, hbm_util);
         let other_w = dynamic(PCIE_POWER_W + pe * PE_EXCHANGE_POWER_MW, 0.1);
         seconds * (ntt_w + bconv_w + elementwise_w + sram_w + noc_w + hbm_w + other_w)
@@ -262,8 +277,16 @@ mod tests {
     fn table3_totals_match_paper() {
         let m = AreaPowerModel::bts_default();
         // Paper: 373.6 mm², 163.2 W.
-        assert!((m.total_area_mm2() - 373.6).abs() < 2.0, "area = {}", m.total_area_mm2());
-        assert!((m.total_power_w() - 163.2).abs() < 2.0, "power = {}", m.total_power_w());
+        assert!(
+            (m.total_area_mm2() - 373.6).abs() < 2.0,
+            "area = {}",
+            m.total_area_mm2()
+        );
+        assert!(
+            (m.total_power_w() - 163.2).abs() < 2.0,
+            "power = {}",
+            m.total_power_w()
+        );
         // Per-PE: 154,863 µm², 35.75 mW.
         assert!((m.pe_area_um2() - 154_863.0).abs() < 10.0);
         assert!((m.pe_power_mw() - 35.75).abs() < 0.05);
@@ -275,7 +298,10 @@ mod tests {
         let pes_area: f64 = m.table3().iter().take(8).map(|c| c.area_mm2).sum();
         let pes_power: f64 = m.table3().iter().take(8).map(|c| c.power_w).sum();
         assert!((pes_area - 317.2).abs() < 1.0, "2048 PE area = {pes_area}");
-        assert!((pes_power - 73.21).abs() < 0.5, "2048 PE power = {pes_power}");
+        assert!(
+            (pes_power - 73.21).abs() < 0.5,
+            "2048 PE power = {pes_power}"
+        );
     }
 
     #[test]

@@ -100,8 +100,8 @@ pub struct Simulator {
 impl Simulator {
     /// Creates a simulator for a hardware configuration and CKKS instance.
     pub fn new(config: BtsConfig, instance: CkksInstance) -> Self {
-        let cost_model = AreaPowerModel::bts_default()
-            .with_scratchpad_bytes(config.scratchpad_bytes);
+        let cost_model =
+            AreaPowerModel::bts_default().with_scratchpad_bytes(config.scratchpad_bytes);
         Self {
             config,
             instance,
@@ -177,7 +177,11 @@ impl Simulator {
             }
             HeOp::PAdd | HeOp::HAdd | HeOp::CAdd => {
                 cost.elementwise_seconds = 2.0 * l1 * n / ew_rate;
-                cost.operand_bytes = if op == HeOp::PAdd { ins.pt_bytes(level) } else { 0 };
+                cost.operand_bytes = if op == HeOp::PAdd {
+                    ins.pt_bytes(level)
+                } else {
+                    0
+                };
                 cost.temp_bytes = (2.0 * l1 * limb_bytes) as u64;
             }
             HeOp::HRescale => {
@@ -234,8 +238,7 @@ impl Simulator {
             if let Some(out) = traced.output {
                 cache.insert(out, ct_bytes);
             }
-            let hbm_time = (cost.evk_bytes + miss_bytes) as f64
-                / self.config.hbm.bytes_per_sec();
+            let hbm_time = (cost.evk_bytes + miss_bytes) as f64 / self.config.hbm.bytes_per_sec();
             let op_time = cost.compute_seconds.max(hbm_time);
 
             total += op_time;

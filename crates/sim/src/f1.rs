@@ -92,11 +92,7 @@ impl F1Model {
     /// amortization over slots that benefits BTS does not apply: the bootstrap
     /// cost is divided by `refreshed_slots`, not by N/2.
     pub fn amortized_mult_per_slot(&self) -> f64 {
-        let usable = self
-            .instance
-            .max_level()
-            .saturating_sub(L_BOOT)
-            .max(1) as f64;
+        let usable = self.instance.max_level().saturating_sub(L_BOOT).max(1) as f64;
         let mults: f64 = (1..=usable as usize).map(|_| self.hmult_seconds()).sum();
         let total = self.bootstrap_seconds() + mults;
         // Single-slot bootstrapping refreshes `refreshed_slots` data elements,
@@ -211,6 +207,9 @@ mod tests {
         // bootstraps, tens of thousands of key-switching ops across the four
         // iterations) lands near one second.
         let helr_estimate = f1.workload_seconds(38_000, 196);
-        assert!((0.4..2.0).contains(&helr_estimate), "HELR on F1 = {helr_estimate} s");
+        assert!(
+            (0.4..2.0).contains(&helr_estimate),
+            "HELR on F1 = {helr_estimate} s"
+        );
     }
 }

@@ -66,12 +66,7 @@ impl KeySwitchSchedule {
     /// evk limbs arrive from HBM, and the ModDown chain plus SSA close the op.
     /// The op's latency is the maximum of the compute critical path and the evk
     /// streaming time (§3.3).
-    pub fn build(
-        config: &BtsConfig,
-        instance: &CkksInstance,
-        level: usize,
-        is_mult: bool,
-    ) -> Self {
+    pub fn build(config: &BtsConfig, instance: &CkksInstance, level: usize, is_mult: bool) -> Self {
         let pe = ProcessingElement::from_config(config);
         let l1 = level + 1;
         let k = instance.num_special();
@@ -264,10 +259,15 @@ mod tests {
     #[test]
     fn top_level_hmult_is_memory_bound_on_the_default_design() {
         let ins = CkksInstance::ins1();
-        let sched = KeySwitchSchedule::build(&BtsConfig::bts_default(), &ins, ins.max_level(), true);
+        let sched =
+            KeySwitchSchedule::build(&BtsConfig::bts_default(), &ins, ins.max_level(), true);
         assert!(sched.is_memory_bound());
         // ~117 µs evk stream for INS-1 at the top level.
-        assert!((sched.latency - 117.4e-6).abs() < 3e-6, "latency = {}", sched.latency);
+        assert!(
+            (sched.latency - 117.4e-6).abs() < 3e-6,
+            "latency = {}",
+            sched.latency
+        );
         // NTTU utilization in the Fig. 8 ballpark.
         let u = sched.utilization(FunctionalUnit::Nttu);
         assert!(u > 0.5 && u < 0.95, "NTTU utilization = {u}");
@@ -277,7 +277,10 @@ mod tests {
     fn phases_are_well_formed_and_cover_the_dataflow() {
         let ins = CkksInstance::ins2();
         let sched = KeySwitchSchedule::build(&BtsConfig::bts_default(), &ins, 30, true);
-        assert!(sched.phases.iter().all(|p| p.end >= p.start && p.start >= 0.0));
+        assert!(sched
+            .phases
+            .iter()
+            .all(|p| p.end >= p.start && p.start >= 0.0));
         let names: Vec<&str> = sched.phases.iter().map(|p| p.name.as_str()).collect();
         assert!(names.iter().any(|n| n.starts_with("iNTT.d2")));
         assert!(names.iter().any(|n| n.starts_with("BConv.d2")));
@@ -317,7 +320,10 @@ mod tests {
             .iter()
             .any(|p| p.name.contains("tensor product")));
         assert!(!rot.phases.iter().any(|p| p.name.contains("tensor product")));
-        assert!(rot.busy_seconds(FunctionalUnit::ElementWise) < mult.busy_seconds(FunctionalUnit::ElementWise));
+        assert!(
+            rot.busy_seconds(FunctionalUnit::ElementWise)
+                < mult.busy_seconds(FunctionalUnit::ElementWise)
+        );
     }
 
     #[test]

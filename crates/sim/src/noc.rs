@@ -340,17 +340,9 @@ mod tests {
         let bru = BruNoc::bts_default();
         let plan = plan17();
         let higher_digit_words = (plan.degree() / 256) as u64;
-        assert!(bru.twiddle_broadcast_hidden(
-            higher_digit_words,
-            plan.epoch_cycles(),
-            1.2e9
-        ));
+        assert!(bru.twiddle_broadcast_hidden(higher_digit_words, plan.epoch_cycles(), 1.2e9));
         assert_eq!(bru.pes_per_local_bru(), 16);
         // Broadcasting a full N-entry table would not hide.
-        assert!(!bru.twiddle_broadcast_hidden(
-            plan.degree() as u64,
-            plan.epoch_cycles(),
-            1.2e9
-        ));
+        assert!(!bru.twiddle_broadcast_hidden(plan.degree() as u64, plan.epoch_cycles(), 1.2e9));
     }
 }

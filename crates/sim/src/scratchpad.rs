@@ -160,7 +160,9 @@ impl Scratchpad {
             self.cache_order.push_back(id);
             return;
         }
-        let cache_budget = self.capacity.saturating_sub(self.temporary + self.evk_buffer);
+        let cache_budget = self
+            .capacity
+            .saturating_sub(self.temporary + self.evk_buffer);
         if bytes > cache_budget {
             return;
         }
@@ -231,8 +233,7 @@ impl AllocationPlan {
     /// one evk slice double-buffered, and the remainder for ciphertexts.
     pub fn for_keyswitch(config: &BtsConfig, instance: &CkksInstance, level: usize) -> Self {
         let limbs = (instance.num_special() + level + 1) as u64;
-        let temporary =
-            (instance.dnum_at_level(level) as u64 + 2) * limbs * instance.limb_bytes();
+        let temporary = (instance.dnum_at_level(level) as u64 + 2) * limbs * instance.limb_bytes();
         // One extended polynomial's worth of prefetched evk limbs; the rest of
         // the key streams through and is consumed immediately (§5.3).
         let evk_buffer = limbs * instance.limb_bytes();

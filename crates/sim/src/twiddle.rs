@@ -93,7 +93,9 @@ impl TwiddleStorage {
     /// entries its own butterflies consume), so the per-PE share is the total
     /// divided by the PE count, with a floor of one entry per prime.
     pub fn per_pe_lower_bytes(&self) -> u64 {
-        let per_prime = (self.lower_digit_entries()).div_ceil(self.pe_count as u64).max(1);
+        let per_prime = (self.lower_digit_entries())
+            .div_ceil(self.pe_count as u64)
+            .max(1);
         per_prime * self.prime_count as u64 * WORD_BYTES
     }
 
@@ -127,7 +129,10 @@ impl TwiddleStorage {
 
     /// Returns a copy of the plan with a different decomposition parameter.
     pub fn with_decomposition(mut self, m: usize) -> Self {
-        assert!(m > 0 && m <= self.degree, "invalid OT decomposition parameter");
+        assert!(
+            m > 0 && m <= self.degree,
+            "invalid OT decomposition parameter"
+        );
         self.m = m;
         self
     }
@@ -183,7 +188,9 @@ mod tests {
         let n = 1 << 17;
         let base = TwiddleStorage::new(n, 56, 4, 2048);
         let better = base.clone().with_decomposition(64);
-        let best = base.clone().with_decomposition(TwiddleStorage::optimal_decomposition(n));
+        let best = base
+            .clone()
+            .with_decomposition(TwiddleStorage::optimal_decomposition(n));
         assert!(better.reduction_factor() > base.reduction_factor());
         assert!(best.reduction_factor() >= better.reduction_factor());
     }

@@ -7,7 +7,7 @@ use bts_sim::{CtId, OpTrace, TraceBuilder};
 /// The plan describes how many homomorphic linear-transform stages CoeffToSlot
 /// and SlotToCoeff use, how many rotations each stage needs (BSGS), and how
 /// many multiplications the approximate-sine EvalMod performs. The default
-/// plan consumes exactly [`L_BOOT`] levels and contains ≈130 key-switching
+/// plan consumes exactly [`bts_params::L_BOOT`] levels and contains ≈130 key-switching
 /// operations, matching the ballpark the paper's minimum-bound analysis
 /// implies (§3.4).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,7 +50,7 @@ impl BootstrapPlan {
         Self::paper_default()
     }
 
-    /// Total levels the bootstrap consumes (must equal [`L_BOOT`] plus the
+    /// Total levels the bootstrap consumes (must equal [`bts_params::L_BOOT`] plus the
     /// ModRaise slack of 1).
     pub fn levels_consumed(&self) -> usize {
         self.c2s_stages + self.evalmod_levels + self.s2c_stages + 1

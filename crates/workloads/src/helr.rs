@@ -3,7 +3,7 @@ use bts_params::CkksInstance;
 use crate::levels::AppBuilder;
 use crate::Workload;
 
-/// Configuration of the HELR logistic-regression training workload [39]:
+/// Configuration of the HELR logistic-regression training workload \[39\]:
 /// binary classification on MNIST, 30 iterations, 1,024 images of 14×14
 /// pixels per batch (§6.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,9 +38,11 @@ impl Default for HelrConfig {
 pub fn helr_trace(instance: &CkksInstance, config: HelrConfig) -> Workload {
     let mut app = AppBuilder::new(instance);
     let rot_steps = (config.features.next_power_of_two().trailing_zeros()
-        + (config.batch.min(instance.slots() / config.features.next_power_of_two()))
-            .next_power_of_two()
-            .trailing_zeros()) as usize;
+        + (config
+            .batch
+            .min(instance.slots() / config.features.next_power_of_two()))
+        .next_power_of_two()
+        .trailing_zeros()) as usize;
     for _ in 0..config.iterations {
         // X·w inner product: rotate-and-accumulate plus masking.
         app.ensure(8);
@@ -94,7 +96,10 @@ mod tests {
         let w1 = helr_trace(&CkksInstance::ins1(), HelrConfig::default());
         let w3 = helr_trace(&CkksInstance::ins3(), HelrConfig::default());
         assert!(w1.bootstrap_count > w3.bootstrap_count);
-        assert!(w1.bootstrap_count >= 20, "INS-1 should bootstrap most iterations");
+        assert!(
+            w1.bootstrap_count >= 20,
+            "INS-1 should bootstrap most iterations"
+        );
     }
 
     #[test]

@@ -78,7 +78,9 @@ impl AppBuilder {
         for _ in 0..depth {
             self.ensure(1);
             for _ in 0..mults_per_level {
-                let prod = self.builder.hmult_at(self.current, self.current, self.level);
+                let prod = self
+                    .builder
+                    .hmult_at(self.current, self.current, self.level);
                 self.current = self.builder.hadd(prod, self.current, self.level);
             }
             let scaled = self.builder.cmult(self.current, self.level);

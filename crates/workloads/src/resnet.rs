@@ -3,8 +3,8 @@ use bts_params::CkksInstance;
 use crate::levels::AppBuilder;
 use crate::Workload;
 
-/// Configuration of the homomorphic ResNet-20 inference workload [59] with the
-/// channel-packing optimization of GAZELLE [50] (§6.2/§6.3): CIFAR-10
+/// Configuration of the homomorphic ResNet-20 inference workload \[59\] with the
+/// channel-packing optimization of GAZELLE \[50\] (§6.2/§6.3): CIFAR-10
 /// classification, all feature-map channels packed into a single ciphertext.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResNetConfig {
@@ -14,7 +14,7 @@ pub struct ResNetConfig {
     /// shifts; 3×3 kernels with channel packing need ~30 rotations).
     pub rotations_per_conv: usize,
     /// Multiplicative depth of the ReLU polynomial approximation (high-degree
-    /// minimax composition, ≈14 levels [57]).
+    /// minimax composition, ≈14 levels \[57\]).
     pub relu_depth: usize,
     /// Whether channel packing is used (disabling it multiplies the per-layer
     /// work, matching the 17.8× gain the paper attributes to packing).
@@ -84,7 +84,10 @@ mod tests {
             .iter()
             .map(|ins| resnet20_trace(ins, ResNetConfig::default()).bootstrap_count)
             .collect();
-        assert!(counts[0] > counts[1] && counts[1] >= counts[2], "{counts:?}");
+        assert!(
+            counts[0] > counts[1] && counts[1] >= counts[2],
+            "{counts:?}"
+        );
         assert!(
             (30..=80).contains(&counts[0]),
             "INS-1 bootstrap count {} should be in the vicinity of the paper's 53",
@@ -106,7 +109,10 @@ mod tests {
         let t1 = t(&CkksInstance::ins1());
         let t3 = t(&CkksInstance::ins3());
         assert!((0.5..8.0).contains(&t1), "INS-1 latency {t1} s");
-        assert!(t1 < t3, "smaller dnum should win when bootstrapping is rare");
+        assert!(
+            t1 < t3,
+            "smaller dnum should win when bootstrapping is rare"
+        );
     }
 
     #[test]

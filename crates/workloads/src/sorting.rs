@@ -3,7 +3,7 @@ use bts_params::CkksInstance;
 use crate::levels::AppBuilder;
 use crate::Workload;
 
-/// Configuration of the homomorphic sorting workload [42]: a 2-way bitonic
+/// Configuration of the homomorphic sorting workload \[42\]: a 2-way bitonic
 /// sorting network over 2^14 elements, with each comparison realized by a
 /// deep composite polynomial approximation of the sign function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,7 +81,13 @@ mod tests {
 
     #[test]
     fn stage_count_matches_bitonic_network() {
-        let wl = sorting_trace(&CkksInstance::ins2(), SortingConfig { log_elements: 4, comparison_depth: 10 });
+        let wl = sorting_trace(
+            &CkksInstance::ins2(),
+            SortingConfig {
+                log_elements: 4,
+                comparison_depth: 10,
+            },
+        );
         // 4·5/2 = 10 stages; each stage has at least one HMult from poly_eval.
         assert!(wl.trace.key_switch_count() >= 10);
     }

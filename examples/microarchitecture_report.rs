@@ -42,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "minimum NTTU count (Eq. 10, INS-1 @ 1 TB/s): {:.0}  → BTS provisions {}",
-        min_nttu_count(&CkksInstance::ins1(), config.frequency_hz, BandwidthModel::hbm_1tb()),
+        min_nttu_count(
+            &CkksInstance::ins1(),
+            config.frequency_hz,
+            BandwidthModel::hbm_1tb()
+        ),
         config.pe_count
     );
 
@@ -82,7 +86,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              evk stream {:>6.1} µs",
             ins.name(),
             sched.latency * 1e6,
-            if sched.is_memory_bound() { "memory-bound" } else { "compute-bound" },
+            if sched.is_memory_bound() {
+                "memory-bound"
+            } else {
+                "compute-bound"
+            },
             sched.utilization(FunctionalUnit::Nttu) * 100.0,
             sched.utilization(FunctionalUnit::BconvU) * 100.0,
             sched.evk_stream_seconds * 1e6,

@@ -35,7 +35,10 @@ fn main() {
             continue;
         };
         if ins.max_level() <= L_BOOT {
-            println!("N=2^{log_n} dnum={dnum}: L = {} — cannot bootstrap", ins.max_level());
+            println!(
+                "N=2^{log_n} dnum={dnum}: L = {} — cannot bootstrap",
+                ins.max_level()
+            );
             continue;
         }
         let model = MinBoundModel::new(ins.clone(), BandwidthModel::hbm_1tb());

@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let max_err = (0..8)
         .map(|i| (decoded[i].re - expected(i)).abs())
         .fold(0.0f64, f64::max);
-    println!("slot 0..4 decrypted: {:?}", &decoded[..4].iter().map(|c| c.re).collect::<Vec<_>>());
+    println!(
+        "slot 0..4 decrypted: {:?}",
+        &decoded[..4].iter().map(|c| c.re).collect::<Vec<_>>()
+    );
     println!("max error over first 8 slots: {max_err:.2e}");
     assert!(max_err < 1e-2, "unexpectedly large error");
     println!("ok: homomorphic x*y + x (rotated) matches the plaintext computation");

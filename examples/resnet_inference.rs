@@ -9,10 +9,14 @@ use bts::sim::{BtsConfig, Simulator};
 use bts::workloads::{resnet20_trace, ResNetConfig};
 
 fn main() {
-    println!("{:<8} {:>12} {:>14} {:>12} {:>14}", "Instance", "latency (s)", "bootstraps", "HBM (GB)", "boot share");
+    println!(
+        "{:<8} {:>12} {:>14} {:>12} {:>14}",
+        "Instance", "latency (s)", "bootstraps", "HBM (GB)", "boot share"
+    );
     for instance in CkksInstance::evaluation_set() {
         let workload = resnet20_trace(&instance, ResNetConfig::default());
-        let report = Simulator::new(BtsConfig::bts_default(), instance.clone()).run(&workload.trace);
+        let report =
+            Simulator::new(BtsConfig::bts_default(), instance.clone()).run(&workload.trace);
         println!(
             "{:<8} {:>12.2} {:>14} {:>12.1} {:>13.0}%",
             instance.name(),

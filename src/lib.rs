@@ -1,7 +1,75 @@
 //! Umbrella crate for the BTS reproduction workspace.
 //!
 //! Re-exports the member crates under stable module names so examples and
-//! integration tests can use a single dependency.
+//! integration tests can use a single dependency:
+//!
+//! | Module | Crate | Role |
+//! |--------|-------|------|
+//! | [`math`] | `bts-math` | modular arithmetic, NTT, RNS, base conversion |
+//! | [`ckks`] | `bts-ckks` | Full-RNS CKKS functional model + bootstrapping |
+//! | [`params`] | `bts-params` | security model, dnum trade-off, paper instances |
+//! | [`sim`] | `bts-sim` | BTS accelerator performance/area/power model |
+//! | [`workloads`] | `bts-workloads` | bootstrapping/HELR/ResNet/sorting traces |
+//!
+//! # Quickstart
+//!
+//! Encrypt two real vectors, compute `x·y + x` homomorphically on a toy
+//! (insecure) parameter set, rotate the result by one slot, and decrypt
+//! (`cargo run --release --example quickstart` runs the full version):
+//!
+//! ```
+//! use bts::ckks::{CkksContext, Complex};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Seeded for determinism; `rand::thread_rng()` works the same way.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+//!
+//! // Toy parameters: N = 2^12, 6 levels, dnum = 2.
+//! let ctx = CkksContext::new_toy(1 << 12, 6, 2)?;
+//! let (sk, mut keys) = ctx.generate_keys(&mut rng)?;
+//! ctx.add_rotation_keys(&sk, &mut keys, &[1], &mut rng)?;
+//! let eval = ctx.evaluator(&keys);
+//!
+//! let x: Vec<Complex> = (0..ctx.slots())
+//!     .map(|i| Complex::new((i as f64 / 100.0).sin(), 0.0))
+//!     .collect();
+//! let y: Vec<Complex> = (0..ctx.slots())
+//!     .map(|i| Complex::new(0.5 + (i % 7) as f64 * 0.1, 0.0))
+//!     .collect();
+//! let ct_x = ctx.encrypt(&ctx.encode(&x)?, &sk, &mut rng)?;
+//! let ct_y = ctx.encrypt_public(&ctx.encode(&y)?, &keys, &mut rng)?;
+//!
+//! // x*y + x, then rotate by one slot.
+//! let prod = eval.mul_rescale(&ct_x, &ct_y)?;
+//! let x_aligned = eval.level_reduce(&ct_x, prod.level())?;
+//! let sum = eval.add(&prod, &eval.rescale(&eval.mul_const(&x_aligned, 1.0)?)?)?;
+//! let rotated = eval.rotate(&sum, 1)?;
+//!
+//! let decoded = ctx.decode(&ctx.decrypt(&rotated, &sk)?)?;
+//! let expected = x[1].re * y[1].re + x[1].re; // slot 0 after rotating by 1
+//! assert!((decoded[0].re - expected).abs() < 1e-2);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! To estimate what the BTS accelerator would do with a workload, build an
+//! op trace and run the simulator:
+//!
+//! ```
+//! use bts::params::CkksInstance;
+//! use bts::sim::{BtsConfig, Simulator, TraceBuilder};
+//!
+//! let ins = CkksInstance::ins2(); // Table 4, the paper's best instance
+//! let mut trace = TraceBuilder::new(&ins);
+//! let a = trace.fresh_ct(ins.max_level());
+//! let prod = trace.hmult(a, a);
+//! let _ = trace.hrescale(prod);
+//! let report = Simulator::new(BtsConfig::bts_default(), ins).run(&trace.build());
+//! assert!(report.total_seconds > 0.0);
+//! ```
+
+#![warn(missing_docs)]
 
 pub use bts_ckks as ckks;
 pub use bts_math as math;

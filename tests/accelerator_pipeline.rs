@@ -4,8 +4,8 @@
 use bts::params::{BandwidthModel, CkksInstance, MinBoundModel};
 use bts::sim::{BtsConfig, HeOp, Simulator};
 use bts::workloads::{
-    amortized_mult_per_slot, helr_trace, resnet20_trace, sorting_trace, BaselineSet,
-    BootstrapPlan, HelrConfig, ResNetConfig, SortingConfig,
+    amortized_mult_per_slot, helr_trace, resnet20_trace, sorting_trace, BaselineSet, BootstrapPlan,
+    HelrConfig, ResNetConfig, SortingConfig,
 };
 
 #[test]
@@ -15,7 +15,12 @@ fn bts_beats_every_reported_baseline_on_amortized_mult() {
     let sim = Simulator::new(BtsConfig::bts_default(), CkksInstance::ins2());
     let (t_bts, _) = amortized_mult_per_slot(&sim);
     let baselines = BaselineSet::paper();
-    for (name, min_speedup) in [("Lattigo", 500.0), ("100x", 5.0), ("F1", 1000.0), ("F1+", 100.0)] {
+    for (name, min_speedup) in [
+        ("Lattigo", 500.0),
+        ("100x", 5.0),
+        ("F1", 1000.0),
+        ("F1+", 100.0),
+    ] {
         let reported = baselines.get(name).unwrap().tmult_a_slot_us.unwrap() * 1e-6;
         let speedup = reported / t_bts;
         assert!(
@@ -48,7 +53,11 @@ fn simulated_time_never_beats_the_minimum_bound() {
         );
         let (near, _) = amortized_mult_per_slot(&big);
         assert!(near <= measured);
-        assert!(near < bound * 3.0, "{}: {near} vs bound {bound}", ins.name());
+        assert!(
+            near < bound * 3.0,
+            "{}: {near} vs bound {bound}",
+            ins.name()
+        );
     }
 }
 
@@ -61,8 +70,16 @@ fn bootstrap_dominates_bootstrap_heavy_workloads() {
     let helr = sim.run(&helr_trace(&ins, HelrConfig::default()).trace);
     let sorting = sim.run(&sorting_trace(&ins, SortingConfig::default()).trace);
     let resnet = sim.run(&resnet20_trace(&ins, ResNetConfig::default()).trace);
-    assert!(helr.bootstrap_fraction() > 0.4, "HELR {}", helr.bootstrap_fraction());
-    assert!(sorting.bootstrap_fraction() > 0.5, "sorting {}", sorting.bootstrap_fraction());
+    assert!(
+        helr.bootstrap_fraction() > 0.4,
+        "HELR {}",
+        helr.bootstrap_fraction()
+    );
+    assert!(
+        sorting.bootstrap_fraction() > 0.5,
+        "sorting {}",
+        sorting.bootstrap_fraction()
+    );
     assert!(
         resnet.bootstrap_fraction() < sorting.bootstrap_fraction(),
         "ResNet should be less bootstrap-bound than sorting"
@@ -91,7 +108,11 @@ fn hmult_and_hrot_account_for_most_bootstrap_time() {
         .filter(|(op, _)| op.is_key_switching())
         .map(|(_, s)| s.seconds)
         .sum();
-    assert!(ks / report.total_seconds > 0.6, "key-switch share = {}", ks / report.total_seconds);
+    assert!(
+        ks / report.total_seconds > 0.6,
+        "key-switch share = {}",
+        ks / report.total_seconds
+    );
     assert!(report.per_op.contains_key(&HeOp::HRot));
     assert!(report.per_op.contains_key(&HeOp::HMult));
 }

@@ -43,7 +43,10 @@ fn mod_raise_preserves_the_message_modulo_q0() {
         .zip(&orig_limb0)
         .filter(|(a, b)| a != b)
         .count();
-    assert_eq!(mismatches, 0, "ModRaise must agree with the original mod q0 = {q0}");
+    assert_eq!(
+        mismatches, 0,
+        "ModRaise must agree with the original mod q0 = {q0}"
+    );
 }
 
 #[test]

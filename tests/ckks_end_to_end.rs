@@ -19,7 +19,9 @@ fn encrypt_decrypt_roundtrip() {
     let msg: Vec<Complex> = (0..ctx.slots())
         .map(|i| Complex::new((i as f64).sqrt() / 40.0, -(i as f64) / 1000.0))
         .collect();
-    let ct = ctx.encrypt(&ctx.encode(&msg).unwrap(), &sk, &mut rng).unwrap();
+    let ct = ctx
+        .encrypt(&ctx.encode(&msg).unwrap(), &sk, &mut rng)
+        .unwrap();
     let out = ctx.decode(&ctx.decrypt(&ct, &sk).unwrap()).unwrap();
     for (a, b) in msg.iter().zip(&out) {
         assert!((*a - *b).abs() < 1e-4, "{a:?} vs {b:?}");
@@ -31,7 +33,9 @@ fn public_key_encryption_matches_secret_key_encryption() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(2);
     let ctx = CkksContext::new_toy(1 << 10, 4, 2).unwrap();
     let (sk, keys) = ctx.generate_keys(&mut rng).unwrap();
-    let msg: Vec<Complex> = (0..ctx.slots()).map(|i| Complex::new(i as f64 * 1e-3, 0.0)).collect();
+    let msg: Vec<Complex> = (0..ctx.slots())
+        .map(|i| Complex::new(i as f64 * 1e-3, 0.0))
+        .collect();
     let pt = ctx.encode(&msg).unwrap();
     let ct = ctx.encrypt_public(&pt, &keys, &mut rng).unwrap();
     let out = ctx.decode(&ctx.decrypt(&ct, &sk).unwrap()).unwrap();
@@ -47,7 +51,9 @@ fn homomorphic_mult_add_and_rescale() {
     let (sk, keys) = ctx.generate_keys(&mut rng).unwrap();
     let eval = ctx.evaluator(&keys);
     let x: Vec<f64> = (0..ctx.slots()).map(|i| ((i % 50) as f64) / 50.0).collect();
-    let y: Vec<f64> = (0..ctx.slots()).map(|i| 1.0 - ((i % 31) as f64) / 31.0).collect();
+    let y: Vec<f64> = (0..ctx.slots())
+        .map(|i| 1.0 - ((i % 31) as f64) / 31.0)
+        .collect();
     let ct_x = ctx
         .encrypt(&ctx.encode_real(&x).unwrap(), &sk, &mut rng)
         .unwrap();
@@ -59,9 +65,7 @@ fn homomorphic_mult_add_and_rescale() {
     // mul+rescale, the y branch through a unit CMult+rescale that matches the
     // product's scale.
     let prod = eval.mul_rescale(&ct_x, &ct_y).unwrap();
-    let y_rescaled = eval
-        .rescale(&eval.mul_const(&ct_y, 1.0).unwrap())
-        .unwrap();
+    let y_rescaled = eval.rescale(&eval.mul_const(&ct_y, 1.0).unwrap()).unwrap();
     let sum = eval.add(&prod, &y_rescaled).unwrap();
     assert_eq!(sum.level(), ctx.max_level() - 1);
 
@@ -76,7 +80,9 @@ fn deep_multiplication_chain_consumes_levels() {
     let ctx = CkksContext::new_toy(1 << 10, 5, 1).unwrap();
     let (sk, keys) = ctx.generate_keys(&mut rng).unwrap();
     let eval = ctx.evaluator(&keys);
-    let x: Vec<f64> = (0..ctx.slots()).map(|i| 0.9 + (i % 10) as f64 * 0.01).collect();
+    let x: Vec<f64> = (0..ctx.slots())
+        .map(|i| 0.9 + (i % 10) as f64 * 0.01)
+        .collect();
     let mut ct = ctx
         .encrypt(&ctx.encode_real(&x).unwrap(), &sk, &mut rng)
         .unwrap();
@@ -98,12 +104,15 @@ fn rotation_and_conjugation() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
     let ctx = CkksContext::new_toy(1 << 10, 3, 1).unwrap();
     let (sk, mut keys) = ctx.generate_keys(&mut rng).unwrap();
-    ctx.add_rotation_keys(&sk, &mut keys, &[1, 7], &mut rng).unwrap();
+    ctx.add_rotation_keys(&sk, &mut keys, &[1, 7], &mut rng)
+        .unwrap();
     let eval = ctx.evaluator(&keys);
     let msg: Vec<Complex> = (0..ctx.slots())
         .map(|i| Complex::new(i as f64 / 100.0, (i % 3) as f64 * 0.1))
         .collect();
-    let ct = ctx.encrypt(&ctx.encode(&msg).unwrap(), &sk, &mut rng).unwrap();
+    let ct = ctx
+        .encrypt(&ctx.encode(&msg).unwrap(), &sk, &mut rng)
+        .unwrap();
 
     for r in [1usize, 7] {
         let rotated = eval.rotate(&ct, r as i64).unwrap();
@@ -128,7 +137,9 @@ fn missing_rotation_key_is_reported() {
     let (sk, keys) = ctx.generate_keys(&mut rng).unwrap();
     let eval = ctx.evaluator(&keys);
     let msg = vec![Complex::new(1.0, 0.0)];
-    let ct = ctx.encrypt(&ctx.encode(&msg).unwrap(), &sk, &mut rng).unwrap();
+    let ct = ctx
+        .encrypt(&ctx.encode(&msg).unwrap(), &sk, &mut rng)
+        .unwrap();
     let err = eval.rotate(&ct, 5).unwrap_err();
     assert!(matches!(err, bts::ckks::CkksError::MissingKey(_)));
 }
@@ -150,7 +161,11 @@ fn scalar_and_plaintext_operations() {
     let out = ctx.decode(&ctx.decrypt(&shifted, &sk).unwrap()).unwrap();
     for (i, o) in out.iter().enumerate().take(32) {
         let expect = 3.5 * x[i] - 1.25;
-        assert!((o.re - expect).abs() < 1e-3, "slot {i}: {} vs {expect}", o.re);
+        assert!(
+            (o.re - expect).abs() < 1e-3,
+            "slot {i}: {} vs {expect}",
+            o.re
+        );
     }
 
     // Polynomial evaluation 1 + 2t + 0.5t².
@@ -159,6 +174,10 @@ fn scalar_and_plaintext_operations() {
     for (i, o) in out.iter().enumerate().take(32) {
         let t = x[i];
         let expect = 1.0 + 2.0 * t + 0.5 * t * t;
-        assert!((o.re - expect).abs() < 1e-2, "slot {i}: {} vs {expect}", o.re);
+        assert!(
+            (o.re - expect).abs() < 1e-2,
+            "slot {i}: {} vs {expect}",
+            o.re
+        );
     }
 }

@@ -1,0 +1,280 @@
+//! Offline, API-compatible subset of the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness,
+//! vendored so `cargo bench` works without network access.
+//!
+//! The statistical machinery of the real crate (outlier rejection, regression,
+//! HTML reports) is intentionally absent. What remains is a wall-clock
+//! measurement loop with warm-up, per-sample iteration calibration and a
+//! `min / median / max` summary line per benchmark — enough to track relative
+//! performance of the BTS kernels across PRs via `BENCH_NOTES.md`.
+//!
+//! Behaviour mirrors the real harness where it matters for `cargo`:
+//! `criterion_main!` generates a `main` that honours the `--test` flag cargo
+//! passes during `cargo test --benches` (each benchmark body runs exactly
+//! once, untimed) and ignores `--bench`/filter arguments otherwise.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time for one measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(5);
+/// Warm-up budget before sampling starts.
+const WARMUP_TARGET: Duration = Duration::from_millis(50);
+
+/// Identifies one benchmark within a group, e.g. `forward/4096`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function_name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new<F: fmt::Display, P: fmt::Display>(function_name: F, parameter: P) -> Self {
+        BenchmarkId {
+            function_name: function_name.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function_name, self.parameter)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    test_mode: bool,
+    /// Measured per-iteration times, one entry per sample, in nanoseconds.
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, test_mode: bool) -> Self {
+        Bencher {
+            sample_size,
+            test_mode,
+            samples_ns: Vec::new(),
+        }
+    }
+
+    /// Calls `routine` repeatedly and records per-iteration wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: run until the budget is spent, estimating cost per call.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < WARMUP_TARGET {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+        let iters_per_sample = ((SAMPLE_TARGET.as_secs_f64() / per_iter).ceil() as u64).max(1);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples_ns.push(elapsed / iters_per_sample as f64);
+        }
+    }
+
+    fn summary(&self) -> Option<(f64, f64, f64)> {
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let median = sorted[sorted.len() / 2];
+        Some((sorted[0], median, *sorted.last().expect("non-empty")))
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Benchmark driver: collects configuration and runs benchmark closures.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Applies the command-line arguments cargo passes to bench binaries:
+    /// `--test` (run each benchmark once, untimed) is honoured, everything
+    /// else is ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.test_mode = true;
+        }
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id.to_string(), f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            group_name: group_name.to_string(),
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: String, mut f: F) {
+        let mut bencher = Bencher::new(self.sample_size, self.test_mode);
+        f(&mut bencher);
+        if let Some((min, median, max)) = bencher.summary() {
+            println!(
+                "{label:<44} time:   [{} {} {}]",
+                format_time(min),
+                format_time(median),
+                format_time(max)
+            );
+        } else if self.test_mode {
+            println!("{label}: test mode, ran once");
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group_name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark identified by `id` with access to `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.group_name, id);
+        self.criterion.run_one(label, |b| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark with a plain string id inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.group_name, id);
+        self.criterion.run_one(label, f);
+        self
+    }
+
+    /// Finalizes the group (reporting is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring the real macro's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` for a bench binary with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            sample_size: 10,
+            test_mode: true,
+        };
+        let mut ran = 0u64;
+        c.bench_function("once", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn group_labels_include_id() {
+        let id = BenchmarkId::new("forward", 4096);
+        assert_eq!(id.to_string(), "forward/4096");
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert_eq!(format_time(12.5), "12.50 ns");
+        assert_eq!(format_time(12_500.0), "12.50 µs");
+        assert_eq!(format_time(12_500_000.0), "12.50 ms");
+    }
+}
