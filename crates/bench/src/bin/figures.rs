@@ -4,7 +4,13 @@
 //! ```text
 //! cargo run --release -p bts-bench --bin figures -- all
 //! cargo run --release -p bts-bench --bin figures -- fig6 table5
+//! cargo run --release -p bts-bench --bin figures -- --json   # BENCH_FIGURES.json
 //! ```
+//!
+//! `--json` simulates every registered workload on every Table 4 instance and
+//! writes the machine-readable results to `BENCH_FIGURES.json` in the current
+//! directory (printing them to stdout as well), so CI can track the perf
+//! trajectory across PRs.
 
 use bts_bench::figures;
 
@@ -33,9 +39,19 @@ fn main() {
             "fig9" => figures::fig9(),
             "fig10" => figures::fig10(),
             "slowdown" => figures::slowdown(),
+            "--json" | "json" => {
+                let json = figures::workloads_json();
+                let path = "BENCH_FIGURES.json";
+                if let Err(e) = std::fs::write(path, &json) {
+                    eprintln!("failed to write {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("wrote {path}");
+                json
+            }
             other => {
                 eprintln!(
-                    "unknown target '{other}'; expected one of: all table1 fig1 fig2 fig3b table3 table4 fig6 fig7a fig7b table5 table6 fig8 fig9 fig10 slowdown"
+                    "unknown target '{other}'; expected one of: all table1 fig1 fig2 fig3b table3 table4 fig6 fig7a fig7b table5 table6 fig8 fig9 fig10 slowdown --json"
                 );
                 std::process::exit(2);
             }

@@ -5,12 +5,13 @@
 
 use std::fmt::Write as _;
 
+use bts_circuit::{BootstrapPlan, Workload};
 use bts_ckks::hmult_complexity;
 use bts_params::{min_nttu_count, sweep_dnum, BandwidthModel, CkksInstance, MinBoundModel, L_BOOT};
 use bts_sim::{hmult_timeline, AreaPowerModel, BtsConfig, Simulator};
 use bts_workloads::{
-    amortized_mult_per_slot, helr_trace, resnet20_trace, sorting_trace, BaselineSet, BootstrapPlan,
-    HelrConfig, ResNetConfig, SortingConfig, UNENCRYPTED_HELR_MS, UNENCRYPTED_RESNET_S,
+    amortized_mult_per_slot, standard_registry, AmortizedMultWorkload, BaselineSet, HelrWorkload,
+    ResNetWorkload, SortingWorkload, UNENCRYPTED_HELR_MS, UNENCRYPTED_RESNET_S,
 };
 
 fn header(title: &str) -> String {
@@ -267,19 +268,22 @@ pub fn fig7b() -> String {
     let ins = CkksInstance::ins1();
     let sim = Simulator::new(BtsConfig::bts_default(), ins.clone());
     let entries = [
-        ("Amortized mult", bts_workloads::amortized_mult_trace(&ins)),
-        ("HELR", helr_trace(&ins, HelrConfig::default()).trace),
+        (
+            "Amortized mult",
+            AmortizedMultWorkload.lower(&ins).expect("bootstrappable"),
+        ),
+        ("HELR", HelrWorkload::default().lower(&ins).expect("helr")),
         (
             "ResNet-20",
-            resnet20_trace(&ins, ResNetConfig::default()).trace,
+            ResNetWorkload::default().lower(&ins).expect("resnet"),
         ),
         (
             "Sorting",
-            sorting_trace(&ins, SortingConfig::default()).trace,
+            SortingWorkload::default().lower(&ins).expect("sorting"),
         ),
     ];
-    for (name, trace) in entries {
-        let report = sim.run(&trace);
+    for (name, lowered) in entries {
+        let report = sim.run(&lowered.trace);
         let _ = writeln!(
             out,
             "{:<16} bootstrapping {:>5.1}% | others {:>5.1}%",
@@ -308,8 +312,8 @@ pub fn table5() -> String {
         }
     }
     for ins in CkksInstance::evaluation_set() {
-        let wl = helr_trace(&ins, HelrConfig::default());
-        let report = Simulator::new(BtsConfig::bts_default(), ins.clone()).run(&wl.trace);
+        let lowered = HelrWorkload::default().lower(&ins).expect("helr");
+        let report = Simulator::new(BtsConfig::bts_default(), ins.clone()).run(&lowered.trace);
         let ms = report.total_seconds * 1e3 / 30.0;
         let _ = writeln!(
             out,
@@ -317,7 +321,7 @@ pub fn table5() -> String {
             ins.name(),
             ms,
             lattigo.unwrap_or(ms) / ms,
-            wl.bootstrap_count
+            lowered.bootstrap_count
         );
     }
     out
@@ -341,9 +345,9 @@ pub fn table6() -> String {
     );
     for ins in CkksInstance::evaluation_set() {
         let sim = Simulator::new(BtsConfig::bts_default(), ins.clone());
-        let resnet = resnet20_trace(&ins, ResNetConfig::default());
+        let resnet = ResNetWorkload::default().lower(&ins).expect("resnet");
         let rr = sim.run(&resnet.trace);
-        let sort = sorting_trace(&ins, SortingConfig::default());
+        let sort = SortingWorkload::default().lower(&ins).expect("sorting");
         let sr = sim.run(&sort.trace);
         let _ = writeln!(
             out,
@@ -477,7 +481,7 @@ pub fn slowdown() -> String {
     let mut out = header("Slowdown of FHE vs unencrypted execution");
     let ins = CkksInstance::ins2();
     let sim = Simulator::new(BtsConfig::bts_default(), ins.clone());
-    let helr = sim.run(&helr_trace(&ins, HelrConfig::default()).trace);
+    let helr = sim.run(&HelrWorkload::default().lower(&ins).expect("helr").trace);
     let helr_ms = helr.total_seconds * 1e3 / 30.0;
     let _ = writeln!(
         out,
@@ -487,8 +491,12 @@ pub fn slowdown() -> String {
         helr_ms / UNENCRYPTED_HELR_MS
     );
     let ins1 = CkksInstance::ins1();
-    let resnet = Simulator::new(BtsConfig::bts_default(), ins1.clone())
-        .run(&resnet20_trace(&ins1, ResNetConfig::default()).trace);
+    let resnet = Simulator::new(BtsConfig::bts_default(), ins1.clone()).run(
+        &ResNetWorkload::default()
+            .lower(&ins1)
+            .expect("resnet")
+            .trace,
+    );
     let _ = writeln!(
         out,
         "ResNet-20: {:.2} s encrypted vs {:.4} s unencrypted → {:.0}× slowdown (paper: 440×)",
@@ -497,6 +505,50 @@ pub fn slowdown() -> String {
         resnet.total_seconds / UNENCRYPTED_RESNET_S
     );
     out
+}
+
+/// Machine-readable per-workload simulation results: every workload of
+/// [`bts_workloads::standard_registry`] lowered and simulated on every Table 4
+/// instance, rendered as JSON. The CI smoke step writes this to
+/// `BENCH_FIGURES.json` so the perf trajectory of the repo is diffable across
+/// PRs without parsing the human-oriented tables.
+pub fn workloads_json() -> String {
+    let registry = standard_registry();
+    let mut rows = Vec::new();
+    for ins in CkksInstance::evaluation_set() {
+        let sim = Simulator::new(BtsConfig::bts_default(), ins.clone());
+        for (name, workload) in registry.iter() {
+            let lowered = workload
+                .lower(&ins)
+                .unwrap_or_else(|e| panic!("{name} on {}: {e}", ins.name()));
+            let report = sim.run(&lowered.trace);
+            rows.push(format!(
+                concat!(
+                    "    {{\"workload\": \"{}\", \"instance\": \"{}\", ",
+                    "\"ops\": {}, \"key_switches\": {}, \"rotation_keys\": {}, ",
+                    "\"bootstraps\": {}, \"total_seconds\": {:.6e}, ",
+                    "\"bootstrap_fraction\": {:.4}, \"hbm_gbytes\": {:.3}, ",
+                    "\"cache_hit_rate\": {:.4}, \"energy_j\": {:.4}, \"edap\": {:.6e}}}"
+                ),
+                name,
+                ins.name(),
+                lowered.trace.len(),
+                lowered.trace.key_switch_count(),
+                lowered.trace.rotation_keys,
+                lowered.bootstrap_count,
+                report.total_seconds,
+                report.bootstrap_fraction(),
+                report.hbm_bytes as f64 / 1e9,
+                report.cache_hit_rate(),
+                report.energy_j,
+                report.edap(),
+            ));
+        }
+    }
+    format!(
+        "{{\n  \"schema\": 1,\n  \"config\": \"BTS default (512 MiB scratchpad, 1 TB/s HBM)\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    )
 }
 
 /// Every figure/table in order, concatenated.
@@ -537,6 +589,27 @@ mod tests {
         ] {
             assert!(text.lines().count() > 3, "{name} too short:\n{text}");
         }
+    }
+
+    #[test]
+    fn workloads_json_covers_every_workload_and_instance() {
+        let json = workloads_json();
+        for name in ["amortized-mult", "bootstrap", "helr", "resnet20", "sorting"] {
+            assert!(
+                json.contains(&format!("\"workload\": \"{name}\"")),
+                "{name}"
+            );
+        }
+        for ins in ["INS-1", "INS-2", "INS-3"] {
+            assert!(json.contains(&format!("\"instance\": \"{ins}\"")), "{ins}");
+        }
+        // 5 workloads × 3 instances.
+        assert_eq!(json.matches("\"workload\"").count(), 15);
+        // Structurally balanced (cheap well-formedness check without a JSON
+        // parser dependency).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains("NaN") && !json.contains("inf"));
     }
 
     #[test]

@@ -1,0 +1,24 @@
+use crate::error::CircuitError;
+use crate::ir::HeCircuit;
+
+/// An executor of [`HeCircuit`]s.
+///
+/// The two shipped implementations are [`crate::TraceBackend`] (lowers the
+/// circuit to a [`bts_sim::OpTrace`] for the accelerator cost model) and
+/// [`crate::FunctionalBackend`] (executes the circuit on real RNS
+/// ciphertexts through [`bts_ckks::Evaluator`] and returns decrypted slots).
+/// Because both consume the *same* program representation, "the simulated
+/// trace matches the computation" is a checkable property instead of a
+/// convention.
+pub trait Backend {
+    /// What executing a circuit produces.
+    type Output;
+
+    /// Executes a circuit.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed circuits and on backend-specific execution errors
+    /// (missing budget for a bootstrap expansion, CKKS failures, …).
+    fn execute(&mut self, circuit: &HeCircuit) -> Result<Self::Output, CircuitError>;
+}

@@ -1,0 +1,91 @@
+use std::fmt;
+
+use bts_ckks::CkksError;
+
+use crate::ir::ValueId;
+
+/// Error type for circuit construction and execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A value ran out of multiplicative levels and the instance cannot
+    /// bootstrap (its level budget is below `L_boot`).
+    LevelExhausted {
+        /// The value whose level budget ran out.
+        value: ValueId,
+        /// The value's current level.
+        level: usize,
+        /// Levels the requested operation needs.
+        required: usize,
+    },
+    /// Two operands carry different scale exponents, so adding them would
+    /// corrupt the encoded message (the functional model would reject the op).
+    ScaleMismatch {
+        /// First operand.
+        a: ValueId,
+        /// Second operand.
+        b: ValueId,
+        /// Scale exponent of `a` (power of the base scale Δ).
+        exp_a: u32,
+        /// Scale exponent of `b`.
+        exp_b: u32,
+    },
+    /// A bootstrap was requested on an instance whose level budget cannot
+    /// accommodate one.
+    CannotBootstrap {
+        /// The instance's maximum level L.
+        max_level: usize,
+        /// Levels one bootstrap consumes.
+        required: usize,
+    },
+    /// An instruction references a value id that was never defined.
+    UnknownValue(ValueId),
+    /// The circuit is structurally malformed (reason in the message).
+    InvalidCircuit(String),
+    /// An error bubbled up from the functional CKKS layer.
+    Ckks(CkksError),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::LevelExhausted {
+                value,
+                level,
+                required,
+            } => write!(
+                f,
+                "value v{value} at level {level} cannot support an operation consuming {required} level(s) and the instance cannot bootstrap"
+            ),
+            CircuitError::ScaleMismatch { a, b, exp_a, exp_b } => write!(
+                f,
+                "cannot add v{a} (scale Δ^{exp_a}) and v{b} (scale Δ^{exp_b}): scale exponents differ"
+            ),
+            CircuitError::CannotBootstrap {
+                max_level,
+                required,
+            } => write!(
+                f,
+                "instance level budget L = {max_level} is below the {required} levels one bootstrap consumes"
+            ),
+            CircuitError::UnknownValue(id) => write!(f, "value v{id} is not defined"),
+            CircuitError::InvalidCircuit(msg) => write!(f, "invalid circuit: {msg}"),
+            CircuitError::Ckks(e) => write!(f, "ckks error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CircuitError::Ckks(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CkksError> for CircuitError {
+    fn from(e: CkksError) -> Self {
+        CircuitError::Ckks(e)
+    }
+}

@@ -1,0 +1,310 @@
+use std::collections::{BTreeMap, HashMap};
+
+use bts_ckks::{Ciphertext, CkksContext, Complex, KeyBundle, SecretKey};
+use bts_math::RnsPoly;
+use bts_params::CkksInstance;
+use bts_sim::HeOp;
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::backend::Backend;
+use crate::error::CircuitError;
+use crate::ir::{HeCircuit, HeInstr, ValueId};
+
+/// Result of executing a circuit on real RNS ciphertexts.
+#[derive(Debug, Clone)]
+pub struct FunctionalRun {
+    /// Decrypted and decoded slot vectors, one per circuit output, in
+    /// declaration order.
+    pub outputs: Vec<Vec<Complex>>,
+    /// Per-op-class counts of the evaluator calls actually performed —
+    /// the quantity the equivalence tests compare against the trace backend.
+    pub op_counts: BTreeMap<HeOp, usize>,
+    /// Number of bootstrap markers executed (as oracle refreshes).
+    pub bootstrap_count: usize,
+}
+
+/// Executes an [`HeCircuit`] with the functional CKKS model: every
+/// instruction becomes one [`bts_ckks::Evaluator`] call on real ciphertexts,
+/// and the declared outputs are decrypted and decoded at the end.
+///
+/// The backend owns a context, secret key and key bundle built from the
+/// instance (so it is only practical at toy ring degrees — exactly the
+/// regime the functional layer targets). Rotation and conjugation keys are
+/// provisioned on demand from the circuit's [`HeCircuit::rotations`] set.
+///
+/// [`HeInstr::Bootstrap`] markers execute as *oracle refreshes*: decrypt,
+/// re-encode at the usable top level, re-encrypt. That is the standard
+/// functional stand-in for bootstrapping in HE test harnesses — it has the
+/// same type (exhausted ciphertext in, top-level ciphertext out) without
+/// spending the levels the real approximate-modular-reduction pipeline needs,
+/// which toy instances do not have.
+#[derive(Debug)]
+pub struct FunctionalBackend {
+    context: CkksContext,
+    secret: SecretKey,
+    keys: KeyBundle,
+    rng: StdRng,
+    input_messages: Vec<Vec<f64>>,
+}
+
+impl FunctionalBackend {
+    /// Builds a backend for an instance with a seeded RNG (deterministic key
+    /// generation and encryption randomness).
+    ///
+    /// # Errors
+    ///
+    /// Propagates context construction and key generation failures.
+    pub fn new(instance: &CkksInstance, seed: u64) -> Result<Self, CircuitError> {
+        let context = CkksContext::from_instance(instance)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (secret, keys) = context.generate_keys(&mut rng)?;
+        Ok(Self {
+            context,
+            secret,
+            keys,
+            rng,
+            input_messages: Vec::new(),
+        })
+    }
+
+    /// Supplies explicit real-valued messages for the circuit inputs, in
+    /// input-declaration order. Inputs without a supplied message fall back
+    /// to the deterministic synthetic pattern.
+    pub fn with_inputs(mut self, inputs: Vec<Vec<f64>>) -> Self {
+        self.input_messages = inputs;
+        self
+    }
+
+    /// The CKKS context backing this executor.
+    pub fn context(&self) -> &CkksContext {
+        &self.context
+    }
+
+    /// Deterministic synthetic message for input `index`: small values in
+    /// `[0, 0.4]` so deep products stay bounded.
+    fn synthetic_message(&self, index: usize) -> Vec<f64> {
+        (0..self.context.slots())
+            .map(|j| ((index * 31 + j * 7) % 17) as f64 / 40.0)
+            .collect()
+    }
+
+    fn encode_encrypt(
+        &mut self,
+        message: &[f64],
+        level: usize,
+    ) -> Result<Ciphertext, CircuitError> {
+        let slots: Vec<Complex> = message.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        let pt = self
+            .context
+            .encode_at(&slots, level, self.context.scale())?;
+        Ok(self.context.encrypt(&pt, &self.secret, &mut self.rng)?)
+    }
+
+    /// Replicates `Bootstrapper::mod_raise`: re-interprets a ciphertext's
+    /// level-0 residue on the full modulus chain.
+    fn mod_raise(&self, ct: &Ciphertext) -> Ciphertext {
+        let context = &self.context;
+        let raise = |poly: &RnsPoly| -> RnsPoly {
+            let mut p = poly.keep_limbs(1);
+            p.to_coefficient();
+            let q0 = context.q_basis().modulus(0);
+            let signed: Vec<i64> = p.limb(0).iter().map(|&c| q0.to_signed(c)).collect();
+            let full_basis = context.basis_at_level(context.max_level());
+            let mut out = RnsPoly::from_signed_coefficients(&full_basis, &signed);
+            out.to_ntt();
+            out
+        };
+        Ciphertext::new(
+            raise(ct.c0()),
+            raise(ct.c1()),
+            context.max_level(),
+            ct.scale(),
+        )
+    }
+
+    /// Oracle refresh for a bootstrap marker: decrypt, re-encode at
+    /// `target_level`, re-encrypt.
+    fn refresh(
+        &mut self,
+        ct: &Ciphertext,
+        target_level: usize,
+    ) -> Result<Ciphertext, CircuitError> {
+        let decoded = self
+            .context
+            .decode(&self.context.decrypt(ct, &self.secret)?)?;
+        let pt = self
+            .context
+            .encode_at(&decoded, target_level, self.context.scale())?;
+        Ok(self.context.encrypt(&pt, &self.secret, &mut self.rng)?)
+    }
+}
+
+impl Backend for FunctionalBackend {
+    type Output = FunctionalRun;
+
+    fn execute(&mut self, circuit: &HeCircuit) -> Result<FunctionalRun, CircuitError> {
+        circuit.validate()?;
+        // Provision the rotation/conjugation keys this circuit needs.
+        let rotations = circuit.rotations();
+        {
+            let Self {
+                context,
+                secret,
+                keys,
+                rng,
+                ..
+            } = self;
+            context.add_rotation_keys(secret, keys, &rotations, rng)?;
+        }
+        let usable_top = circuit.instance.usable_top_level();
+
+        let mut env: HashMap<ValueId, Ciphertext> = HashMap::new();
+        for (index, input) in circuit.inputs.iter().enumerate() {
+            let message = self
+                .input_messages
+                .get(index)
+                .cloned()
+                .unwrap_or_else(|| self.synthetic_message(index));
+            let ct = self.encode_encrypt(&message, input.level)?;
+            env.insert(input.id, ct);
+        }
+
+        let mut op_counts: BTreeMap<HeOp, usize> = BTreeMap::new();
+        let mut bootstrap_count = 0usize;
+        for node in &circuit.nodes {
+            let get = |v: ValueId| -> &Ciphertext {
+                env.get(&v)
+                    .expect("validated circuit has no dangling values")
+            };
+            let result = match node.instr {
+                HeInstr::Bootstrap { a } => {
+                    bootstrap_count += 1;
+                    let ct = get(a).clone();
+                    self.refresh(&ct, usable_top)?
+                }
+                HeInstr::ModRaise { a } => self.mod_raise(get(a)),
+                instr => {
+                    let eval = self.context.evaluator(&self.keys);
+                    match instr {
+                        HeInstr::HMult { a, b } => eval.mul(get(a), get(b))?,
+                        HeInstr::HRot { a, rotation } => eval.rotate(get(a), rotation)?,
+                        HeInstr::Conjugate { a } => eval.conjugate(get(a))?,
+                        HeInstr::PMult { a, value } => {
+                            let ct = get(a);
+                            let slots = vec![Complex::new(value, 0.0); self.context.slots()];
+                            let pt =
+                                self.context
+                                    .encode_at(&slots, ct.level(), self.context.scale())?;
+                            eval.mul_plain(ct, &pt)?
+                        }
+                        HeInstr::PAdd { a, value } => {
+                            let ct = get(a);
+                            let slots = vec![Complex::new(value, 0.0); self.context.slots()];
+                            let pt = self.context.encode_at(&slots, ct.level(), ct.scale())?;
+                            eval.add_plain(ct, &pt)?
+                        }
+                        HeInstr::HAdd { a, b } => eval.add(get(a), get(b))?,
+                        HeInstr::Rescale { a } => eval.rescale(get(a))?,
+                        HeInstr::CMult { a, value } => eval.mul_const(get(a), value)?,
+                        HeInstr::CAdd { a, value } => eval.add_const(get(a), value)?,
+                        HeInstr::ModRaise { .. } | HeInstr::Bootstrap { .. } => unreachable!(),
+                    }
+                }
+            };
+            // Cross-check: the ciphertext's real level must match what the
+            // IR recorded at build time — this is the invariant that keeps
+            // cost lowering and functional execution in lock-step.
+            let expected_level = match node.instr {
+                HeInstr::Rescale { .. } => node.level - 1,
+                HeInstr::Bootstrap { .. } => usable_top,
+                _ => node.level,
+            };
+            if result.level() != expected_level {
+                return Err(CircuitError::InvalidCircuit(format!(
+                    "functional level {} of v{} diverged from the IR level {expected_level}",
+                    result.level(),
+                    node.result
+                )));
+            }
+            if let Some(op) = node.instr.op_class() {
+                *op_counts.entry(op).or_insert(0) += 1;
+            }
+            env.insert(node.result, result);
+        }
+
+        let mut outputs = Vec::with_capacity(circuit.outputs.len());
+        for &out in &circuit.outputs {
+            let ct = env
+                .get(&out)
+                .expect("validated circuit has no dangling outputs");
+            outputs.push(
+                self.context
+                    .decode(&self.context.decrypt(ct, &self.secret)?)?,
+            );
+        }
+        Ok(FunctionalRun {
+            outputs,
+            op_counts,
+            bootstrap_count,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use crate::trace_backend::TraceBackend;
+
+    #[test]
+    fn functional_execution_matches_plaintext_math() {
+        let ins = CkksInstance::toy(11, 6, 2);
+        let mut b = CircuitBuilder::new(&ins);
+        let x = b.input();
+        let y = b.input();
+        let raw = b.hmult(x, y).unwrap();
+        let prod = b.rescale(raw).unwrap();
+        let shifted = b.cadd(prod, 0.25).unwrap();
+        b.output(shifted);
+        let circuit = b.build();
+
+        let xs = vec![0.3; 1 << 10];
+        let ys = vec![0.2; 1 << 10];
+        let mut backend = FunctionalBackend::new(&ins, 42)
+            .unwrap()
+            .with_inputs(vec![xs, ys]);
+        let run = backend.execute(&circuit).unwrap();
+        assert_eq!(run.outputs.len(), 1);
+        let got = run.outputs[0][5].re;
+        assert!((got - (0.3 * 0.2 + 0.25)).abs() < 1e-2, "got {got}");
+        assert_eq!(run.op_counts.get(&HeOp::HMult), Some(&1));
+        assert_eq!(run.op_counts.get(&HeOp::HRescale), Some(&1));
+        assert_eq!(run.op_counts.get(&HeOp::CAdd), Some(&1));
+    }
+
+    #[test]
+    fn both_backends_execute_the_same_ops() {
+        let ins = CkksInstance::toy(10, 6, 2);
+        let mut b = CircuitBuilder::new(&ins);
+        let x = b.input();
+        let r = b.hrot(x, 2).unwrap();
+        let masked = b.pmult(r, 0.5).unwrap();
+        let same = b.pmult(x, 0.5).unwrap();
+        let sum = b.hadd(masked, same).unwrap();
+        let acc = b.rescale(sum).unwrap();
+        let raw_sq = b.hmult(acc, acc).unwrap();
+        let sq = b.rescale(raw_sq).unwrap();
+        b.output(sq);
+        let circuit = b.build();
+
+        let lowered = TraceBackend::new().execute(&circuit).unwrap();
+        let run = FunctionalBackend::new(&ins, 7)
+            .unwrap()
+            .execute(&circuit)
+            .unwrap();
+        for (op, count) in circuit.op_counts() {
+            assert_eq!(lowered.trace.count(op), count, "trace {op:?}");
+            assert_eq!(run.op_counts.get(&op), Some(&count), "functional {op:?}");
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! # bts-circuit
+//!
+//! The shared homomorphic-circuit IR of the workspace: one program
+//! representation — [`HeCircuit`], built with [`CircuitBuilder`] — executed
+//! by two interchangeable [`Backend`]s:
+//!
+//! * [`TraceBackend`] lowers the circuit to a [`bts_sim::OpTrace`] for the
+//!   BTS accelerator cost model, expanding [`HeInstr::Bootstrap`] markers
+//!   into the full Han–Ki bootstrap op sequence of a [`BootstrapPlan`];
+//! * [`FunctionalBackend`] executes the circuit on real RNS ciphertexts via
+//!   [`bts_ckks::Evaluator`] and returns the decrypted slots.
+//!
+//! The BTS paper's evaluation (Tables 5/6) rests on simulated op traces
+//! faithfully mirroring what the CKKS computation performs; with one IR and
+//! two backends that fidelity is an *executable property* — the equivalence
+//! tests assert that per-op-class counts agree — instead of a convention
+//! spread across hand-rolled trace generators. Workloads implement the
+//! [`Workload`] trait and are looked up by name in a [`WorkloadRegistry`],
+//! so adding a scenario is one circuit-building function.
+//!
+//! ```
+//! use bts_circuit::{Backend, CircuitBuilder, FunctionalBackend, TraceBackend};
+//! use bts_params::CkksInstance;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ins = CkksInstance::toy(10, 4, 2);
+//! let mut b = CircuitBuilder::new(&ins);
+//! let x = b.input();
+//! let prod = b.hmult(x, x)?;
+//! let sq = b.rescale(prod)?;
+//! b.output(sq);
+//! let circuit = b.build();
+//!
+//! // Cost side: lower to an op trace for the simulator.
+//! let lowered = TraceBackend::new().execute(&circuit)?;
+//! assert_eq!(lowered.trace.len(), 2);
+//!
+//! // Functional side: run on real ciphertexts and decrypt.
+//! let run = FunctionalBackend::new(&ins, 1)?.execute(&circuit)?;
+//! assert_eq!(run.outputs.len(), 1);
+//! // Same program, same op classes, checkable:
+//! assert_eq!(run.op_counts, circuit.op_counts());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod backend;
+mod bootstrap_plan;
+mod builder;
+mod error;
+mod functional;
+mod ir;
+mod trace_backend;
+mod workload;
+
+pub use backend::Backend;
+pub use bootstrap_plan::BootstrapPlan;
+pub use builder::CircuitBuilder;
+pub use error::CircuitError;
+pub use functional::{FunctionalBackend, FunctionalRun};
+pub use ir::{CircuitInput, HeCircuit, HeInstr, HeInstrNode, ValueId};
+pub use trace_backend::{LoweredTrace, TraceBackend};
+pub use workload::{Workload, WorkloadRegistry};

@@ -1,0 +1,196 @@
+use std::collections::HashMap;
+
+use bts_sim::{CtId, OpTrace, TraceBuilder};
+
+use crate::backend::Backend;
+use crate::bootstrap_plan::BootstrapPlan;
+use crate::error::CircuitError;
+use crate::ir::{HeCircuit, HeInstr, ValueId};
+
+/// Result of lowering a circuit for the cost simulator.
+#[derive(Debug, Clone)]
+pub struct LoweredTrace {
+    /// The op trace, ready for [`bts_sim::Simulator::run`].
+    pub trace: OpTrace,
+    /// Number of bootstrap markers that were expanded.
+    pub bootstrap_count: usize,
+}
+
+/// Lowers an [`HeCircuit`] to a [`bts_sim::OpTrace`]: every instruction maps
+/// to one traced op, and every [`HeInstr::Bootstrap`] marker expands to the
+/// full ModRaise → CoeffToSlot → EvalMod → SlotToCoeff op sequence of the
+/// configured [`BootstrapPlan`], sized by the instance's usable level budget.
+#[derive(Debug, Clone)]
+pub struct TraceBackend {
+    plan: BootstrapPlan,
+}
+
+impl TraceBackend {
+    /// A backend expanding bootstraps with the paper-default plan.
+    pub fn new() -> Self {
+        Self {
+            plan: BootstrapPlan::paper_default(),
+        }
+    }
+
+    /// A backend with an explicit bootstrap plan.
+    pub fn with_plan(plan: BootstrapPlan) -> Self {
+        Self { plan }
+    }
+
+    /// The bootstrap plan used for marker expansion.
+    pub fn plan(&self) -> &BootstrapPlan {
+        &self.plan
+    }
+}
+
+impl Default for TraceBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Backend for TraceBackend {
+    type Output = LoweredTrace;
+
+    fn execute(&mut self, circuit: &HeCircuit) -> Result<LoweredTrace, CircuitError> {
+        circuit.validate()?;
+        let mut builder = TraceBuilder::new(&circuit.instance);
+        let mut env: HashMap<ValueId, CtId> = HashMap::new();
+        for input in &circuit.inputs {
+            env.insert(input.id, builder.fresh_ct(input.level));
+        }
+        let ct = |env: &HashMap<ValueId, CtId>, v: ValueId| -> CtId {
+            *env.get(&v)
+                .expect("validated circuit has no dangling values")
+        };
+        let mut bootstrap_count = 0usize;
+        for node in &circuit.nodes {
+            let level = node.level;
+            let out = match node.instr {
+                HeInstr::HMult { a, b } => builder.hmult_at(ct(&env, a), ct(&env, b), level),
+                HeInstr::HRot { a, rotation } => builder.hrot(ct(&env, a), rotation, level),
+                HeInstr::Conjugate { a } => builder.conjugate(ct(&env, a), level),
+                HeInstr::PMult { a, .. } => builder.pmult(ct(&env, a), level),
+                HeInstr::PAdd { a, .. } => builder.padd(ct(&env, a), level),
+                HeInstr::HAdd { a, b } => builder.hadd(ct(&env, a), ct(&env, b), level),
+                HeInstr::Rescale { a } => builder.hrescale_at(ct(&env, a), level),
+                HeInstr::CMult { a, .. } => builder.cmult(ct(&env, a), level),
+                HeInstr::CAdd { a, .. } => builder.cadd(ct(&env, a), level),
+                HeInstr::ModRaise { a } => {
+                    builder.mod_raise(ct(&env, a), circuit.instance.max_level())
+                }
+                HeInstr::Bootstrap { a } => {
+                    // The IR's level bookkeeping assumes a bootstrap consumes
+                    // exactly L_boot levels; a plan consuming anything else
+                    // would leave every post-bootstrap op cost-charged at the
+                    // wrong level, so refuse it rather than desync silently.
+                    if self.plan.levels_consumed() != bts_params::L_BOOT {
+                        return Err(CircuitError::InvalidCircuit(format!(
+                            "bootstrap plan consumes {} levels but the circuit IR assumes L_boot = {}",
+                            self.plan.levels_consumed(),
+                            bts_params::L_BOOT
+                        )));
+                    }
+                    if circuit.instance.max_level() < self.plan.levels_consumed() {
+                        return Err(CircuitError::CannotBootstrap {
+                            max_level: circuit.instance.max_level(),
+                            required: self.plan.levels_consumed(),
+                        });
+                    }
+                    bootstrap_count += 1;
+                    self.plan.append_to(&mut builder, ct(&env, a))
+                }
+            };
+            env.insert(node.result, out);
+        }
+        Ok(LoweredTrace {
+            trace: builder.build(),
+            bootstrap_count,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use bts_params::CkksInstance;
+    use bts_sim::HeOp;
+
+    #[test]
+    fn lowering_preserves_op_classes_one_to_one() {
+        let ins = CkksInstance::toy(11, 8, 2);
+        let mut b = CircuitBuilder::new(&ins);
+        let x = b.input();
+        let y = b.input();
+        let raw = b.hmult(x, y).unwrap();
+        let p = b.rescale(raw).unwrap();
+        let r = b.hrot(p, 3).unwrap();
+        let m = b.pmult(r, 0.5).unwrap();
+        let masked_p = b.pmult(p, 0.5).unwrap();
+        let s = b.hadd(m, masked_p).unwrap();
+        let s = b.rescale(s).unwrap();
+        b.output(s);
+        let circuit = b.build();
+        let lowered = TraceBackend::new().execute(&circuit).unwrap();
+        assert!(lowered.trace.validate().is_ok());
+        assert_eq!(lowered.bootstrap_count, 0);
+        for (op, count) in circuit.op_counts() {
+            assert_eq!(lowered.trace.count(op), count, "{op:?}");
+        }
+        assert_eq!(lowered.trace.len(), circuit.len());
+        assert_eq!(lowered.trace.rotation_keys, 1);
+    }
+
+    #[test]
+    fn bootstrap_markers_expand_to_the_plan() {
+        let ins = CkksInstance::ins1();
+        let mut b = CircuitBuilder::new(&ins);
+        let x = b.input_at(0);
+        let refreshed = b.bootstrap(x).unwrap();
+        b.output(refreshed);
+        let circuit = b.build();
+        let lowered = TraceBackend::new().execute(&circuit).unwrap();
+        assert!(lowered.trace.validate().is_ok());
+        assert_eq!(lowered.bootstrap_count, 1);
+        let plan = BootstrapPlan::paper_default();
+        assert_eq!(lowered.trace.key_switch_count(), plan.key_switch_count());
+        assert_eq!(lowered.trace.count(HeOp::ModRaise), 1);
+        assert!(lowered.trace.ops.iter().all(|o| o.in_bootstrap));
+    }
+
+    #[test]
+    fn mismatched_bootstrap_plans_are_rejected() {
+        // A plan consuming != L_boot levels would silently desync the trace
+        // from the IR's post-bootstrap levels.
+        let ins = CkksInstance::ins1();
+        let mut b = CircuitBuilder::new(&ins);
+        let x = b.input_at(0);
+        let refreshed = b.bootstrap(x).unwrap();
+        b.output(refreshed);
+        let circuit = b.build();
+        let bad_plan = BootstrapPlan {
+            evalmod_levels: 12,
+            ..BootstrapPlan::paper_default()
+        };
+        let err = TraceBackend::with_plan(bad_plan).execute(&circuit);
+        assert!(matches!(err, Err(crate::CircuitError::InvalidCircuit(_))));
+    }
+
+    #[test]
+    fn levels_flow_through_to_the_trace() {
+        let ins = CkksInstance::ins2();
+        let mut b = CircuitBuilder::new(&ins);
+        let x = b.input();
+        let top = b.level_of(x);
+        let raw1 = b.hmult(x, x).unwrap();
+        let p = b.rescale(raw1).unwrap();
+        let raw2 = b.hmult(p, p).unwrap();
+        let q = b.rescale(raw2).unwrap();
+        b.output(q);
+        let lowered = TraceBackend::new().execute(&b.build()).unwrap();
+        let levels: Vec<usize> = lowered.trace.ops.iter().map(|o| o.level).collect();
+        assert_eq!(levels, vec![top, top, top - 1, top - 1]);
+    }
+}

@@ -37,6 +37,15 @@ impl<'a> Evaluator<'a> {
     }
 
     fn check_scales(a: f64, b: f64) -> crate::Result<()> {
+        // A zero (or negative / non-finite) scale means the ciphertext no
+        // longer encodes anything meaningful; comparing two such scales would
+        // evaluate `0.0 / 0.0 > tol`, and NaN comparisons are always false, so
+        // the mismatch would slip through silently. Reject it explicitly.
+        if !(a.is_finite() && b.is_finite() && a > 0.0 && b > 0.0) {
+            return Err(CkksError::OperandMismatch(format!(
+                "non-positive or non-finite scale: {a} vs {b}"
+            )));
+        }
         if (a - b).abs() / a.max(b) > SCALE_TOLERANCE {
             return Err(CkksError::OperandMismatch(format!(
                 "scales differ: {a} vs {b}"
@@ -395,5 +404,39 @@ impl LinearTransform {
     /// Number of non-zero diagonals.
     pub fn diagonal_count(&self) -> usize {
         self.diagonals.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::CkksContext;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_scales_are_rejected_instead_of_nan_passing() {
+        // (0 - 0) / max(0, 0) is NaN, and `NaN > tol` is false, so before the
+        // guard two zero-scale ciphertexts silently passed the mismatch check.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let ctx = CkksContext::new_toy(1 << 10, 3, 2).unwrap();
+        let (sk, keys) = ctx.generate_keys(&mut rng).unwrap();
+        let eval = ctx.evaluator(&keys);
+        let msg = vec![Complex::new(0.25, 0.0); ctx.slots()];
+        let ct = ctx
+            .encrypt(&ctx.encode(&msg).unwrap(), &sk, &mut rng)
+            .unwrap();
+        let broken = Ciphertext::new(ct.c0().clone(), ct.c1().clone(), ct.level(), 0.0);
+        for result in [
+            eval.add(&broken, &broken),
+            eval.sub(&broken, &broken),
+            eval.add(&broken, &ct),
+        ] {
+            assert!(
+                matches!(result, Err(CkksError::OperandMismatch(_))),
+                "zero scales must be an OperandMismatch"
+            );
+        }
+        // Healthy ciphertexts are unaffected.
+        assert!(eval.add(&ct, &ct).is_ok());
     }
 }

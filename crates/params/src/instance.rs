@@ -95,6 +95,22 @@ impl CkksInstance {
         self.max_level
     }
 
+    /// Whether the level budget accommodates one bootstrap (`L ≥ L_boot`).
+    pub fn can_bootstrap(&self) -> bool {
+        self.max_level >= crate::L_BOOT
+    }
+
+    /// The level fresh and freshly-bootstrapped ciphertexts sit at: on a
+    /// bootstrappable instance `L - L_boot` (the budget above is reserved for
+    /// the bootstrap itself), otherwise the full `L`.
+    pub fn usable_top_level(&self) -> usize {
+        if self.can_bootstrap() {
+            self.max_level - crate::L_BOOT
+        } else {
+            self.max_level
+        }
+    }
+
     /// Decomposition number dnum of the generalized key-switching.
     pub fn dnum(&self) -> usize {
         self.dnum

@@ -206,7 +206,26 @@ impl Simulator {
     }
 
     /// Runs a trace and reports performance, traffic, utilization and energy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace fails [`OpTrace::validate`] (dangling ciphertext
+    /// ids or out-of-budget levels); use [`Simulator::try_run`] to handle the
+    /// error instead.
     pub fn run(&self, trace: &OpTrace) -> SimReport {
+        match self.try_run(trace) {
+            Ok(report) => report,
+            Err(e) => panic!("invalid op trace: {e}"),
+        }
+    }
+
+    /// Validates a trace ([`OpTrace::validate`]) and runs it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural defect found in the trace.
+    pub fn try_run(&self, trace: &OpTrace) -> Result<SimReport, crate::trace::TraceError> {
+        trace.validate()?;
         let mut total = 0.0f64;
         let mut bootstrap = 0.0f64;
         let mut per_op: BTreeMap<HeOp, OpClassStats> = BTreeMap::new();
@@ -269,7 +288,7 @@ impl Simulator {
             .cost_model
             .energy_joules(total, ntt_util, bconv_util, hbm_util, ew_util);
 
-        SimReport {
+        Ok(SimReport {
             total_seconds: total,
             bootstrap_seconds: bootstrap,
             per_op,
@@ -285,7 +304,7 @@ impl Simulator {
             scratchpad_peak_bytes: peak_scratch,
             energy_j: energy,
             area_mm2: self.cost_model.total_area_mm2(),
-        }
+        })
     }
 
     /// Peak temporary-data footprint of one key-switching op at the maximum
@@ -489,6 +508,20 @@ mod tests {
         assert!(r.energy_j > 0.0);
         assert!(r.edap() > 0.0);
         assert!(r.scratchpad_peak_bytes > 0);
+    }
+
+    #[test]
+    fn simulator_entry_point_rejects_invalid_traces() {
+        let ins = CkksInstance::ins1();
+        let mut b = TraceBuilder::new(&ins);
+        let x = b.fresh_ct(27);
+        b.hmult(x, x);
+        let mut trace = b.build();
+        trace.ops[0].inputs.push(12345); // dangling id
+        let sim = Simulator::new(BtsConfig::bts_default(), ins);
+        assert!(sim.try_run(&trace).is_err());
+        trace.ops[0].inputs.pop();
+        assert!(sim.try_run(&trace).is_ok());
     }
 
     #[test]

@@ -54,5 +54,5 @@ pub use noc::{BruNoc, PeMemNoc, PePeNoc};
 pub use pe::{KeySwitchOccupancy, ProcessingElement};
 pub use scratchpad::{AllocationClass, AllocationPlan, Scratchpad};
 pub use timeline::{hmult_timeline, TimelineSegment};
-pub use trace::{CtId, HeOp, OpTrace, TraceBuilder, TracedOp};
+pub use trace::{CtId, HeOp, OpTrace, TraceBuilder, TraceError, TracedOp};
 pub use twiddle::TwiddleStorage;

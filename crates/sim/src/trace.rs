@@ -64,7 +64,66 @@ pub struct OpTrace {
     pub ops: Vec<TracedOp>,
     /// Number of distinct rotation keys the trace requires.
     pub rotation_keys: usize,
+    /// Ciphertext ids that enter the trace from outside (fresh ciphertexts
+    /// arriving from the host); every other id must be produced by an op.
+    pub inputs: Vec<CtId>,
 }
+
+/// A structural defect in an [`OpTrace`] found by [`OpTrace::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// An op consumes a ciphertext id that is neither a declared trace input
+    /// nor the output of an earlier op.
+    UndefinedInput {
+        /// Index of the offending op in program order.
+        op_index: usize,
+        /// The undefined ciphertext id.
+        id: CtId,
+    },
+    /// An op's level exceeds the instance's level budget.
+    LevelOutOfRange {
+        /// Index of the offending op in program order.
+        op_index: usize,
+        /// The out-of-range level.
+        level: usize,
+        /// The instance's maximum level L.
+        max_level: usize,
+    },
+    /// An op's output id collides with an already-defined ciphertext (a
+    /// trace input or an earlier op's output), which would make the cache
+    /// model treat two unrelated ciphertexts as one resident entry.
+    DuplicateOutput {
+        /// Index of the offending op in program order.
+        op_index: usize,
+        /// The reused ciphertext id.
+        id: CtId,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::UndefinedInput { op_index, id } => write!(
+                f,
+                "op #{op_index} consumes ciphertext id {id} that is neither a trace input nor a prior op's output"
+            ),
+            TraceError::LevelOutOfRange {
+                op_index,
+                level,
+                max_level,
+            } => write!(
+                f,
+                "op #{op_index} executes at level {level} beyond the instance budget L = {max_level}"
+            ),
+            TraceError::DuplicateOutput { op_index, id } => write!(
+                f,
+                "op #{op_index} redefines ciphertext id {id}, aliasing an existing ciphertext"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
 
 impl OpTrace {
     /// Number of operations.
@@ -87,12 +146,78 @@ impl OpTrace {
         self.ops.iter().filter(|o| o.op == op).count()
     }
 
-    /// Concatenates another trace after this one (levels and ids are taken
-    /// verbatim; callers are responsible for id disjointness if cache accuracy
-    /// matters).
+    /// Concatenates another trace after this one. The other trace's
+    /// ciphertext ids are shifted above this trace's id range: independent
+    /// [`TraceBuilder`]s both number ids from 0, so splicing them verbatim
+    /// would alias unrelated ciphertexts and corrupt the cache model's
+    /// residency accounting (phantom hits, understated HBM traffic).
+    ///
+    /// `rotation_keys` stores only a count, not the rotation amounts, so the
+    /// merged value (the max of the two counts) is a *lower bound*: traces
+    /// with disjoint rotation sets need up to the sum.
     pub fn extend(&mut self, other: &OpTrace) {
-        self.ops.extend(other.ops.iter().cloned());
+        let offset = self.next_free_id();
+        self.ops.extend(other.ops.iter().map(|op| {
+            let mut op = op.clone();
+            for id in &mut op.inputs {
+                *id += offset;
+            }
+            if let Some(out) = &mut op.output {
+                *out += offset;
+            }
+            op
+        }));
         self.rotation_keys = self.rotation_keys.max(other.rotation_keys);
+        self.inputs
+            .extend(other.inputs.iter().map(|id| id + offset));
+    }
+
+    /// The smallest ciphertext id not used by this trace.
+    fn next_free_id(&self) -> CtId {
+        let op_ids = self
+            .ops
+            .iter()
+            .flat_map(|op| op.inputs.iter().copied().chain(op.output));
+        self.inputs
+            .iter()
+            .copied()
+            .chain(op_ids)
+            .max()
+            .map_or(0, |max| max + 1)
+    }
+
+    /// Checks structural well-formedness: every op input is either a declared
+    /// trace input or the output of an earlier op, and every op's level lies
+    /// within the instance's budget. The simulator validates traces on entry,
+    /// so a hand-rolled trace with dangling ids fails fast instead of
+    /// corrupting the cache model's residency accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TraceError`] found, in program order.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        let mut defined: std::collections::HashSet<CtId> = self.inputs.iter().copied().collect();
+        let max_level = self.instance.max_level();
+        for (op_index, op) in self.ops.iter().enumerate() {
+            if op.level > max_level {
+                return Err(TraceError::LevelOutOfRange {
+                    op_index,
+                    level: op.level,
+                    max_level,
+                });
+            }
+            for &id in &op.inputs {
+                if !defined.contains(&id) {
+                    return Err(TraceError::UndefinedInput { op_index, id });
+                }
+            }
+            if let Some(out) = op.output {
+                if !defined.insert(out) {
+                    return Err(TraceError::DuplicateOutput { op_index, id: out });
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -104,6 +229,7 @@ pub struct TraceBuilder {
     next_id: CtId,
     rotation_keys: std::collections::HashSet<i64>,
     in_bootstrap: bool,
+    inputs: Vec<CtId>,
 }
 
 impl TraceBuilder {
@@ -115,6 +241,7 @@ impl TraceBuilder {
             next_id: 0,
             rotation_keys: std::collections::HashSet::new(),
             in_bootstrap: false,
+            inputs: Vec::new(),
         }
     }
 
@@ -128,6 +255,7 @@ impl TraceBuilder {
     pub fn fresh_ct(&mut self, _level: usize) -> CtId {
         let id = self.next_id;
         self.next_id += 1;
+        self.inputs.push(id);
         id
     }
 
@@ -223,6 +351,7 @@ impl TraceBuilder {
             instance: self.instance,
             ops: self.ops,
             rotation_keys: self.rotation_keys.len(),
+            inputs: self.inputs,
         }
     }
 }
@@ -278,5 +407,89 @@ mod tests {
         t1.extend(&t2);
         assert_eq!(t1.len(), 2);
         assert_eq!(t1.rotation_keys, 1);
+        assert!(t1.validate().is_ok(), "merged inputs keep the trace valid");
+        // The second trace's ids were shifted above the first's: both
+        // builders started numbering at 0, but the merged trace must not
+        // alias their unrelated ciphertexts.
+        assert_eq!(t1.inputs.len(), 2);
+        assert_ne!(t1.inputs[0], t1.inputs[1]);
+        assert_ne!(t1.ops[0].inputs[0], t1.ops[1].inputs[0]);
+    }
+
+    #[test]
+    fn builder_traces_validate() {
+        let ins = CkksInstance::ins1();
+        let mut b = TraceBuilder::new(&ins);
+        let x = b.fresh_ct(27);
+        let y = b.fresh_ct(27);
+        let z = b.hmult(x, y);
+        let z = b.hrescale_at(z, 27);
+        b.hrot(z, 5, 26);
+        assert!(b.build().validate().is_ok());
+    }
+
+    #[test]
+    fn dangling_input_ids_are_rejected() {
+        let ins = CkksInstance::ins1();
+        let mut b = TraceBuilder::new(&ins);
+        let x = b.fresh_ct(27);
+        b.hmult(x, x);
+        let mut trace = b.build();
+        trace.ops.push(TracedOp {
+            op: HeOp::HRot,
+            level: 20,
+            inputs: vec![999],
+            output: Some(1000),
+            in_bootstrap: false,
+        });
+        assert_eq!(
+            trace.validate(),
+            Err(TraceError::UndefinedInput {
+                op_index: 1,
+                id: 999
+            })
+        );
+    }
+
+    #[test]
+    fn duplicate_output_ids_are_rejected() {
+        let ins = CkksInstance::ins1();
+        let mut b = TraceBuilder::new(&ins);
+        let x = b.fresh_ct(27);
+        b.hmult(x, x);
+        let mut trace = b.build();
+        // Redefine the first op's output id with a second hand-rolled op.
+        let out = trace.ops[0].output.unwrap();
+        trace.ops.push(TracedOp {
+            op: HeOp::HRot,
+            level: 20,
+            inputs: vec![x],
+            output: Some(out),
+            in_bootstrap: false,
+        });
+        assert_eq!(
+            trace.validate(),
+            Err(TraceError::DuplicateOutput {
+                op_index: 1,
+                id: out
+            })
+        );
+    }
+
+    #[test]
+    fn out_of_budget_levels_are_rejected() {
+        let ins = CkksInstance::ins1();
+        let mut b = TraceBuilder::new(&ins);
+        let x = b.fresh_ct(27);
+        b.hmult_at(x, x, 99);
+        let trace = b.build();
+        assert_eq!(
+            trace.validate(),
+            Err(TraceError::LevelOutOfRange {
+                op_index: 0,
+                level: 99,
+                max_level: 27
+            })
+        );
     }
 }

@@ -1,32 +1,47 @@
+use bts_circuit::{CircuitBuilder, CircuitError, HeCircuit, Workload};
 use bts_params::{CkksInstance, L_BOOT};
-use bts_sim::{OpTrace, SimReport, Simulator, TraceBuilder};
+use bts_sim::{SimReport, Simulator};
 
-use crate::bootstrap::BootstrapPlan;
+/// The `T_mult,a/slot` microbenchmark (Eq. 8) as an [`HeCircuit`] generator:
+/// one bootstrap followed by an HMult + Rescale at every usable level from
+/// `L - L_boot` down to 1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AmortizedMultWorkload;
 
-/// The `T_mult,a/slot` microbenchmark trace (Eq. 8): one bootstrap followed by
-/// an HMult + HRescale at every usable level from `L - L_boot` down to 1.
-pub fn amortized_mult_trace(instance: &CkksInstance) -> OpTrace {
-    let mut builder = TraceBuilder::new(instance);
-    let ct = builder.fresh_ct(0);
-    let plan = BootstrapPlan::for_instance(instance);
-    let refreshed = plan.append_to(&mut builder, ct);
-    let usable = instance.max_level() - L_BOOT;
-    let mut current = refreshed;
-    for level in (1..=usable).rev() {
-        let other = current;
-        let prod = builder.hmult_at(current, other, level);
-        current = builder.hrescale_at(prod, level);
+impl Workload for AmortizedMultWorkload {
+    fn name(&self) -> &str {
+        "amortized-mult"
     }
-    builder.build()
+
+    fn build(&self, instance: &CkksInstance) -> Result<HeCircuit, CircuitError> {
+        let mut b = CircuitBuilder::new(instance);
+        let exhausted = b.input_at(0);
+        let mut cur = b.bootstrap(exhausted)?;
+        let usable = b.level_of(cur);
+        for _ in 0..usable {
+            let prod = b.hmult(cur, cur)?;
+            cur = b.rescale(prod)?;
+        }
+        b.output(cur);
+        Ok(b.build())
+    }
 }
 
 /// Runs the microbenchmark on a simulator and returns
 /// `(T_mult,a/slot in seconds, the underlying report)`:
 /// total time divided by the usable levels and the N/2 slots (Eq. 8).
+///
+/// # Panics
+///
+/// Panics if the simulator's instance cannot bootstrap (level budget below
+/// `L_boot`) — the microbenchmark is only defined for bootstrappable
+/// instances.
 pub fn amortized_mult_per_slot(simulator: &Simulator) -> (f64, SimReport) {
     let instance = simulator.instance().clone();
-    let trace = amortized_mult_trace(&instance);
-    let report = simulator.run(&trace);
+    let lowered = AmortizedMultWorkload
+        .lower(&instance)
+        .expect("amortized-mult requires a bootstrappable instance");
+    let report = simulator.run(&lowered.trace);
     let usable = (instance.max_level() - L_BOOT) as f64;
     let per_slot = report.total_seconds / usable * 2.0 / instance.n() as f64;
     (per_slot, report)
@@ -82,7 +97,9 @@ mod tests {
     #[test]
     fn trace_contains_exactly_one_bootstrap_region() {
         let ins = CkksInstance::ins1();
-        let trace = amortized_mult_trace(&ins);
+        let lowered = AmortizedMultWorkload.lower(&ins).unwrap();
+        assert_eq!(lowered.bootstrap_count, 1);
+        let trace = &lowered.trace;
         let boot_ops = trace.ops.iter().filter(|o| o.in_bootstrap).count();
         assert!(boot_ops > 0 && boot_ops < trace.len());
         // usable levels worth of HMults outside the bootstrap region
@@ -92,5 +109,11 @@ mod tests {
             .filter(|o| !o.in_bootstrap && o.op == bts_sim::HeOp::HMult)
             .count();
         assert_eq!(mults_outside, ins.max_level() - L_BOOT);
+    }
+
+    #[test]
+    fn toy_instances_cannot_run_the_microbenchmark() {
+        let toy = CkksInstance::toy(11, 6, 2);
+        assert!(AmortizedMultWorkload.build(&toy).is_err());
     }
 }

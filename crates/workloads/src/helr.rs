@@ -1,7 +1,7 @@
+use bts_circuit::{CircuitError, HeCircuit, Workload};
 use bts_params::CkksInstance;
 
-use crate::levels::AppBuilder;
-use crate::Workload;
+use crate::shapes::AppCircuit;
 
 /// Configuration of the HELR logistic-regression training workload \[39\]:
 /// binary classification on MNIST, 30 iterations, 1,024 images of 14×14
@@ -26,42 +26,58 @@ impl Default for HelrConfig {
     }
 }
 
-/// Generates the HELR training trace for an instance.
+/// The HELR training workload as an [`HeCircuit`] generator.
 ///
 /// Each iteration computes the encrypted gradient: an inner product of the
 /// packed image batch with the weight vector (rotate-and-accumulate over
 /// log2(features) + log2(batch-lanes) steps), a degree-3 polynomial sigmoid
 /// approximation, and the weight update — about 8 multiplicative levels per
-/// iteration. Bootstraps are inserted whenever the level budget runs out,
-/// which is every iteration for INS-1 and roughly every other iteration for
-/// INS-2/INS-3.
-pub fn helr_trace(instance: &CkksInstance, config: HelrConfig) -> Workload {
-    let mut app = AppBuilder::new(instance);
-    let rot_steps = (config.features.next_power_of_two().trailing_zeros()
-        + (config
-            .batch
-            .min(instance.slots() / config.features.next_power_of_two()))
-        .next_power_of_two()
-        .trailing_zeros()) as usize;
-    for _ in 0..config.iterations {
-        // X·w inner product: rotate-and-accumulate plus masking.
-        app.ensure(8);
-        app.rotate_mac_level(rot_steps / 2, rot_steps / 2 + 2);
-        app.rotate_mac_level(rot_steps - rot_steps / 2, rot_steps / 2 + 2);
-        // Sigmoid: degree-3 least-squares polynomial (2 levels).
-        app.poly_eval(2, 2);
-        // Gradient aggregation across the batch and weight update.
-        app.rotate_mac_level(rot_steps / 2, rot_steps / 2);
-        app.mult_level();
-        app.mult_level();
-        // Learning-rate scaling + weight accumulation.
-        app.poly_eval(1, 1);
+/// iteration. Bootstrap markers are inserted whenever the level budget runs
+/// out: INS-1's 8 usable levels force two refreshes per iteration (one up
+/// front plus one inside the weight update), while INS-2/INS-3 refresh
+/// roughly every other iteration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HelrWorkload {
+    /// The training configuration.
+    pub config: HelrConfig,
+}
+
+impl HelrWorkload {
+    /// A workload with an explicit configuration.
+    pub fn new(config: HelrConfig) -> Self {
+        Self { config }
     }
-    let (trace, bootstraps) = app.finish();
-    Workload {
-        name: "HELR".to_string(),
-        trace,
-        bootstrap_count: bootstraps,
+}
+
+impl Workload for HelrWorkload {
+    fn name(&self) -> &str {
+        "helr"
+    }
+
+    fn build(&self, instance: &CkksInstance) -> Result<HeCircuit, CircuitError> {
+        let config = self.config;
+        let mut app = AppCircuit::new(instance);
+        let rot_steps = (config.features.next_power_of_two().trailing_zeros()
+            + (config
+                .batch
+                .min(instance.slots() / config.features.next_power_of_two()))
+            .next_power_of_two()
+            .trailing_zeros()) as usize;
+        for _ in 0..config.iterations {
+            // X·w inner product: rotate-and-accumulate plus masking.
+            app.ensure(8)?;
+            app.rotate_mac_level(rot_steps / 2, rot_steps / 2 + 2)?;
+            app.rotate_mac_level(rot_steps - rot_steps / 2, rot_steps / 2 + 2)?;
+            // Sigmoid: degree-3 least-squares polynomial (2 levels).
+            app.poly_eval(2, 2)?;
+            // Gradient aggregation across the batch and weight update.
+            app.rotate_mac_level(rot_steps / 2, rot_steps / 2)?;
+            app.mult_level()?;
+            app.mult_level()?;
+            // Learning-rate scaling + weight accumulation.
+            app.poly_eval(1, 1)?;
+        }
+        Ok(app.finish())
     }
 }
 
@@ -77,8 +93,8 @@ mod tests {
         // be the fastest.
         let mut times = Vec::new();
         for ins in CkksInstance::evaluation_set() {
-            let wl = helr_trace(&ins, HelrConfig::default());
-            let report = Simulator::new(BtsConfig::bts_default(), ins.clone()).run(&wl.trace);
+            let lowered = HelrWorkload::default().lower(&ins).unwrap();
+            let report = Simulator::new(BtsConfig::bts_default(), ins.clone()).run(&lowered.trace);
             let ms_per_iter = report.total_seconds * 1e3 / 30.0;
             assert!(
                 (5.0..200.0).contains(&ms_per_iter),
@@ -93,19 +109,29 @@ mod tests {
 
     #[test]
     fn deeper_instances_bootstrap_less() {
-        let w1 = helr_trace(&CkksInstance::ins1(), HelrConfig::default());
-        let w3 = helr_trace(&CkksInstance::ins3(), HelrConfig::default());
-        assert!(w1.bootstrap_count > w3.bootstrap_count);
-        assert!(
-            w1.bootstrap_count >= 20,
-            "INS-1 should bootstrap most iterations"
-        );
+        let w = HelrWorkload::default();
+        let b1 = w.lower(&CkksInstance::ins1()).unwrap().bootstrap_count;
+        let b3 = w.lower(&CkksInstance::ins3()).unwrap().bootstrap_count;
+        assert!(b1 > b3);
+        assert!(b1 >= 20, "INS-1 should bootstrap most iterations, got {b1}");
     }
 
     #[test]
     fn trace_is_nontrivial() {
-        let wl = helr_trace(&CkksInstance::ins2(), HelrConfig::default());
-        assert!(wl.trace.key_switch_count() > 500);
-        assert!(wl.trace.rotation_keys > 5);
+        let lowered = HelrWorkload::default()
+            .lower(&CkksInstance::ins2())
+            .unwrap();
+        assert!(lowered.trace.key_switch_count() > 500);
+        assert!(lowered.trace.rotation_keys > 5);
+        assert!(lowered.trace.validate().is_ok());
+    }
+
+    #[test]
+    fn circuit_and_trace_agree_on_bootstrap_count() {
+        let ins = CkksInstance::ins1();
+        let w = HelrWorkload::default();
+        let circuit = w.build(&ins).unwrap();
+        let lowered = w.lower(&ins).unwrap();
+        assert_eq!(circuit.bootstrap_count(), lowered.bootstrap_count);
     }
 }

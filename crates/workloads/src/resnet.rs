@@ -1,7 +1,7 @@
+use bts_circuit::{CircuitError, HeCircuit, Workload};
 use bts_params::CkksInstance;
 
-use crate::levels::AppBuilder;
-use crate::Workload;
+use crate::shapes::AppCircuit;
 
 /// Configuration of the homomorphic ResNet-20 inference workload \[59\] with the
 /// channel-packing optimization of GAZELLE \[50\] (§6.2/§6.3): CIFAR-10
@@ -32,43 +32,55 @@ impl Default for ResNetConfig {
     }
 }
 
-/// Generates the ResNet-20 inference trace: per layer a homomorphic
-/// convolution (rotate–multiply–accumulate groups), a batch-norm/scale level
-/// and a deep polynomial ReLU, followed by average pooling and the final
-/// fully connected layer. Bootstraps are inserted on demand.
-pub fn resnet20_trace(instance: &CkksInstance, config: ResNetConfig) -> Workload {
-    let mut app = AppBuilder::new(instance);
-    // Without channel packing the feature maps of a layer span ~8 separate
-    // ciphertexts, so every per-layer stage — convolution, batch-norm and the
-    // polynomial ReLU — repeats once per ciphertext (this working-set blow-up
-    // is what the paper's 17.8× packing gain removes).
-    let ct_repeats = if config.channel_packing { 1 } else { 8 };
-    for _layer in 0..config.conv_layers {
-        for _ in 0..ct_repeats {
-            // Convolution: rotate/PMult/accumulate, two levels (mask + combine).
-            app.rotate_mac_level(config.rotations_per_conv / 2, config.rotations_per_conv / 2);
-            app.rotate_mac_level(
-                config.rotations_per_conv - config.rotations_per_conv / 2,
-                config.rotations_per_conv / 2,
-            );
-            // Batch-norm / residual scaling.
-            app.poly_eval(1, 1);
-            // ReLU: high-degree minimax polynomial composition.
-            app.poly_eval(config.relu_depth, 2);
-        }
+/// The ResNet-20 inference workload as an [`HeCircuit`] generator: per layer
+/// a homomorphic convolution (rotate–multiply–accumulate groups), a
+/// batch-norm/scale level and a deep polynomial ReLU, followed by average
+/// pooling and the final fully connected layer. Bootstrap markers are
+/// inserted on demand.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResNetWorkload {
+    /// The inference configuration.
+    pub config: ResNetConfig,
+}
+
+impl ResNetWorkload {
+    /// A workload with an explicit configuration.
+    pub fn new(config: ResNetConfig) -> Self {
+        Self { config }
     }
-    // Average pooling + fully connected layer.
-    app.rotate_mac_level(10, 10);
-    app.mult_level();
-    let (trace, bootstraps) = app.finish();
-    Workload {
-        name: if config.channel_packing {
-            "ResNet-20".to_string()
-        } else {
-            "ResNet-20 (no packing)".to_string()
-        },
-        trace,
-        bootstrap_count: bootstraps,
+}
+
+impl Workload for ResNetWorkload {
+    fn name(&self) -> &str {
+        "resnet20"
+    }
+
+    fn build(&self, instance: &CkksInstance) -> Result<HeCircuit, CircuitError> {
+        let config = self.config;
+        let mut app = AppCircuit::new(instance);
+        // Without channel packing the feature maps of a layer span ~8 separate
+        // ciphertexts, so every per-layer stage — convolution, batch-norm and
+        // the polynomial ReLU — repeats once per ciphertext (this working-set
+        // blow-up is what the paper's 17.8× packing gain removes).
+        let ct_repeats = if config.channel_packing { 1 } else { 8 };
+        for _layer in 0..config.conv_layers {
+            for _ in 0..ct_repeats {
+                // Convolution: rotate/PMult/accumulate, two levels (mask + combine).
+                app.rotate_mac_level(config.rotations_per_conv / 2, config.rotations_per_conv / 2)?;
+                app.rotate_mac_level(
+                    config.rotations_per_conv - config.rotations_per_conv / 2,
+                    config.rotations_per_conv / 2,
+                )?;
+                // Batch-norm / residual scaling.
+                app.poly_eval(1, 1)?;
+                // ReLU: high-degree minimax polynomial composition.
+                app.poly_eval(config.relu_depth, 2)?;
+            }
+        }
+        // Average pooling + fully connected layer.
+        app.rotate_mac_level(10, 10)?;
+        app.mult_level()?;
+        Ok(app.finish())
     }
 }
 
@@ -82,7 +94,12 @@ mod tests {
         // Table 6: 53 / 22 / 19 bootstraps on INS-1/2/3.
         let counts: Vec<usize> = CkksInstance::evaluation_set()
             .iter()
-            .map(|ins| resnet20_trace(ins, ResNetConfig::default()).bootstrap_count)
+            .map(|ins| {
+                ResNetWorkload::default()
+                    .lower(ins)
+                    .unwrap()
+                    .bootstrap_count
+            })
             .collect();
         assert!(
             counts[0] > counts[1] && counts[1] >= counts[2],
@@ -101,9 +118,9 @@ mod tests {
         // Table 6: 1.91 s on INS-1; our model should land within a small
         // factor and preserve INS-1 ≤ INS-3 ordering.
         let t = |ins: &CkksInstance| {
-            let wl = resnet20_trace(ins, ResNetConfig::default());
+            let lowered = ResNetWorkload::default().lower(ins).unwrap();
             Simulator::new(BtsConfig::bts_default(), ins.clone())
-                .run(&wl.trace)
+                .run(&lowered.trace)
                 .total_seconds
         };
         let t1 = t(&CkksInstance::ins1());
@@ -120,17 +137,12 @@ mod tests {
         // §6.3 attributes a 17.8× gain to channel packing.
         let ins = CkksInstance::ins1();
         let sim = Simulator::new(BtsConfig::bts_default(), ins.clone());
-        let packed = sim.run(&resnet20_trace(&ins, ResNetConfig::default()).trace);
-        let unpacked = sim.run(
-            &resnet20_trace(
-                &ins,
-                ResNetConfig {
-                    channel_packing: false,
-                    ..ResNetConfig::default()
-                },
-            )
-            .trace,
-        );
+        let packed = sim.run(&ResNetWorkload::default().lower(&ins).unwrap().trace);
+        let unpacked_workload = ResNetWorkload::new(ResNetConfig {
+            channel_packing: false,
+            ..ResNetConfig::default()
+        });
+        let unpacked = sim.run(&unpacked_workload.lower(&ins).unwrap().trace);
         let gain = unpacked.total_seconds / packed.total_seconds;
         assert!(gain > 3.0, "packing speedup = {gain}");
     }

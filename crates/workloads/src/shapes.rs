@@ -1,0 +1,92 @@
+use bts_circuit::{CircuitBuilder, CircuitError, HeCircuit, ValueId};
+use bts_params::CkksInstance;
+
+/// Helper for application circuits: tracks a "main" accumulator value and the
+/// common compute shapes FHE applications are built from. Level tracking and
+/// bootstrap insertion live in [`CircuitBuilder`]; this wrapper only provides
+/// the shapes (rotate–multiply–accumulate groups, polynomial evaluations,
+/// multiply–rescale steps), each consuming exactly one level per group so the
+/// per-instance bootstrap counts of Table 6 arise from the level budget.
+///
+/// Every shape is scale-coherent — additions only combine values at the same
+/// scale exponent — so the circuits it produces execute unchanged on the
+/// functional backend.
+#[derive(Debug)]
+pub(crate) struct AppCircuit {
+    builder: CircuitBuilder,
+    cur: ValueId,
+}
+
+impl AppCircuit {
+    pub fn new(instance: &CkksInstance) -> Self {
+        let mut builder = CircuitBuilder::new(instance);
+        let cur = builder.input();
+        Self { builder, cur }
+    }
+
+    /// Ensures at least `depth` more levels, bootstrapping first if needed.
+    pub fn ensure(&mut self, depth: usize) -> Result<(), CircuitError> {
+        self.cur = self.builder.ensure(self.cur, depth)?;
+        Ok(())
+    }
+
+    /// One ciphertext–ciphertext multiplication followed by a rescale
+    /// (consumes a level).
+    pub fn mult_level(&mut self) -> Result<(), CircuitError> {
+        self.ensure(1)?;
+        let prod = self.builder.hmult(self.cur, self.cur)?;
+        self.cur = self.builder.rescale(prod)?;
+        Ok(())
+    }
+
+    /// A rotate-multiply-accumulate group at the current level: `rotations`
+    /// HRots, about `max(rotations, pmults)` PMults with matching HAdds, then
+    /// one rescale (consumes a level). This is the shape of homomorphic
+    /// convolutions, inner products and BSGS linear transforms. The masks
+    /// average the terms so functional execution stays bounded.
+    pub fn rotate_mac_level(
+        &mut self,
+        rotations: usize,
+        pmults: usize,
+    ) -> Result<(), CircuitError> {
+        self.ensure(1)?;
+        let terms = 1 + rotations + pmults.saturating_sub(rotations + 1);
+        let mask = 1.0 / terms as f64;
+        let mut acc = self.builder.pmult(self.cur, mask)?;
+        for r in 1..=rotations {
+            let rotated = self.builder.hrot(self.cur, r as i64)?;
+            let scaled = self.builder.pmult(rotated, mask)?;
+            acc = self.builder.hadd(acc, scaled)?;
+        }
+        for _ in (rotations + 1)..pmults {
+            let scaled = self.builder.pmult(self.cur, mask)?;
+            acc = self.builder.hadd(acc, scaled)?;
+        }
+        self.cur = self.builder.rescale(acc)?;
+        Ok(())
+    }
+
+    /// A degree-`2^depth`-ish polynomial evaluation (e.g. an approximated
+    /// ReLU or sign function): `mults_per_level` HMults plus adds per level
+    /// over `depth` levels, one rescale (and so one level) per level.
+    pub fn poly_eval(&mut self, depth: usize, mults_per_level: usize) -> Result<(), CircuitError> {
+        for _ in 0..depth {
+            self.ensure(1)?;
+            let mut acc = self.builder.hmult(self.cur, self.cur)?;
+            for _ in 1..mults_per_level {
+                let prod = self.builder.hmult(self.cur, self.cur)?;
+                acc = self.builder.hadd(acc, prod)?;
+            }
+            let lin = self.builder.cmult(self.cur, 0.25)?;
+            acc = self.builder.hadd(acc, lin)?;
+            self.cur = self.builder.rescale(acc)?;
+        }
+        Ok(())
+    }
+
+    /// Finalizes the circuit with the accumulator as output.
+    pub fn finish(mut self) -> HeCircuit {
+        self.builder.output(self.cur);
+        self.builder.build()
+    }
+}

@@ -1,7 +1,7 @@
+use bts_circuit::{CircuitError, HeCircuit, Workload};
 use bts_params::CkksInstance;
 
-use crate::levels::AppBuilder;
-use crate::Workload;
+use crate::shapes::AppCircuit;
 
 /// Configuration of the homomorphic sorting workload \[42\]: a 2-way bitonic
 /// sorting network over 2^14 elements, with each comparison realized by a
@@ -24,26 +24,41 @@ impl Default for SortingConfig {
     }
 }
 
-/// Generates the sorting trace: a bitonic network with
+/// The sorting workload as an [`HeCircuit`] generator: a bitonic network with
 /// `log2(n)·(log2(n)+1)/2` compare-exchange stages, each consisting of a
 /// rotation to align partners, a deep sign-polynomial evaluation and the
 /// min/max recombination.
-pub fn sorting_trace(instance: &CkksInstance, config: SortingConfig) -> Workload {
-    let stages = (config.log_elements * (config.log_elements + 1) / 2) as usize;
-    let mut app = AppBuilder::new(instance);
-    for _stage in 0..stages {
-        // Align compare partners and mask the two halves.
-        app.rotate_mac_level(2, 2);
-        // Approximate sign(x - y): deep composite polynomial.
-        app.poly_eval(config.comparison_depth, 1);
-        // min/max recombination: two PMults and adds plus one level.
-        app.rotate_mac_level(1, 3);
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SortingWorkload {
+    /// The sorting configuration.
+    pub config: SortingConfig,
+}
+
+impl SortingWorkload {
+    /// A workload with an explicit configuration.
+    pub fn new(config: SortingConfig) -> Self {
+        Self { config }
     }
-    let (trace, bootstraps) = app.finish();
-    Workload {
-        name: "Sorting".to_string(),
-        trace,
-        bootstrap_count: bootstraps,
+}
+
+impl Workload for SortingWorkload {
+    fn name(&self) -> &str {
+        "sorting"
+    }
+
+    fn build(&self, instance: &CkksInstance) -> Result<HeCircuit, CircuitError> {
+        let config = self.config;
+        let stages = (config.log_elements * (config.log_elements + 1) / 2) as usize;
+        let mut app = AppCircuit::new(instance);
+        for _stage in 0..stages {
+            // Align compare partners and mask the two halves.
+            app.rotate_mac_level(2, 2)?;
+            // Approximate sign(x - y): deep composite polynomial.
+            app.poly_eval(config.comparison_depth, 1)?;
+            // min/max recombination: two PMults and adds plus one level.
+            app.rotate_mac_level(1, 3)?;
+        }
+        Ok(app.finish())
     }
 }
 
@@ -57,7 +72,12 @@ mod tests {
         // Table 6: 521 / 306 / 229 bootstraps on INS-1/2/3.
         let counts: Vec<usize> = CkksInstance::evaluation_set()
             .iter()
-            .map(|ins| sorting_trace(ins, SortingConfig::default()).bootstrap_count)
+            .map(|ins| {
+                SortingWorkload::default()
+                    .lower(ins)
+                    .unwrap()
+                    .bootstrap_count
+            })
             .collect();
         assert!(counts[0] > counts[1] && counts[1] > counts[2], "{counts:?}");
         assert!((300..=800).contains(&counts[0]), "INS-1: {}", counts[0]);
@@ -68,8 +88,8 @@ mod tests {
     fn sorting_latency_is_tens_of_seconds() {
         // Table 6: 15.6 s on INS-1.
         let ins = CkksInstance::ins1();
-        let wl = sorting_trace(&ins, SortingConfig::default());
-        let report = Simulator::new(BtsConfig::bts_default(), ins).run(&wl.trace);
+        let lowered = SortingWorkload::default().lower(&ins).unwrap();
+        let report = Simulator::new(BtsConfig::bts_default(), ins).run(&lowered.trace);
         assert!(
             (4.0..60.0).contains(&report.total_seconds),
             "sorting latency = {} s",
@@ -81,14 +101,13 @@ mod tests {
 
     #[test]
     fn stage_count_matches_bitonic_network() {
-        let wl = sorting_trace(
-            &CkksInstance::ins2(),
-            SortingConfig {
-                log_elements: 4,
-                comparison_depth: 10,
-            },
-        );
+        let lowered = SortingWorkload::new(SortingConfig {
+            log_elements: 4,
+            comparison_depth: 10,
+        })
+        .lower(&CkksInstance::ins2())
+        .unwrap();
         // 4·5/2 = 10 stages; each stage has at least one HMult from poly_eval.
-        assert!(wl.trace.key_switch_count() >= 10);
+        assert!(lowered.trace.key_switch_count() >= 10);
     }
 }

@@ -1,20 +1,25 @@
 //! Simulates one CKKS bootstrapping and the amortized-mult microbenchmark on
 //! the BTS accelerator model for the three Table 4 instances, printing the
-//! per-op breakdown and the headline `T_mult,a/slot`.
+//! per-op breakdown and the headline `T_mult,a/slot`. Both workloads travel
+//! the circuit pipeline: `CkksInstance → Workload → HeCircuit → TraceBackend
+//! → Simulator`.
 //!
 //! Run with: `cargo run --release --example accelerator_sim`
 
+use bts::circuit::Workload;
 use bts::params::CkksInstance;
 use bts::sim::{BtsConfig, Simulator};
-use bts::workloads::{amortized_mult_per_slot, BootstrapPlan};
+use bts::workloads::{amortized_mult_per_slot, BootstrapWorkload};
 
 fn main() {
     for instance in CkksInstance::evaluation_set() {
         let config = BtsConfig::bts_default();
         let sim = Simulator::new(config, instance.clone());
 
-        let plan = BootstrapPlan::for_instance(&instance);
-        let boot_report = sim.run(&plan.trace(&instance));
+        let lowered = BootstrapWorkload
+            .lower(&instance)
+            .expect("paper instances can bootstrap");
+        let boot_report = sim.run(&lowered.trace);
         println!(
             "=== {} (N = 2^{}, L = {}, dnum = {}) ===",
             instance.name(),
@@ -25,8 +30,8 @@ fn main() {
         println!(
             "bootstrapping: {:.2} ms over {} ops ({} key-switches), {:.1} GB streamed from HBM",
             boot_report.total_seconds * 1e3,
-            plan.trace(&instance).len(),
-            plan.key_switch_count(),
+            lowered.trace.len(),
+            lowered.trace.key_switch_count(),
             boot_report.hbm_bytes as f64 / 1e9
         );
         for (op, stats) in &boot_report.per_op {

@@ -5,10 +5,11 @@
 //!
 //! Run with: `cargo run --release --example encrypted_logistic_regression`
 
+use bts::circuit::Workload;
 use bts::ckks::{CkksContext, Complex};
 use bts::params::CkksInstance;
 use bts::sim::{BtsConfig, Simulator};
-use bts::workloads::{helr_trace, BaselineSet, HelrConfig};
+use bts::workloads::{BaselineSet, HelrWorkload};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- Functional part: one encrypted gradient step on toy parameters ----
@@ -60,14 +61,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .and_then(|b| b.helr_ms_per_iter)
         .unwrap_or(1235.0);
     for instance in CkksInstance::evaluation_set() {
-        let wl = helr_trace(&instance, HelrConfig::default());
-        let report = Simulator::new(BtsConfig::bts_default(), instance.clone()).run(&wl.trace);
+        let lowered = HelrWorkload::default()
+            .lower(&instance)
+            .expect("paper instances lower");
+        let report = Simulator::new(BtsConfig::bts_default(), instance.clone()).run(&lowered.trace);
         let ms_per_iter = report.total_seconds * 1e3 / 30.0;
         println!(
             "  {:<6}: {:>6.1} ms/iter, {:>3} bootstraps, {:>5.0}× faster than the Lattigo CPU baseline",
             instance.name(),
             ms_per_iter,
-            wl.bootstrap_count,
+            lowered.bootstrap_count,
             lattigo / ms_per_iter
         );
     }

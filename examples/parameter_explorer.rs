@@ -5,11 +5,11 @@
 //!
 //! Run with: `cargo run --release --example parameter_explorer`
 
+use bts::circuit::BootstrapPlan;
 use bts::params::{
     instance_at_security, min_nttu_count, sweep_dnum, BandwidthModel, CkksInstance, MinBoundModel,
     L_BOOT,
 };
-use bts::workloads::BootstrapPlan;
 
 fn main() {
     println!("-- Fig 1: level budget and evk size vs dnum (λ ≥ 128) --");

@@ -1,27 +1,29 @@
-//! Reproduces the ResNet-20 row of Table 6: generates the homomorphic
-//! inference op trace (with and without channel packing) and runs it through
-//! the BTS simulator for every evaluation instance.
+//! Reproduces the ResNet-20 row of Table 6: expresses the homomorphic
+//! inference as an `HeCircuit` (with and without channel packing), lowers it
+//! to an op trace and runs it through the BTS simulator for every evaluation
+//! instance.
 //!
 //! Run with: `cargo run --release --example resnet_inference`
 
+use bts::circuit::Workload;
 use bts::params::CkksInstance;
 use bts::sim::{BtsConfig, Simulator};
-use bts::workloads::{resnet20_trace, ResNetConfig};
+use bts::workloads::{ResNetConfig, ResNetWorkload};
 
 fn main() {
     println!(
         "{:<8} {:>12} {:>14} {:>12} {:>14}",
         "Instance", "latency (s)", "bootstraps", "HBM (GB)", "boot share"
     );
+    let workload = ResNetWorkload::default();
     for instance in CkksInstance::evaluation_set() {
-        let workload = resnet20_trace(&instance, ResNetConfig::default());
-        let report =
-            Simulator::new(BtsConfig::bts_default(), instance.clone()).run(&workload.trace);
+        let lowered = workload.lower(&instance).expect("paper instances lower");
+        let report = Simulator::new(BtsConfig::bts_default(), instance.clone()).run(&lowered.trace);
         println!(
             "{:<8} {:>12.2} {:>14} {:>12.1} {:>13.0}%",
             instance.name(),
             report.total_seconds,
-            workload.bootstrap_count,
+            lowered.bootstrap_count,
             report.hbm_bytes as f64 / 1e9,
             report.bootstrap_fraction() * 100.0
         );
@@ -30,17 +32,12 @@ fn main() {
     // The channel-packing ablation discussed in §6.3.
     let ins = CkksInstance::ins1();
     let sim = Simulator::new(BtsConfig::bts_default(), ins.clone());
-    let packed = sim.run(&resnet20_trace(&ins, ResNetConfig::default()).trace);
-    let unpacked = sim.run(
-        &resnet20_trace(
-            &ins,
-            ResNetConfig {
-                channel_packing: false,
-                ..ResNetConfig::default()
-            },
-        )
-        .trace,
-    );
+    let packed = sim.run(&workload.lower(&ins).expect("packed").trace);
+    let unpacked_workload = ResNetWorkload::new(ResNetConfig {
+        channel_packing: false,
+        ..ResNetConfig::default()
+    });
+    let unpacked = sim.run(&unpacked_workload.lower(&ins).expect("unpacked").trace);
     println!(
         "\nchannel packing speedup on INS-1: {:.1}× (paper attributes 17.8× to packing)",
         unpacked.total_seconds / packed.total_seconds

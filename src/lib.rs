@@ -9,7 +9,8 @@
 //! | [`ckks`] | `bts-ckks` | Full-RNS CKKS functional model + bootstrapping |
 //! | [`params`] | `bts-params` | security model, dnum trade-off, paper instances |
 //! | [`sim`] | `bts-sim` | BTS accelerator performance/area/power model |
-//! | [`workloads`] | `bts-workloads` | bootstrapping/HELR/ResNet/sorting traces |
+//! | [`circuit`] | `bts-circuit` | shared `HeCircuit` IR + functional/trace backends |
+//! | [`workloads`] | `bts-workloads` | bootstrapping/HELR/ResNet/sorting as circuits |
 //!
 //! # Quickstart
 //!
@@ -53,24 +54,59 @@
 //! # }
 //! ```
 //!
-//! To estimate what the BTS accelerator would do with a workload, build an
-//! op trace and run the simulator:
+//! # One circuit, two backends
+//!
+//! Workloads are written once as [`circuit::HeCircuit`]s and executed by
+//! either backend: the [`circuit::TraceBackend`] lowers the circuit to an op
+//! trace for the accelerator cost model, while the
+//! [`circuit::FunctionalBackend`] runs the *same* circuit on real RNS
+//! ciphertexts and returns the decrypted slots — so "the simulation matches
+//! the computation" is a testable property:
 //!
 //! ```
+//! use bts::circuit::{Backend, CircuitBuilder, FunctionalBackend, TraceBackend};
 //! use bts::params::CkksInstance;
-//! use bts::sim::{BtsConfig, Simulator, TraceBuilder};
+//! use bts::sim::{BtsConfig, Simulator};
 //!
-//! let ins = CkksInstance::ins2(); // Table 4, the paper's best instance
-//! let mut trace = TraceBuilder::new(&ins);
-//! let a = trace.fresh_ct(ins.max_level());
-//! let prod = trace.hmult(a, a);
-//! let _ = trace.hrescale(prod);
-//! let report = Simulator::new(BtsConfig::bts_default(), ins).run(&trace.build());
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // One circuit: (x·y rescaled), rotated by one slot.
+//! let ins = CkksInstance::toy(11, 4, 2);
+//! let mut b = CircuitBuilder::new(&ins);
+//! let x = b.input();
+//! let y = b.input();
+//! let prod = b.hmult(x, y)?;
+//! let prod = b.rescale(prod)?;
+//! let rot = b.hrot(prod, 1)?;
+//! b.output(rot);
+//! let circuit = b.build();
+//!
+//! // Backend 1: cost — lower to an op trace and simulate on BTS.
+//! let lowered = TraceBackend::new().execute(&circuit)?;
+//! let report = Simulator::new(BtsConfig::bts_default(), ins.clone()).run(&lowered.trace);
 //! assert!(report.total_seconds > 0.0);
+//!
+//! // Backend 2: functional — execute on real ciphertexts and decrypt.
+//! let run = FunctionalBackend::new(&ins, 2024)?
+//!     .with_inputs(vec![vec![0.5; ins.slots()], vec![0.25; ins.slots()]])
+//!     .execute(&circuit)?;
+//! assert!((run.outputs[0][0].re - 0.125).abs() < 1e-2);
+//!
+//! // Same program, same ops — checkable, not hoped-for.
+//! assert_eq!(run.op_counts, circuit.op_counts());
+//! for (op, count) in circuit.op_counts() {
+//!     assert_eq!(lowered.trace.count(op), count);
+//! }
+//! # Ok(())
+//! # }
 //! ```
+//!
+//! The paper's workloads (bootstrapping, HELR, ResNet-20, sorting, amortized
+//! mult) all implement [`circuit::Workload`] and are enumerable via
+//! [`workloads::standard_registry`].
 
 #![warn(missing_docs)]
 
+pub use bts_circuit as circuit;
 pub use bts_ckks as ckks;
 pub use bts_math as math;
 pub use bts_params as params;

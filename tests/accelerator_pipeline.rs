@@ -1,11 +1,12 @@
 //! Cross-crate integration tests of the parameter-analysis → workload →
 //! simulator pipeline: the paper's headline comparisons must hold in shape.
 
+use bts::circuit::{Backend, BootstrapPlan, TraceBackend, Workload};
 use bts::params::{BandwidthModel, CkksInstance, MinBoundModel};
 use bts::sim::{BtsConfig, HeOp, Simulator};
 use bts::workloads::{
-    amortized_mult_per_slot, helr_trace, resnet20_trace, sorting_trace, BaselineSet, BootstrapPlan,
-    HelrConfig, ResNetConfig, SortingConfig,
+    amortized_mult_per_slot, standard_registry, BaselineSet, HelrWorkload, ResNetWorkload,
+    SortingWorkload,
 };
 
 #[test]
@@ -67,9 +68,9 @@ fn bootstrap_dominates_bootstrap_heavy_workloads() {
     // time, and a smaller share of ResNet-20.
     let ins = CkksInstance::ins1();
     let sim = Simulator::new(BtsConfig::bts_default(), ins.clone());
-    let helr = sim.run(&helr_trace(&ins, HelrConfig::default()).trace);
-    let sorting = sim.run(&sorting_trace(&ins, SortingConfig::default()).trace);
-    let resnet = sim.run(&resnet20_trace(&ins, ResNetConfig::default()).trace);
+    let helr = sim.run(&HelrWorkload::default().lower(&ins).unwrap().trace);
+    let sorting = sim.run(&SortingWorkload::default().lower(&ins).unwrap().trace);
+    let resnet = sim.run(&ResNetWorkload::default().lower(&ins).unwrap().trace);
     assert!(
         helr.bootstrap_fraction() > 0.4,
         "HELR {}",
@@ -154,8 +155,14 @@ fn table6_bootstrap_counts_follow_level_budgets() {
         .iter()
         .map(|ins| {
             (
-                resnet20_trace(ins, ResNetConfig::default()).bootstrap_count,
-                sorting_trace(ins, SortingConfig::default()).bootstrap_count,
+                ResNetWorkload::default()
+                    .lower(ins)
+                    .unwrap()
+                    .bootstrap_count,
+                SortingWorkload::default()
+                    .lower(ins)
+                    .unwrap()
+                    .bootstrap_count,
             )
         })
         .collect();
@@ -177,5 +184,33 @@ fn figures_binary_paths_render() {
         bts_bench::figures::fig8(),
     ] {
         assert!(text.lines().count() > 3);
+    }
+}
+
+#[test]
+fn registry_circuits_lower_through_the_backend_pipeline() {
+    // CkksInstance -> Workload -> HeCircuit -> TraceBackend -> Simulator:
+    // the whole evaluation pipeline, for every registered workload.
+    let ins = CkksInstance::ins2();
+    let sim = Simulator::new(BtsConfig::bts_default(), ins.clone());
+    let registry = standard_registry();
+    assert_eq!(registry.len(), 5);
+    for (name, workload) in registry.iter() {
+        let circuit = workload.build(&ins).unwrap();
+        let lowered = TraceBackend::new().execute(&circuit).unwrap();
+        assert_eq!(
+            circuit.bootstrap_count(),
+            lowered.bootstrap_count,
+            "{name}: marker and expansion counts must agree"
+        );
+        let report = sim.run(&lowered.trace);
+        assert!(report.total_seconds > 0.0, "{name}");
+        // Non-bootstrap instruction classes survive lowering one-to-one.
+        for (op, count) in circuit.op_counts() {
+            assert!(
+                lowered.trace.count(op) >= count,
+                "{name}: lost {op:?} ops in lowering"
+            );
+        }
     }
 }
