@@ -38,6 +38,8 @@ fn main() {
             "fig8" => figures::fig8(),
             "fig9" => figures::fig9(),
             "fig10" => figures::fig10(),
+            "sched" => figures::sched(),
+            "hints" => figures::hints(),
             "slowdown" => figures::slowdown(),
             "--json" | "json" => {
                 let json = figures::workloads_json();
@@ -51,7 +53,7 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown target '{other}'; expected one of: all table1 fig1 fig2 fig3b table3 table4 fig6 fig7a fig7b table5 table6 fig8 fig9 fig10 slowdown --json"
+                    "unknown target '{other}'; expected one of: all table1 fig1 fig2 fig3b table3 table4 fig6 fig7a fig7b table5 table6 fig8 fig9 fig10 sched hints slowdown --json"
                 );
                 std::process::exit(2);
             }

@@ -93,16 +93,20 @@ impl BootstrapPlan {
         let mut current = builder.mod_raise(ct, top);
         let mut level = top;
 
-        // CoeffToSlot: BSGS linear transforms, one level each.
+        // CoeffToSlot: BSGS linear transforms, one level each. The rotations
+        // of a stage all act on the *stage input* (the baby steps of BSGS),
+        // not on the running sum — they are mutually independent, which is
+        // exactly the parallelism `bts-sched` overlaps across the NTTUs and
+        // the evk stream.
         for stage in 0..self.c2s_stages {
             let mut acc = current;
             for r in 0..self.rotations_per_stage {
-                let rotated = builder.hrot(acc, (stage * 16 + r + 1) as i64, level);
+                let rotated = builder.hrot(current, (stage * 16 + r + 1) as i64, level);
                 let scaled = builder.pmult(rotated, level);
                 acc = builder.hadd(acc, scaled, level);
             }
             for _ in self.rotations_per_stage..self.pmults_per_stage {
-                let scaled = builder.pmult(acc, level);
+                let scaled = builder.pmult(current, level);
                 acc = builder.hadd(acc, scaled, level);
             }
             current = builder.hrescale_at(acc, level);
@@ -135,11 +139,11 @@ impl BootstrapPlan {
             let conj = builder.conjugate(current, level);
             current = builder.hadd(current, conj, level);
         }
-        // SlotToCoeff.
+        // SlotToCoeff: same BSGS shape, rotations independent per stage.
         for stage in 0..self.s2c_stages {
             let mut acc = current;
             for r in 0..self.rotations_per_stage {
-                let rotated = builder.hrot(acc, -((stage * 16 + r + 1) as i64), level);
+                let rotated = builder.hrot(current, -((stage * 16 + r + 1) as i64), level);
                 let scaled = builder.pmult(rotated, level);
                 acc = builder.hadd(acc, scaled, level);
             }

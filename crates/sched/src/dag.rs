@@ -1,0 +1,211 @@
+//! Dependency DAG of an op trace: producer → consumer edges through
+//! ciphertext ids, plus bootstrap-region barriers.
+
+use std::collections::HashMap;
+
+use bts_sim::{CtId, OpTrace};
+
+/// The dependency structure of an [`OpTrace`]: for every op, the indices of
+/// the earlier ops whose outputs it consumes, and the *barrier segment* it
+/// belongs to. Segments are the maximal contiguous runs of ops with the same
+/// `in_bootstrap` flag; entering or leaving a bootstrapping region is a full
+/// barrier (no op of segment `s` may start before every op of segments
+/// `< s` has finished), because the refresh pipeline re-bases the whole
+/// ciphertext and the engine's bootstrap-time attribution assumes region
+/// integrity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceDag {
+    /// `deps[i]`: indices of the producing ops of op `i`'s ciphertext
+    /// operands (deduplicated; trace inputs have no producer).
+    deps: Vec<Vec<u32>>,
+    /// Barrier segment of every op; nondecreasing in program order.
+    segment: Vec<u32>,
+}
+
+/// The longest dependency chain through a [`TraceDag`] under given per-op
+/// durations: its total length and one witness path in program order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// Sum of the durations along the longest chain, in seconds.
+    pub seconds: f64,
+    /// Op indices of one longest chain, earliest first.
+    pub ops: Vec<usize>,
+}
+
+impl TraceDag {
+    /// Builds the DAG for a trace in one forward pass.
+    pub fn from_trace(trace: &OpTrace) -> Self {
+        let mut producer: HashMap<CtId, u32> = HashMap::new();
+        let mut deps = Vec::with_capacity(trace.ops.len());
+        let mut segment = Vec::with_capacity(trace.ops.len());
+        let mut current_segment = 0u32;
+        for (i, op) in trace.ops.iter().enumerate() {
+            if i > 0 && op.in_bootstrap != trace.ops[i - 1].in_bootstrap {
+                current_segment += 1;
+            }
+            segment.push(current_segment);
+            let mut d: Vec<u32> = op
+                .inputs
+                .iter()
+                .filter_map(|id| producer.get(id).copied())
+                .collect();
+            d.sort_unstable();
+            d.dedup();
+            deps.push(d);
+            if let Some(out) = op.output {
+                producer.insert(out, i as u32);
+            }
+        }
+        Self { deps, segment }
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// Whether the DAG is empty.
+    pub fn is_empty(&self) -> bool {
+        self.deps.is_empty()
+    }
+
+    /// Data dependencies (producing op indices) of op `i`.
+    pub fn deps(&self, i: usize) -> &[u32] {
+        &self.deps[i]
+    }
+
+    /// Barrier segment of op `i`.
+    pub fn segment(&self, i: usize) -> u32 {
+        self.segment[i]
+    }
+
+    /// Number of barrier segments (0 for an empty trace).
+    pub fn segment_count(&self) -> usize {
+        self.segment.last().map_or(0, |&s| s as usize + 1)
+    }
+
+    /// Total number of data edges.
+    pub fn edge_count(&self) -> usize {
+        self.deps.iter().map(Vec::len).sum()
+    }
+
+    /// Longest chain through the DAG — data edges *and* barriers — when op
+    /// `i` takes `durations[i]` seconds. This is the infinite-resource lower
+    /// bound on any schedule's makespan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `durations.len()` differs from the number of ops.
+    pub fn critical_path(&self, durations: &[f64]) -> CriticalPath {
+        assert_eq!(durations.len(), self.len(), "one duration per op");
+        // earliest_finish[i] and the predecessor op realising it (None for a
+        // chain that starts at i).
+        let mut earliest_finish = vec![0.0f64; self.len()];
+        let mut best_pred: Vec<Option<usize>> = vec![None; self.len()];
+        // Barrier state: the max earliest-finish over all ops of earlier
+        // segments, and the op achieving it. Segments are contiguous, so a
+        // running max snapshotted at each boundary suffices.
+        let mut barrier = (0.0f64, None::<usize>);
+        let mut running_max = (0.0f64, None::<usize>);
+        for i in 0..self.len() {
+            if i > 0 && self.segment[i] != self.segment[i - 1] {
+                barrier = running_max;
+            }
+            let mut ready = barrier.0;
+            let mut pred = barrier.1;
+            for &d in &self.deps[i] {
+                let f = earliest_finish[d as usize];
+                if f > ready {
+                    ready = f;
+                    pred = Some(d as usize);
+                }
+            }
+            earliest_finish[i] = ready + durations[i];
+            best_pred[i] = pred;
+            if earliest_finish[i] > running_max.0 {
+                running_max = (earliest_finish[i], Some(i));
+            }
+        }
+        let mut ops = Vec::new();
+        let mut cursor = running_max.1;
+        while let Some(i) = cursor {
+            ops.push(i);
+            cursor = best_pred[i];
+        }
+        ops.reverse();
+        CriticalPath {
+            seconds: running_max.0,
+            ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bts_params::CkksInstance;
+    use bts_sim::TraceBuilder;
+
+    fn diamond_trace() -> OpTrace {
+        let ins = CkksInstance::ins1();
+        let mut b = TraceBuilder::new(&ins);
+        let x = b.fresh_ct(27);
+        let l = b.hrot(x, 1, 27); // op 0
+        let r = b.hrot(x, 2, 27); // op 1 — independent of op 0
+        let j = b.hadd(l, r, 27); // op 2 — joins both
+        b.hrescale_at(j, 27); // op 3 — chain
+        b.build()
+    }
+
+    #[test]
+    fn producer_consumer_edges_are_found() {
+        let dag = TraceDag::from_trace(&diamond_trace());
+        assert_eq!(dag.len(), 4);
+        assert!(dag.deps(0).is_empty(), "trace inputs have no producer");
+        assert!(dag.deps(1).is_empty());
+        assert_eq!(dag.deps(2), &[0, 1]);
+        assert_eq!(dag.deps(3), &[2]);
+        assert_eq!(dag.edge_count(), 3);
+        assert_eq!(dag.segment_count(), 1);
+    }
+
+    #[test]
+    fn critical_path_takes_the_longer_branch() {
+        let dag = TraceDag::from_trace(&diamond_trace());
+        let cp = dag.critical_path(&[1.0, 5.0, 2.0, 3.0]);
+        assert!((cp.seconds - 10.0).abs() < 1e-12);
+        assert_eq!(cp.ops, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn bootstrap_transitions_are_barriers() {
+        let ins = CkksInstance::ins1();
+        let mut b = TraceBuilder::new(&ins);
+        let x = b.fresh_ct(27);
+        let y = b.fresh_ct(27);
+        b.hmult_at(x, x, 27); // op 0, segment 0
+        b.set_bootstrap_region(true);
+        b.hrot(y, 1, 27); // op 1, segment 1 — data-independent of op 0
+        b.set_bootstrap_region(false);
+        b.hmult_at(y, y, 27); // op 2, segment 2
+        let dag = TraceDag::from_trace(&b.build());
+        assert_eq!(dag.segment_count(), 3);
+        assert!(dag.deps(1).is_empty(), "no data edge across the barrier");
+        // The barrier still serializes the chain: 1 + 1 + 1, not max-width 1.
+        let cp = dag.critical_path(&[1.0, 1.0, 1.0]);
+        assert!((cp.seconds - 3.0).abs() < 1e-12);
+        assert_eq!(cp.ops, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_trace_has_empty_critical_path() {
+        let ins = CkksInstance::ins1();
+        let trace = TraceBuilder::new(&ins).build();
+        let dag = TraceDag::from_trace(&trace);
+        assert!(dag.is_empty());
+        assert_eq!(dag.segment_count(), 0);
+        let cp = dag.critical_path(&[]);
+        assert_eq!(cp.seconds, 0.0);
+        assert!(cp.ops.is_empty());
+    }
+}

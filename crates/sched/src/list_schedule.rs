@@ -1,0 +1,258 @@
+//! The list scheduler: places every op of a trace, in program order, at the
+//! earliest start time that respects data dependencies, bootstrap-region
+//! barriers, and exclusive functional-unit reservations.
+//!
+//! # Model
+//!
+//! Each op occupies a latency *window* of exactly its serial engine charge
+//! `d = max(compute, hbm)`. Within the window the op reserves each unit class
+//! it touches for that class's busy time; the reservation may *float*: it
+//! starts at `max(op_start, channel_horizon)` as long as it still ends inside
+//! the window. An op can therefore start while a predecessor on some unit is
+//! still draining, as long as its own share of that unit fits in what remains
+//! of its window — that is how rescales and element-wise tails slide under
+//! the evaluation-key streams of neighbouring key-switches.
+//!
+//! # Guarantees
+//!
+//! Inserting ops in program order makes `makespan ≤ serial` a theorem rather
+//! than a hope: if every earlier op finished within the serial prefix time
+//! `S = Σ_{j<i} d_j`, then every channel horizon is ≤ `S`, so op `i` can
+//! always start by `S` (its busy times are ≤ `d_i`). Combined with the DAG
+//! lower bound this pins every schedule to
+//! `critical_path ≤ makespan ≤ serial`.
+
+use bts_sim::{OpTiming, OpTrace};
+
+use crate::dag::TraceDag;
+use crate::resources::{FuKind, MachineModel};
+use crate::schedule::{BusyInterval, Schedule, ScheduledOp};
+
+/// Schedules traces onto a [`MachineModel`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ListScheduler {
+    machine: MachineModel,
+}
+
+impl ListScheduler {
+    /// A scheduler for the given machine.
+    pub fn new(machine: MachineModel) -> Self {
+        Self { machine }
+    }
+
+    /// The machine ops are packed onto.
+    pub fn machine(&self) -> &MachineModel {
+        &self.machine
+    }
+
+    /// Builds the schedule for a trace whose per-op charges were resolved by
+    /// [`bts_sim::Simulator::op_timings`] and whose dependency structure is
+    /// `dag`. Deterministic: the same inputs always produce the same
+    /// schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timings` or `dag` do not cover exactly the trace's ops.
+    pub fn schedule(&self, trace: &OpTrace, timings: &[OpTiming], dag: &TraceDag) -> Schedule {
+        assert_eq!(timings.len(), trace.ops.len(), "one timing per op");
+        assert_eq!(dag.len(), trace.ops.len(), "dag built for another trace");
+
+        let mut horizons: [Vec<f64>; FuKind::COUNT] =
+            std::array::from_fn(|k| vec![0.0; self.machine.channels(FuKind::ALL[k])]);
+        let mut busy: [Vec<BusyInterval>; FuKind::COUNT] = std::array::from_fn(|_| Vec::new());
+        let mut ops = Vec::with_capacity(trace.ops.len());
+        let mut finish = vec![0.0f64; trace.ops.len()];
+        let mut serial = 0.0f64;
+        let mut makespan = 0.0f64;
+        // Barrier bookkeeping: max finish over all ops of earlier segments,
+        // maintained as a running max snapshotted at segment boundaries.
+        let mut barrier = 0.0f64;
+        let mut running_max_finish = 0.0f64;
+
+        let mut durations = Vec::with_capacity(trace.ops.len());
+        for (i, traced) in trace.ops.iter().enumerate() {
+            let demand = self.machine.demand(&timings[i]);
+            durations.push(demand.duration);
+            serial += demand.duration;
+
+            if i > 0 && dag.segment(i) != dag.segment(i - 1) {
+                barrier = running_max_finish;
+            }
+            let mut ready = barrier;
+            for &d in dag.deps(i) {
+                ready = ready.max(finish[d as usize]);
+            }
+
+            // Earliest start honouring every unit: the chosen channel frees
+            // at h, and the op's reservation of b seconds must end within
+            // the window [s, s + d], so s ≥ h + b − d.
+            let mut start = ready;
+            let mut chosen = [0usize; FuKind::COUNT];
+            for kind in FuKind::ALL {
+                let k = kind.index();
+                if demand.busy[k] <= 0.0 {
+                    continue;
+                }
+                let (channel, h) = min_horizon(&horizons[k]);
+                chosen[k] = channel;
+                start = start.max(h + demand.busy[k] - demand.duration);
+            }
+
+            let end = start + demand.duration;
+            for kind in FuKind::ALL {
+                let k = kind.index();
+                if demand.busy[k] <= 0.0 {
+                    continue;
+                }
+                let channel = chosen[k];
+                let res_start = start.max(horizons[k][channel]);
+                let res_end = res_start + demand.busy[k];
+                horizons[k][channel] = res_end;
+                busy[k].push(BusyInterval {
+                    op_index: i,
+                    channel,
+                    start_seconds: res_start,
+                    end_seconds: res_end,
+                });
+            }
+
+            finish[i] = end;
+            running_max_finish = running_max_finish.max(end);
+            makespan = makespan.max(end);
+            ops.push(ScheduledOp {
+                index: i,
+                op: traced.op,
+                level: traced.level,
+                in_bootstrap: traced.in_bootstrap,
+                start_seconds: start,
+                end_seconds: end,
+            });
+        }
+
+        let cp = dag.critical_path(&durations);
+        Schedule {
+            ops,
+            busy,
+            makespan_seconds: makespan,
+            serial_seconds: serial,
+            critical_path_seconds: cp.seconds,
+            critical_path: cp.ops,
+            machine: self.machine,
+        }
+    }
+}
+
+/// Index and value of the smallest horizon (first wins ties, so the choice
+/// is deterministic).
+fn min_horizon(horizons: &[f64]) -> (usize, f64) {
+    let mut best = 0usize;
+    for (i, &h) in horizons.iter().enumerate() {
+        if h < horizons[best] {
+            best = i;
+        }
+    }
+    (best, horizons[best])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bts_params::CkksInstance;
+    use bts_sim::{BtsConfig, Simulator, TraceBuilder};
+
+    fn schedule_of(trace: &OpTrace, config: BtsConfig) -> Schedule {
+        let sim = Simulator::new(config, trace.instance.clone());
+        let timings = sim.op_timings(trace).unwrap();
+        let dag = TraceDag::from_trace(trace);
+        ListScheduler::new(MachineModel::from_config(sim.config())).schedule(trace, &timings, &dag)
+    }
+
+    #[test]
+    fn dependent_chain_degenerates_to_serial() {
+        let ins = CkksInstance::ins1();
+        let mut b = TraceBuilder::new(&ins);
+        let x = b.fresh_ct(27);
+        let mut cur = b.hmult(x, x);
+        for _ in 0..4 {
+            cur = b.hmult_at(cur, cur, 27);
+        }
+        let trace = b.build();
+        let s = schedule_of(&trace, BtsConfig::bts_default());
+        s.check_invariants().unwrap();
+        // A pure key-switch chain is HBM-bound back to back: no overlap.
+        assert!((s.makespan_seconds - s.serial_seconds).abs() < 1e-12 * s.serial_seconds);
+        assert!((s.critical_path_seconds - s.serial_seconds).abs() < 1e-12 * s.serial_seconds);
+        assert!((s.parallel_speedup() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_mixed_ops_overlap() {
+        // Rescales and additions on ciphertexts unrelated to a string of
+        // HMults: their compute hides under the HMults' evk streaming.
+        let ins = CkksInstance::ins1();
+        let mut b = TraceBuilder::new(&ins);
+        let x = b.fresh_ct(27);
+        let y = b.fresh_ct(27);
+        for _ in 0..4 {
+            b.hmult_at(x, x, 27);
+            b.hrescale_at(y, 27);
+            b.hadd(y, y, 27);
+        }
+        let trace = b.build();
+        let s = schedule_of(&trace, BtsConfig::bts_default());
+        s.check_invariants().unwrap();
+        assert!(
+            s.parallel_speedup() > 1.1,
+            "speedup = {}",
+            s.parallel_speedup()
+        );
+        assert!(s.makespan_seconds >= s.critical_path_seconds);
+    }
+
+    #[test]
+    fn schedules_are_deterministic() {
+        let ins = CkksInstance::ins2();
+        let mut b = TraceBuilder::new(&ins);
+        let x = b.fresh_ct(39);
+        let r = b.hrot(x, 5, 39);
+        let m = b.hmult_at(r, x, 39);
+        b.hrescale_at(m, 39);
+        b.hadd(r, m, 39);
+        let trace = b.build();
+        let a = schedule_of(&trace, BtsConfig::bts_default());
+        let b2 = schedule_of(&trace, BtsConfig::bts_default());
+        assert_eq!(a, b2);
+    }
+
+    #[test]
+    fn barriers_serialize_segments_even_without_data_edges() {
+        let ins = CkksInstance::ins1();
+        let mut b = TraceBuilder::new(&ins);
+        let x = b.fresh_ct(27);
+        let y = b.fresh_ct(27);
+        b.hrescale_at(x, 27); // segment 0
+        b.set_bootstrap_region(true);
+        b.hrescale_at(y, 27); // segment 1, independent data-wise
+        let trace = b.build();
+        let s = schedule_of(&trace, BtsConfig::bts_default());
+        s.check_invariants().unwrap();
+        assert!(s.ops[1].start_seconds >= s.ops[0].end_seconds - 1e-18);
+    }
+
+    #[test]
+    fn reservations_float_inside_the_window() {
+        // op0: HMult (NTTU busy ~76% of window, HBM full). op1: rescale of
+        // op0's output — its NTTU reservation must wait for op0's NTTU to
+        // drain only, not for a whole extra window.
+        let ins = CkksInstance::ins1();
+        let mut b = TraceBuilder::new(&ins);
+        let x = b.fresh_ct(27);
+        let m = b.hmult(x, x);
+        b.hrescale_at(m, 27);
+        let trace = b.build();
+        let s = schedule_of(&trace, BtsConfig::bts_default());
+        s.check_invariants().unwrap();
+        // Dependent: rescale starts exactly when the HMult finishes.
+        assert!((s.ops[1].start_seconds - s.ops[0].end_seconds).abs() < 1e-15);
+    }
+}

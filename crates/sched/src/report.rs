@@ -1,0 +1,268 @@
+//! Scheduled execution as a simulator entry point: `run_scheduled` glues the
+//! engine's per-op timings, the trace DAG and the list scheduler together and
+//! returns the familiar [`SimReport`] with the schedule-derived fields filled
+//! in, next to the full [`Schedule`] for timeline/critical-path inspection.
+
+use std::fmt::Write as _;
+
+use bts_sim::{EvictionHints, HeOp, OpTrace, SimReport, Simulator, TraceError};
+
+use crate::dag::TraceDag;
+use crate::list_schedule::ListScheduler;
+use crate::resources::{FuKind, MachineModel};
+use crate::schedule::Schedule;
+
+/// One op on the critical path, for "what limits this workload" reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CriticalOp {
+    /// Index of the op in program order.
+    pub index: usize,
+    /// Operation kind.
+    pub op: HeOp,
+    /// Ciphertext level.
+    pub level: usize,
+    /// The op's latency window in seconds.
+    pub seconds: f64,
+}
+
+/// Result of a scheduled run: the serial-accounting [`SimReport`] with
+/// `scheduled_seconds` / `critical_path_seconds` filled in, plus the full
+/// [`Schedule`].
+#[derive(Debug, Clone)]
+pub struct ScheduledRun {
+    /// The simulator report; `total_seconds` is still the serial charge,
+    /// `scheduled_seconds` the pipelined makespan.
+    pub report: SimReport,
+    /// Per-op placements and per-unit busy intervals.
+    pub schedule: Schedule,
+}
+
+impl ScheduledRun {
+    /// The `n` largest ops on the critical path — the ops a latency
+    /// optimization would have to attack first.
+    pub fn top_critical_ops(&self, n: usize) -> Vec<CriticalOp> {
+        let mut ops: Vec<CriticalOp> = self
+            .schedule
+            .critical_path
+            .iter()
+            .map(|&i| {
+                let op = &self.schedule.ops[i];
+                CriticalOp {
+                    index: i,
+                    op: op.op,
+                    level: op.level,
+                    seconds: op.duration_seconds(),
+                }
+            })
+            .collect();
+        ops.sort_by(|a, b| b.seconds.partial_cmp(&a.seconds).expect("finite durations"));
+        ops.truncate(n);
+        ops
+    }
+
+    /// Renders the serial-vs-scheduled comparison as a small text block.
+    pub fn summary(&self) -> String {
+        let s = &self.schedule;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "serial {:.3} ms | scheduled {:.3} ms | critical path {:.3} ms | speedup {:.2}x",
+            s.serial_seconds * 1e3,
+            s.makespan_seconds * 1e3,
+            s.critical_path_seconds * 1e3,
+            s.parallel_speedup()
+        );
+        let util = s.utilizations();
+        let _ = writeln!(
+            out,
+            "utilization: NTTU {:.0}% | BConvU {:.0}% | ModMult/ModAdd {:.0}% | HBM {:.0}%",
+            util[FuKind::Nttu.index()] * 100.0,
+            util[FuKind::BConvU.index()] * 100.0,
+            util[FuKind::Elementwise.index()] * 100.0,
+            util[FuKind::Hbm.index()] * 100.0
+        );
+        out
+    }
+}
+
+/// Scheduled execution for [`Simulator`]: the `run_scheduled` entry point the
+/// serial `run`/`try_run` pair grows once `bts-sched` is linked in.
+pub trait ScheduleExt {
+    /// Validates the trace, resolves per-op charges, and executes the trace
+    /// as a dependency DAG over the bounded functional units of the
+    /// configuration's [`MachineModel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural defect found in the trace.
+    fn try_run_scheduled(&self, trace: &OpTrace) -> Result<ScheduledRun, TraceError>;
+
+    /// [`ScheduleExt::try_run_scheduled`] with dead-ciphertext eviction
+    /// hints applied to the cache pass, so the schedule and the serial
+    /// accounting both see the hinted hit rates.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural defect found in the trace.
+    fn try_run_scheduled_with_hints(
+        &self,
+        trace: &OpTrace,
+        hints: &EvictionHints,
+    ) -> Result<ScheduledRun, TraceError>;
+
+    /// Panicking convenience over [`ScheduleExt::try_run_scheduled`],
+    /// mirroring [`Simulator::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace fails [`OpTrace::validate`].
+    fn run_scheduled(&self, trace: &OpTrace) -> ScheduledRun {
+        match self.try_run_scheduled(trace) {
+            Ok(run) => run,
+            Err(e) => panic!("invalid op trace: {e}"),
+        }
+    }
+}
+
+impl ScheduleExt for Simulator {
+    fn try_run_scheduled(&self, trace: &OpTrace) -> Result<ScheduledRun, TraceError> {
+        let (timings, mut report) = self.try_run_timed(trace, None)?;
+        finish_scheduled(self, trace, &timings, &mut report)
+    }
+
+    fn try_run_scheduled_with_hints(
+        &self,
+        trace: &OpTrace,
+        hints: &EvictionHints,
+    ) -> Result<ScheduledRun, TraceError> {
+        let (timings, mut report) = self.try_run_timed(trace, Some(hints))?;
+        finish_scheduled(self, trace, &timings, &mut report)
+    }
+}
+
+fn finish_scheduled(
+    sim: &Simulator,
+    trace: &OpTrace,
+    timings: &[bts_sim::OpTiming],
+    report: &mut SimReport,
+) -> Result<ScheduledRun, TraceError> {
+    let dag = TraceDag::from_trace(trace);
+    let schedule =
+        ListScheduler::new(MachineModel::from_config(sim.config())).schedule(trace, timings, &dag);
+    report.scheduled_seconds = Some(schedule.makespan_seconds);
+    report.critical_path_seconds = Some(schedule.critical_path_seconds);
+    Ok(ScheduledRun {
+        report: report.clone(),
+        schedule,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bts_params::CkksInstance;
+    use bts_sim::{BtsConfig, TraceBuilder};
+
+    fn bsgs_like_trace(ins: &CkksInstance) -> OpTrace {
+        // A baby-step/giant-step-shaped stage: independent rotations of one
+        // ciphertext, each followed by a plaintext product and folded into an
+        // accumulator — the overlap pattern of C2S/S2C and convolutions.
+        let mut b = TraceBuilder::new(ins);
+        let x = b.fresh_ct(27);
+        let mut acc = b.pmult(x, 27);
+        for r in 1..6 {
+            let rot = b.hrot(x, r, 27);
+            let prod = b.pmult(rot, 27);
+            acc = b.hadd(acc, prod, 27);
+        }
+        b.hrescale_at(acc, 27);
+        b.build()
+    }
+
+    #[test]
+    fn run_scheduled_fills_the_report_fields() {
+        let ins = CkksInstance::ins1();
+        let sim = Simulator::new(BtsConfig::bts_default(), ins.clone());
+        let trace = bsgs_like_trace(&ins);
+        let run = sim.run_scheduled(&trace);
+        run.schedule.check_invariants().unwrap();
+        let serial = sim.run(&trace);
+        assert!((run.report.total_seconds - serial.total_seconds).abs() < 1e-15);
+        let scheduled = run.report.scheduled_seconds.unwrap();
+        assert!(scheduled <= serial.total_seconds);
+        assert!(run.report.critical_path_seconds.unwrap() <= scheduled + 1e-15);
+        assert!(run.report.parallel_speedup().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn bsgs_stage_shows_real_overlap_when_bandwidth_allows() {
+        let ins = CkksInstance::ins1();
+        // At the paper's 1 TB/s design point the machine is evk-streaming
+        // bound: the schedule matches serial almost exactly and HBM stays
+        // saturated over the makespan.
+        let sim = Simulator::new(BtsConfig::bts_default(), ins.clone());
+        let run = sim.run_scheduled(&bsgs_like_trace(&ins));
+        assert!(run.schedule.unit_utilization(FuKind::Hbm) > 0.9);
+        // The Fig. 9 2 TB/s ablation makes compute matter, and the scheduler
+        // overlaps it with the key streams of neighbouring rotations.
+        let fast = Simulator::new(
+            BtsConfig::bts_default().with_hbm(bts_params::BandwidthModel::hbm_2tb()),
+            ins.clone(),
+        );
+        let run2 = fast.run_scheduled(&bsgs_like_trace(&ins));
+        run2.schedule.check_invariants().unwrap();
+        assert!(
+            run2.report.parallel_speedup().unwrap() > 1.05,
+            "speedup = {:?}",
+            run2.report.parallel_speedup()
+        );
+    }
+
+    #[test]
+    fn top_critical_ops_are_sorted_and_on_the_path() {
+        let ins = CkksInstance::ins1();
+        let sim = Simulator::new(BtsConfig::bts_default(), ins.clone());
+        let run = sim.run_scheduled(&bsgs_like_trace(&ins));
+        let top = run.top_critical_ops(3);
+        assert!(!top.is_empty() && top.len() <= 3);
+        for pair in top.windows(2) {
+            assert!(pair[0].seconds >= pair[1].seconds);
+        }
+        for op in &top {
+            assert!(run.schedule.critical_path.contains(&op.index));
+        }
+        assert!(!run.summary().is_empty());
+        assert!(!run.schedule.timeline(8).is_empty());
+    }
+
+    #[test]
+    fn hinted_scheduling_composes_with_eviction_hints() {
+        let ins = CkksInstance::ins1();
+        let sim = Simulator::new(
+            BtsConfig::bts_default().with_scratchpad_bytes(320 * 1024 * 1024),
+            ins.clone(),
+        );
+        let trace = bsgs_like_trace(&ins);
+        let hints = EvictionHints::from_trace(&trace);
+        let hinted = sim.try_run_scheduled_with_hints(&trace, &hints).unwrap();
+        let plain = sim.run_scheduled(&trace);
+        hinted.schedule.check_invariants().unwrap();
+        assert!(hinted.report.cache_hit_rate() >= plain.report.cache_hit_rate());
+        assert!(
+            hinted.report.scheduled_seconds.unwrap() <= plain.report.total_seconds,
+            "hinted schedule cannot exceed the plain serial bound"
+        );
+    }
+
+    #[test]
+    fn invalid_traces_are_rejected() {
+        let ins = CkksInstance::ins1();
+        let mut b = TraceBuilder::new(&ins);
+        let x = b.fresh_ct(27);
+        b.hmult(x, x);
+        let mut trace = b.build();
+        trace.ops[0].inputs.push(4242);
+        let sim = Simulator::new(BtsConfig::bts_default(), ins);
+        assert!(sim.try_run_scheduled(&trace).is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! The machine model the list scheduler packs ops onto: one bounded resource
+//! per functional-unit class of the BTS chip, with per-op occupancy taken
+//! from the engine's cost breakdowns.
+
+use bts_sim::{BtsConfig, OpTiming};
+
+/// The functional-unit classes an HE op occupies. The per-op costs in
+/// `bts-sim` are chip-wide rates (all 2,048 PEs cooperate on one op's residue
+/// polynomials), so each class is modelled as a small number of *channels*
+/// that ops reserve exclusively — one channel per class for the BTS design
+/// point, matching "the whole chip works on this op's NTT phase".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FuKind {
+    /// The NTT units (one butterfly per PE per cycle).
+    Nttu,
+    /// The base-conversion units (ModMult + MMAU).
+    BConvU,
+    /// The element-wise ModMult/ModAdd units.
+    Elementwise,
+    /// The HBM channel streaming evaluation keys and spilled ciphertexts.
+    Hbm,
+}
+
+impl FuKind {
+    /// All unit classes, in display order.
+    pub const ALL: [FuKind; 4] = [
+        FuKind::Nttu,
+        FuKind::BConvU,
+        FuKind::Elementwise,
+        FuKind::Hbm,
+    ];
+
+    /// Number of unit classes.
+    pub const COUNT: usize = 4;
+
+    /// Dense index for per-unit arrays.
+    pub fn index(self) -> usize {
+        match self {
+            FuKind::Nttu => 0,
+            FuKind::BConvU => 1,
+            FuKind::Elementwise => 2,
+            FuKind::Hbm => 3,
+        }
+    }
+
+    /// Display label, matching the units of the Fig. 8 timeline.
+    pub fn label(self) -> &'static str {
+        match self {
+            FuKind::Nttu => "NTTU",
+            FuKind::BConvU => "BConvU",
+            FuKind::Elementwise => "ModMult/ModAdd",
+            FuKind::Hbm => "HBM",
+        }
+    }
+}
+
+/// How long one op keeps each functional-unit class busy, and the op's total
+/// latency window. All busy times are ≤ the duration (the engine's serial
+/// charge is `max(compute, hbm)` and every unit time is a component of it),
+/// so a reservation always fits inside the op's execution window.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpDemand {
+    /// The op's latency window in seconds (the engine's serial charge).
+    pub duration: f64,
+    /// Busy seconds per unit class, indexed by [`FuKind::index`].
+    pub busy: [f64; FuKind::COUNT],
+}
+
+/// Bounded-capacity resources derived from a [`BtsConfig`]: each unit class
+/// has an integral number of exclusive channels. The BTS design point exposes
+/// one channel per class, because the `bts-sim` cost model already charges
+/// whole-chip rates per op; raising a class's channel count models a chip
+/// partitioned into independent islands of that unit (each op still charged
+/// at the full-chip rate, so extra channels are an optimistic what-if knob,
+/// not the paper design).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineModel {
+    channels: [usize; FuKind::COUNT],
+}
+
+impl MachineModel {
+    /// The machine model of a BTS configuration: one exclusive channel per
+    /// unit class (costs are chip-wide aggregates).
+    pub fn from_config(_config: &BtsConfig) -> Self {
+        Self {
+            channels: [1; FuKind::COUNT],
+        }
+    }
+
+    /// Returns a copy with `n` channels for one unit class (what-if knob).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero — a class with no channel could never execute.
+    pub fn with_channels(mut self, kind: FuKind, n: usize) -> Self {
+        assert!(n > 0, "a unit class needs at least one channel");
+        self.channels[kind.index()] = n;
+        self
+    }
+
+    /// Channel count of a unit class.
+    pub fn channels(&self, kind: FuKind) -> usize {
+        self.channels[kind.index()]
+    }
+
+    /// Resource demand of one op, from the engine's per-op timing. Busy
+    /// times are clamped into the op's latency window so a reservation can
+    /// always be placed inside it.
+    pub fn demand(&self, timing: &OpTiming) -> OpDemand {
+        let duration = timing.seconds;
+        let clamp = |busy: f64| busy.min(duration).max(0.0);
+        OpDemand {
+            duration,
+            busy: [
+                clamp(timing.cost.ntt_seconds),
+                clamp(timing.cost.bconv_seconds),
+                clamp(timing.cost.elementwise_charged_seconds),
+                clamp(timing.hbm_seconds),
+            ],
+        }
+    }
+}
+
+impl Default for MachineModel {
+    fn default() -> Self {
+        Self::from_config(&BtsConfig::bts_default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bts_params::CkksInstance;
+    use bts_sim::{HeOp, Simulator, TraceBuilder};
+
+    #[test]
+    fn demands_fit_inside_the_latency_window() {
+        let ins = CkksInstance::ins1();
+        let sim = Simulator::new(BtsConfig::bts_default(), ins.clone());
+        let mut b = TraceBuilder::new(&ins);
+        let x = b.fresh_ct(27);
+        let m = b.hmult(x, x);
+        let r = b.hrescale_at(m, 27);
+        b.hadd(r, r, 26);
+        let timings = sim.op_timings(&b.build()).unwrap();
+        let machine = MachineModel::from_config(sim.config());
+        for t in &timings {
+            let d = machine.demand(t);
+            assert!(d.duration > 0.0);
+            for kind in FuKind::ALL {
+                assert!(
+                    d.busy[kind.index()] <= d.duration,
+                    "{kind:?} busy exceeds window"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn key_switch_is_hbm_bound_with_ntt_slack() {
+        // Fig. 8: an HMult at the top level saturates the HBM channel while
+        // the NTTUs are ~76% busy — the slack the scheduler fills.
+        let ins = CkksInstance::ins1();
+        let sim = Simulator::new(BtsConfig::bts_default(), ins.clone());
+        let mut b = TraceBuilder::new(&ins);
+        let x = b.fresh_ct(27);
+        b.hmult(x, x); // cold: streams the operand too
+        b.hmult(x, x); // warm: pure evk stream, the Fig. 8 shape
+        let timings = sim.op_timings(&b.build()).unwrap();
+        let d = MachineModel::from_config(sim.config()).demand(&timings[1]);
+        let hbm = d.busy[FuKind::Hbm.index()];
+        let ntt = d.busy[FuKind::Nttu.index()];
+        assert!((hbm - d.duration).abs() < 1e-12, "evk stream sets the pace");
+        assert!(ntt > 0.5 * d.duration && ntt < 0.95 * d.duration);
+    }
+
+    #[test]
+    fn channel_knob_is_validated() {
+        let m = MachineModel::default().with_channels(FuKind::Hbm, 2);
+        assert_eq!(m.channels(FuKind::Hbm), 2);
+        assert_eq!(m.channels(FuKind::Nttu), 1);
+        assert!(
+            std::panic::catch_unwind(|| MachineModel::default().with_channels(FuKind::Nttu, 0))
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn fu_kind_indices_are_dense_and_labelled() {
+        for (i, kind) in FuKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+            assert!(!kind.label().is_empty());
+        }
+        let _ = HeOp::HMult; // keep the sim import exercised
+    }
+}

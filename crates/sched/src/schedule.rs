@@ -1,0 +1,195 @@
+//! The artifact a scheduling run produces: per-op start/end times, per-unit
+//! busy intervals, and the derived makespan / critical-path / utilization
+//! figures.
+
+use bts_sim::{HeOp, TimelineSegment};
+
+use crate::resources::{FuKind, MachineModel};
+
+/// One op's placement in a schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledOp {
+    /// Index of the op in the trace's program order.
+    pub index: usize,
+    /// Operation kind.
+    pub op: HeOp,
+    /// Ciphertext level the op executes at.
+    pub level: usize,
+    /// Whether the op belongs to a bootstrapping region.
+    pub in_bootstrap: bool,
+    /// Start time in seconds from the start of the schedule.
+    pub start_seconds: f64,
+    /// End time in seconds.
+    pub end_seconds: f64,
+}
+
+impl ScheduledOp {
+    /// The op's latency window in seconds.
+    pub fn duration_seconds(&self) -> f64 {
+        self.end_seconds - self.start_seconds
+    }
+}
+
+/// An exclusive reservation of one functional-unit channel by one op.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BusyInterval {
+    /// Index of the op holding the reservation.
+    pub op_index: usize,
+    /// Which channel of the unit class is held.
+    pub channel: usize,
+    /// Reservation start in seconds.
+    pub start_seconds: f64,
+    /// Reservation end in seconds.
+    pub end_seconds: f64,
+}
+
+/// A complete schedule of one trace over the machine model: where every op
+/// runs, which unit channels it holds and when, and the aggregate figures
+/// (makespan, critical path, serial reference, per-unit utilization).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Per-op placements, in program order.
+    pub ops: Vec<ScheduledOp>,
+    /// Per-unit-class busy intervals, in placement order.
+    pub busy: [Vec<BusyInterval>; FuKind::COUNT],
+    /// End of the last op — the pipelined execution time.
+    pub makespan_seconds: f64,
+    /// Sum of all op durations — what the serial engine charges.
+    pub serial_seconds: f64,
+    /// Longest dependency chain (data edges + barriers) in seconds.
+    pub critical_path_seconds: f64,
+    /// Op indices of one longest chain, earliest first.
+    pub critical_path: Vec<usize>,
+    /// The machine the schedule was built for.
+    pub machine: MachineModel,
+}
+
+impl Schedule {
+    /// Speedup of the schedule over serial execution. Serial time is an
+    /// upper bound by construction, so the value is ≥ 1 (clamped there to
+    /// absorb floating-point rounding of the two accumulations).
+    pub fn parallel_speedup(&self) -> f64 {
+        if self.makespan_seconds <= 0.0 {
+            1.0
+        } else {
+            (self.serial_seconds / self.makespan_seconds).max(1.0)
+        }
+    }
+
+    /// Busy fraction of one unit class over the makespan, computed from the
+    /// actual reservation intervals (total reserved seconds divided by
+    /// channel count × makespan).
+    pub fn unit_utilization(&self, kind: FuKind) -> f64 {
+        if self.makespan_seconds <= 0.0 {
+            return 0.0;
+        }
+        let reserved: f64 = self.busy[kind.index()]
+            .iter()
+            .map(|b| b.end_seconds - b.start_seconds)
+            .sum();
+        reserved / (self.machine.channels(kind) as f64 * self.makespan_seconds)
+    }
+
+    /// Utilization of all unit classes, indexed by [`FuKind::index`].
+    pub fn utilizations(&self) -> [f64; FuKind::COUNT] {
+        let mut out = [0.0; FuKind::COUNT];
+        for kind in FuKind::ALL {
+            out[kind.index()] = self.unit_utilization(kind);
+        }
+        out
+    }
+
+    /// Fig. 8-style multi-op timeline: the first `limit` busy intervals of
+    /// every unit class as labelled segments (nanoseconds), ready for the
+    /// same rendering as [`bts_sim::hmult_timeline`].
+    pub fn timeline(&self, limit: usize) -> Vec<TimelineSegment> {
+        let mut segments = Vec::new();
+        for kind in FuKind::ALL {
+            for b in self.busy[kind.index()].iter().take(limit) {
+                let op = &self.ops[b.op_index];
+                segments.push(TimelineSegment {
+                    unit: kind.label(),
+                    label: format!("#{} {:?}@L{}", op.index, op.op, op.level),
+                    start_ns: b.start_seconds * 1e9,
+                    end_ns: b.end_seconds * 1e9,
+                });
+            }
+        }
+        segments
+    }
+
+    /// Checks every schedule invariant the subsystem guarantees:
+    ///
+    /// 1. `critical_path ≤ makespan ≤ serial` (up to float rounding),
+    /// 2. every op window is well-formed and inside `[0, makespan]`,
+    /// 3. every reservation lies inside its op's window,
+    /// 4. no unit channel holds two overlapping reservations.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let eps = 1e-9 * self.serial_seconds.max(1e-12);
+        if self.critical_path_seconds > self.makespan_seconds + eps {
+            return Err(format!(
+                "critical path {} exceeds makespan {}",
+                self.critical_path_seconds, self.makespan_seconds
+            ));
+        }
+        if self.makespan_seconds > self.serial_seconds + eps {
+            return Err(format!(
+                "makespan {} exceeds serial time {}",
+                self.makespan_seconds, self.serial_seconds
+            ));
+        }
+        for op in &self.ops {
+            if !(op.start_seconds >= -eps
+                && op.start_seconds <= op.end_seconds
+                && op.end_seconds <= self.makespan_seconds + eps)
+            {
+                return Err(format!("op #{} window is malformed: {op:?}", op.index));
+            }
+        }
+        for kind in FuKind::ALL {
+            let intervals = &self.busy[kind.index()];
+            for b in intervals {
+                let op = &self.ops[b.op_index];
+                if b.start_seconds < op.start_seconds - eps || b.end_seconds > op.end_seconds + eps
+                {
+                    return Err(format!(
+                        "{} reservation {b:?} escapes op window [{}, {}]",
+                        kind.label(),
+                        op.start_seconds,
+                        op.end_seconds
+                    ));
+                }
+                if b.channel >= self.machine.channels(kind) {
+                    return Err(format!(
+                        "{} reservation {b:?} uses non-existent channel",
+                        kind.label()
+                    ));
+                }
+            }
+            for channel in 0..self.machine.channels(kind) {
+                let mut on_channel: Vec<&BusyInterval> =
+                    intervals.iter().filter(|b| b.channel == channel).collect();
+                on_channel.sort_by(|a, b| {
+                    a.start_seconds
+                        .partial_cmp(&b.start_seconds)
+                        .expect("finite")
+                });
+                for pair in on_channel.windows(2) {
+                    if pair[1].start_seconds < pair[0].end_seconds - eps {
+                        return Err(format!(
+                            "{} channel {channel} double-booked: {:?} overlaps {:?}",
+                            kind.label(),
+                            pair[0],
+                            pair[1]
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -47,12 +47,12 @@ mod twiddle;
 
 pub use config::BtsConfig;
 pub use cost::{AreaPowerModel, ComponentCost, EdapPoint};
-pub use engine::{OpClassStats, SimReport, Simulator};
+pub use engine::{OpClassStats, OpCost, OpTiming, SimReport, Simulator};
 pub use f1::{F1Model, PlatformRow};
 pub use keyswitch::{FunctionalUnit, KeySwitchSchedule, Phase};
 pub use noc::{BruNoc, PeMemNoc, PePeNoc};
 pub use pe::{KeySwitchOccupancy, ProcessingElement};
 pub use scratchpad::{AllocationClass, AllocationPlan, Scratchpad};
 pub use timeline::{hmult_timeline, TimelineSegment};
-pub use trace::{CtId, HeOp, OpTrace, TraceBuilder, TraceError, TracedOp};
+pub use trace::{CtId, EvictionHints, HeOp, OpTrace, TraceBuilder, TraceError, TracedOp};
 pub use twiddle::TwiddleStorage;

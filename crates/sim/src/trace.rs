@@ -67,6 +67,10 @@ pub struct OpTrace {
     /// Ciphertext ids that enter the trace from outside (fresh ciphertexts
     /// arriving from the host); every other id must be produced by an op.
     pub inputs: Vec<CtId>,
+    /// Level of each trace input, parallel to `inputs`. [`TraceBuilder`] keeps
+    /// the two vectors in sync; [`OpTrace::validate`] checks the levels
+    /// against the instance budget just like op levels.
+    pub input_levels: Vec<usize>,
 }
 
 /// A structural defect in an [`OpTrace`] found by [`OpTrace::validate`].
@@ -98,6 +102,23 @@ pub enum TraceError {
         /// The reused ciphertext id.
         id: CtId,
     },
+    /// A trace input's recorded level exceeds the instance's level budget.
+    InputLevelOutOfRange {
+        /// Index of the offending entry in [`OpTrace::inputs`].
+        input_index: usize,
+        /// The out-of-range level.
+        level: usize,
+        /// The instance's maximum level L.
+        max_level: usize,
+    },
+    /// Eviction hints were built for a trace of a different length, so their
+    /// per-op liveness information cannot be trusted for this trace.
+    HintArityMismatch {
+        /// Number of ops the hints cover.
+        hint_ops: usize,
+        /// Number of ops in the trace.
+        trace_ops: usize,
+    },
 }
 
 impl std::fmt::Display for TraceError {
@@ -118,6 +139,21 @@ impl std::fmt::Display for TraceError {
             TraceError::DuplicateOutput { op_index, id } => write!(
                 f,
                 "op #{op_index} redefines ciphertext id {id}, aliasing an existing ciphertext"
+            ),
+            TraceError::InputLevelOutOfRange {
+                input_index,
+                level,
+                max_level,
+            } => write!(
+                f,
+                "trace input #{input_index} enters at level {level} beyond the instance budget L = {max_level}"
+            ),
+            TraceError::HintArityMismatch {
+                hint_ops,
+                trace_ops,
+            } => write!(
+                f,
+                "eviction hints cover {hint_ops} ops but the trace has {trace_ops}; rebuild them with EvictionHints::from_trace"
             ),
         }
     }
@@ -170,6 +206,7 @@ impl OpTrace {
         self.rotation_keys = self.rotation_keys.max(other.rotation_keys);
         self.inputs
             .extend(other.inputs.iter().map(|id| id + offset));
+        self.input_levels.extend(other.input_levels.iter().copied());
     }
 
     /// The smallest ciphertext id not used by this trace.
@@ -198,6 +235,15 @@ impl OpTrace {
     pub fn validate(&self) -> Result<(), TraceError> {
         let mut defined: std::collections::HashSet<CtId> = self.inputs.iter().copied().collect();
         let max_level = self.instance.max_level();
+        for (input_index, &level) in self.input_levels.iter().enumerate() {
+            if level > max_level {
+                return Err(TraceError::InputLevelOutOfRange {
+                    input_index,
+                    level,
+                    max_level,
+                });
+            }
+        }
         for (op_index, op) in self.ops.iter().enumerate() {
             if op.level > max_level {
                 return Err(TraceError::LevelOutOfRange {
@@ -230,6 +276,7 @@ pub struct TraceBuilder {
     rotation_keys: std::collections::HashSet<i64>,
     in_bootstrap: bool,
     inputs: Vec<CtId>,
+    input_levels: Vec<usize>,
 }
 
 impl TraceBuilder {
@@ -242,6 +289,7 @@ impl TraceBuilder {
             rotation_keys: std::collections::HashSet::new(),
             in_bootstrap: false,
             inputs: Vec::new(),
+            input_levels: Vec::new(),
         }
     }
 
@@ -251,11 +299,13 @@ impl TraceBuilder {
     }
 
     /// Allocates a fresh ciphertext id at the given level (e.g. a ciphertext
-    /// arriving from the host); no op is recorded.
-    pub fn fresh_ct(&mut self, _level: usize) -> CtId {
+    /// arriving from the host); no op is recorded, but the level is kept so
+    /// [`OpTrace::validate`] can check trace inputs against the budget.
+    pub fn fresh_ct(&mut self, level: usize) -> CtId {
         let id = self.next_id;
         self.next_id += 1;
         self.inputs.push(id);
+        self.input_levels.push(level);
         id
     }
 
@@ -352,7 +402,60 @@ impl TraceBuilder {
             ops: self.ops,
             rotation_keys: self.rotation_keys.len(),
             inputs: self.inputs,
+            input_levels: self.input_levels,
         }
+    }
+}
+
+/// Dead-ciphertext eviction hints derived from a trace's last-use analysis:
+/// for every op index, the ciphertext ids whose final access happens at that
+/// op. The scratchpad cache uses them ([`crate::Simulator::try_run_with_hints`])
+/// to drop dead ciphertexts immediately instead of waiting for LRU pressure,
+/// and the scheduler reuses the same liveness information.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EvictionHints {
+    /// `evict_after[i]` lists the ids that die at op `i`: ids consumed for the
+    /// last time by op `i`, plus op `i`'s own output if nothing ever reads it
+    /// (a workload output, written back to the host rather than kept hot).
+    pub evict_after: Vec<Vec<CtId>>,
+}
+
+impl EvictionHints {
+    /// Computes the hints for a trace with one backward liveness sweep.
+    pub fn from_trace(trace: &OpTrace) -> Self {
+        let mut last_use: std::collections::HashMap<CtId, usize> = std::collections::HashMap::new();
+        for (i, op) in trace.ops.iter().enumerate() {
+            for &id in &op.inputs {
+                last_use.insert(id, i);
+            }
+        }
+        let mut evict_after = vec![Vec::new(); trace.ops.len()];
+        for (&id, &i) in &last_use {
+            evict_after[i].push(id);
+        }
+        for (i, op) in trace.ops.iter().enumerate() {
+            if let Some(out) = op.output {
+                if !last_use.contains_key(&out) {
+                    evict_after[i].push(out);
+                }
+            }
+        }
+        // HashMap iteration order is arbitrary; sort so the hints (and any
+        // accounting that folds over them) are deterministic.
+        for ids in &mut evict_after {
+            ids.sort_unstable();
+        }
+        Self { evict_after }
+    }
+
+    /// Number of ops the hints were computed for.
+    pub fn len(&self) -> usize {
+        self.evict_after.len()
+    }
+
+    /// Whether the hints cover an empty trace.
+    pub fn is_empty(&self) -> bool {
+        self.evict_after.is_empty()
     }
 }
 
@@ -474,6 +577,66 @@ mod tests {
                 id: out
             })
         );
+    }
+
+    #[test]
+    fn fresh_ct_levels_are_recorded_and_validated() {
+        let ins = CkksInstance::ins1();
+        let mut b = TraceBuilder::new(&ins);
+        let x = b.fresh_ct(27);
+        let y = b.fresh_ct(3);
+        b.hmult_at(x, y, 27);
+        let trace = b.build();
+        assert_eq!(trace.input_levels, vec![27, 3]);
+        assert!(trace.validate().is_ok());
+
+        let mut bad = TraceBuilder::new(&ins);
+        let z = bad.fresh_ct(99); // beyond INS-1's L = 27
+        bad.hmult_at(z, z, 27);
+        assert_eq!(
+            bad.build().validate(),
+            Err(TraceError::InputLevelOutOfRange {
+                input_index: 0,
+                level: 99,
+                max_level: 27
+            })
+        );
+    }
+
+    #[test]
+    fn extend_carries_input_levels() {
+        let ins = CkksInstance::ins1();
+        let mut a = TraceBuilder::new(&ins);
+        let x = a.fresh_ct(27);
+        a.hmult(x, x);
+        let mut t1 = a.build();
+        let mut b = TraceBuilder::new(&ins);
+        let y = b.fresh_ct(5);
+        b.hrot(y, 1, 5);
+        t1.extend(&b.build());
+        assert_eq!(t1.input_levels, vec![27, 5]);
+        assert!(t1.validate().is_ok());
+    }
+
+    #[test]
+    fn eviction_hints_mark_last_uses_and_dead_outputs() {
+        let ins = CkksInstance::ins1();
+        let mut b = TraceBuilder::new(&ins);
+        let x = b.fresh_ct(27);
+        let y = b.fresh_ct(27);
+        let p = b.hmult(x, y); // op 0: last use of y (x reused below)
+        let q = b.hmult_at(x, p, 27); // op 1: last use of x and p
+        let _r = b.hrescale_at(q, 27); // op 2: last use of q; output r is dead
+        let trace = b.build();
+        let hints = EvictionHints::from_trace(&trace);
+        assert_eq!(hints.len(), 3);
+        assert_eq!(hints.evict_after[0], vec![y]);
+        let mut dead_at_1 = hints.evict_after[1].clone();
+        dead_at_1.sort_unstable();
+        assert_eq!(dead_at_1, vec![x, p]);
+        // Op 2 kills its input q and its never-read output.
+        assert_eq!(hints.evict_after[2].len(), 2);
+        assert!(hints.evict_after[2].contains(&q));
     }
 
     #[test]

@@ -1,13 +1,17 @@
 //! Simulates one CKKS bootstrapping and the amortized-mult microbenchmark on
 //! the BTS accelerator model for the three Table 4 instances, printing the
-//! per-op breakdown and the headline `T_mult,a/slot`. Both workloads travel
-//! the circuit pipeline: `CkksInstance → Workload → HeCircuit → TraceBackend
-//! → Simulator`.
+//! per-op breakdown, the headline `T_mult,a/slot`, and the serial-vs-scheduled
+//! comparison of the `bts-sched` dependency-aware scheduler. Both workloads
+//! travel the circuit pipeline: `CkksInstance → Workload → HeCircuit →
+//! TraceBackend → Simulator` — with the trace either charged serially
+//! (`Simulator::run`) or executed as a DAG over the functional units
+//! (`run_scheduled`).
 //!
 //! Run with: `cargo run --release --example accelerator_sim`
 
 use bts::circuit::Workload;
 use bts::params::CkksInstance;
+use bts::sched::ScheduleExt;
 use bts::sim::{BtsConfig, Simulator};
 use bts::workloads::{amortized_mult_per_slot, BootstrapWorkload};
 
@@ -40,6 +44,26 @@ fn main() {
                 op,
                 stats.count,
                 stats.seconds * 1e3
+            );
+        }
+
+        // Dependency-aware schedule of the same trace: independent BSGS
+        // rotations overlap, rescales slide under neighbouring evk streams.
+        let run = sim.run_scheduled(&lowered.trace);
+        println!(
+            "scheduled: {:.2} ms (critical path {:.2} ms) — speedup {:.3}x over serial",
+            run.schedule.makespan_seconds * 1e3,
+            run.schedule.critical_path_seconds * 1e3,
+            run.report.parallel_speedup().expect("scheduled run"),
+        );
+        println!("top critical-path ops (what a latency optimization must attack):");
+        for c in run.top_critical_ops(3) {
+            println!(
+                "  #{:<5} {:<10?} at level {:<3} {:>8.1} µs",
+                c.index,
+                c.op,
+                c.level,
+                c.seconds * 1e6
             );
         }
 

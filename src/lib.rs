@@ -9,6 +9,7 @@
 //! | [`ckks`] | `bts-ckks` | Full-RNS CKKS functional model + bootstrapping |
 //! | [`params`] | `bts-params` | security model, dnum trade-off, paper instances |
 //! | [`sim`] | `bts-sim` | BTS accelerator performance/area/power model |
+//! | [`sched`] | `bts-sched` | dependency-aware scheduler: traces as DAGs over functional units |
 //! | [`circuit`] | `bts-circuit` | shared `HeCircuit` IR + functional/trace backends |
 //! | [`workloads`] | `bts-workloads` | bootstrapping/HELR/ResNet/sorting as circuits |
 //!
@@ -110,5 +111,6 @@ pub use bts_circuit as circuit;
 pub use bts_ckks as ckks;
 pub use bts_math as math;
 pub use bts_params as params;
+pub use bts_sched as sched;
 pub use bts_sim as sim;
 pub use bts_workloads as workloads;

@@ -1,0 +1,147 @@
+//! Property-based tests of the `bts-sched` scheduler invariants: for random
+//! valid traces, `critical_path ≤ makespan ≤ serial`, schedules are
+//! deterministic for a fixed trace/config, no functional-unit channel is
+//! double-booked in any interval, and scheduled runs are never slower than
+//! serial.
+
+use proptest::prelude::*;
+
+use bts::params::CkksInstance;
+use bts::sched::{FuKind, ListScheduler, MachineModel, ScheduleExt, TraceDag};
+use bts::sim::{BtsConfig, OpTrace, Simulator, TraceBuilder};
+
+/// Builds a random-but-valid trace: every op consumes ids that already exist
+/// (trace inputs or earlier outputs), levels stay within the budget, and
+/// random spans are marked as bootstrap regions.
+fn random_trace(ins: &CkksInstance, seed: u64, ops: usize) -> OpTrace {
+    // Tiny deterministic LCG so the trace derives from the seed alone.
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let mut b = TraceBuilder::new(ins);
+    let max_level = ins.max_level();
+    let mut live: Vec<(u64, usize)> = (0..3)
+        .map(|_| {
+            let level = next() % (max_level + 1);
+            (b.fresh_ct(level), level)
+        })
+        .collect();
+    for _ in 0..ops {
+        if next() % 11 == 0 {
+            b.set_bootstrap_region(next() % 2 == 0);
+        }
+        let (a, la) = live[next() % live.len()];
+        let (c, lc) = live[next() % live.len()];
+        let level = la.min(lc);
+        let out = match next() % 8 {
+            0 => b.hmult_at(a, c, level),
+            1 => b.hrot(a, (next() % 64) as i64 - 32, la),
+            2 => b.conjugate(a, la),
+            3 => b.pmult(a, la),
+            4 => b.hadd(a, c, level),
+            5 => b.hrescale_at(a, la),
+            6 => b.cmult(a, la),
+            _ => b.cadd(a, la),
+        };
+        live.push((out, level));
+        if live.len() > 24 {
+            live.remove(next() % live.len());
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn critical_path_le_makespan_le_serial(seed in any::<u64>(), ops in 5usize..80) {
+        let ins = CkksInstance::ins1();
+        let trace = random_trace(&ins, seed, ops);
+        prop_assert!(trace.validate().is_ok());
+        let sim = Simulator::new(BtsConfig::bts_default(), ins);
+        let run = sim.try_run_scheduled(&trace).unwrap();
+        let s = &run.schedule;
+        let eps = 1e-9 * s.serial_seconds.max(1e-12);
+        prop_assert!(s.critical_path_seconds <= s.makespan_seconds + eps,
+            "cp {} > makespan {}", s.critical_path_seconds, s.makespan_seconds);
+        prop_assert!(s.makespan_seconds <= s.serial_seconds + eps,
+            "makespan {} > serial {}", s.makespan_seconds, s.serial_seconds);
+        // The serial reference the schedule carries is the engine's total.
+        prop_assert!((s.serial_seconds - run.report.total_seconds).abs() <= eps);
+        prop_assert!(run.report.parallel_speedup().unwrap() >= 1.0);
+        // And the schedule's own structural checker agrees.
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn schedules_are_deterministic(seed in any::<u64>(), ops in 5usize..60) {
+        let ins = CkksInstance::ins2();
+        let trace = random_trace(&ins, seed, ops);
+        let sim = Simulator::new(BtsConfig::bts_default(), ins);
+        let a = sim.try_run_scheduled(&trace).unwrap();
+        let b = sim.try_run_scheduled(&trace).unwrap();
+        prop_assert_eq!(a.schedule, b.schedule);
+    }
+
+    #[test]
+    fn no_unit_channel_is_double_booked(seed in any::<u64>(), ops in 5usize..80) {
+        let ins = CkksInstance::ins1();
+        let trace = random_trace(&ins, seed, ops);
+        let sim = Simulator::new(BtsConfig::bts_default(), ins);
+        let timings = sim.op_timings(&trace).unwrap();
+        let dag = TraceDag::from_trace(&trace);
+        let machine = MachineModel::from_config(sim.config());
+        let schedule = ListScheduler::new(machine).schedule(&trace, &timings, &dag);
+        for kind in FuKind::ALL {
+            for channel in 0..machine.channels(kind) {
+                let mut intervals: Vec<(f64, f64)> = schedule.busy[kind.index()]
+                    .iter()
+                    .filter(|b| b.channel == channel)
+                    .map(|b| (b.start_seconds, b.end_seconds))
+                    .collect();
+                intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                for pair in intervals.windows(2) {
+                    prop_assert!(
+                        pair[1].0 >= pair[0].1 - 1e-18,
+                        "{:?} channel {} overlap: {:?} then {:?}",
+                        kind, channel, pair[0], pair[1]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dependencies_and_barriers_are_respected(seed in any::<u64>(), ops in 5usize..60) {
+        let ins = CkksInstance::ins1();
+        let trace = random_trace(&ins, seed, ops);
+        let sim = Simulator::new(BtsConfig::bts_default(), ins);
+        let run = sim.try_run_scheduled(&trace).unwrap();
+        let dag = TraceDag::from_trace(&trace);
+        let s = &run.schedule;
+        let eps = 1e-12 * s.serial_seconds.max(1e-12);
+        for i in 0..dag.len() {
+            for &d in dag.deps(i) {
+                prop_assert!(
+                    s.ops[i].start_seconds >= s.ops[d as usize].end_seconds - eps,
+                    "op {} starts before its producer {}", i, d
+                );
+            }
+            for j in 0..i {
+                if dag.segment(j) < dag.segment(i) {
+                    prop_assert!(
+                        s.ops[i].start_seconds >= s.ops[j].end_seconds - eps,
+                        "op {} crosses the barrier before op {}", i, j
+                    );
+                }
+            }
+        }
+    }
+}
