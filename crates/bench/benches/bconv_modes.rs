@@ -1,0 +1,32 @@
+//! Criterion benchmark of the lazy-reduction BConv kernel against the
+//! fully-reduced eager reference: the MMAU accumulation is the O(ℓ²·N) inner
+//! loop of ModUp/ModDown, and deferring the Barrett reduction to one per
+//! target element (instead of one per MAC) is the PR-4 claim this bench
+//! quantifies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+
+use bts_math::{BaseConverter, Representation, RnsBasis, RnsPoly};
+
+fn bench_bconv_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bconv_lazy_vs_eager");
+    let n = 1usize << 12;
+    for limbs in [4usize, 8, 12] {
+        let src = RnsBasis::generate(n, 45, limbs).unwrap();
+        let dst = RnsBasis::generate(n, 47, limbs).unwrap();
+        let conv = BaseConverter::new(&src, &dst).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let poly = RnsPoly::sample_uniform(&src, Representation::Coefficient, &mut rng);
+        group.bench_with_input(BenchmarkId::new("lazy", limbs), &limbs, |b, _| {
+            b.iter(|| conv.convert(&poly))
+        });
+        group.bench_with_input(BenchmarkId::new("eager", limbs), &limbs, |b, _| {
+            b.iter(|| conv.convert_eager(&poly, false))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bconv_modes);
+criterion_main!(benches);

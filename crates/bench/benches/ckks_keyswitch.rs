@@ -1,0 +1,38 @@
+//! Criterion benchmark of the key-switching inner loop (Fig. 3a's
+//! iNTT → BConv → NTT → ⊙evk → ModDown pipeline) in isolation — the routine
+//! both HMult and HRot funnel through and the one the PR-4 limb-parallel,
+//! allocation-free refactor targets. Run with `BTS_THREADS=k` to measure the
+//! limb fan-out at k worker threads (the default of 1 is the serial,
+//! deterministic configuration CI uses).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+
+use bts_ckks::{CkksContext, Complex};
+
+fn bench_keyswitch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ckks_keyswitch");
+    for (label, max_level, dnum) in [("L6_dnum2", 6usize, 2usize), ("L8_dnum3", 8, 3)] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let ctx = CkksContext::new_toy(1 << 11, max_level, dnum).unwrap();
+        let (sk, keys) = ctx.generate_keys(&mut rng).unwrap();
+        let msg: Vec<Complex> = (0..ctx.slots())
+            .map(|i| Complex::new((i as f64 * 0.01).sin(), 0.0))
+            .collect();
+        let pt = ctx.encode(&msg).unwrap();
+        let ct = ctx.encrypt(&pt, &sk, &mut rng).unwrap();
+        // The polynomial fed to key_switch during HMult is c1², at top level.
+        let d = ct.c1().mul(ct.c1()).unwrap();
+        group.bench_with_input(BenchmarkId::new("n2048", label), &d, |b, d| {
+            b.iter(|| ctx.key_switch(d, keys.relin()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_keyswitch
+}
+criterion_main!(benches);

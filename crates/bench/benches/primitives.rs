@@ -5,7 +5,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::{Rng, SeedableRng};
 
-use bts_math::{AutomorphismTable, BaseConverter, Modulus, NttTable, RnsBasis};
+use bts_math::{
+    AutomorphismTable, BaseConverter, Modulus, NttTable, Representation, RnsBasis, RnsPoly,
+};
 
 fn bench_ntt(c: &mut Criterion) {
     let mut group = c.benchmark_group("ntt_forward_inverse");
@@ -41,13 +43,7 @@ fn bench_bconv(c: &mut Criterion) {
         let dst = RnsBasis::generate(n, 47, limbs).unwrap();
         let conv = BaseConverter::new(&src, &dst).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let data: Vec<Vec<u64>> = (0..limbs)
-            .map(|j| {
-                (0..n)
-                    .map(|_| rng.gen_range(0..src.modulus(j).value()))
-                    .collect()
-            })
-            .collect();
+        let data = RnsPoly::sample_uniform(&src, Representation::Coefficient, &mut rng);
         group.bench_with_input(BenchmarkId::new("fast", limbs), &limbs, |b, _| {
             b.iter(|| conv.convert(&data))
         });

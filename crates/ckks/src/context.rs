@@ -1,8 +1,11 @@
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use rand::Rng;
 
 use bts_math::{
-    sample_gaussian, sample_ternary, AutomorphismTable, BaseConverter, Representation, RnsBasis,
-    RnsPoly, TERNARY_HAMMING_DENSE,
+    sample_gaussian, sample_ternary, AutomorphismTable, BaseConverter, BconvScratch,
+    Representation, RnsBasis, RnsPoly, ShoupMul, TERNARY_HAMMING_DENSE,
 };
 use bts_params::CkksInstance;
 
@@ -14,6 +17,34 @@ use crate::keys::{EvaluationKey, KeyBundle, PublicKey, SecretKey};
 
 /// Standard deviation of the RLWE error distribution.
 const ERROR_SIGMA: f64 = 3.2;
+
+/// Reusable working memory for one key-switch invocation: the extended
+/// residue matrix, the `u128` MAC accumulators for the `(b, a)` pair, the
+/// BConv scratch and the mod-down buffers. Pooled on the context so steady
+/// state performs no heap allocation per HMult/HRot.
+#[derive(Debug, Default)]
+struct KsScratch {
+    bconv: BconvScratch,
+    /// Extended polynomial, `(ℓ+1+k) · N` words, limb-major on the ks basis.
+    ext: Vec<u64>,
+    /// Deferred-reduction accumulators for the `b` / `a` contributions.
+    acc_b: Vec<u128>,
+    acc_a: Vec<u128>,
+    /// Mod-down: special limbs (coefficient domain) and converted q limbs.
+    p_part: Vec<u64>,
+    conv: Vec<u64>,
+}
+
+/// Lazily-memoized key-switching machinery shared by all clones of a context:
+/// ModUp converters per `(level, slice)`, ModDown converters per level, and a
+/// pool of [`KsScratch`] buffers. Interior mutability keeps
+/// [`CkksContext::key_switch`] callable through `&self`.
+#[derive(Debug, Default)]
+struct KsCache {
+    modup: Mutex<HashMap<(usize, usize), Arc<BaseConverter>>>,
+    moddown: Mutex<HashMap<usize, Arc<BaseConverter>>>,
+    scratch: Mutex<Vec<KsScratch>>,
+}
 
 /// A fully instantiated Full-RNS CKKS context: moduli chains, NTT tables,
 /// encoder and the key-switching machinery.
@@ -34,8 +65,14 @@ pub struct CkksContext {
     encoder: CkksEncoder,
     /// `[P]_{q_i}` for every ciphertext modulus.
     p_mod_q: Vec<u64>,
-    /// `[P^{-1}]_{q_i}` for every ciphertext modulus.
-    p_inv_mod_q: Vec<u64>,
+    /// `[P^{-1}]_{q_i}` for every ciphertext modulus, Shoup-precomputed for
+    /// the mod-down scaling pass.
+    p_inv_mod_q: Vec<ShoupMul>,
+    /// `[q_ℓ^{-1}]_{q_i}` for every level ℓ ≥ 1 and limb i < ℓ: the HRescale
+    /// constants, precomputed once instead of re-inverted per rescale call.
+    rescale_inv: Vec<Vec<u64>>,
+    /// Shared key-switch converter cache + scratch pool.
+    ks: Arc<KsCache>,
 }
 
 impl CkksContext {
@@ -74,8 +111,25 @@ impl CkksContext {
         let p_mod_q: Vec<u64> = (0..q_basis.len())
             .map(|i| p_basis.product_mod(q_basis.modulus(i)))
             .collect();
-        let p_inv_mod_q: Vec<u64> = (0..q_basis.len())
-            .map(|i| q_basis.modulus(i).inv(p_mod_q[i]).map_err(CkksError::Math))
+        let p_inv_mod_q: Vec<ShoupMul> = (0..q_basis.len())
+            .map(|i| {
+                let qi = q_basis.modulus(i);
+                Ok(qi.shoup(qi.inv(p_mod_q[i]).map_err(CkksError::Math)?))
+            })
+            .collect::<crate::Result<_>>()?;
+        let rescale_inv: Vec<Vec<u64>> = (0..=max_level)
+            .map(|l| {
+                if l == 0 {
+                    return Ok(Vec::new());
+                }
+                let q_last = q_basis.modulus(l).value();
+                (0..l)
+                    .map(|i| {
+                        let qi = q_basis.modulus(i);
+                        qi.inv(qi.reduce(q_last)).map_err(CkksError::Math)
+                    })
+                    .collect()
+            })
             .collect::<crate::Result<_>>()?;
         Ok(Self {
             degree,
@@ -88,6 +142,8 @@ impl CkksContext {
             encoder,
             p_mod_q,
             p_inv_mod_q,
+            rescale_inv,
+            ks: Arc::new(KsCache::default()),
         })
     }
 
@@ -173,6 +229,12 @@ impl CkksContext {
     /// The prime modulus q_i.
     pub fn q_modulus(&self, i: usize) -> u64 {
         self.q_basis.modulus(i).value()
+    }
+
+    /// The precomputed HRescale constants `[q_ℓ^{-1}]_{q_i}` (`i < ℓ`) for
+    /// dropping from level `level`.
+    pub(crate) fn rescale_constants(&self, level: usize) -> &[u64] {
+        &self.rescale_inv[level]
     }
 
     /// Creates an evaluator bound to this context and a key bundle.
@@ -542,12 +604,65 @@ impl CkksContext {
     // Key switching (the core of HMult and HRot)
     // ------------------------------------------------------------------
 
+    /// The memoized ModUp converter for decomposition slice `j` at `level`:
+    /// slice base `{q_lo..q_hi}` → complement base (other q limbs, then the
+    /// special limbs).
+    fn modup_converter(&self, level: usize, j: usize) -> crate::Result<Arc<BaseConverter>> {
+        if let Some(conv) = self.ks.modup.lock().expect("ks cache").get(&(level, j)) {
+            return Ok(Arc::clone(conv));
+        }
+        let k = self.num_special();
+        let lo = j * k;
+        let hi = ((j + 1) * k).min(level + 1);
+        let q_prefix = self.basis_at_level(level);
+        let slice_basis = q_prefix.select(&(lo..hi).collect::<Vec<_>>());
+        let complement_idx: Vec<usize> = (0..=level).filter(|i| *i < lo || *i >= hi).collect();
+        let complement_basis = if complement_idx.is_empty() {
+            self.p_basis.clone()
+        } else {
+            q_prefix
+                .select(&complement_idx)
+                .concat(&self.p_basis)
+                .map_err(CkksError::Math)?
+        };
+        let conv =
+            Arc::new(BaseConverter::new(&slice_basis, &complement_basis).map_err(CkksError::Math)?);
+        self.ks
+            .modup
+            .lock()
+            .expect("ks cache")
+            .insert((level, j), Arc::clone(&conv));
+        Ok(conv)
+    }
+
+    /// The memoized ModDown converter for `level`: special base → `{q_0..q_ℓ}`.
+    fn moddown_converter(&self, level: usize) -> crate::Result<Arc<BaseConverter>> {
+        if let Some(conv) = self.ks.moddown.lock().expect("ks cache").get(&level) {
+            return Ok(Arc::clone(conv));
+        }
+        let conv = Arc::new(
+            BaseConverter::new(&self.p_basis, &self.basis_at_level(level))
+                .map_err(CkksError::Math)?,
+        );
+        self.ks
+            .moddown
+            .lock()
+            .expect("ks cache")
+            .insert(level, Arc::clone(&conv));
+        Ok(conv)
+    }
+
     /// Switches the polynomial `d` (NTT domain, level-ℓ ciphertext basis) from
     /// the key implicit in `evk` back to the canonical secret key, returning
     /// the `(b, a)` contribution pair on the same basis.
     ///
     /// This is the iNTT → BConv → NTT → ⊙evk → iNTT → BConv → NTT → SSA flow
-    /// of Fig. 3(a).
+    /// of Fig. 3(a), executed allocation-free on pooled scratch: each slice is
+    /// staged inside one flat extended residue matrix (slice limbs copied into
+    /// their ks-basis positions, ModUp writing the complement limbs straight
+    /// into theirs), (i)NTT passes run limb-parallel, and the per-slice evk
+    /// MACs accumulate in `u128` with a single Barrett reduction per element
+    /// after the last slice.
     ///
     /// # Errors
     ///
@@ -559,85 +674,172 @@ impl CkksContext {
     ) -> crate::Result<(RnsPoly, RnsPoly)> {
         let level = d.limb_count() - 1;
         let k = self.num_special();
+        let n = self.degree;
         let q_prefix = self.basis_at_level(level);
         let ks_basis = q_prefix.concat(&self.p_basis).map_err(CkksError::Math)?;
+        let ext_limbs = level + 1 + k;
         // Indices of the live limbs inside the full key basis (q_0..q_L, p_*).
         let evk_indices: Vec<usize> = (0..=level)
             .chain(self.max_level + 1..self.max_level + 1 + k)
             .collect();
-
-        let mut acc_b = RnsPoly::zero(&ks_basis, Representation::Ntt);
-        let mut acc_a = RnsPoly::zero(&ks_basis, Representation::Ntt);
+        // The u128 accumulators overflow after 2^(128 - 2·max_bits) MAC terms;
+        // fold them with a reduction pass if the slice count could exceed that
+        // (it never does for word-sized CKKS moduli, but guard anyway).
+        let max_bits = (0..ks_basis.len())
+            .map(|t| ks_basis.modulus(t).bits())
+            .max()
+            .unwrap_or(1);
+        let fold_every = 1usize << 128u32.saturating_sub(2 * max_bits + 1).min(24);
 
         let num_slices = (level + 1).div_ceil(k).min(evk.slices.len());
+        let mut scratch = self
+            .ks
+            .scratch
+            .lock()
+            .expect("scratch pool")
+            .pop()
+            .unwrap_or_default();
+        scratch.ext.resize(ext_limbs * n, 0);
+        scratch.acc_b.clear();
+        scratch.acc_b.resize(ext_limbs * n, 0);
+        scratch.acc_a.clear();
+        scratch.acc_a.resize(ext_limbs * n, 0);
+
         for j in 0..num_slices {
             let lo = j * k;
             let hi = ((j + 1) * k).min(level + 1);
-            let slice_idx: Vec<usize> = (lo..hi).collect();
-            // ModUp: iNTT the slice, convert to the complementary base, NTT back.
-            let mut d_slice = d.select_limbs(&slice_idx);
-            d_slice.to_coefficient();
-            let complement_idx: Vec<usize> = (0..=level).filter(|i| *i < lo || *i >= hi).collect();
-            let complement_basis = if complement_idx.is_empty() {
-                self.p_basis.clone()
-            } else {
-                q_prefix
-                    .select(&complement_idx)
-                    .concat(&self.p_basis)
-                    .map_err(CkksError::Math)?
-            };
-            let converter =
-                BaseConverter::new(d_slice.basis(), &complement_basis).map_err(CkksError::Math)?;
-            let converted = converter.convert(d_slice.limbs());
-            // Reassemble the extended polynomial on the ks basis order.
-            let mut limbs: Vec<Vec<u64>> = Vec::with_capacity(level + 1 + k);
-            let mut conv_iter = converted.into_iter();
-            for i in 0..=level {
-                if i >= lo && i < hi {
-                    limbs.push(d_slice.limb(i - lo).to_vec());
-                } else {
-                    limbs.push(conv_iter.next().expect("converted limb"));
+            // Stage the slice limbs at their ks-basis positions and iNTT them
+            // in place (ModUp's iNTT), limb-parallel.
+            scratch.ext[lo * n..hi * n].copy_from_slice(&d.data()[lo * n..hi * n]);
+            bts_math::par::par_limbs(
+                scratch.ext[lo * n..hi * n].chunks_exact_mut(n).collect(),
+                |t, limb: &mut [u64]| self.q_basis.table(lo + t).inverse(limb),
+            );
+            // BConv the slice into the complement limbs of the same matrix.
+            let converter = self.modup_converter(level, j)?;
+            {
+                let (left, rest) = scratch.ext.split_at_mut(lo * n);
+                let (mid, right) = rest.split_at_mut((hi - lo) * n);
+                {
+                    let srcs: Vec<&[u64]> = mid.chunks_exact(n).collect();
+                    let mut outs: Vec<&mut [u64]> = left
+                        .chunks_exact_mut(n)
+                        .chain(right.chunks_exact_mut(n))
+                        .collect();
+                    converter.convert_into(&srcs, &mut outs, false, &mut scratch.bconv);
                 }
+                // Restore the slice limbs from the NTT-domain input —
+                // forward∘inverse is the identity bit-for-bit, so re-NTT-ing
+                // the iNTT'd slice would only redo work — and forward-NTT
+                // just the freshly converted complement limbs, limb-parallel.
+                mid.copy_from_slice(&d.data()[lo * n..hi * n]);
+                bts_math::par::par_limbs(
+                    left.chunks_exact_mut(n)
+                        .chain(right.chunks_exact_mut(n))
+                        .collect(),
+                    |t, limb: &mut [u64]| {
+                        let idx = if t < lo { t } else { hi + (t - lo) };
+                        ks_basis.table(idx).forward(limb);
+                    },
+                );
             }
-            for _ in 0..k {
-                limbs.push(conv_iter.next().expect("converted special limb"));
-            }
-            let mut extended = RnsPoly::from_limbs(&ks_basis, Representation::Coefficient, limbs)
-                .map_err(CkksError::Math)?;
-            extended.to_ntt();
-
-            let evk_b = evk.slices[j].0.select_limbs(&evk_indices);
-            let evk_a = evk.slices[j].1.select_limbs(&evk_indices);
-            acc_b = acc_b
-                .add(&extended.mul(&evk_b).map_err(CkksError::Math)?)
-                .map_err(CkksError::Math)?;
-            acc_a = acc_a
-                .add(&extended.mul(&evk_a).map_err(CkksError::Math)?)
-                .map_err(CkksError::Math)?;
+            // MAC the slice against its evk pair with deferred reduction.
+            let (evk_b, evk_a) = &evk.slices[j];
+            let ext = &scratch.ext;
+            let fold = (j + 1).is_multiple_of(fold_every);
+            let rows: Vec<(&mut [u128], &mut [u128])> = scratch
+                .acc_b
+                .chunks_exact_mut(n)
+                .zip(scratch.acc_a.chunks_exact_mut(n))
+                .collect();
+            bts_math::par::par_limbs(rows, |t, (row_b, row_a)| {
+                let p = ks_basis.modulus(t);
+                let ext_t = &ext[t * n..(t + 1) * n];
+                let kb = evk_b.limb(evk_indices[t]);
+                let ka = evk_a.limb(evk_indices[t]);
+                for c in 0..n {
+                    row_b[c] += ext_t[c] as u128 * kb[c] as u128;
+                    row_a[c] += ext_t[c] as u128 * ka[c] as u128;
+                    if fold {
+                        row_b[c] = p.reduce_u128(row_b[c]) as u128;
+                        row_a[c] = p.reduce_u128(row_a[c]) as u128;
+                    }
+                }
+            });
         }
 
-        let b = self.mod_down(&acc_b, level)?;
-        let a = self.mod_down(&acc_a, level)?;
+        // Single Barrett reduction per element closes the deferred MACs.
+        let mut acc_b = RnsPoly::zero(&ks_basis, Representation::Ntt);
+        let mut acc_a = RnsPoly::zero(&ks_basis, Representation::Ntt);
+        let (accs_b, accs_a) = (&scratch.acc_b, &scratch.acc_a);
+        bts_math::par::par_limbs(
+            acc_b
+                .data_mut()
+                .chunks_exact_mut(n)
+                .zip(acc_a.data_mut().chunks_exact_mut(n))
+                .collect(),
+            |t, (out_b, out_a): (&mut [u64], &mut [u64])| {
+                let p = ks_basis.modulus(t);
+                for c in 0..n {
+                    out_b[c] = p.reduce_u128(accs_b[t * n + c]);
+                    out_a[c] = p.reduce_u128(accs_a[t * n + c]);
+                }
+            },
+        );
+
+        let b = self.mod_down(&acc_b, level, &mut scratch)?;
+        let a = self.mod_down(&acc_a, level, &mut scratch)?;
+        self.ks.scratch.lock().expect("scratch pool").push(scratch);
         Ok((b, a))
     }
 
     /// Divides an extended-basis polynomial (level-ℓ q limbs followed by the k
     /// special limbs, NTT domain) by `P`, returning a level-ℓ polynomial.
-    fn mod_down(&self, x: &RnsPoly, level: usize) -> crate::Result<RnsPoly> {
+    fn mod_down(
+        &self,
+        x: &RnsPoly,
+        level: usize,
+        scratch: &mut KsScratch,
+    ) -> crate::Result<RnsPoly> {
         let k = self.num_special();
+        let n = self.degree;
         let q_prefix = self.basis_at_level(level);
-        let q_part = x.select_limbs(&(0..=level).collect::<Vec<_>>());
-        let mut p_part = x.select_limbs(&((level + 1)..(level + 1 + k)).collect::<Vec<_>>());
-        p_part.to_coefficient();
-        let converter = BaseConverter::new(&self.p_basis, &q_prefix).map_err(CkksError::Math)?;
-        let mut converted = RnsPoly::from_limbs(
-            &q_prefix,
-            Representation::Coefficient,
-            converter.convert(p_part.limbs()),
-        )
-        .map_err(CkksError::Math)?;
-        converted.to_ntt();
-        let diff = q_part.sub(&converted).map_err(CkksError::Math)?;
-        Ok(diff.mul_constants(&self.p_inv_mod_q[..=level]))
+        // iNTT the special limbs into scratch.
+        scratch.p_part.resize(k * n, 0);
+        scratch
+            .p_part
+            .copy_from_slice(&x.data()[(level + 1) * n..(level + 1 + k) * n]);
+        bts_math::par::par_limbs(
+            scratch.p_part.chunks_exact_mut(n).collect(),
+            |i, limb: &mut [u64]| self.p_basis.table(i).inverse(limb),
+        );
+        // BConv the P part down to the q base, then NTT it back.
+        let converter = self.moddown_converter(level)?;
+        scratch.conv.resize((level + 1) * n, 0);
+        {
+            let srcs: Vec<&[u64]> = scratch.p_part.chunks_exact(n).collect();
+            let mut outs: Vec<&mut [u64]> = scratch.conv.chunks_exact_mut(n).collect();
+            converter.convert_into(&srcs, &mut outs, false, &mut scratch.bconv);
+        }
+        bts_math::par::par_limbs(
+            scratch.conv.chunks_exact_mut(n).collect(),
+            |i, limb: &mut [u64]| self.q_basis.table(i).forward(limb),
+        );
+        // out_i = (x_i - conv_i) · P^{-1} mod q_i, fused in one pass.
+        let mut out = RnsPoly::zero(&q_prefix, Representation::Ntt);
+        let conv = &scratch.conv;
+        bts_math::par::par_limbs(
+            out.data_mut().chunks_exact_mut(n).collect(),
+            |i, limb: &mut [u64]| {
+                let qi = q_prefix.modulus(i);
+                let p_inv = &self.p_inv_mod_q[i];
+                let x_i = x.limb(i);
+                let conv_i = &conv[i * n..(i + 1) * n];
+                for (c, slot) in limb.iter_mut().enumerate() {
+                    *slot = qi.mul_shoup(qi.sub(x_i[c], conv_i[c]), p_inv);
+                }
+            },
+        );
+        Ok(out)
     }
 }

@@ -1,3 +1,4 @@
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 use bts_math::AutomorphismTable;
@@ -74,9 +75,30 @@ impl<'a> Evaluator<'a> {
         ))
     }
 
-    fn align(&self, a: &Ciphertext, b: &Ciphertext) -> crate::Result<(Ciphertext, Ciphertext)> {
+    /// Borrowing variant of [`Evaluator::level_reduce`]: returns the input
+    /// itself when it is already at `level`, avoiding two full polynomial
+    /// copies per operand in the common equal-level case.
+    fn level_reduce_cow<'c>(
+        &self,
+        ct: &'c Ciphertext,
+        level: usize,
+    ) -> crate::Result<Cow<'c, Ciphertext>> {
+        if level == ct.level {
+            return Ok(Cow::Borrowed(ct));
+        }
+        Ok(Cow::Owned(self.level_reduce(ct, level)?))
+    }
+
+    fn align<'c>(
+        &self,
+        a: &'c Ciphertext,
+        b: &'c Ciphertext,
+    ) -> crate::Result<(Cow<'c, Ciphertext>, Cow<'c, Ciphertext>)> {
         let level = a.level.min(b.level);
-        Ok((self.level_reduce(a, level)?, self.level_reduce(b, level)?))
+        Ok((
+            self.level_reduce_cow(a, level)?,
+            self.level_reduce_cow(b, level)?,
+        ))
     }
 
     /// HAdd: element-wise addition (Eq. 2).
@@ -125,16 +147,14 @@ impl<'a> Evaluator<'a> {
     /// Propagates key-switching failures.
     pub fn mul(&self, a: &Ciphertext, b: &Ciphertext) -> crate::Result<Ciphertext> {
         let (a, b) = self.align(a, b)?;
-        let d0 = a.c0.mul(&b.c0)?;
-        let d1 = a.c0.mul(&b.c1)?.add(&a.c1.mul(&b.c0)?)?;
+        let mut d0 = a.c0.mul(&b.c0)?;
+        let mut d1 = a.c0.mul(&b.c1)?;
+        d1.fused_mul_add_assign(&a.c1, &b.c0)?;
         let d2 = a.c1.mul(&b.c1)?;
         let (kb, ka) = self.context.key_switch(&d2, self.keys.relin())?;
-        Ok(Ciphertext::new(
-            d0.add(&kb)?,
-            d1.add(&ka)?,
-            a.level,
-            a.scale * b.scale,
-        ))
+        d0.add_assign(&kb)?;
+        d1.add_assign(&ka)?;
+        Ok(Ciphertext::new(d0, d1, a.level, a.scale * b.scale))
     }
 
     /// Squares a ciphertext (same flow as [`Evaluator::mul`]).
@@ -223,26 +243,28 @@ impl<'a> Evaluator<'a> {
         let last = a.level;
         let q_last = self.context.q_modulus(last);
         let new_level = last - 1;
+        let n = self.context.degree();
+        let inverses = self.context.rescale_constants(last);
         let rescale_poly = |poly: &bts_math::RnsPoly| -> crate::Result<bts_math::RnsPoly> {
             let mut work = poly.clone();
             work.to_coefficient();
+            // Keep the borrowed limb, truncate the rest in place (consuming
+            // restriction — no per-limb copies), rescale in place.
             let last_limb = work.limb(last).to_vec();
-            let kept = work.keep_limbs(new_level + 1);
+            let mut kept = work.into_keep_limbs(new_level + 1);
             let basis = kept.basis().clone();
-            let mut limbs = kept.into_limbs();
-            for (i, limb) in limbs.iter_mut().enumerate() {
-                let qi = basis.modulus(i);
-                let q_last_inv = qi.inv(qi.reduce(q_last)).map_err(CkksError::Math)?;
-                for (c, coeff) in limb.iter_mut().enumerate() {
-                    let borrowed = qi.reduce(last_limb[c]);
-                    *coeff = qi.mul(qi.sub(*coeff, borrowed), q_last_inv);
-                }
-            }
-            let mut out =
-                bts_math::RnsPoly::from_limbs(&basis, bts_math::Representation::Coefficient, limbs)
-                    .map_err(CkksError::Math)?;
-            out.to_ntt();
-            Ok(out)
+            bts_math::par::par_limbs(
+                kept.data_mut().chunks_exact_mut(n).collect(),
+                |i, limb: &mut [u64]| {
+                    let qi = basis.modulus(i);
+                    let q_last_inv = qi.shoup(inverses[i]);
+                    for (coeff, &borrowed) in limb.iter_mut().zip(last_limb.iter()) {
+                        *coeff = qi.mul_shoup(qi.sub(*coeff, qi.reduce(borrowed)), &q_last_inv);
+                    }
+                },
+            );
+            kept.to_ntt();
+            Ok(kept)
         };
         Ok(Ciphertext::new(
             rescale_poly(&a.c0)?,
@@ -278,10 +300,14 @@ impl<'a> Evaluator<'a> {
             .ok_or_else(|| CkksError::MissingKey(format!("rotation key for r = {r}")))?;
         let table =
             AutomorphismTable::from_rotation(self.context.degree(), r).map_err(CkksError::Math)?;
-        let c0_rot = a.c0.automorphism(&table);
-        let c1_rot = a.c1.automorphism(&table);
+        let mut perm_scratch = Vec::new();
+        let mut c0_rot = a.c0.clone();
+        c0_rot.automorphism_apply(&table, &mut perm_scratch);
+        let mut c1_rot = a.c1.clone();
+        c1_rot.automorphism_apply(&table, &mut perm_scratch);
         let (kb, ka) = self.context.key_switch(&c1_rot, key)?;
-        Ok(Ciphertext::new(c0_rot.add(&kb)?, ka, a.level, a.scale))
+        c0_rot.add_assign(&kb)?;
+        Ok(Ciphertext::new(c0_rot, ka, a.level, a.scale))
     }
 
     /// Complex conjugation of every slot.
@@ -296,10 +322,14 @@ impl<'a> Evaluator<'a> {
             .ok_or_else(|| CkksError::MissingKey("conjugation key".to_string()))?;
         let g = bts_math::galois_element(0, self.context.degree(), true);
         let table = AutomorphismTable::new(self.context.degree(), g).map_err(CkksError::Math)?;
-        let c0_rot = a.c0.automorphism(&table);
-        let c1_rot = a.c1.automorphism(&table);
+        let mut perm_scratch = Vec::new();
+        let mut c0_rot = a.c0.clone();
+        c0_rot.automorphism_apply(&table, &mut perm_scratch);
+        let mut c1_rot = a.c1.clone();
+        c1_rot.automorphism_apply(&table, &mut perm_scratch);
         let (kb, ka) = self.context.key_switch(&c1_rot, key)?;
-        Ok(Ciphertext::new(c0_rot.add(&kb)?, ka, a.level, a.scale))
+        c0_rot.add_assign(&kb)?;
+        Ok(Ciphertext::new(c0_rot, ka, a.level, a.scale))
     }
 
     /// Applies a homomorphic linear transform (matrix–vector product in slot

@@ -104,8 +104,21 @@ impl AutomorphismTable {
     ///
     /// Panics if `src.len() != degree`.
     pub fn apply(&self, src: &[u64], modulus_value: u64) -> Vec<u64> {
-        assert_eq!(src.len(), self.degree);
         let mut out = vec![0u64; self.degree];
+        self.apply_into(src, &mut out, modulus_value);
+        out
+    }
+
+    /// Applies the automorphism into a caller-provided output limb,
+    /// allocation-free. Every destination slot is written (the map is a
+    /// permutation), so `out` does not need to be zeroed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` and `out` are not both of length `degree`.
+    pub fn apply_into(&self, src: &[u64], out: &mut [u64], modulus_value: u64) {
+        assert_eq!(src.len(), self.degree);
+        assert_eq!(out.len(), self.degree);
         for (i, &s) in src.iter().enumerate() {
             let d = self.dest[i] as usize;
             out[d] = if self.negate[i] && s != 0 {
@@ -114,7 +127,6 @@ impl AutomorphismTable {
                 s
             };
         }
-        out
     }
 
     /// Destination coefficient index of source index `i`.

@@ -1,5 +1,26 @@
+use crate::modular::ShoupMul;
+use crate::poly::RnsPoly;
 use crate::rns::RnsBasis;
-use crate::MathError;
+use crate::{par, MathError};
+
+/// Reusable buffers for [`BaseConverter::convert_into`]: the "first part"
+/// products and the overshoot estimates. Owned by the caller (e.g. the CKKS
+/// key-switch scratch) so repeated conversions allocate nothing after the
+/// first call.
+#[derive(Debug, Default)]
+pub struct BconvScratch {
+    /// `y_j = [a_j · q̂_j^{-1}]_{q_j}`, flat limb-major (`ℓ_src · N` words).
+    y: Vec<u64>,
+    /// Per-coefficient overshoot estimates (exact variant only).
+    overshoot: Vec<u64>,
+}
+
+impl BconvScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Fast RNS base conversion (`BConv`, Eq. 9 of the paper).
 ///
@@ -11,22 +32,31 @@ use crate::MathError;
 /// ```
 ///
 /// This is the coefficient-wise function executed by the BConvU (ModMult for
-/// the first factor, MMAU for the accumulation, §5.2). The fast variant can
-/// overshoot by a small multiple of `Q`; [`BaseConverter::convert_exact`]
-/// removes that overshoot with a floating-point estimate, which is what the
-/// CKKS layer uses where exactness matters.
+/// the first factor, MMAU for the accumulation, §5.2). The MAC accumulates in
+/// `u128` with deferred Barrett reduction — one reduction per target element
+/// instead of one per multiply-accumulate, the software analogue of the
+/// MMAU's carry-save accumulator — and target limbs are computed
+/// limb-parallel. The fast variant can overshoot by a small multiple of `Q`;
+/// [`BaseConverter::convert_exact`] removes that overshoot with a
+/// floating-point estimate, which is what the CKKS layer uses where exactness
+/// matters.
 #[derive(Debug, Clone)]
 pub struct BaseConverter {
     source: RnsBasis,
     target: RnsBasis,
-    /// `[q̂_j^{-1}]_{q_j}` for each source limb j (the "first part" table, RF_BT1).
-    qhat_inv: Vec<u64>,
+    /// `[q̂_j^{-1}]_{q_j}` for each source limb j (the "first part" table,
+    /// RF_BT1), Shoup-precomputed.
+    qhat_inv: Vec<ShoupMul>,
     /// `[q̂_j]_{p_i}` for each target limb i and source limb j (RF_BT2).
     qhat_mod_target: Vec<Vec<u64>>,
     /// `[Q]_{p_i}` for the exact variant's overshoot correction.
     q_mod_target: Vec<u64>,
     /// 1 / q_j as f64, for the overshoot estimate.
     q_inv_f64: Vec<f64>,
+    /// How many u128 MAC terms can accumulate before a fold is needed to
+    /// avoid overflow (derived from the operand bit widths; effectively
+    /// unbounded for the ≤ 61-bit moduli CKKS uses).
+    lazy_chunk: usize,
 }
 
 impl BaseConverter {
@@ -50,8 +80,13 @@ impl BaseConverter {
                 "source and target bases overlap".to_string(),
             ));
         }
-        let qhat_inv = source.punctured_product_inverses()?;
-        let qhat_mod_target = (0..target.len())
+        let qhat_inv = source
+            .punctured_product_inverses()?
+            .into_iter()
+            .enumerate()
+            .map(|(j, w)| source.modulus(j).shoup(w))
+            .collect();
+        let qhat_mod_target: Vec<Vec<u64>> = (0..target.len())
             .map(|i| {
                 let p = target.modulus(i);
                 (0..source.len())
@@ -62,7 +97,19 @@ impl BaseConverter {
         let q_mod_target = (0..target.len())
             .map(|i| source.product_mod(target.modulus(i)))
             .collect();
-        let q_inv_f64 = source.moduli().iter().map(|&q| 1.0 / q as f64).collect();
+        let q_inv_f64: Vec<f64> = source.moduli().iter().map(|&q| 1.0 / q as f64).collect();
+        // Each MAC term is < 2^(src_bits + tgt_bits); the u128 accumulator
+        // overflows after 2^(128 - src_bits - tgt_bits) terms.
+        let src_bits = (0..source.len())
+            .map(|j| source.modulus(j).bits())
+            .max()
+            .unwrap_or(1);
+        let tgt_bits = (0..target.len())
+            .map(|i| target.modulus(i).bits())
+            .max()
+            .unwrap_or(1);
+        let headroom = 128u32.saturating_sub(src_bits + tgt_bits + 1).min(24);
+        let lazy_chunk = 1usize << headroom;
         Ok(Self {
             source: source.clone(),
             target: target.clone(),
@@ -70,6 +117,7 @@ impl BaseConverter {
             qhat_mod_target,
             q_mod_target,
             q_inv_f64,
+            lazy_chunk,
         })
     }
 
@@ -83,78 +131,182 @@ impl BaseConverter {
         &self.target
     }
 
-    /// Fast conversion of coefficient-domain residues (one `Vec<u64>` per
-    /// source limb, each of length N) to the target base. The result may carry
-    /// an additive overshoot of `e·Q` with `0 ≤ e ≤ #source-limbs`.
+    /// Fast conversion to the target base. The result may carry an additive
+    /// overshoot of `e·Q` with `0 ≤ e ≤ #source-limbs`; representation is
+    /// inherited from the input (BConv is residue-wise either way, but the
+    /// CKKS layer always converts coefficient-domain slices).
     ///
     /// # Panics
     ///
-    /// Panics if `limbs` does not match the source base shape.
-    pub fn convert(&self, limbs: &[Vec<u64>]) -> Vec<Vec<u64>> {
-        self.convert_impl(limbs, false)
+    /// Panics if `poly` does not live on the source base.
+    pub fn convert(&self, poly: &RnsPoly) -> RnsPoly {
+        self.convert_with(poly, false)
     }
 
     /// Exact conversion: like [`BaseConverter::convert`] but subtracts the
     /// `e·Q` overshoot estimated in floating point. Exact whenever the source
-    /// value, interpreted centered (|a| < Q/2), is reconstructed; this is the
-    /// variant the CKKS layer uses for rescaling-free paths.
+    /// value, interpreted centered (|a| < Q/2), is reconstructed.
     ///
     /// # Panics
     ///
-    /// Panics if `limbs` does not match the source base shape.
-    pub fn convert_exact(&self, limbs: &[Vec<u64>]) -> Vec<Vec<u64>> {
-        self.convert_impl(limbs, true)
+    /// Panics if `poly` does not live on the source base.
+    pub fn convert_exact(&self, poly: &RnsPoly) -> RnsPoly {
+        self.convert_with(poly, true)
     }
 
-    fn convert_impl(&self, limbs: &[Vec<u64>], exact: bool) -> Vec<Vec<u64>> {
+    fn convert_with(&self, poly: &RnsPoly, exact: bool) -> RnsPoly {
         assert_eq!(
-            limbs.len(),
-            self.source.len(),
-            "input limb count must match the source base"
+            poly.basis().moduli(),
+            self.source.moduli(),
+            "input must live on the source base"
         );
+        let mut out = RnsPoly::zero(&self.target, poly.representation());
+        let n = self.target.degree();
+        let srcs: Vec<&[u64]> = poly.limbs().collect();
+        let mut outs: Vec<&mut [u64]> = out.data_mut().chunks_exact_mut(n).collect();
+        let mut scratch = BconvScratch::new();
+        self.convert_into(&srcs, &mut outs, exact, &mut scratch);
+        out
+    }
+
+    /// Allocation-free conversion from raw source limb views into
+    /// caller-provided target limbs (one slice of length N per limb, in base
+    /// order on both sides). This is the key-switch entry point: ModUp reads
+    /// the slice limbs out of the extended residue matrix and writes the
+    /// converted limbs straight into their positions in the same matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `srcs` / `outs` do not match the source / target base shapes.
+    pub fn convert_into(
+        &self,
+        srcs: &[&[u64]],
+        outs: &mut [&mut [u64]],
+        exact: bool,
+        scratch: &mut BconvScratch,
+    ) {
         let n = self.source.degree();
-        for l in limbs {
-            assert_eq!(l.len(), n, "every limb must have length N");
+        let s = self.source.len();
+        assert_eq!(srcs.len(), s, "one input limb per source limb");
+        for limb in srcs.iter() {
+            assert_eq!(limb.len(), n, "every input limb must have length N");
         }
-        // First part: y_j = [a_j * qhat_inv_j]_{q_j} (residue-polynomial-wise ModMult).
-        let mut y = vec![vec![0u64; n]; self.source.len()];
-        for j in 0..self.source.len() {
-            let qj = self.source.modulus(j);
-            let w = self.qhat_inv[j];
-            for c in 0..n {
-                y[j][c] = qj.mul(limbs[j][c], w);
+        assert_eq!(outs.len(), self.target.len(), "one output limb per target");
+        for limb in outs.iter() {
+            assert_eq!(limb.len(), n, "every output limb must have length N");
+        }
+
+        // First part: y_j = [a_j * qhat_inv_j]_{q_j} (limb-parallel ModMult).
+        scratch.y.resize(s * n, 0);
+        {
+            let source = &self.source;
+            let qhat_inv = &self.qhat_inv;
+            par::par_limbs(
+                scratch.y.chunks_exact_mut(n).collect(),
+                |j, y_j: &mut [u64]| {
+                    let qj = source.modulus(j);
+                    let w = &qhat_inv[j];
+                    for (y, &a) in y_j.iter_mut().zip(srcs[j]) {
+                        *y = qj.mul_shoup(a, w);
+                    }
+                },
+            );
+        }
+        let y = &scratch.y;
+
+        // Overshoot estimate e_c = round(Σ_j y_jc / q_j) (exact variant only).
+        if exact {
+            scratch.overshoot.resize(n, 0);
+            for (c, e) in scratch.overshoot.iter_mut().enumerate() {
+                let v: f64 = (0..s)
+                    .map(|j| y[j * n + c] as f64 * self.q_inv_f64[j])
+                    .sum();
+                *e = v.round() as u64;
             }
         }
-        // Overshoot estimate e_c = round(Σ_j y_jc / q_j)
+        let overshoot = &scratch.overshoot;
+
+        // Second part (MMAU): out_i[c] = Σ_j y_j[c] · [q̂_j]_{p_i}, accumulated
+        // in u128 and Barrett-reduced once per target element. Target limbs
+        // are independent — fan them across the worker threads.
+        let target = &self.target;
+        let qhat_mod_target = &self.qhat_mod_target;
+        let q_mod_target = &self.q_mod_target;
+        let lazy_chunk = self.lazy_chunk;
+        par::par_limbs(outs.iter_mut().collect(), |i, out_i: &mut &mut [u64]| {
+            let p = target.modulus(i);
+            let row = &qhat_mod_target[i];
+            for (c, slot) in out_i.iter_mut().enumerate() {
+                let mut acc: u128 = 0;
+                let mut since_fold = 0usize;
+                for (j, &w) in row.iter().enumerate() {
+                    acc += y[j * n + c] as u128 * w as u128;
+                    since_fold += 1;
+                    if since_fold == lazy_chunk {
+                        acc = p.reduce_u128(acc) as u128;
+                        since_fold = 0;
+                    }
+                }
+                *slot = p.reduce_u128(acc);
+            }
+            if exact {
+                let q_mod_p = p.shoup(q_mod_target[i]);
+                for (slot, &e) in out_i.iter_mut().zip(overshoot.iter()) {
+                    let corr = p.mul_shoup(p.reduce(e), &q_mod_p);
+                    *slot = p.sub(*slot, corr);
+                }
+            }
+        });
+    }
+
+    /// Fully-reduced reference conversion (one Barrett reduction per MAC, the
+    /// pre-lazy kernel). Kept as the oracle [`BaseConverter::convert`] /
+    /// [`BaseConverter::convert_exact`] are validated against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `poly` does not live on the source base.
+    pub fn convert_eager(&self, poly: &RnsPoly, exact: bool) -> RnsPoly {
+        assert_eq!(
+            poly.basis().moduli(),
+            self.source.moduli(),
+            "input must live on the source base"
+        );
+        let n = self.source.degree();
+        let s = self.source.len();
+        let mut y = vec![vec![0u64; n]; s];
+        for (j, y_j) in y.iter_mut().enumerate() {
+            let qj = self.source.modulus(j);
+            let w = &self.qhat_inv[j];
+            for (c, slot) in y_j.iter_mut().enumerate() {
+                *slot = qj.mul_shoup(poly.limb(j)[c], w);
+            }
+        }
         let overshoot: Vec<u64> = if exact {
             (0..n)
                 .map(|c| {
-                    let v: f64 = (0..self.source.len())
-                        .map(|j| y[j][c] as f64 * self.q_inv_f64[j])
-                        .sum();
+                    let v: f64 = (0..s).map(|j| y[j][c] as f64 * self.q_inv_f64[j]).sum();
                     v.round() as u64
                 })
                 .collect()
         } else {
             Vec::new()
         };
-        // Second part: out_i = Σ_j y_j * [qhat_j]_{p_i}  (coefficient-wise MMAU).
-        let mut out = vec![vec![0u64; n]; self.target.len()];
-        for (i, out_i) in out.iter_mut().enumerate() {
-            let p = self.target.modulus(i);
+        let mut out = RnsPoly::zero(&self.target, poly.representation());
+        for i in 0..self.target.len() {
+            let p = *self.target.modulus(i);
             let row = &self.qhat_mod_target[i];
-            for j in 0..self.source.len() {
-                let w = row[j];
-                let yj = &y[j];
-                for c in 0..n {
-                    out_i[c] = p.mul_add(yj[c], w, out_i[c]);
+            let q_mod_p = self.q_mod_target[i];
+            let out_i = out.limb_mut(i);
+            for (j, &w) in row.iter().enumerate() {
+                for (c, slot) in out_i.iter_mut().enumerate() {
+                    *slot = p.mul_add(y[j][c], w, *slot);
                 }
             }
             if exact {
-                let q_mod_p = self.q_mod_target[i];
-                for c in 0..n {
+                for (c, slot) in out_i.iter_mut().enumerate() {
                     let corr = p.mul(p.reduce(overshoot[c]), q_mod_p);
-                    out_i[c] = p.sub(out_i[c], corr);
+                    *slot = p.sub(*slot, corr);
                 }
             }
         }
@@ -175,6 +327,7 @@ impl BaseConverter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::poly::Representation;
     use rand::{Rng, SeedableRng};
 
     fn bases(n: usize) -> (RnsBasis, RnsBasis) {
@@ -184,25 +337,23 @@ mod tests {
     }
 
     /// Encodes a small signed integer into the source base, coefficient 0 only.
-    fn encode_value(basis: &RnsBasis, v: i64, n: usize) -> Vec<Vec<u64>> {
-        (0..basis.len())
-            .map(|j| {
-                let mut limb = vec![0u64; n];
-                limb[0] = basis.modulus(j).from_i64(v);
-                limb
-            })
-            .collect()
+    fn encode_value(basis: &RnsBasis, v: i64) -> RnsPoly {
+        RnsPoly::from_signed_coefficients(basis, &[v])
     }
 
     #[test]
     fn exact_conversion_of_small_values() {
         let n = 1 << 6;
         let (src, dst) = bases(n);
+        let conv = BaseConverter::new(&src, &dst).unwrap();
         for v in [-1234567i64, -1, 0, 1, 42, 99999999] {
-            let limbs = encode_value(&src, v, n);
-            let out = bconv_first_coeff(&BaseConverter::new(&src, &dst).unwrap(), &limbs, true);
-            for (i, r) in out.iter().enumerate() {
-                assert_eq!(*r, dst.modulus(i).from_i64(v), "value {v} limb {i}");
+            let out = conv.convert_exact(&encode_value(&src, v));
+            for i in 0..dst.len() {
+                assert_eq!(
+                    out.limb(i)[0],
+                    dst.modulus(i).from_i64(v),
+                    "value {v} limb {i}"
+                );
             }
         }
     }
@@ -215,16 +366,16 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         // random small positive value
         let v = rng.gen_range(0..1u64 << 30) as i64;
-        let limbs = encode_value(&src, v, n);
-        let out = bconv_first_coeff(&conv, &limbs, false);
-        for (i, r) in out.iter().enumerate() {
+        let out = conv.convert(&encode_value(&src, v));
+        for i in 0..dst.len() {
+            let r = out.limb(i)[0];
             let p = dst.modulus(i);
             let q_mod_p = src.product_mod(p);
             // r = v + e*Q (mod p) for some 0 <= e <= len(src)
             let mut ok = false;
             for e in 0..=src.len() as u64 {
                 let cand = p.add(p.from_i64(v), p.mul(p.reduce(e), q_mod_p));
-                if cand == *r {
+                if cand == r {
                     ok = true;
                     break;
                 }
@@ -233,13 +384,35 @@ mod tests {
         }
     }
 
-    fn bconv_first_coeff(conv: &BaseConverter, limbs: &[Vec<u64>], exact: bool) -> Vec<u64> {
-        let out = if exact {
-            conv.convert_exact(limbs)
-        } else {
-            conv.convert(limbs)
-        };
-        out.iter().map(|l| l[0]).collect()
+    #[test]
+    fn lazy_conversion_matches_eager_reference() {
+        let n = 1 << 6;
+        let src = RnsBasis::generate(n, 58, 5).unwrap();
+        let dst = RnsBasis::generate(n, 60, 4).unwrap();
+        let conv = BaseConverter::new(&src, &dst).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(29);
+        let poly = RnsPoly::sample_uniform(&src, Representation::Coefficient, &mut rng);
+        assert_eq!(conv.convert(&poly), conv.convert_eager(&poly, false));
+        assert_eq!(conv.convert_exact(&poly), conv.convert_eager(&poly, true));
+    }
+
+    #[test]
+    fn convert_into_reuses_scratch_across_calls() {
+        let n = 1 << 5;
+        let (src, dst) = bases(n);
+        let conv = BaseConverter::new(&src, &dst).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let mut scratch = BconvScratch::new();
+        for _ in 0..3 {
+            let poly = RnsPoly::sample_uniform(&src, Representation::Coefficient, &mut rng);
+            let mut out = RnsPoly::zero(&dst, Representation::Coefficient);
+            {
+                let srcs: Vec<&[u64]> = poly.limbs().collect();
+                let mut outs: Vec<&mut [u64]> = out.data_mut().chunks_exact_mut(n).collect();
+                conv.convert_into(&srcs, &mut outs, false, &mut scratch);
+            }
+            assert_eq!(out, conv.convert(&poly));
+        }
     }
 
     #[test]
@@ -267,17 +440,11 @@ mod tests {
         let bwd = BaseConverter::new(&dst, &src).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
         let values: Vec<i64> = (0..n)
-            .map(|_| rng.gen_range(-(1 << 40)..(1 << 40)))
+            .map(|_| rng.gen_range(-(1i64 << 40)..(1i64 << 40)))
             .collect();
-        let limbs: Vec<Vec<u64>> = (0..src.len())
-            .map(|j| values.iter().map(|&v| src.modulus(j).from_i64(v)).collect())
-            .collect();
+        let limbs = RnsPoly::from_signed_coefficients(&src, &values);
         let there = fwd.convert_exact(&limbs);
         let back = bwd.convert_exact(&there);
-        for (j, limb) in back.iter().enumerate() {
-            for (c, &r) in limb.iter().enumerate() {
-                assert_eq!(r, src.modulus(j).from_i64(values[c]));
-            }
-        }
+        assert_eq!(back, limbs);
     }
 }

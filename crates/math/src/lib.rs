@@ -34,13 +34,14 @@ mod gadget;
 mod modular;
 mod ntt;
 mod ntt3d;
+pub mod par;
 mod poly;
 mod prime;
 mod rns;
 mod sampling;
 
 pub use automorphism::{galois_element, AutomorphismTable};
-pub use bconv::BaseConverter;
+pub use bconv::{BaseConverter, BconvScratch};
 pub use crt::{BigUint, CrtReconstructor};
 pub use error::MathError;
 pub use gadget::GadgetDecomposition;

@@ -207,16 +207,25 @@ impl Modulus {
     /// hardware NTTU uses precomputed twiddles.
     #[inline]
     pub fn mul_shoup(&self, a: u64, w: &ShoupMul) -> u64 {
-        debug_assert!(a < self.value);
-        let q_est = ((a as u128 * w.quotient as u128) >> 64) as u64;
-        let r = a
-            .wrapping_mul(w.operand)
-            .wrapping_sub(q_est.wrapping_mul(self.value));
+        let r = self.mul_shoup_lazy(a, w);
         if r >= self.value {
             r - self.value
         } else {
             r
         }
+    }
+
+    /// Shoup multiplication with deferred reduction: returns `a·w mod q` in
+    /// the *semi-reduced* range `[0, 2q)`, skipping the final conditional
+    /// subtraction. `a` may be any `u64` (in particular a lazily-reduced value
+    /// in `[0, 4q)`); `w.operand` must be canonical. This is the butterfly
+    /// kernel of the lazy NTT passes (Harvey-style), which keep residues
+    /// semi-reduced between stages and reduce once on the final pass.
+    #[inline]
+    pub fn mul_shoup_lazy(&self, a: u64, w: &ShoupMul) -> u64 {
+        let q_est = ((a as u128 * w.quotient as u128) >> 64) as u64;
+        a.wrapping_mul(w.operand)
+            .wrapping_sub(q_est.wrapping_mul(self.value))
     }
 }
 
@@ -298,6 +307,19 @@ mod tests {
         let sw = m.shoup(w);
         for a in [0u64, 1, P - 1, 42424242424242 % P] {
             assert_eq!(m.mul_shoup(a, &sw), m.mul(a, w));
+        }
+    }
+
+    #[test]
+    fn shoup_lazy_is_congruent_and_semi_reduced() {
+        let m = Modulus::new(P);
+        let w = 736251849302817 % P;
+        let sw = m.shoup(w);
+        // Lazy inputs may be semi-reduced themselves (up to 4q).
+        for a in [0u64, 1, P - 1, 2 * P + 5, 4 * P - 1] {
+            let r = m.mul_shoup_lazy(a, &sw);
+            assert!(r < 2 * P, "lazy result out of [0, 2q): {r}");
+            assert_eq!(r % P, m.mul(m.reduce(a), w));
         }
     }
 

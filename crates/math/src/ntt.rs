@@ -82,10 +82,110 @@ impl NttTable {
 
     /// In-place forward negacyclic NTT (coefficient domain → NTT domain).
     ///
+    /// Uses Harvey-style lazy reduction: residues stay semi-reduced (below
+    /// `4q`) between butterfly stages — the Shoup twiddle product is left in
+    /// `[0, 2q)` and sums are only folded by a single conditional `2q`
+    /// subtraction — with one full reduction pass at the end. Inputs must be
+    /// canonical and outputs are canonical, bit-identical to
+    /// [`NttTable::forward_eager`].
+    ///
     /// # Panics
     ///
     /// Panics if `values.len() != degree`.
     pub fn forward(&self, values: &mut [u64]) {
+        assert_eq!(values.len(), self.degree, "length must equal the degree");
+        let q = &self.modulus;
+        let qv = q.value();
+        let two_q = 2 * qv;
+        let n = self.degree;
+        let mut t = n;
+        let mut m = 1;
+        while m < n {
+            t >>= 1;
+            for i in 0..m {
+                let j1 = 2 * i * t;
+                let j2 = j1 + t;
+                let s = &self.psi_rev[m + i];
+                for j in j1..j2 {
+                    // Invariant: values[..] < 4q at stage entry (q < 2^62, so
+                    // 4q fits a u64). Fold the upper half before the sum.
+                    let mut u = values[j];
+                    if u >= two_q {
+                        u -= two_q;
+                    }
+                    let v = q.mul_shoup_lazy(values[j + t], s); // < 2q
+                    values[j] = u + v; // < 4q
+                    values[j + t] = u + two_q - v; // < 4q
+                }
+            }
+            m <<= 1;
+        }
+        for v in values.iter_mut() {
+            let mut x = *v;
+            if x >= two_q {
+                x -= two_q;
+            }
+            if x >= qv {
+                x -= qv;
+            }
+            *v = x;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (NTT domain → coefficient domain).
+    ///
+    /// Lazy-reduction Gentleman–Sande: residues stay below `2q` between
+    /// stages and are fully reduced by the final `N^{-1}` scaling pass.
+    /// Canonical in, canonical out, bit-identical to
+    /// [`NttTable::inverse_eager`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != degree`.
+    pub fn inverse(&self, values: &mut [u64]) {
+        assert_eq!(values.len(), self.degree, "length must equal the degree");
+        let q = &self.modulus;
+        let qv = q.value();
+        let two_q = 2 * qv;
+        let n = self.degree;
+        let mut t = 1;
+        let mut m = n;
+        while m > 1 {
+            let h = m >> 1;
+            let mut j1 = 0;
+            for i in 0..h {
+                let j2 = j1 + t;
+                let s = &self.psi_inv_rev[h + i];
+                for j in j1..j2 {
+                    // Invariant: values[..] < 2q at stage entry.
+                    let u = values[j];
+                    let v = values[j + t];
+                    let mut sum = u + v; // < 4q
+                    if sum >= two_q {
+                        sum -= two_q;
+                    }
+                    values[j] = sum; // < 2q
+                    values[j + t] = q.mul_shoup_lazy(u + two_q - v, s); // < 2q
+                }
+                j1 += 2 * t;
+            }
+            t <<= 1;
+            m = h;
+        }
+        for v in values.iter_mut() {
+            let r = q.mul_shoup_lazy(*v, &self.n_inv); // < 2q
+            *v = if r >= qv { r - qv } else { r };
+        }
+    }
+
+    /// Fully-reduced reference forward transform: every butterfly reduces to
+    /// canonical form. Kept as the oracle the lazy [`NttTable::forward`] is
+    /// validated against in equivalence tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != degree`.
+    pub fn forward_eager(&self, values: &mut [u64]) {
         assert_eq!(values.len(), self.degree, "length must equal the degree");
         let q = &self.modulus;
         let n = self.degree;
@@ -108,12 +208,13 @@ impl NttTable {
         }
     }
 
-    /// In-place inverse negacyclic NTT (NTT domain → coefficient domain).
+    /// Fully-reduced reference inverse transform; see
+    /// [`NttTable::forward_eager`].
     ///
     /// # Panics
     ///
     /// Panics if `values.len() != degree`.
-    pub fn inverse(&self, values: &mut [u64]) {
+    pub fn inverse_eager(&self, values: &mut [u64]) {
         assert_eq!(values.len(), self.degree, "length must equal the degree");
         let q = &self.modulus;
         let n = self.degree;
@@ -269,6 +370,26 @@ mod tests {
             t.negacyclic_convolution(&a, &b),
             schoolbook_negacyclic(&a, &b, t.modulus())
         );
+    }
+
+    #[test]
+    fn lazy_passes_match_eager_reference() {
+        for bits in [40u32, 50, 61] {
+            let t = table(1 << 8, bits);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(bits as u64);
+            let data: Vec<u64> = (0..t.degree())
+                .map(|_| rng.gen_range(0..t.modulus().value()))
+                .collect();
+            let mut lazy = data.clone();
+            let mut eager = data.clone();
+            t.forward(&mut lazy);
+            t.forward_eager(&mut eager);
+            assert_eq!(lazy, eager, "forward mismatch at {bits} bits");
+            t.inverse(&mut lazy);
+            t.inverse_eager(&mut eager);
+            assert_eq!(lazy, eager, "inverse mismatch at {bits} bits");
+            assert_eq!(lazy, data);
+        }
     }
 
     #[test]

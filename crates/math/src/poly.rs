@@ -1,6 +1,6 @@
 use crate::automorphism::AutomorphismTable;
 use crate::rns::RnsBasis;
-use crate::MathError;
+use crate::{par, MathError};
 
 /// Domain of an [`RnsPoly`]'s limbs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -12,8 +12,16 @@ pub enum Representation {
     Ntt,
 }
 
-/// A polynomial in `R_Q = Z_Q[X]/(X^N + 1)` stored limb-wise on an RNS basis:
-/// the `N × (ℓ+1)` residue matrix of the paper (Eq. 1).
+/// A polynomial in `R_Q = Z_Q[X]/(X^N + 1)` stored on an RNS basis as one
+/// contiguous limb-major buffer: the `N × (ℓ+1)` residue matrix of the paper
+/// (Eq. 1), with limb `j` occupying `data[j·N .. (j+1)·N]`.
+///
+/// The flat layout is what makes the hot paths allocation-free: limbs are
+/// `&[u64]`/`&mut [u64]` *views* ([`RnsPoly::limb`], [`RnsPoly::limb_mut`]),
+/// dropping limbs is a `Vec::truncate` ([`RnsPoly::into_keep_limbs`],
+/// [`RnsPoly::drop_last_limb`]), and per-limb kernels fan out over
+/// `chunks_exact_mut` without per-limb allocations — mirroring how the
+/// accelerator slices the same matrix across PE groups.
 ///
 /// Binary operations require both operands to live on identical bases and in
 /// the same representation; conversions are explicit ([`RnsPoly::to_ntt`],
@@ -23,17 +31,17 @@ pub enum Representation {
 pub struct RnsPoly {
     basis: RnsBasis,
     rep: Representation,
-    limbs: Vec<Vec<u64>>,
+    /// Limb-major residues, `basis.len() · basis.degree()` words.
+    data: Vec<u64>,
 }
 
 impl RnsPoly {
     /// The all-zero polynomial on `basis` in the given representation.
     pub fn zero(basis: &RnsBasis, rep: Representation) -> Self {
-        let n = basis.degree();
         Self {
             basis: basis.clone(),
             rep,
-            limbs: vec![vec![0u64; n]; basis.len()],
+            data: vec![0u64; basis.len() * basis.degree()],
         }
     }
 
@@ -46,21 +54,14 @@ impl RnsPoly {
     pub fn from_signed_coefficients(basis: &RnsBasis, coeffs: &[i64]) -> Self {
         let n = basis.degree();
         assert!(coeffs.len() <= n, "too many coefficients");
-        let limbs = (0..basis.len())
-            .map(|j| {
-                let q = basis.modulus(j);
-                let mut limb = vec![0u64; n];
-                for (c, &v) in limb.iter_mut().zip(coeffs.iter()) {
-                    *c = q.from_i64(v);
-                }
-                limb
-            })
-            .collect();
-        Self {
-            basis: basis.clone(),
-            rep: Representation::Coefficient,
-            limbs,
+        let mut out = Self::zero(basis, Representation::Coefficient);
+        for j in 0..basis.len() {
+            let q = basis.modulus(j);
+            for (c, &v) in out.limb_mut(j).iter_mut().zip(coeffs.iter()) {
+                *c = q.from_i64(v);
+            }
         }
+        out
     }
 
     /// Builds a polynomial from raw residue limbs (must match the basis shape).
@@ -78,10 +79,14 @@ impl RnsPoly {
                 "limb shape does not match basis".to_string(),
             ));
         }
+        let mut data = Vec::with_capacity(basis.len() * basis.degree());
+        for limb in &limbs {
+            data.extend_from_slice(limb);
+        }
         Ok(Self {
             basis: basis.clone(),
             rep,
-            limbs,
+            data,
         })
     }
 
@@ -93,13 +98,18 @@ impl RnsPoly {
         rng: &mut R,
     ) -> Self {
         let n = basis.degree();
-        let limbs = (0..basis.len())
-            .map(|j| crate::sampling::sample_uniform(rng, n, basis.modulus(j).value()))
-            .collect();
+        let mut data = Vec::with_capacity(basis.len() * n);
+        for j in 0..basis.len() {
+            data.extend_from_slice(&crate::sampling::sample_uniform(
+                rng,
+                n,
+                basis.modulus(j).value(),
+            ));
+        }
         Self {
             basis: basis.clone(),
             rep,
-            limbs,
+            data,
         }
     }
 
@@ -110,7 +120,7 @@ impl RnsPoly {
 
     /// Number of RNS limbs.
     pub fn limb_count(&self) -> usize {
-        self.limbs.len()
+        self.basis.len()
     }
 
     /// The RNS basis.
@@ -123,24 +133,31 @@ impl RnsPoly {
         self.rep
     }
 
-    /// Read-only access to limb `j`.
+    /// Read-only view of limb `j`.
     pub fn limb(&self, j: usize) -> &[u64] {
-        &self.limbs[j]
+        let n = self.degree();
+        &self.data[j * n..(j + 1) * n]
     }
 
-    /// Read-only access to all limbs.
-    pub fn limbs(&self) -> &[Vec<u64>] {
-        &self.limbs
+    /// Mutable view of limb `j` (for in-place kernels).
+    pub fn limb_mut(&mut self, j: usize) -> &mut [u64] {
+        let n = self.degree();
+        &mut self.data[j * n..(j + 1) * n]
     }
 
-    /// Mutable access to all limbs (for in-place kernels; shape must be kept).
-    pub fn limbs_mut(&mut self) -> &mut [Vec<u64>] {
-        &mut self.limbs
+    /// Iterator over the limb views, in basis order.
+    pub fn limbs(&self) -> impl Iterator<Item = &[u64]> {
+        self.data.chunks_exact(self.basis.degree())
     }
 
-    /// Consumes the polynomial and returns its limbs.
-    pub fn into_limbs(self) -> Vec<Vec<u64>> {
-        self.limbs
+    /// The whole limb-major residue buffer.
+    pub fn data(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Mutable access to the limb-major buffer (shape must be kept).
+    pub fn data_mut(&mut self) -> &mut [u64] {
+        &mut self.data
     }
 
     fn check_compatible(&self, other: &Self, op: &str) -> crate::Result<()> {
@@ -158,13 +175,17 @@ impl RnsPoly {
     }
 
     /// Converts the polynomial to the NTT domain (no-op if already there).
+    /// One forward transform per limb, fanned across the configured threads.
     pub fn to_ntt(&mut self) {
         if self.rep == Representation::Ntt {
             return;
         }
-        for (j, limb) in self.limbs.iter_mut().enumerate() {
-            self.basis.table(j).forward(limb);
-        }
+        let n = self.basis.degree();
+        let basis = &self.basis;
+        par::par_limbs(
+            self.data.chunks_exact_mut(n).collect(),
+            |j, limb: &mut [u64]| basis.table(j).forward(limb),
+        );
         self.rep = Representation::Ntt;
     }
 
@@ -173,10 +194,125 @@ impl RnsPoly {
         if self.rep == Representation::Coefficient {
             return;
         }
-        for (j, limb) in self.limbs.iter_mut().enumerate() {
-            self.basis.table(j).inverse(limb);
-        }
+        let n = self.basis.degree();
+        let basis = &self.basis;
+        par::par_limbs(
+            self.data.chunks_exact_mut(n).collect(),
+            |j, limb: &mut [u64]| basis.table(j).inverse(limb),
+        );
         self.rep = Representation::Coefficient;
+    }
+
+    /// In-place element-wise addition: `self += other`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on basis or representation mismatch.
+    pub fn add_assign(&mut self, other: &Self) -> crate::Result<()> {
+        self.check_compatible(other, "add_assign")?;
+        let n = self.basis.degree();
+        let basis = &self.basis;
+        par::par_limbs(
+            self.data.chunks_exact_mut(n).collect(),
+            |j, limb: &mut [u64]| {
+                let q = basis.modulus(j);
+                for (x, &y) in limb.iter_mut().zip(other.limb(j)) {
+                    *x = q.add(*x, y);
+                }
+            },
+        );
+        Ok(())
+    }
+
+    /// In-place element-wise subtraction: `self -= other`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on basis or representation mismatch.
+    pub fn sub_assign(&mut self, other: &Self) -> crate::Result<()> {
+        self.check_compatible(other, "sub_assign")?;
+        let n = self.basis.degree();
+        let basis = &self.basis;
+        par::par_limbs(
+            self.data.chunks_exact_mut(n).collect(),
+            |j, limb: &mut [u64]| {
+                let q = basis.modulus(j);
+                for (x, &y) in limb.iter_mut().zip(other.limb(j)) {
+                    *x = q.sub(*x, y);
+                }
+            },
+        );
+        Ok(())
+    }
+
+    /// In-place negation.
+    pub fn neg_assign(&mut self) {
+        let n = self.basis.degree();
+        let basis = &self.basis;
+        par::par_limbs(
+            self.data.chunks_exact_mut(n).collect(),
+            |j, limb: &mut [u64]| {
+                let q = basis.modulus(j);
+                for x in limb.iter_mut() {
+                    *x = q.neg(*x);
+                }
+            },
+        );
+    }
+
+    /// In-place element-wise (Hadamard) multiplication: `self ⊙= other`. Both
+    /// operands must be in the NTT domain.
+    ///
+    /// # Errors
+    ///
+    /// Fails on mismatch or if the operands are in the coefficient domain.
+    pub fn mul_assign(&mut self, other: &Self) -> crate::Result<()> {
+        self.check_compatible(other, "mul_assign")?;
+        if self.rep != Representation::Ntt {
+            return Err(MathError::RepresentationMismatch(
+                "mul requires NTT-domain operands".to_string(),
+            ));
+        }
+        let n = self.basis.degree();
+        let basis = &self.basis;
+        par::par_limbs(
+            self.data.chunks_exact_mut(n).collect(),
+            |j, limb: &mut [u64]| {
+                let q = basis.modulus(j);
+                for (x, &y) in limb.iter_mut().zip(other.limb(j)) {
+                    *x = q.mul(*x, y);
+                }
+            },
+        );
+        Ok(())
+    }
+
+    /// Fused multiply-accumulate: `self += a ⊙ b`, the key-switch inner MAC.
+    /// All three polynomials must be compatible and in the NTT domain.
+    ///
+    /// # Errors
+    ///
+    /// Fails on mismatch or non-NTT representation.
+    pub fn fused_mul_add_assign(&mut self, a: &Self, b: &Self) -> crate::Result<()> {
+        self.check_compatible(a, "fused_mul_add_assign")?;
+        a.check_compatible(b, "fused_mul_add_assign")?;
+        if self.rep != Representation::Ntt {
+            return Err(MathError::RepresentationMismatch(
+                "fused_mul_add_assign requires NTT-domain operands".to_string(),
+            ));
+        }
+        let n = self.basis.degree();
+        let basis = &self.basis;
+        par::par_limbs(
+            self.data.chunks_exact_mut(n).collect(),
+            |j, limb: &mut [u64]| {
+                let q = basis.modulus(j);
+                for ((x, &u), &v) in limb.iter_mut().zip(a.limb(j)).zip(b.limb(j)) {
+                    *x = q.mul_add(u, v, *x);
+                }
+            },
+        );
+        Ok(())
     }
 
     /// Element-wise addition.
@@ -185,22 +321,9 @@ impl RnsPoly {
     ///
     /// Fails on basis or representation mismatch.
     pub fn add(&self, other: &Self) -> crate::Result<Self> {
-        self.check_compatible(other, "add")?;
-        let limbs = self
-            .limbs
-            .iter()
-            .zip(&other.limbs)
-            .enumerate()
-            .map(|(j, (a, b))| {
-                let q = self.basis.modulus(j);
-                a.iter().zip(b).map(|(&x, &y)| q.add(x, y)).collect()
-            })
-            .collect();
-        Ok(Self {
-            basis: self.basis.clone(),
-            rep: self.rep,
-            limbs,
-        })
+        let mut out = self.clone();
+        out.add_assign(other)?;
+        Ok(out)
     }
 
     /// Element-wise subtraction.
@@ -209,40 +332,16 @@ impl RnsPoly {
     ///
     /// Fails on basis or representation mismatch.
     pub fn sub(&self, other: &Self) -> crate::Result<Self> {
-        self.check_compatible(other, "sub")?;
-        let limbs = self
-            .limbs
-            .iter()
-            .zip(&other.limbs)
-            .enumerate()
-            .map(|(j, (a, b))| {
-                let q = self.basis.modulus(j);
-                a.iter().zip(b).map(|(&x, &y)| q.sub(x, y)).collect()
-            })
-            .collect();
-        Ok(Self {
-            basis: self.basis.clone(),
-            rep: self.rep,
-            limbs,
-        })
+        let mut out = self.clone();
+        out.sub_assign(other)?;
+        Ok(out)
     }
 
     /// Negation.
     pub fn neg(&self) -> Self {
-        let limbs = self
-            .limbs
-            .iter()
-            .enumerate()
-            .map(|(j, a)| {
-                let q = self.basis.modulus(j);
-                a.iter().map(|&x| q.neg(x)).collect()
-            })
-            .collect();
-        Self {
-            basis: self.basis.clone(),
-            rep: self.rep,
-            limbs,
-        }
+        let mut out = self.clone();
+        out.neg_assign();
+        out
     }
 
     /// Element-wise (Hadamard) multiplication. Both operands must be in the
@@ -252,27 +351,9 @@ impl RnsPoly {
     ///
     /// Fails on mismatch or if the operands are in the coefficient domain.
     pub fn mul(&self, other: &Self) -> crate::Result<Self> {
-        self.check_compatible(other, "mul")?;
-        if self.rep != Representation::Ntt {
-            return Err(MathError::RepresentationMismatch(
-                "mul requires NTT-domain operands".to_string(),
-            ));
-        }
-        let limbs = self
-            .limbs
-            .iter()
-            .zip(&other.limbs)
-            .enumerate()
-            .map(|(j, (a, b))| {
-                let q = self.basis.modulus(j);
-                a.iter().zip(b).map(|(&x, &y)| q.mul(x, y)).collect()
-            })
-            .collect();
-        Ok(Self {
-            basis: self.basis.clone(),
-            rep: self.rep,
-            limbs,
-        })
+        let mut out = self.clone();
+        out.mul_assign(other)?;
+        Ok(out)
     }
 
     /// `self + other * scalar_per_limb[j]` fused, used for key-switch
@@ -288,25 +369,41 @@ impl RnsPoly {
                 "constant vector length must equal limb count".to_string(),
             ));
         }
-        let limbs = self
-            .limbs
-            .iter()
-            .zip(&other.limbs)
-            .enumerate()
-            .map(|(j, (a, b))| {
-                let q = self.basis.modulus(j);
+        let mut out = self.clone();
+        let n = out.basis.degree();
+        let basis = &out.basis;
+        par::par_limbs(
+            out.data.chunks_exact_mut(n).collect(),
+            |j, limb: &mut [u64]| {
+                let q = basis.modulus(j);
                 let w = constants[j];
-                a.iter()
-                    .zip(b)
-                    .map(|(&x, &y)| q.add(x, q.mul(y, w)))
-                    .collect()
-            })
-            .collect();
-        Ok(Self {
-            basis: self.basis.clone(),
-            rep: self.rep,
-            limbs,
-        })
+                for (x, &y) in limb.iter_mut().zip(other.limb(j)) {
+                    *x = q.add(*x, q.mul(y, w));
+                }
+            },
+        );
+        Ok(out)
+    }
+
+    /// In-place variant of [`RnsPoly::mul_constants`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constant count does not match the limb count.
+    pub fn mul_constants_assign(&mut self, constants: &[u64]) {
+        assert_eq!(constants.len(), self.limb_count());
+        let n = self.basis.degree();
+        let basis = &self.basis;
+        par::par_limbs(
+            self.data.chunks_exact_mut(n).collect(),
+            |j, limb: &mut [u64]| {
+                let q = basis.modulus(j);
+                let w = q.shoup(q.reduce(constants[j]));
+                for x in limb.iter_mut() {
+                    *x = q.mul_shoup(*x, &w);
+                }
+            },
+        );
     }
 
     /// Multiplies every limb by a per-limb constant (e.g. `[q̂_j^{-1}]_{q_j}` or
@@ -316,22 +413,9 @@ impl RnsPoly {
     ///
     /// Panics if the constant count does not match the limb count.
     pub fn mul_constants(&self, constants: &[u64]) -> Self {
-        assert_eq!(constants.len(), self.limb_count());
-        let limbs = self
-            .limbs
-            .iter()
-            .enumerate()
-            .map(|(j, a)| {
-                let q = self.basis.modulus(j);
-                let w = q.reduce(constants[j]);
-                a.iter().map(|&x| q.mul(x, w)).collect()
-            })
-            .collect();
-        Self {
-            basis: self.basis.clone(),
-            rep: self.rep,
-            limbs,
-        }
+        let mut out = self.clone();
+        out.mul_constants_assign(constants);
+        out
     }
 
     /// Multiplies by a single small scalar (applied to every limb).
@@ -345,26 +429,53 @@ impl RnsPoly {
     /// Applies the ring automorphism `X ↦ X^g` described by `table`.
     ///
     /// The permutation is applied in the coefficient domain; NTT-domain inputs
-    /// are transformed round-trip, mirroring the iNTT → permute → NTT flow.
+    /// are transformed round-trip, mirroring the iNTT → permute → NTT flow. A
+    /// coefficient-domain input permutes straight from `&self` into a single
+    /// fresh output buffer; use [`RnsPoly::automorphism_apply`] on the
+    /// rotation hot path to reuse an existing allocation.
     pub fn automorphism(&self, table: &AutomorphismTable) -> Self {
-        let mut src = self.clone();
-        let was_ntt = self.rep == Representation::Ntt;
-        src.to_coefficient();
-        let limbs = src
-            .limbs
-            .iter()
-            .enumerate()
-            .map(|(j, limb)| table.apply(limb, self.basis.modulus(j).value()))
-            .collect();
-        let mut out = Self {
-            basis: self.basis.clone(),
-            rep: Representation::Coefficient,
-            limbs,
-        };
-        if was_ntt {
-            out.to_ntt();
+        match self.rep {
+            Representation::Coefficient => {
+                let mut out = Self::zero(&self.basis, Representation::Coefficient);
+                let n = self.basis.degree();
+                let basis = &self.basis;
+                par::par_limbs(
+                    out.data.chunks_exact_mut(n).collect(),
+                    |j, limb: &mut [u64]| {
+                        table.apply_into(self.limb(j), limb, basis.modulus(j).value());
+                    },
+                );
+                out
+            }
+            Representation::Ntt => {
+                let mut out = self.clone();
+                let mut scratch = vec![0u64; self.basis.degree()];
+                out.automorphism_apply(table, &mut scratch);
+                out
+            }
         }
-        out
+    }
+
+    /// In-place automorphism using a caller-provided scratch limb (resized to
+    /// N as needed). This is the allocation-free rotation hot path: iNTT and
+    /// NTT run in place (limb-parallel), and the permutation bounces each limb
+    /// through `scratch` serially.
+    pub fn automorphism_apply(&mut self, table: &AutomorphismTable, scratch: &mut Vec<u64>) {
+        let was_ntt = self.rep == Representation::Ntt;
+        if was_ntt {
+            self.to_coefficient();
+        }
+        let n = self.basis.degree();
+        scratch.resize(n, 0);
+        for j in 0..self.basis.len() {
+            let q = self.basis.modulus(j).value();
+            let limb = self.limb_mut(j);
+            scratch.copy_from_slice(limb);
+            table.apply_into(scratch, limb, q);
+        }
+        if was_ntt {
+            self.to_ntt();
+        }
     }
 
     /// Returns a copy restricted to the first `count` limbs (modulus switch
@@ -375,11 +486,27 @@ impl RnsPoly {
     /// Panics if `count` is zero or exceeds the limb count.
     pub fn keep_limbs(&self, count: usize) -> Self {
         assert!(count >= 1 && count <= self.limb_count());
+        let n = self.basis.degree();
         Self {
             basis: self.basis.prefix(count),
             rep: self.rep,
-            limbs: self.limbs[..count].to_vec(),
+            data: self.data[..count * n].to_vec(),
         }
+    }
+
+    /// Consuming variant of [`RnsPoly::keep_limbs`]: truncates the existing
+    /// buffer in place, so no residue is copied. Use this when the input is
+    /// dead after the restriction (rescale, mod-down).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or exceeds the limb count.
+    pub fn into_keep_limbs(mut self, count: usize) -> Self {
+        assert!(count >= 1 && count <= self.limb_count());
+        let n = self.basis.degree();
+        self.data.truncate(count * n);
+        self.basis = self.basis.prefix(count);
+        self
     }
 
     /// Returns a copy containing only the limbs at `indices`, in that order
@@ -389,10 +516,15 @@ impl RnsPoly {
     ///
     /// Panics if any index is out of range.
     pub fn select_limbs(&self, indices: &[usize]) -> Self {
+        let n = self.basis.degree();
+        let mut data = Vec::with_capacity(indices.len() * n);
+        for &i in indices {
+            data.extend_from_slice(self.limb(i));
+        }
         Self {
             basis: self.basis.select(indices),
             rep: self.rep,
-            limbs: indices.iter().map(|&i| self.limbs[i].clone()).collect(),
+            data,
         }
     }
 
@@ -403,8 +535,9 @@ impl RnsPoly {
     /// Panics if only one limb remains.
     pub fn drop_last_limb(&mut self) {
         assert!(self.limb_count() > 1, "cannot drop the only limb");
-        self.limbs.pop();
-        self.basis = self.basis.prefix(self.limbs.len());
+        let n = self.basis.degree();
+        self.data.truncate(self.data.len() - n);
+        self.basis = self.basis.prefix(self.basis.len() - 1);
     }
 
     /// Decodes the polynomial back to signed coefficients via CRT, assuming the
@@ -425,7 +558,8 @@ impl RnsPoly {
         let n = self.degree();
         if self.limb_count() == 1 {
             let q = self.basis.modulus(0);
-            return work.limbs[0]
+            return work
+                .limb(0)
                 .iter()
                 .map(|&x| q.to_signed(x) as i128)
                 .collect();
@@ -438,8 +572,8 @@ impl RnsPoly {
         let q0_inv_mod_q1 = q1.inv(q1.reduce(q0.value())).expect("coprime moduli") as i128;
         (0..n)
             .map(|c| {
-                let a0 = work.limbs[0][c] as i128;
-                let a1 = work.limbs[1][c] as i128;
+                let a0 = work.limb(0)[c] as i128;
+                let a1 = work.limb(1)[c] as i128;
                 // CRT: x = a0 + q0 * ((a1 - a0) * q0^{-1} mod q1)
                 let diff = (a1 - a0).rem_euclid(q1v);
                 let t = diff * q0_inv_mod_q1 % q1v;
@@ -528,6 +662,21 @@ mod tests {
     }
 
     #[test]
+    fn automorphism_apply_matches_allocating_variant() {
+        let b = basis(1 << 6, 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let table = AutomorphismTable::from_rotation(1 << 6, 5).unwrap();
+        for rep in [Representation::Coefficient, Representation::Ntt] {
+            let x = RnsPoly::sample_uniform(&b, rep, &mut rng);
+            let expected = x.automorphism(&table);
+            let mut in_place = x.clone();
+            let mut scratch = Vec::new();
+            in_place.automorphism_apply(&table, &mut scratch);
+            assert_eq!(in_place, expected);
+        }
+    }
+
+    #[test]
     fn keep_and_drop_limbs() {
         let b = basis(1 << 5, 3);
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
@@ -535,10 +684,29 @@ mod tests {
         let kept = x.keep_limbs(2);
         assert_eq!(kept.limb_count(), 2);
         assert_eq!(kept.limb(0), x.limb(0));
+        let consumed = x.clone().into_keep_limbs(2);
+        assert_eq!(consumed, kept);
         let mut y = x.clone();
         y.drop_last_limb();
         assert_eq!(y.limb_count(), 2);
         assert_eq!(y, kept);
+    }
+
+    #[test]
+    fn in_place_ops_match_allocating_ops() {
+        let b = basis(1 << 6, 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let mut x = RnsPoly::sample_uniform(&b, Representation::Ntt, &mut rng);
+        let y = RnsPoly::sample_uniform(&b, Representation::Ntt, &mut rng);
+        let z = RnsPoly::sample_uniform(&b, Representation::Ntt, &mut rng);
+
+        let mut acc = x.clone();
+        acc.fused_mul_add_assign(&y, &z).unwrap();
+        assert_eq!(acc, x.add(&y.mul(&z).unwrap()).unwrap());
+
+        let expected_mul = x.mul(&y).unwrap();
+        x.mul_assign(&y).unwrap();
+        assert_eq!(x, expected_mul);
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Property-based equivalence suites for the PR-4 hot-path refactor:
+//!
+//! * flat limb-major `RnsPoly` ops vs the straightforward per-limb reference
+//!   semantics (what the PR-3 `Vec<Vec<u64>>` implementation computed),
+//! * lazy-reduction NTT and BConv kernels vs their exact eager counterparts
+//!   across random bases and degrees,
+//! * in-place / consuming variants vs their allocating equivalents.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+use bts::math::{
+    AutomorphismTable, BaseConverter, Modulus, NttTable, Representation, RnsBasis, RnsPoly,
+};
+
+fn random_poly(basis: &RnsBasis, rep: Representation, seed: u64) -> RnsPoly {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    RnsPoly::sample_uniform(basis, rep, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Element-wise ops on the flat layout match the per-limb reference
+    /// (limb-by-limb `Modulus` arithmetic over independent row vectors).
+    #[test]
+    fn flat_ops_match_reference_semantics(seed in any::<u64>(), log_n in 4u32..7, limbs in 2usize..5) {
+        let n = 1usize << log_n;
+        let basis = RnsBasis::generate(n, 42, limbs).unwrap();
+        let a = random_poly(&basis, Representation::Ntt, seed);
+        let b = random_poly(&basis, Representation::Ntt, seed.wrapping_add(1));
+
+        // Reference: collect limbs into row vectors and apply Modulus ops.
+        let rows = |p: &RnsPoly| -> Vec<Vec<u64>> { p.limbs().map(<[u64]>::to_vec).collect() };
+        let (ra, rb) = (rows(&a), rows(&b));
+        let per_limb = |f: &dyn Fn(&Modulus, u64, u64) -> u64| -> Vec<Vec<u64>> {
+            (0..limbs)
+                .map(|j| {
+                    let q = basis.modulus(j);
+                    ra[j].iter().zip(&rb[j]).map(|(&x, &y)| f(q, x, y)).collect()
+                })
+                .collect()
+        };
+
+        let sum = a.add(&b).unwrap();
+        prop_assert_eq!(rows(&sum), per_limb(&|q, x, y| q.add(x, y)));
+        let diff = a.sub(&b).unwrap();
+        prop_assert_eq!(rows(&diff), per_limb(&|q, x, y| q.sub(x, y)));
+        let prod = a.mul(&b).unwrap();
+        prop_assert_eq!(rows(&prod), per_limb(&|q, x, y| q.mul(x, y)));
+
+        // Limb restriction keeps exactly the leading rows.
+        let kept = a.keep_limbs(limbs - 1);
+        prop_assert_eq!(rows(&kept), ra[..limbs - 1].to_vec());
+        prop_assert_eq!(a.clone().into_keep_limbs(limbs - 1), kept);
+
+        // select_limbs gathers rows in the requested order.
+        let sel = a.select_limbs(&[limbs - 1, 0]);
+        prop_assert_eq!(sel.limb(0), ra[limbs - 1].as_slice());
+        prop_assert_eq!(sel.limb(1), ra[0].as_slice());
+    }
+
+    /// In-place variants are bit-identical to their allocating counterparts.
+    #[test]
+    fn in_place_variants_match_allocating(seed in any::<u64>()) {
+        let n = 1usize << 6;
+        let basis = RnsBasis::generate(n, 45, 3).unwrap();
+        let a = random_poly(&basis, Representation::Ntt, seed);
+        let b = random_poly(&basis, Representation::Ntt, seed.wrapping_add(7));
+        let c = random_poly(&basis, Representation::Ntt, seed.wrapping_add(13));
+
+        let mut x = a.clone();
+        x.add_assign(&b).unwrap();
+        prop_assert_eq!(&x, &a.add(&b).unwrap());
+
+        let mut x = a.clone();
+        x.mul_assign(&b).unwrap();
+        prop_assert_eq!(&x, &a.mul(&b).unwrap());
+
+        let mut x = a.clone();
+        x.fused_mul_add_assign(&b, &c).unwrap();
+        prop_assert_eq!(&x, &a.add(&b.mul(&c).unwrap()).unwrap());
+
+        let table = AutomorphismTable::from_rotation(n, 5).unwrap();
+        let mut x = a.clone();
+        let mut scratch = Vec::new();
+        x.automorphism_apply(&table, &mut scratch);
+        prop_assert_eq!(&x, &a.automorphism(&table));
+    }
+
+    /// The lazy-butterfly NTT passes produce exactly the eager reference
+    /// output for random degrees and modulus widths.
+    #[test]
+    fn lazy_ntt_matches_eager(seed in any::<u64>(), log_n in 3u32..9, bits in 30u32..62) {
+        use rand::Rng;
+        let n = 1usize << log_n;
+        let prime = bts::math::generate_ntt_primes(n, bits, 1)[0];
+        let table = NttTable::new(n, Modulus::new(prime)).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..prime)).collect();
+
+        let mut lazy = data.clone();
+        let mut eager = data.clone();
+        table.forward(&mut lazy);
+        table.forward_eager(&mut eager);
+        prop_assert_eq!(&lazy, &eager);
+
+        table.inverse(&mut lazy);
+        table.inverse_eager(&mut eager);
+        prop_assert_eq!(&lazy, &eager);
+        prop_assert_eq!(lazy, data);
+    }
+
+    /// The deferred-reduction BConv (fast and exact) matches the fully
+    /// reduced eager kernel across random bases and degrees.
+    #[test]
+    fn lazy_bconv_matches_eager(seed in any::<u64>(), log_n in 3u32..7, src_limbs in 2usize..6, dst_limbs in 1usize..5, bits in 35u32..58) {
+        let n = 1usize << log_n;
+        let src = RnsBasis::generate(n, bits, src_limbs).unwrap();
+        let dst = RnsBasis::generate(n, bits + 2, dst_limbs).unwrap();
+        let conv = BaseConverter::new(&src, &dst).unwrap();
+        let poly = random_poly(&src, Representation::Coefficient, seed);
+        prop_assert_eq!(conv.convert(&poly), conv.convert_eager(&poly, false));
+        prop_assert_eq!(conv.convert_exact(&poly), conv.convert_eager(&poly, true));
+    }
+}

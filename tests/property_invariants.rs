@@ -82,11 +82,9 @@ proptest! {
         let src = RnsBasis::generate(n, 40, 3).unwrap();
         let dst = RnsBasis::generate(n, 42, 2).unwrap();
         let conv = BaseConverter::new(&src, &dst).unwrap();
-        let limbs: Vec<Vec<u64>> = (0..src.len())
-            .map(|j| values.iter().map(|&v| src.modulus(j).from_i64(v)).collect())
-            .collect();
-        let out = conv.convert_exact(&limbs);
-        for (i, limb) in out.iter().enumerate() {
+        let poly = RnsPoly::from_signed_coefficients(&src, &values);
+        let out = conv.convert_exact(&poly);
+        for (i, limb) in out.limbs().enumerate() {
             for (c, &r) in limb.iter().enumerate() {
                 prop_assert_eq!(r, dst.modulus(i).from_i64(values[c]));
             }

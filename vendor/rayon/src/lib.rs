@@ -1,0 +1,362 @@
+//! Offline, API-compatible subset of the [`rayon`](https://crates.io/crates/rayon)
+//! crate, vendored so the workspace builds without network access.
+//!
+//! Only the surface the BTS reproduction needs is provided: an explicitly
+//! sized [`ThreadPool`] (built through [`ThreadPoolBuilder`]) with
+//! [`ThreadPool::scope`] and [`ThreadPool::join`]. There is no global pool, no
+//! work stealing and no parallel iterators; `Scope::spawn` takes a plain
+//! `FnOnce()` (the real crate passes the scope back into the closure to allow
+//! nested spawns — nesting is not supported here and `scope` must not be
+//! entered from inside a pool worker, or the workers can deadlock waiting on
+//! each other). `bts-math::par` guards against that by falling back to serial
+//! execution on worker threads.
+//!
+//! The pool is a plain mutex-protected FIFO queue drained by long-lived
+//! workers. That is enough for the coarse per-RNS-limb tasks the workspace
+//! fans out (an NTT or element-wise pass over N coefficients per task);
+//! work-stealing grain sizes are irrelevant at that granularity.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Default)]
+struct Queue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    available: Condvar,
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`]. Building can only fail if
+/// the OS refuses to spawn a thread; the variant is kept so call sites match
+/// the real crate's fallible signature.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(String);
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool: {}", self.0)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Configures and builds a [`ThreadPool`], mirroring the real crate's builder.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default configuration (one worker).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads. Zero (the default here) is treated
+    /// as one.
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Spawns the workers and returns the pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThreadPoolBuildError`] if the OS cannot spawn a thread.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = self.num_threads.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue::default()),
+            available: Condvar::new(),
+        });
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("bts-pool-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .map_err(|e| ThreadPoolBuildError(e.to_string()))?;
+            workers.push(handle);
+        }
+        Ok(ThreadPool { shared, workers })
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break job;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = shared.available.wait(queue).expect("pool queue poisoned");
+            }
+        };
+        job();
+    }
+}
+
+/// A fixed-size pool of worker threads executing scoped tasks.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Number of worker threads in this pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs `f` with a [`Scope`] on which tasks can be spawned, and blocks
+    /// until every spawned task has finished before returning.
+    ///
+    /// Because the call does not return until the scope is drained, spawned
+    /// closures may borrow from the enclosing stack frame (`'scope` data),
+    /// exactly like `std::thread::scope` / the real crate.
+    ///
+    /// # Panics
+    ///
+    /// If any spawned task panics, the panic is captured and re-thrown here
+    /// after all tasks have completed.
+    pub fn scope<'scope, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'scope>) -> R,
+    {
+        let latch = Arc::new(Latch::default());
+        let scope = Scope {
+            shared: Arc::clone(&self.shared),
+            latch: Arc::clone(&latch),
+            _marker: std::marker::PhantomData,
+        };
+        // The guard waits for outstanding tasks even if `f` unwinds, so
+        // borrowed stack data can never dangle under a spawned task.
+        let guard = WaitGuard(&latch);
+        let result = f(&scope);
+        drop(guard);
+        if let Some(payload) = latch.take_panic() {
+            resume_unwind(payload);
+        }
+        result
+    }
+
+    /// Runs both closures, potentially in parallel (`b` on a worker, `a` on
+    /// the calling thread), and returns both results.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        let mut rb = None;
+        let ra = self.scope(|s| {
+            s.spawn(|| rb = Some(b()));
+            a()
+        });
+        (ra, rb.expect("spawned closure ran"))
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            queue.shutdown = true;
+        }
+        self.available_notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl ThreadPool {
+    fn available_notify_all(&self) {
+        self.shared.available.notify_all();
+    }
+}
+
+#[derive(Default)]
+struct LatchState {
+    pending: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+#[derive(Default)]
+struct Latch {
+    state: Mutex<LatchState>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn increment(&self) {
+        self.state.lock().expect("latch poisoned").pending += 1;
+    }
+
+    fn complete(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
+        let mut state = self.state.lock().expect("latch poisoned");
+        state.pending -= 1;
+        if state.panic.is_none() {
+            state.panic = panic;
+        }
+        if state.pending == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut state = self.state.lock().expect("latch poisoned");
+        while state.pending > 0 {
+            state = self.done.wait(state).expect("latch poisoned");
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        self.state.lock().expect("latch poisoned").panic.take()
+    }
+}
+
+struct WaitGuard<'a>(&'a Latch);
+
+impl Drop for WaitGuard<'_> {
+    fn drop(&mut self) {
+        self.0.wait();
+    }
+}
+
+/// Handle for spawning tasks that may borrow from the enclosing stack frame.
+pub struct Scope<'scope> {
+    shared: Arc<Shared>,
+    latch: Arc<Latch>,
+    _marker: std::marker::PhantomData<&'scope mut &'scope ()>,
+}
+
+impl std::fmt::Debug for Scope<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scope").finish_non_exhaustive()
+    }
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queues `f` on the pool. The closure may borrow `'scope` data; the
+    /// owning [`ThreadPool::scope`] call does not return until it completes.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.latch.increment();
+        let latch = Arc::clone(&self.latch);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(f));
+            latch.complete(result.err());
+        });
+        // SAFETY: `ThreadPool::scope` blocks (via `WaitGuard`, even on unwind)
+        // until the latch records completion of every spawned job, so the
+        // `'scope` borrows inside the closure outlive its execution. The
+        // lifetime is erased only to pass the box through the 'static queue.
+        let job: Job =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
+        let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+        queue.jobs.push_back(job);
+        drop(queue);
+        self.shared.available.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_runs_all_tasks_and_waits() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn scope_tasks_can_borrow_stack_data() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let mut data = [0u64; 16];
+        pool.scope(|s| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                s.spawn(move || *slot = i as u64 * 3);
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let (a, b) = pool.join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn panics_propagate_after_all_tasks_finish() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let finished = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("task panic"));
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        finished.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "scope must re-throw the task panic");
+        assert_eq!(finished.load(Ordering::SeqCst), 8);
+        // The pool stays usable after a panic.
+        let (x, _) = pool.join(|| 1, || 2);
+        assert_eq!(x, 1);
+    }
+
+    #[test]
+    fn zero_threads_is_clamped_to_one() {
+        let pool = ThreadPoolBuilder::new().build().unwrap();
+        assert_eq!(pool.current_num_threads(), 1);
+        let out = pool.scope(|s| {
+            s.spawn(|| {});
+            7
+        });
+        assert_eq!(out, 7);
+    }
+}
