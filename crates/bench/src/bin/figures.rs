@@ -39,6 +39,7 @@ fn main() {
             "fig9" => figures::fig9(),
             "fig10" => figures::fig10(),
             "sched" => figures::sched(),
+            "serve" => figures::serve(),
             "hints" => figures::hints(),
             "slowdown" => figures::slowdown(),
             "--json" | "json" => {
@@ -53,7 +54,7 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown target '{other}'; expected one of: all table1 fig1 fig2 fig3b table3 table4 fig6 fig7a fig7b table5 table6 fig8 fig9 fig10 sched hints slowdown --json"
+                    "unknown target '{other}'; expected one of: all table1 fig1 fig2 fig3b table3 table4 fig6 fig7a fig7b table5 table6 fig8 fig9 fig10 sched serve hints slowdown --json"
                 );
                 std::process::exit(2);
             }

@@ -9,11 +9,14 @@ use bts_circuit::{BootstrapPlan, Workload};
 use bts_ckks::hmult_complexity;
 use bts_params::{min_nttu_count, sweep_dnum, BandwidthModel, CkksInstance, MinBoundModel, L_BOOT};
 use bts_sched::{FuKind, ScheduleExt};
+use bts_serve::{serve as serve_jobs, QueuePolicy, ServeOptions, SyntheticArrivals};
 use bts_sim::{hmult_timeline, AreaPowerModel, BtsConfig, Simulator};
 use bts_workloads::{
     amortized_mult_per_slot, standard_registry, AmortizedMultWorkload, BaselineSet, HelrWorkload,
     ResNetWorkload, SortingWorkload, UNENCRYPTED_HELR_MS, UNENCRYPTED_RESNET_S,
 };
+
+use crate::sweep::SweepGrid;
 
 fn header(title: &str) -> String {
     format!("==== {title} ====\n")
@@ -508,88 +511,233 @@ pub fn slowdown() -> String {
     out
 }
 
-/// The two hardware configurations the JSON results cover: the paper's
-/// design point and the Fig. 9 bandwidth ablation (where compute starts to
-/// matter, so the scheduler's overlap becomes visible).
-fn json_configs() -> [(&'static str, &'static str, BtsConfig); 2] {
-    [
-        (
-            "bts-1tb",
-            "BTS default (512 MiB scratchpad, 1 TB/s HBM)",
-            BtsConfig::bts_default(),
-        ),
-        (
-            "bts-2tb",
-            "Fig. 9 ablation (512 MiB scratchpad, 2 TB/s HBM)",
-            BtsConfig::bts_default().with_hbm(BandwidthModel::hbm_2tb()),
-        ),
-    ]
-}
+/// The offered loads (burst sizes = concurrency) of the `serve` sweep.
+const SERVE_LOADS: [usize; 3] = [1, 2, 4];
 
 /// Machine-readable per-workload simulation results: every workload of
 /// [`bts_workloads::standard_registry`] lowered, simulated serially *and*
-/// through the `bts-sched` dependency-aware scheduler on every Table 4
-/// instance, for the BTS design point and the Fig. 9 2 TB/s ablation. The CI
+/// through the `bts-sched` dependency-aware scheduler on every point of
+/// [`SweepGrid::paper_default`] (Table 4 instances × {1, 2} TB/s HBM), plus
+/// the `serve` section — the `bts-serve` co-scheduling sweep of the
+/// bootstrap workload at offered loads of 1, 2 and 4 concurrent jobs. The CI
 /// smoke step writes this to `BENCH_FIGURES.json` (and fails if any workload
-/// schedules slower than serial), so the perf trajectory of the repo is
-/// diffable across PRs without parsing the human-oriented tables.
+/// schedules slower than serial, or co-scheduled bootstrap throughput at
+/// 2 TB/s fails to beat one-at-a-time service), so the perf trajectory of
+/// the repo is diffable across PRs without parsing the human tables.
 pub fn workloads_json() -> String {
     let registry = standard_registry();
+    let grid = SweepGrid::paper_default();
     let mut rows = Vec::new();
-    for (config_name, _, config) in json_configs() {
-        for ins in CkksInstance::evaluation_set() {
-            let sim = Simulator::new(config.clone(), ins.clone());
-            for (name, workload) in registry.iter() {
-                let lowered = workload
-                    .lower(&ins)
-                    .unwrap_or_else(|e| panic!("{name} on {}: {e}", ins.name()));
-                let run = sim.run_scheduled(&lowered.trace);
-                let hinted = sim
-                    .try_run_with_hints(&lowered.trace, &lowered.hints)
-                    .expect("lowered traces validate");
-                let report = &run.report;
+    for point in grid.points() {
+        let ins = &point.instance;
+        let sim = Simulator::new(point.config.config.clone(), ins.clone());
+        for (name, workload) in registry.iter() {
+            let lowered = workload
+                .lower(ins)
+                .unwrap_or_else(|e| panic!("{name} on {}: {e}", ins.name()));
+            let run = sim.run_scheduled(&lowered.trace);
+            let hinted = sim
+                .try_run_with_hints(&lowered.trace, &lowered.hints)
+                .expect("lowered traces validate");
+            let belady = sim
+                .try_run_belady(&lowered.trace)
+                .expect("lowered traces validate");
+            let report = &run.report;
+            rows.push(format!(
+                concat!(
+                    "    {{\"workload\": \"{}\", \"instance\": \"{}\", \"config\": \"{}\", ",
+                    "\"ops\": {}, \"key_switches\": {}, \"rotation_keys\": {}, ",
+                    "\"bootstraps\": {}, \"serial_seconds\": {:.6e}, ",
+                    "\"scheduled_seconds\": {:.6e}, \"critical_path_seconds\": {:.6e}, ",
+                    "\"parallel_speedup\": {:.4}, ",
+                    "\"bootstrap_fraction\": {:.4}, \"hbm_gbytes\": {:.3}, ",
+                    "\"cache_hit_rate\": {:.4}, \"hinted_cache_hit_rate\": {:.4}, ",
+                    "\"belady_cache_hit_rate\": {:.4}, ",
+                    "\"energy_j\": {:.4}, \"edap\": {:.6e}}}"
+                ),
+                name,
+                ins.name(),
+                point.config.name,
+                lowered.trace.len(),
+                lowered.trace.key_switch_count(),
+                lowered.trace.rotation_keys,
+                lowered.bootstrap_count,
+                report.total_seconds,
+                report.scheduled_seconds.expect("scheduled run"),
+                report.critical_path_seconds.expect("scheduled run"),
+                report.parallel_speedup().expect("scheduled run"),
+                report.bootstrap_fraction(),
+                report.hbm_bytes as f64 / 1e9,
+                report.cache_hit_rate(),
+                hinted.cache_hit_rate(),
+                belady.cache_hit_rate(),
+                report.energy_j,
+                report.edap(),
+            ));
+        }
+    }
+    let configs = grid
+        .configs()
+        .iter()
+        .map(|c| format!("\"{}\": \"{}\"", c.name, c.description))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\n  \"schema\": 3,\n  \"configs\": {{{}}},\n  \"results\": [\n{}\n  ],\n  \"serve\": [\n{}\n  ]\n}}\n",
+        configs,
+        rows.join(",\n"),
+        serve_json_rows(&grid).join(",\n")
+    )
+}
+
+/// The `serve` section of [`workloads_json`]: FIFO bursts of the bootstrap
+/// workload at each offered load, one row per grid point × load.
+fn serve_json_rows(grid: &SweepGrid) -> Vec<String> {
+    let mut rows = Vec::new();
+    for config in grid.configs() {
+        for ins in grid.instances() {
+            for &load in &SERVE_LOADS {
+                let jobs = SyntheticArrivals::burst(ins, "bootstrap", load);
+                let report = serve_jobs(
+                    &jobs,
+                    ServeOptions::new(load).with_config(config.config.clone()),
+                )
+                .expect("bootstrap serves on every paper instance");
                 rows.push(format!(
                     concat!(
-                        "    {{\"workload\": \"{}\", \"instance\": \"{}\", \"config\": \"{}\", ",
-                        "\"ops\": {}, \"key_switches\": {}, \"rotation_keys\": {}, ",
-                        "\"bootstraps\": {}, \"serial_seconds\": {:.6e}, ",
-                        "\"scheduled_seconds\": {:.6e}, \"critical_path_seconds\": {:.6e}, ",
-                        "\"parallel_speedup\": {:.4}, ",
-                        "\"bootstrap_fraction\": {:.4}, \"hbm_gbytes\": {:.3}, ",
-                        "\"cache_hit_rate\": {:.4}, \"hinted_cache_hit_rate\": {:.4}, ",
-                        "\"energy_j\": {:.4}, \"edap\": {:.6e}}}"
+                        "    {{\"workload\": \"bootstrap\", \"instance\": \"{}\", ",
+                        "\"config\": \"{}\", \"policy\": \"{}\", \"jobs\": {}, ",
+                        "\"concurrency\": {}, \"makespan_seconds\": {:.6e}, ",
+                        "\"sum_serial_seconds\": {:.6e}, ",
+                        "\"throughput_jobs_per_sec\": {:.4}, ",
+                        "\"serial_throughput_jobs_per_sec\": {:.4}, ",
+                        "\"coscheduling_speedup\": {:.4}, ",
+                        "\"p50_latency_seconds\": {:.6e}, \"p99_latency_seconds\": {:.6e}, ",
+                        "\"mult_slots_per_sec\": {:.6e}, \"tenant_fairness\": {:.4}}}"
                     ),
-                    name,
                     ins.name(),
-                    config_name,
-                    lowered.trace.len(),
-                    lowered.trace.key_switch_count(),
-                    lowered.trace.rotation_keys,
-                    lowered.bootstrap_count,
-                    report.total_seconds,
-                    report.scheduled_seconds.expect("scheduled run"),
-                    report.critical_path_seconds.expect("scheduled run"),
-                    report.parallel_speedup().expect("scheduled run"),
-                    report.bootstrap_fraction(),
-                    report.hbm_bytes as f64 / 1e9,
-                    report.cache_hit_rate(),
-                    hinted.cache_hit_rate(),
-                    report.energy_j,
-                    report.edap(),
+                    config.name,
+                    report.policy,
+                    report.job_count(),
+                    report.max_in_flight,
+                    report.makespan_seconds,
+                    report.sum_serial_seconds(),
+                    report.throughput_jobs_per_sec(),
+                    report.serial_throughput_jobs_per_sec(),
+                    report.coscheduling_speedup(),
+                    report.latency_percentile(50.0),
+                    report.latency_percentile(99.0),
+                    report.mult_slots_per_sec(),
+                    report.tenant_fairness(),
                 ));
             }
         }
     }
-    let configs = json_configs()
-        .iter()
-        .map(|(name, desc, _)| format!("\"{name}\": \"{desc}\""))
-        .collect::<Vec<_>>()
-        .join(", ");
-    format!(
-        "{{\n  \"schema\": 2,\n  \"configs\": {{{}}},\n  \"results\": [\n{}\n  ]\n}}\n",
-        configs,
-        rows.join(",\n")
-    )
+    rows
+}
+
+/// The serving layer (`bts-serve`): co-scheduled throughput and latency vs
+/// offered load on the bootstrap workload, then a queueing-policy comparison
+/// under a seeded multi-tenant mixed stream. At 1 TB/s the machine is
+/// evk-streaming bound and co-scheduling only recovers compute slack; at
+/// 2 TB/s ops from different tenants genuinely interleave and aggregate
+/// throughput beats one-at-a-time service.
+pub fn serve() -> String {
+    let mut out = header("Serving layer: throughput and latency vs offered load (bts-serve)");
+    let grid = SweepGrid::paper_default();
+    let ins = CkksInstance::ins1();
+    // The 2 TB/s two-job point doubles as the closing summary line.
+    let mut two_job_2tb = None;
+    for config in grid.configs() {
+        let _ = writeln!(
+            out,
+            "{}: {} (INS-1, bootstrap burst)",
+            config.name, config.description
+        );
+        let _ = writeln!(
+            out,
+            "  {:<5} {:>12} {:>12} {:>14} {:>9} {:>10} {:>10}",
+            "jobs", "makespan", "jobs/s", "serial jobs/s", "speedup", "p50 (ms)", "p99 (ms)"
+        );
+        for &load in &SERVE_LOADS {
+            let jobs = SyntheticArrivals::burst(&ins, "bootstrap", load);
+            let report = serve_jobs(
+                &jobs,
+                ServeOptions::new(load).with_config(config.config.clone()),
+            )
+            .expect("bootstrap serves on INS-1");
+            let _ = writeln!(
+                out,
+                "  {:<5} {:>10.2}ms {:>12.1} {:>14.1} {:>8.3}x {:>10.2} {:>10.2}",
+                load,
+                report.makespan_seconds * 1e3,
+                report.throughput_jobs_per_sec(),
+                report.serial_throughput_jobs_per_sec(),
+                report.coscheduling_speedup(),
+                report.latency_percentile(50.0) * 1e3,
+                report.latency_percentile(99.0) * 1e3,
+            );
+            if config.name == "bts-2tb" && load == 2 {
+                two_job_2tb = Some(report);
+            }
+        }
+    }
+    // Queueing policies under one seeded three-tenant stream mixing long and
+    // short jobs, on the grid's bandwidth point where overlap is visible.
+    let config = grid
+        .configs()
+        .into_iter()
+        .find(|c| c.name == "bts-2tb")
+        .expect("the default grid carries the 2 TB/s ablation")
+        .config;
+    let stream = SyntheticArrivals::new(ins, 2024)
+        .mean_interarrival_seconds(2e-3)
+        .tenants(3)
+        .mix(vec![
+            ("bootstrap".to_string(), 3.0),
+            ("amortized-mult".to_string(), 1.0),
+        ])
+        .generate(9);
+    let _ = writeln!(
+        out,
+        "policy comparison: 9 mixed jobs, 3 tenants, 2 ms mean interarrival, concurrency 3, 2 TB/s"
+    );
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>12} {:>11} {:>10} {:>10} {:>9}",
+        "policy", "makespan", "mean lat", "p99 lat", "queue p99", "fairness"
+    );
+    for policy in QueuePolicy::ALL {
+        let report = serve_jobs(
+            &stream,
+            ServeOptions::new(3)
+                .with_policy(policy)
+                .with_config(config.clone()),
+        )
+        .expect("mixed stream serves on INS-1");
+        let mut queue_delays: Vec<f64> = report.jobs.iter().map(|j| j.queue_seconds()).collect();
+        queue_delays.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>10.2}ms {:>9.2}ms {:>8.2}ms {:>8.2}ms {:>9.3}",
+            policy.label(),
+            report.makespan_seconds * 1e3,
+            report.mean_latency_seconds() * 1e3,
+            report.latency_percentile(99.0) * 1e3,
+            queue_delays.last().copied().unwrap_or(0.0) * 1e3,
+            report.tenant_fairness(),
+        );
+    }
+    let report = two_job_2tb.expect("the sweep covers the 2 TB/s two-job point");
+    let _ = writeln!(
+        out,
+        "two-job burst at 2 TB/s: makespan {:.2} ms vs serial {:.2} ms ({:.3}x), sustained {:.2e} mult slots/s",
+        report.makespan_seconds * 1e3,
+        report.sum_serial_seconds() * 1e3,
+        report.coscheduling_speedup(),
+        report.mult_slots_per_sec(),
+    );
+    out
 }
 
 /// Serial vs scheduled execution per workload (INS-1): the `bts-sched`
@@ -600,14 +748,14 @@ pub fn sched() -> String {
     let mut out = header("Scheduled vs serial execution (bts-sched, INS-1)");
     let ins = CkksInstance::ins1();
     let registry = standard_registry();
-    for (config_name, desc, config) in json_configs() {
-        let _ = writeln!(out, "{config_name}: {desc}");
+    for grid_config in SweepGrid::paper_default().configs() {
+        let _ = writeln!(out, "{}: {}", grid_config.name, grid_config.description);
         let _ = writeln!(
             out,
             "  {:<15} {:>11} {:>11} {:>11} {:>8} {:>23}",
             "workload", "serial", "scheduled", "crit path", "speedup", "util NTTU/BConv/HBM"
         );
-        let sim = Simulator::new(config, ins.clone());
+        let sim = Simulator::new(grid_config.config, ins.clone());
         for (name, workload) in registry.iter() {
             let lowered = workload.lower(&ins).expect("INS-1 runs every workload");
             let run = sim.run_scheduled(&lowered.trace);
@@ -647,11 +795,11 @@ pub fn sched() -> String {
 /// `TraceBackend` emits last-use metadata, and the scratchpad drops dead
 /// ciphertexts immediately instead of waiting for LRU pressure.
 pub fn hints() -> String {
-    let mut out = header("Eviction hints: LRU vs last-use-informed ciphertext cache");
+    let mut out = header("Eviction: LRU vs last-use hints vs Belady (furthest next use)");
     let _ = writeln!(
         out,
-        "{:<10} {:<10} {:>10} {:>10} {:>9} {:>14}",
-        "workload", "instance", "LRU hit%", "hint hit%", "delta", "HBM saved (GB)"
+        "{:<10} {:<10} {:>10} {:>10} {:>11} {:>9} {:>14}",
+        "workload", "instance", "LRU hit%", "hint hit%", "belady hit%", "delta", "HBM saved (GB)"
     );
     for ins in CkksInstance::evaluation_set() {
         let sim = Simulator::new(BtsConfig::bts_default(), ins.clone());
@@ -664,24 +812,34 @@ pub fn hints() -> String {
             let hinted = sim
                 .try_run_with_hints(&lowered.trace, &lowered.hints)
                 .expect("lowered traces validate");
+            let belady = sim
+                .try_run_belady(&lowered.trace)
+                .expect("lowered traces validate");
             let _ = writeln!(
                 out,
-                "{:<10} {:<10} {:>9.2}% {:>9.2}% {:>8.2}% {:>14.3}",
+                "{:<10} {:<10} {:>9.2}% {:>9.2}% {:>10.2}% {:>8.2}% {:>14.3}",
                 workload.name(),
                 ins.name(),
                 plain.cache_hit_rate() * 100.0,
                 hinted.cache_hit_rate() * 100.0,
-                (hinted.cache_hit_rate() - plain.cache_hit_rate()) * 100.0,
-                (plain.ct_miss_bytes.saturating_sub(hinted.ct_miss_bytes)) as f64 / 1e9,
+                belady.cache_hit_rate() * 100.0,
+                (belady.cache_hit_rate() - plain.cache_hit_rate()) * 100.0,
+                (plain.ct_miss_bytes.saturating_sub(belady.ct_miss_bytes)) as f64 / 1e9,
             );
         }
     }
     let _ = writeln!(
         out,
-        "(On these workloads recency tracks liveness — single-use intermediates are\n\
-         forwarded through the temporary region, and long-lived values die oldest —\n\
-         so LRU already evicts dead ciphertexts in order and the delta is ~0.\n\
-         Hints win when the two diverge, e.g. a value that dies while recent:)"
+        "(Last-use hints only drop dead ciphertexts, and on these workloads recency\n\
+         already tracks liveness — forwarding keeps single-use intermediates out of\n\
+         the cache — so hint-vs-LRU deltas are ~0. Belady is the stronger bound: it\n\
+         also ranks *live* residents by next use (and bypasses later-needed\n\
+         newcomers), which matches LRU where the cache is ample (INS-1) but\n\
+         recovers 11-20 points of hit rate and 60-110 GB of HBM traffic on\n\
+         INS-2/3, whose bigger ciphertexts make the 512 MiB cache tight. That\n\
+         headroom motivates reuse-distance-aware eviction as a follow-on. Future\n\
+         knowledge also wins when recency and liveness diverge, e.g. a value that\n\
+         dies while recent:)"
     );
     // Microbenchmark where a dead-but-recent value would push out a live-but-
     // old one under plain LRU (the `bts-sim` engine test's shape).
@@ -705,15 +863,19 @@ pub fn hints() -> String {
     let hinted = sim
         .try_run_with_hints(&trace, &bts_sim::EvictionHints::from_trace(&trace))
         .expect("valid microbenchmark trace");
+    let belady = sim
+        .try_run_belady(&trace)
+        .expect("valid microbenchmark trace");
     let _ = writeln!(
         out,
-        "{:<10} {:<10} {:>9.2}% {:>9.2}% {:>8.2}% {:>14.3}",
+        "{:<10} {:<10} {:>9.2}% {:>9.2}% {:>10.2}% {:>8.2}% {:>14.3}",
         "divergent",
         "INS-1/384M",
         plain.cache_hit_rate() * 100.0,
         hinted.cache_hit_rate() * 100.0,
-        (hinted.cache_hit_rate() - plain.cache_hit_rate()) * 100.0,
-        (plain.ct_miss_bytes.saturating_sub(hinted.ct_miss_bytes)) as f64 / 1e9,
+        belady.cache_hit_rate() * 100.0,
+        (belady.cache_hit_rate() - plain.cache_hit_rate()) * 100.0,
+        (plain.ct_miss_bytes.saturating_sub(belady.ct_miss_bytes)) as f64 / 1e9,
     );
     out
 }
@@ -736,6 +898,7 @@ pub fn all() -> String {
         fig9(),
         fig10(),
         sched(),
+        serve(),
         hints(),
         slowdown(),
     ]
@@ -763,6 +926,7 @@ mod tests {
     #[test]
     fn workloads_json_covers_every_workload_and_instance() {
         let json = workloads_json();
+        assert!(json.contains("\"schema\": 3"));
         for name in ["amortized-mult", "bootstrap", "helr", "resnet20", "sorting"] {
             assert!(
                 json.contains(&format!("\"workload\": \"{name}\"")),
@@ -775,13 +939,87 @@ mod tests {
         for cfg in ["bts-1tb", "bts-2tb"] {
             assert!(json.contains(&format!("\"config\": \"{cfg}\"")), "{cfg}");
         }
-        // 5 workloads × 3 instances × 2 configs.
-        assert_eq!(json.matches("\"workload\"").count(), 30);
+        // Results: 5 workloads × 3 instances × 2 configs.
+        assert_eq!(json.matches("\"parallel_speedup\"").count(), 30);
+        // Serve sweep: 3 instances × 2 configs × 3 offered loads.
+        assert_eq!(json.matches("\"coscheduling_speedup\"").count(), 18);
         // Structurally balanced (cheap well-formedness check without a JSON
         // parser dependency).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+
+    #[test]
+    fn serve_rows_gate_coscheduled_throughput() {
+        // The CI smoke step enforces the same bounds on the committed file.
+        let json = workloads_json();
+        let field = |line: &str, name: &str| -> f64 {
+            let tail = line.split(&format!("\"{name}\": ")).nth(1).unwrap();
+            tail.split([',', '}'])
+                .next()
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap()
+        };
+        let rows: Vec<&str> = json
+            .lines()
+            .filter(|l| l.contains("\"coscheduling_speedup\""))
+            .collect();
+        assert_eq!(rows.len(), 18);
+        for row in &rows {
+            let speedup = field(row, "coscheduling_speedup");
+            let p50 = field(row, "p50_latency_seconds");
+            let p99 = field(row, "p99_latency_seconds");
+            // Burst arrivals at t = 0: the merged makespan can never exceed
+            // the serial sum (a structural guarantee of the multi-DAG
+            // scheduler), and percentiles are ordered.
+            assert!(
+                speedup >= 1.0 - 1e-9,
+                "co-scheduling slower than serial: {row}"
+            );
+            assert!(p99 >= p50 - 1e-18, "percentiles out of order: {row}");
+            assert!(
+                field(row, "tenant_fairness") > 0.3,
+                "fairness collapsed: {row}"
+            );
+            // Each job's latency is bounded below by its critical path, so
+            // the sustained mult-slot rate is finite and positive.
+            assert!(field(row, "mult_slots_per_sec") > 0.0);
+        }
+        // The acceptance gate: at 2 TB/s, offered load ≥ 2 co-scheduled
+        // bootstrap jobs must beat one-at-a-time throughput on every
+        // instance, and by a real margin where compute matters (INS-2/3 stay
+        // closer to evk-streaming bound, so their gain is genuine but small).
+        let gated: Vec<&&str> = rows
+            .iter()
+            .filter(|l| l.contains("\"config\": \"bts-2tb\"") && field(l, "concurrency") >= 2.0)
+            .collect();
+        assert!(!gated.is_empty());
+        let mut best = 0.0f64;
+        for row in gated {
+            assert!(
+                field(row, "throughput_jobs_per_sec")
+                    > field(row, "serial_throughput_jobs_per_sec") * 1.005,
+                "co-scheduling failed to beat serial service at 2 TB/s: {row}"
+            );
+            best = best.max(field(row, "coscheduling_speedup"));
+        }
+        assert!(
+            best > 1.05,
+            "no instance shows substantial co-scheduling gain at 2 TB/s: {best}"
+        );
+    }
+
+    #[test]
+    fn serve_figure_reports_the_policy_comparison() {
+        let text = serve();
+        for policy in ["fifo", "sjf", "round-robin"] {
+            assert!(text.contains(policy), "{policy} missing:\n{text}");
+        }
+        assert!(text.contains("bts-2tb"));
+        assert!(text.lines().count() > 10);
     }
 
     #[test]

@@ -25,6 +25,11 @@
 //!    [`ScheduleExt::run_scheduled`] entry point that returns a
 //!    [`bts_sim::SimReport`] with `scheduled_seconds`,
 //!    `critical_path_seconds` and `parallel_speedup()` filled in.
+//! 5. [`MultiScheduler`] / [`MultiSchedule`] (`multi`) — the multi-tenant
+//!    extension: a *set* of tagged job DAGs with per-job barriers and release
+//!    times, list-scheduled onto one shared machine so ops from different
+//!    jobs interleave on the channels. `bts-serve` drives it incrementally
+//!    (admit → [`MultiScheduler::run_until_completion`] → admit …).
 //!
 //! ```
 //! use bts_params::CkksInstance;
@@ -53,12 +58,17 @@
 
 mod dag;
 mod list_schedule;
+mod multi;
 mod report;
 mod resources;
 mod schedule;
 
 pub use dag::{CriticalPath, TraceDag};
 pub use list_schedule::ListScheduler;
+pub use multi::{
+    schedule_jobs, JobCompletion, JobStats, MultiBusyInterval, MultiSchedule, MultiScheduledOp,
+    MultiScheduler,
+};
 pub use report::{CriticalOp, ScheduleExt, ScheduledRun};
 pub use resources::{FuKind, MachineModel, OpDemand};
 pub use schedule::{BusyInterval, Schedule, ScheduledOp};

@@ -143,8 +143,8 @@ impl ListScheduler {
 }
 
 /// Index and value of the smallest horizon (first wins ties, so the choice
-/// is deterministic).
-fn min_horizon(horizons: &[f64]) -> (usize, f64) {
+/// is deterministic). Shared with the multi-job scheduler.
+pub(crate) fn min_horizon(horizons: &[f64]) -> (usize, f64) {
     let mut best = 0usize;
     for (i, &h) in horizons.iter().enumerate() {
         if h < horizons[best] {

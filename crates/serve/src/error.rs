@@ -1,0 +1,97 @@
+//! Errors a serve call can surface.
+
+/// Why the serving layer refused or failed to run a batch.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A job names a workload the registry does not know.
+    UnknownWorkload {
+        /// Id of the offending job.
+        job: u64,
+        /// The unknown workload name.
+        workload: String,
+    },
+    /// Building or lowering a job's circuit failed (e.g. the instance cannot
+    /// bootstrap but the workload needs to).
+    Circuit {
+        /// Id of the offending job.
+        job: u64,
+        /// The underlying circuit error.
+        source: bts_circuit::CircuitError,
+    },
+    /// A job's lowered trace failed structural validation.
+    Trace {
+        /// Id of the offending job.
+        job: u64,
+        /// The underlying trace error.
+        source: bts_sim::TraceError,
+    },
+    /// A job's arrival time is negative or non-finite.
+    InvalidArrival {
+        /// Id of the offending job.
+        job: u64,
+        /// The rejected arrival time.
+        arrival_seconds: f64,
+    },
+    /// Two jobs share the same id, which would make the report ambiguous.
+    DuplicateJobId {
+        /// The duplicated id.
+        job: u64,
+    },
+    /// `max_in_flight` is zero — the server could never start a job.
+    NoCapacity,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownWorkload { job, workload } => {
+                write!(f, "job {job} names unknown workload '{workload}'")
+            }
+            ServeError::Circuit { job, source } => {
+                write!(f, "job {job} failed to lower: {source}")
+            }
+            ServeError::Trace { job, source } => {
+                write!(f, "job {job} produced an invalid trace: {source}")
+            }
+            ServeError::InvalidArrival {
+                job,
+                arrival_seconds,
+            } => write!(
+                f,
+                "job {job} has invalid arrival time {arrival_seconds} (must be finite and ≥ 0)"
+            ),
+            ServeError::DuplicateJobId { job } => {
+                write!(f, "job id {job} submitted twice in one batch")
+            }
+            ServeError::NoCapacity => {
+                write!(f, "max_in_flight is 0; the server can never start a job")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Circuit { source, .. } => Some(source),
+            ServeError::Trace { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_context() {
+        let e = ServeError::UnknownWorkload {
+            job: 7,
+            workload: "nope".into(),
+        };
+        assert!(e.to_string().contains("job 7"));
+        assert!(e.to_string().contains("nope"));
+        assert!(ServeError::NoCapacity.to_string().contains("max_in_flight"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Job descriptors: what a tenant submits to the serving layer.
+
+use bts_params::CkksInstance;
+
+/// One unit of work submitted to the serving layer: a named workload from the
+/// registry, the CKKS instance to run it under, and when it arrives. The
+/// server lowers the workload's circuit to a trace and streams it through the
+/// shared accelerator alongside every other in-flight job.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// Caller-chosen job identifier, unique within one serve call.
+    pub id: u64,
+    /// Tenant the job belongs to (fairness is reported per tenant).
+    pub tenant: u32,
+    /// Registry name of the workload (e.g. `"bootstrap"`, `"resnet20"`).
+    pub workload: String,
+    /// CKKS instance the job's circuit is built for. Jobs in one batch may
+    /// use different instances; they still share the machine's channels.
+    pub instance: CkksInstance,
+    /// Arrival time of the job at the service queue, in seconds from the
+    /// start of the simulation.
+    pub arrival_seconds: f64,
+}
+
+impl JobRequest {
+    /// A job request with every field explicit.
+    pub fn new(
+        id: u64,
+        tenant: u32,
+        workload: impl Into<String>,
+        instance: CkksInstance,
+        arrival_seconds: f64,
+    ) -> Self {
+        Self {
+            id,
+            tenant,
+            workload: workload.into(),
+            instance,
+            arrival_seconds,
+        }
+    }
+}
+
+/// A queued job as a [`crate::QueuePolicy`] sees it when picking the next
+/// admission: enough to order by arrival, estimated cost, or tenant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueuedJob {
+    /// Index of the job in the submission order (the tie-breaker of last
+    /// resort, so selection is always deterministic).
+    pub submit_index: usize,
+    /// Tenant the job belongs to.
+    pub tenant: u32,
+    /// Arrival time in seconds.
+    pub arrival_seconds: f64,
+    /// Estimated service cost in seconds — the cost model's serial charge
+    /// for the job's lowered trace.
+    pub estimate_seconds: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_carry_their_fields() {
+        let job = JobRequest::new(3, 1, "bootstrap", CkksInstance::ins1(), 0.5);
+        assert_eq!(job.id, 3);
+        assert_eq!(job.tenant, 1);
+        assert_eq!(job.workload, "bootstrap");
+        assert_eq!(job.instance.name(), "INS-1");
+        assert!((job.arrival_seconds - 0.5).abs() < 1e-15);
+    }
+}

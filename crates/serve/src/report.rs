@@ -1,0 +1,325 @@
+//! What a serve run reports: per-job latency breakdowns and the aggregate
+//! throughput / utilization / fairness figures the BTS evaluation is framed
+//! around.
+
+use std::fmt::Write as _;
+
+use bts_sched::FuKind;
+use bts_sim::SimReport;
+
+use crate::policy::QueuePolicy;
+
+/// One served job's lifecycle timestamps and derived figures.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The caller's job id.
+    pub id: u64,
+    /// Tenant the job belongs to.
+    pub tenant: u32,
+    /// Workload name.
+    pub workload: String,
+    /// Name of the CKKS instance the job ran under.
+    pub instance: String,
+    /// When the job arrived at the service queue.
+    pub arrival_seconds: f64,
+    /// When the queueing policy admitted it onto the accelerator.
+    pub admitted_seconds: f64,
+    /// When its last op finished.
+    pub finish_seconds: f64,
+    /// The cost model's serial charge for the job's trace.
+    pub serial_seconds: f64,
+    /// The job's own critical path (its latency floor on any machine).
+    pub critical_path_seconds: f64,
+    /// Mult-slot capacity the job refreshed: bootstraps × usable levels ×
+    /// slots — the numerator of the paper's amortized-throughput metric.
+    pub refreshed_slot_levels: f64,
+    /// Number of ops in the job's lowered trace.
+    pub ops: usize,
+}
+
+impl JobOutcome {
+    /// Time spent waiting in the queue (`admitted − arrival`).
+    pub fn queue_seconds(&self) -> f64 {
+        self.admitted_seconds - self.arrival_seconds
+    }
+
+    /// Time spent on the accelerator (`finish − admitted`), including any
+    /// stretch from sharing the channels with other jobs.
+    pub fn service_seconds(&self) -> f64 {
+        self.finish_seconds - self.admitted_seconds
+    }
+
+    /// End-to-end latency (`finish − arrival`).
+    pub fn latency_seconds(&self) -> f64 {
+        self.finish_seconds - self.arrival_seconds
+    }
+
+    /// How much sharing stretched the job relative to its serial charge
+    /// (`service / serial`). Below 1 is possible: a job alone on the machine
+    /// already beats its serial charge when its own ops overlap.
+    pub fn stretch(&self) -> f64 {
+        if self.serial_seconds <= 0.0 {
+            1.0
+        } else {
+            self.service_seconds() / self.serial_seconds
+        }
+    }
+}
+
+/// Aggregate result of streaming a batch of jobs through one simulated
+/// accelerator.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// The queueing policy the run used.
+    pub policy: QueuePolicy,
+    /// Concurrency limit (jobs co-resident on the accelerator).
+    pub max_in_flight: usize,
+    /// Per-job outcomes, in submission order.
+    pub jobs: Vec<JobOutcome>,
+    /// Completion time of the last job, from t = 0.
+    pub makespan_seconds: f64,
+    /// Busy fraction of each functional-unit class over the makespan,
+    /// indexed by [`FuKind::index`].
+    pub utilizations: [f64; FuKind::COUNT],
+    /// Per-job serial cost-model reports merged with [`SimReport::merge`]:
+    /// total HBM traffic, energy, op mix, cache statistics across the batch.
+    /// `None` when the batch was empty.
+    pub aggregate: Option<SimReport>,
+}
+
+impl ServeReport {
+    /// Number of served jobs.
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Sum of every job's serial charge — what one-at-a-time execution
+    /// would spend on the machine.
+    pub fn sum_serial_seconds(&self) -> f64 {
+        self.jobs.iter().map(|j| j.serial_seconds).sum()
+    }
+
+    /// Served jobs per second over the makespan.
+    pub fn throughput_jobs_per_sec(&self) -> f64 {
+        if self.makespan_seconds <= 0.0 {
+            0.0
+        } else {
+            self.jobs.len() as f64 / self.makespan_seconds
+        }
+    }
+
+    /// The one-at-a-time reference: jobs per second if the batch ran
+    /// back-to-back at each job's serial charge.
+    pub fn serial_throughput_jobs_per_sec(&self) -> f64 {
+        let serial = self.sum_serial_seconds();
+        if serial <= 0.0 {
+            0.0
+        } else {
+            self.jobs.len() as f64 / serial
+        }
+    }
+
+    /// Throughput gain of co-scheduling over one-at-a-time execution
+    /// (`Σ serial / makespan`). Values above 1 mean the shared machine
+    /// overlapped work across jobs; at most weakly above 1 when every job is
+    /// HBM-bound (the channels cannot be oversubscribed).
+    pub fn coscheduling_speedup(&self) -> f64 {
+        if self.makespan_seconds <= 0.0 {
+            1.0
+        } else {
+            self.sum_serial_seconds() / self.makespan_seconds
+        }
+    }
+
+    /// Sustained amortized mult-slot throughput: refreshed slot-levels per
+    /// second across the batch — the serving-layer analogue of the paper's
+    /// `T_mult,a/slot` (its inverse, aggregated over tenants).
+    pub fn mult_slots_per_sec(&self) -> f64 {
+        if self.makespan_seconds <= 0.0 {
+            0.0
+        } else {
+            self.jobs
+                .iter()
+                .map(|j| j.refreshed_slot_levels)
+                .sum::<f64>()
+                / self.makespan_seconds
+        }
+    }
+
+    /// Latency at percentile `p` (nearest-rank over end-to-end latencies;
+    /// `p` in `[0, 100]`). Returns 0 for an empty batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn latency_percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        let mut latencies: Vec<f64> = self.jobs.iter().map(JobOutcome::latency_seconds).collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let rank = ((p / 100.0) * latencies.len() as f64).ceil() as usize;
+        latencies[rank.clamp(1, latencies.len()) - 1]
+    }
+
+    /// Mean end-to-end latency. Returns 0 for an empty batch.
+    pub fn mean_latency_seconds(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        self.jobs
+            .iter()
+            .map(JobOutcome::latency_seconds)
+            .sum::<f64>()
+            / self.jobs.len() as f64
+    }
+
+    /// Jain's fairness index over per-tenant mean latency:
+    /// `(Σ x)² / (n · Σ x²)` with one `x` per tenant. 1.0 means every tenant
+    /// saw the same mean latency; `1/n` means one tenant absorbed all of it.
+    /// Batches with fewer than two tenants (or zero total latency) are
+    /// perfectly fair by definition.
+    pub fn tenant_fairness(&self) -> f64 {
+        let mut per_tenant: std::collections::BTreeMap<u32, (f64, usize)> =
+            std::collections::BTreeMap::new();
+        for j in &self.jobs {
+            let entry = per_tenant.entry(j.tenant).or_insert((0.0, 0));
+            entry.0 += j.latency_seconds();
+            entry.1 += 1;
+        }
+        if per_tenant.len() < 2 {
+            return 1.0;
+        }
+        let means: Vec<f64> = per_tenant
+            .values()
+            .map(|&(sum, n)| sum / n as f64)
+            .collect();
+        let total: f64 = means.iter().sum();
+        let squares: f64 = means.iter().map(|x| x * x).sum();
+        if squares <= 0.0 {
+            return 1.0;
+        }
+        total * total / (means.len() as f64 * squares)
+    }
+
+    /// Renders the headline figures as a small text block.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} jobs | policy {} | concurrency {} | makespan {:.2} ms (serial {:.2} ms, co-scheduling {:.3}x)",
+            self.jobs.len(),
+            self.policy,
+            self.max_in_flight,
+            self.makespan_seconds * 1e3,
+            self.sum_serial_seconds() * 1e3,
+            self.coscheduling_speedup()
+        );
+        let _ = writeln!(
+            out,
+            "throughput {:.1} jobs/s ({:.1} serial) | {:.3e} mult slots/s | latency p50 {:.2} ms p99 {:.2} ms | fairness {:.3}",
+            self.throughput_jobs_per_sec(),
+            self.serial_throughput_jobs_per_sec(),
+            self.mult_slots_per_sec(),
+            self.latency_percentile(50.0) * 1e3,
+            self.latency_percentile(99.0) * 1e3,
+            self.tenant_fairness()
+        );
+        let _ = writeln!(
+            out,
+            "utilization: NTTU {:.0}% | BConvU {:.0}% | ModMult/ModAdd {:.0}% | HBM {:.0}%",
+            self.utilizations[FuKind::Nttu.index()] * 100.0,
+            self.utilizations[FuKind::BConvU.index()] * 100.0,
+            self.utilizations[FuKind::Elementwise.index()] * 100.0,
+            self.utilizations[FuKind::Hbm.index()] * 100.0
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(id: u64, tenant: u32, arrival: f64, admitted: f64, finish: f64) -> JobOutcome {
+        JobOutcome {
+            id,
+            tenant,
+            workload: "bootstrap".into(),
+            instance: "INS-1".into(),
+            arrival_seconds: arrival,
+            admitted_seconds: admitted,
+            finish_seconds: finish,
+            serial_seconds: finish - admitted,
+            critical_path_seconds: (finish - admitted) * 0.5,
+            refreshed_slot_levels: 1000.0,
+            ops: 10,
+        }
+    }
+
+    fn report(jobs: Vec<JobOutcome>) -> ServeReport {
+        let makespan = jobs.iter().map(|j| j.finish_seconds).fold(0.0f64, f64::max);
+        ServeReport {
+            policy: QueuePolicy::Fifo,
+            max_in_flight: 2,
+            jobs,
+            makespan_seconds: makespan,
+            utilizations: [0.5; FuKind::COUNT],
+            aggregate: None,
+        }
+    }
+
+    #[test]
+    fn latency_breakdown_adds_up() {
+        let j = outcome(0, 0, 1.0, 3.0, 7.0);
+        assert!((j.queue_seconds() - 2.0).abs() < 1e-15);
+        assert!((j.service_seconds() - 4.0).abs() < 1e-15);
+        assert!((j.latency_seconds() - 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let r = report(vec![
+            outcome(0, 0, 0.0, 0.0, 1.0),
+            outcome(1, 0, 0.0, 0.0, 2.0),
+            outcome(2, 0, 0.0, 0.0, 3.0),
+            outcome(3, 0, 0.0, 0.0, 4.0),
+        ]);
+        assert!((r.latency_percentile(50.0) - 2.0).abs() < 1e-15);
+        assert!((r.latency_percentile(99.0) - 4.0).abs() < 1e-15);
+        assert!((r.latency_percentile(0.0) - 1.0).abs() < 1e-15);
+        assert!((r.mean_latency_seconds() - 2.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn throughput_compares_against_the_serial_reference() {
+        // Two jobs, each 1 s serial, finishing by t = 1.5: co-scheduling
+        // packed 2 s of work into 1.5 s.
+        let r = report(vec![
+            outcome(0, 0, 0.0, 0.0, 1.0),
+            outcome(1, 1, 0.0, 0.5, 1.5),
+        ]);
+        assert!((r.sum_serial_seconds() - 2.0).abs() < 1e-15);
+        assert!((r.coscheduling_speedup() - 2.0 / 1.5).abs() < 1e-12);
+        assert!(r.throughput_jobs_per_sec() > r.serial_throughput_jobs_per_sec());
+        assert!(r.mult_slots_per_sec() > 0.0);
+        assert!(!r.summary().is_empty());
+    }
+
+    #[test]
+    fn fairness_is_one_when_tenants_match_and_drops_when_skewed() {
+        let fair = report(vec![
+            outcome(0, 0, 0.0, 0.0, 1.0),
+            outcome(1, 1, 0.0, 0.0, 1.0),
+        ]);
+        assert!((fair.tenant_fairness() - 1.0).abs() < 1e-12);
+        let skewed = report(vec![
+            outcome(0, 0, 0.0, 0.0, 1.0),
+            outcome(1, 1, 0.0, 0.0, 9.0),
+        ]);
+        assert!(skewed.tenant_fairness() < 0.8);
+        let single = report(vec![outcome(0, 0, 0.0, 0.0, 1.0)]);
+        assert!((single.tenant_fairness() - 1.0).abs() < 1e-12);
+    }
+}

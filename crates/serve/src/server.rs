@@ -1,0 +1,534 @@
+//! The serving engine: admission control in front of one shared multi-DAG
+//! scheduler.
+//!
+//! # Execution model
+//!
+//! Each job is prepared independently — workload looked up in the registry,
+//! circuit built for the job's instance, lowered to a trace, per-op charges
+//! resolved by that instance's [`bts_sim::Simulator`] (so each job's
+//! scratchpad residency is modelled as a private partition; cross-job cache
+//! contention is not charged). The event loop then drives the
+//! [`bts_sched::MultiScheduler`]:
+//!
+//! 1. while the accelerator holds fewer than `max_in_flight` jobs and some
+//!    queued job has arrived by the current clock, the [`QueuePolicy`] picks
+//!    the next admission (release time = admission time);
+//! 2. the scheduler interleaves the active jobs' ops on the shared
+//!    NTTU/BConvU/element-wise/HBM channels until one job completes;
+//! 3. the completion advances the clock and frees a slot — back to 1.
+//!
+//! An idle machine jumps the clock to the next arrival. Everything is
+//! deterministic: one `(jobs, policy, config, max_in_flight)` tuple always
+//! produces the same [`ServeReport`].
+
+use bts_params::L_BOOT;
+use bts_sched::{MachineModel, MultiScheduler};
+use bts_sim::{BtsConfig, OpTiming, OpTrace, SimReport, Simulator};
+use bts_workloads::{standard_registry, WorkloadRegistry};
+
+use crate::error::ServeError;
+use crate::job::{JobRequest, QueuedJob};
+use crate::policy::QueuePolicy;
+use crate::report::{JobOutcome, ServeReport};
+
+/// Knobs of one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Hardware configuration of the shared accelerator.
+    pub config: BtsConfig,
+    /// Queueing policy in front of it.
+    pub policy: QueuePolicy,
+    /// How many jobs may be co-resident on the accelerator. 1 degenerates to
+    /// one-at-a-time service; higher values let ops of different jobs
+    /// interleave on the functional units.
+    pub max_in_flight: usize,
+}
+
+impl ServeOptions {
+    /// FIFO service of up to `max_in_flight` concurrent jobs on the default
+    /// BTS design point.
+    pub fn new(max_in_flight: usize) -> Self {
+        Self {
+            config: BtsConfig::bts_default(),
+            policy: QueuePolicy::Fifo,
+            max_in_flight,
+        }
+    }
+
+    /// Returns a copy with a different hardware configuration.
+    pub fn with_config(mut self, config: BtsConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Returns a copy with a different queueing policy.
+    pub fn with_policy(mut self, policy: QueuePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self::new(4)
+    }
+}
+
+/// A multi-tenant batch server over one simulated BTS accelerator.
+pub struct BtsServer {
+    registry: WorkloadRegistry,
+    options: ServeOptions,
+}
+
+impl std::fmt::Debug for BtsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BtsServer")
+            .field("registry", &self.registry)
+            .field("options", &self.options)
+            .finish()
+    }
+}
+
+/// A prepared job: lowered, charged, ready for the scheduler.
+struct PreparedJob {
+    trace: OpTrace,
+    timings: Vec<OpTiming>,
+    report: SimReport,
+    refreshed_slot_levels: f64,
+}
+
+impl BtsServer {
+    /// A server over the five standard paper workloads.
+    pub fn new(options: ServeOptions) -> Self {
+        Self::with_registry(options, standard_registry())
+    }
+
+    /// A server over a custom workload registry.
+    pub fn with_registry(options: ServeOptions, registry: WorkloadRegistry) -> Self {
+        Self { registry, options }
+    }
+
+    /// The run's knobs.
+    pub fn options(&self) -> &ServeOptions {
+        &self.options
+    }
+
+    /// Streams a batch of jobs through the accelerator and reports per-job
+    /// latencies plus the aggregate throughput/utilization/fairness figures.
+    /// Jobs may be given in any order; arrival times define the stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast — before any scheduling — if the options or any job is
+    /// invalid (unknown workload, bad arrival time, duplicate id, zero
+    /// capacity) or a job's circuit cannot be built or lowered for its
+    /// instance.
+    pub fn serve(&self, jobs: &[JobRequest]) -> Result<ServeReport, ServeError> {
+        if self.options.max_in_flight == 0 {
+            return Err(ServeError::NoCapacity);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for job in jobs {
+            if !job.arrival_seconds.is_finite() || job.arrival_seconds < 0.0 {
+                return Err(ServeError::InvalidArrival {
+                    job: job.id,
+                    arrival_seconds: job.arrival_seconds,
+                });
+            }
+            if !seen.insert(job.id) {
+                return Err(ServeError::DuplicateJobId { job: job.id });
+            }
+        }
+
+        // Bursts repeat the same (workload, instance) pair; lowering and the
+        // cache-resolution sweep are deterministic, so identical requests
+        // share one prepared job instead of re-simulating it per copy.
+        let mut prepared: Vec<std::rc::Rc<PreparedJob>> = Vec::with_capacity(jobs.len());
+        for (j, job) in jobs.iter().enumerate() {
+            let twin = jobs[..j]
+                .iter()
+                .position(|p| p.workload == job.workload && p.instance == job.instance);
+            prepared.push(match twin {
+                Some(t) => std::rc::Rc::clone(&prepared[t]),
+                None => std::rc::Rc::new(self.prepare(job)?),
+            });
+        }
+
+        // Admission loop over the shared scheduler.
+        let machine = MachineModel::from_config(&self.options.config);
+        let mut scheduler = MultiScheduler::new(machine);
+        let mut queue: Vec<usize> = (0..jobs.len()).collect();
+        // Serve order is by arrival regardless of slice order; sorting the
+        // queue keeps the policy's tie-breaks meaningful.
+        queue.sort_by(|&a, &b| {
+            jobs[a]
+                .arrival_seconds
+                .partial_cmp(&jobs[b].arrival_seconds)
+                .expect("validated arrivals")
+                .then(a.cmp(&b))
+        });
+        let mut admitted_at = vec![0.0f64; jobs.len()];
+        let mut clock = 0.0f64;
+        let mut last_tenant: Option<u32> = None;
+        // Jobs admitted but not yet completed — the real concurrency gauge.
+        // (The scheduler's own active count drops when a job's ops are all
+        // *placed*, which can precede its finish; a slot only frees at the
+        // completion event.)
+        let mut in_flight = 0usize;
+        loop {
+            // Admit while there is capacity and someone has arrived by the
+            // clock. A free slot with nobody arrived yet simply waits for
+            // the next arrival (jump the clock to it): admission then
+            // happens at arrival time, whether or not other jobs are still
+            // mid-flight — a free slot never sits idle past an arrival.
+            while in_flight < self.options.max_in_flight && !queue.is_empty() {
+                let candidates: Vec<QueuedJob> = queue
+                    .iter()
+                    .filter(|&&j| jobs[j].arrival_seconds <= clock)
+                    .map(|&j| QueuedJob {
+                        submit_index: j,
+                        tenant: jobs[j].tenant,
+                        arrival_seconds: jobs[j].arrival_seconds,
+                        estimate_seconds: prepared[j].report.total_seconds,
+                    })
+                    .collect();
+                if candidates.is_empty() {
+                    clock = jobs[queue[0]].arrival_seconds; // arrival-sorted
+                    continue;
+                }
+                let pick = self.options.policy.select(&candidates, last_tenant);
+                let j = candidates[pick].submit_index;
+                queue.retain(|&q| q != j);
+                let release = clock.max(jobs[j].arrival_seconds);
+                admitted_at[j] = release;
+                last_tenant = Some(jobs[j].tenant);
+                in_flight += 1;
+                scheduler.add_job(j as u32, &prepared[j].trace, &prepared[j].timings, release);
+            }
+            // Machine full or queue drained: advance to the next completion.
+            // (`None` implies the queue is empty too — with a free slot and
+            // queued work the admission loop above would have admitted.)
+            match scheduler.run_until_completion() {
+                Some(done) => {
+                    clock = clock.max(done.finish_seconds);
+                    in_flight -= 1;
+                }
+                None => break,
+            }
+        }
+        let multi = scheduler.finish();
+        debug_assert!(multi.check_invariants().is_ok());
+
+        let mut aggregate: Option<SimReport> = None;
+        let mut outcomes = Vec::with_capacity(jobs.len());
+        for (j, (job, prep)) in jobs.iter().zip(&prepared).enumerate() {
+            let stats = multi
+                .job(j as u32)
+                .expect("every prepared job was admitted");
+            outcomes.push(JobOutcome {
+                id: job.id,
+                tenant: job.tenant,
+                workload: job.workload.clone(),
+                instance: job.instance.name().to_string(),
+                arrival_seconds: job.arrival_seconds,
+                admitted_seconds: admitted_at[j],
+                finish_seconds: stats.finish_seconds,
+                serial_seconds: prep.report.total_seconds,
+                critical_path_seconds: stats.critical_path_seconds,
+                refreshed_slot_levels: prep.refreshed_slot_levels,
+                ops: prep.trace.len(),
+            });
+            match &mut aggregate {
+                Some(agg) => agg.merge(&prep.report),
+                None => aggregate = Some(prep.report.clone()),
+            }
+        }
+        Ok(ServeReport {
+            policy: self.options.policy,
+            max_in_flight: self.options.max_in_flight,
+            jobs: outcomes,
+            makespan_seconds: multi.makespan_seconds,
+            utilizations: multi.utilizations(),
+            aggregate,
+        })
+    }
+
+    /// Lowers one request and resolves its per-op charges.
+    fn prepare(&self, job: &JobRequest) -> Result<PreparedJob, ServeError> {
+        let workload =
+            self.registry
+                .get(&job.workload)
+                .ok_or_else(|| ServeError::UnknownWorkload {
+                    job: job.id,
+                    workload: job.workload.clone(),
+                })?;
+        let lowered = workload
+            .lower(&job.instance)
+            .map_err(|source| ServeError::Circuit {
+                job: job.id,
+                source,
+            })?;
+        let simulator = Simulator::new(self.options.config.clone(), job.instance.clone());
+        let (timings, report) =
+            simulator
+                .try_run_timed(&lowered.trace, None)
+                .map_err(|source| ServeError::Trace {
+                    job: job.id,
+                    source,
+                })?;
+        let usable_levels = job.instance.max_level().saturating_sub(L_BOOT);
+        let refreshed_slot_levels =
+            lowered.bootstrap_count as f64 * usable_levels as f64 * job.instance.slots() as f64;
+        Ok(PreparedJob {
+            trace: lowered.trace,
+            timings,
+            report,
+            refreshed_slot_levels,
+        })
+    }
+}
+
+/// One-call convenience: serve `jobs` over the standard registry.
+///
+/// # Errors
+///
+/// Propagates [`BtsServer::serve`] failures.
+pub fn serve(jobs: &[JobRequest], options: ServeOptions) -> Result<ServeReport, ServeError> {
+    BtsServer::new(options).serve(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::SyntheticArrivals;
+    use bts_params::{BandwidthModel, CkksInstance};
+    use bts_workloads::Workload;
+
+    fn options_2tb(max_in_flight: usize) -> ServeOptions {
+        ServeOptions::new(max_in_flight)
+            .with_config(BtsConfig::bts_default().with_hbm(BandwidthModel::hbm_2tb()))
+    }
+
+    #[test]
+    fn coscheduled_bootstrap_beats_serial_throughput_at_2tb() {
+        // The acceptance criterion of the serving layer: at 2 TB/s, where
+        // compute matters, two co-scheduled bootstrap jobs finish sooner
+        // than one-at-a-time service.
+        let ins = CkksInstance::ins1();
+        let jobs = SyntheticArrivals::burst(&ins, "bootstrap", 2);
+        let report = serve(&jobs, options_2tb(2)).unwrap();
+        assert_eq!(report.job_count(), 2);
+        assert!(
+            report.coscheduling_speedup() > 1.05,
+            "co-scheduling speedup = {}",
+            report.coscheduling_speedup()
+        );
+        assert!(report.throughput_jobs_per_sec() > report.serial_throughput_jobs_per_sec());
+        assert!(report.mult_slots_per_sec() > 0.0);
+        for j in &report.jobs {
+            assert!(j.latency_seconds() >= j.critical_path_seconds - 1e-12);
+        }
+    }
+
+    #[test]
+    fn concurrency_one_degenerates_to_back_to_back_service() {
+        let ins = CkksInstance::ins1();
+        let jobs = SyntheticArrivals::burst(&ins, "bootstrap", 2);
+        let report = serve(&jobs, options_2tb(1)).unwrap();
+        // Jobs run one at a time; each admission waits for the previous
+        // completion, so queue delay shows up on the second job.
+        assert!(report.jobs[1].admitted_seconds >= report.jobs[0].finish_seconds - 1e-12);
+        assert!(report.jobs[1].queue_seconds() > 0.0);
+        // And the co-scheduled run of the same batch is strictly faster.
+        let co = serve(&jobs, options_2tb(2)).unwrap();
+        assert!(co.makespan_seconds < report.makespan_seconds);
+    }
+
+    #[test]
+    fn serving_is_deterministic() {
+        let jobs = SyntheticArrivals::new(CkksInstance::ins1(), 99)
+            .mean_interarrival_seconds(2e-2)
+            .tenants(3)
+            .generate(6);
+        let a = serve(&jobs, options_2tb(3)).unwrap();
+        let b = serve(&jobs, options_2tb(3)).unwrap();
+        assert!((a.makespan_seconds - b.makespan_seconds).abs() < 1e-18);
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert!((x.finish_seconds - y.finish_seconds).abs() < 1e-18);
+            assert!((x.admitted_seconds - y.admitted_seconds).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn sjf_admits_the_short_job_first() {
+        // A long ResNet job and a short bootstrap job both waiting at t = 0
+        // for a single slot: FIFO (submission order) serves the ResNet job
+        // first, SJF flips the order.
+        let ins = CkksInstance::ins1();
+        let jobs = vec![
+            JobRequest::new(0, 0, "resnet20", ins.clone(), 0.0),
+            JobRequest::new(1, 1, "bootstrap", ins.clone(), 0.0),
+        ];
+        let fifo = serve(&jobs, ServeOptions::new(1)).unwrap();
+        assert!(fifo.jobs[0].admitted_seconds < fifo.jobs[1].admitted_seconds);
+        let sjf = serve(
+            &jobs,
+            ServeOptions::new(1).with_policy(QueuePolicy::ShortestJobFirst),
+        )
+        .unwrap();
+        assert!(sjf.jobs[1].admitted_seconds < sjf.jobs[0].admitted_seconds);
+        // The short job's p50 improves under SJF.
+        assert!(sjf.jobs[1].latency_seconds() < fifo.jobs[1].latency_seconds());
+    }
+
+    #[test]
+    fn round_robin_alternates_tenants() {
+        // Tenant 0 floods the queue; tenant 1 submits one job last. With a
+        // single slot, round-robin serves tenant 1 second instead of last.
+        let ins = CkksInstance::ins1();
+        let mut jobs: Vec<JobRequest> = (0..3)
+            .map(|i| JobRequest::new(i, 0, "bootstrap", ins.clone(), 0.0))
+            .collect();
+        jobs.push(JobRequest::new(3, 1, "bootstrap", ins.clone(), 0.0));
+        let rr = serve(
+            &jobs,
+            ServeOptions::new(1).with_policy(QueuePolicy::RoundRobin),
+        )
+        .unwrap();
+        let fifo = serve(&jobs, ServeOptions::new(1)).unwrap();
+        assert!(rr.jobs[3].finish_seconds < fifo.jobs[3].finish_seconds);
+        assert!(rr.tenant_fairness() >= fifo.tenant_fairness());
+    }
+
+    #[test]
+    fn free_slots_admit_on_arrival_not_on_next_completion() {
+        // A long ResNet job holds one of two slots; a bootstrap job arrives
+        // at 1 ms while the other slot is free. It must be admitted at its
+        // arrival, not when the ResNet job completes hundreds of ms later.
+        let ins = CkksInstance::ins1();
+        let jobs = vec![
+            JobRequest::new(0, 0, "resnet20", ins.clone(), 0.0),
+            JobRequest::new(1, 1, "bootstrap", ins.clone(), 1e-3),
+        ];
+        let report = serve(&jobs, options_2tb(2)).unwrap();
+        assert!(
+            (report.jobs[1].admitted_seconds - 1e-3).abs() < 1e-12,
+            "bootstrap admitted at {} instead of its 1 ms arrival",
+            report.jobs[1].admitted_seconds
+        );
+        assert!(report.jobs[1].finish_seconds < report.jobs[0].finish_seconds);
+    }
+
+    #[test]
+    fn concurrency_cap_holds_until_completion_events() {
+        // Service windows [admitted, finish] may overlap at most
+        // max_in_flight deep: a slot frees when a job *completes*, not when
+        // its ops happen to all be placed.
+        let ins = CkksInstance::ins1();
+        let jobs = SyntheticArrivals::new(ins, 7)
+            .mean_interarrival_seconds(1e-3)
+            .tenants(2)
+            .generate(6);
+        let cap = 2;
+        let report = serve(
+            &jobs,
+            ServeOptions::new(cap)
+                .with_config(BtsConfig::bts_default().with_hbm(BandwidthModel::hbm_2tb())),
+        )
+        .unwrap();
+        let mut events: Vec<(f64, i32)> = Vec::new();
+        for j in &report.jobs {
+            events.push((j.admitted_seconds, 1));
+            events.push((j.finish_seconds, -1));
+        }
+        // Ends before starts at equal times: a completion frees the slot.
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        let mut depth = 0i32;
+        for (_, delta) in events {
+            depth += delta;
+            assert!(depth <= cap as i32, "concurrency {depth} exceeds cap {cap}");
+        }
+    }
+
+    #[test]
+    fn arrivals_gate_admission() {
+        let ins = CkksInstance::ins1();
+        let late = 10.0;
+        let jobs = vec![
+            JobRequest::new(0, 0, "bootstrap", ins.clone(), 0.0),
+            JobRequest::new(1, 1, "bootstrap", ins.clone(), late),
+        ];
+        let report = serve(&jobs, options_2tb(2)).unwrap();
+        assert!(report.jobs[1].admitted_seconds >= late);
+        assert!(report.jobs[1].queue_seconds() <= 1e-12);
+        // The machine idles between the first completion and the late
+        // arrival, so the makespan includes the gap.
+        assert!(report.makespan_seconds >= late);
+    }
+
+    #[test]
+    fn invalid_batches_fail_fast() {
+        let ins = CkksInstance::ins1();
+        let unknown = vec![JobRequest::new(0, 0, "nope", ins.clone(), 0.0)];
+        assert!(matches!(
+            serve(&unknown, ServeOptions::new(1)),
+            Err(ServeError::UnknownWorkload { .. })
+        ));
+        let bad_arrival = vec![JobRequest::new(0, 0, "bootstrap", ins.clone(), -1.0)];
+        assert!(matches!(
+            serve(&bad_arrival, ServeOptions::new(1)),
+            Err(ServeError::InvalidArrival { .. })
+        ));
+        let dup = vec![
+            JobRequest::new(0, 0, "bootstrap", ins.clone(), 0.0),
+            JobRequest::new(0, 1, "bootstrap", ins.clone(), 0.0),
+        ];
+        assert!(matches!(
+            serve(&dup, ServeOptions::new(1)),
+            Err(ServeError::DuplicateJobId { .. })
+        ));
+        assert!(matches!(
+            serve(&[], ServeOptions::new(0)),
+            Err(ServeError::NoCapacity)
+        ));
+        // A toy instance cannot bootstrap: circuit construction fails.
+        let toy = vec![JobRequest::new(
+            0,
+            0,
+            "bootstrap",
+            CkksInstance::toy(11, 4, 2),
+            0.0,
+        )];
+        assert!(matches!(
+            serve(&toy, ServeOptions::new(1)),
+            Err(ServeError::Circuit { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_batches_produce_an_empty_report() {
+        let report = serve(&[], ServeOptions::new(2)).unwrap();
+        assert_eq!(report.job_count(), 0);
+        assert_eq!(report.makespan_seconds, 0.0);
+        assert!(report.aggregate.is_none());
+        assert_eq!(report.throughput_jobs_per_sec(), 0.0);
+        assert!((report.tenant_fairness() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn aggregate_report_sums_per_job_work() {
+        let ins = CkksInstance::ins1();
+        let jobs = SyntheticArrivals::burst(&ins, "bootstrap", 3);
+        let report = serve(&jobs, options_2tb(3)).unwrap();
+        let agg = report.aggregate.as_ref().unwrap();
+        assert!((agg.total_seconds - report.sum_serial_seconds()).abs() < 1e-12);
+        let single = Simulator::new(options_2tb(3).config, ins.clone());
+        let lowered = bts_workloads::BootstrapWorkload.lower(&ins).unwrap();
+        let one = single.run(&lowered.trace);
+        assert_eq!(agg.hbm_bytes, 3 * one.hbm_bytes);
+        assert_eq!(
+            agg.per_op.values().map(|s| s.count).sum::<usize>(),
+            3 * lowered.trace.len()
+        );
+    }
+}

@@ -94,6 +94,57 @@ impl SimReport {
         }
         Some((self.total_seconds / scheduled).max(1.0))
     }
+
+    /// Accumulates another report into this one — the aggregation hook a
+    /// multi-job serving run uses to report combined resource usage across
+    /// its per-job reports. Counters (time, bytes, hits, per-op stats,
+    /// energy) sum; utilizations merge time-weighted; peak scratchpad demand
+    /// takes the max; area stays per-chip (the jobs share one accelerator,
+    /// asserted equal). Schedule-derived fields are cleared: a merged report
+    /// describes serial work totals, and the co-scheduled makespan lives in
+    /// the serving layer's own report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two reports model different chips (different
+    /// `area_mm2`), which would make the summed energy and EDAP meaningless.
+    pub fn merge(&mut self, other: &SimReport) {
+        assert!(
+            (self.area_mm2 - other.area_mm2).abs() < 1e-9 * self.area_mm2.max(1.0),
+            "merging reports from different chips ({} vs {} mm²)",
+            self.area_mm2,
+            other.area_mm2
+        );
+        let total = self.total_seconds + other.total_seconds;
+        let weighted = |a: f64, b: f64| {
+            if total > 0.0 {
+                (a * self.total_seconds + b * other.total_seconds) / total
+            } else {
+                0.0
+            }
+        };
+        self.ntt_utilization = weighted(self.ntt_utilization, other.ntt_utilization);
+        self.bconv_utilization = weighted(self.bconv_utilization, other.bconv_utilization);
+        self.hbm_utilization = weighted(self.hbm_utilization, other.hbm_utilization);
+        self.elementwise_utilization =
+            weighted(self.elementwise_utilization, other.elementwise_utilization);
+        self.total_seconds = total;
+        self.bootstrap_seconds += other.bootstrap_seconds;
+        for (op, stats) in &other.per_op {
+            let entry = self.per_op.entry(*op).or_default();
+            entry.count += stats.count;
+            entry.seconds += stats.seconds;
+        }
+        self.hbm_bytes += other.hbm_bytes;
+        self.evk_bytes += other.evk_bytes;
+        self.ct_miss_bytes += other.ct_miss_bytes;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.scratchpad_peak_bytes = self.scratchpad_peak_bytes.max(other.scratchpad_peak_bytes);
+        self.energy_j += other.energy_j;
+        self.scheduled_seconds = None;
+        self.critical_path_seconds = None;
+    }
 }
 
 /// Detailed per-functional-unit cost of a single traced op, independent of
@@ -384,6 +435,50 @@ impl Simulator {
         trace: &OpTrace,
         hints: Option<&EvictionHints>,
     ) -> Result<Vec<OpTiming>, crate::trace::TraceError> {
+        self.op_timings_impl(trace, hints, false)
+    }
+
+    /// [`Simulator::op_timings`] with Belady-style (MIN) replacement in the
+    /// ciphertext cache: on pressure, the ciphertext whose next use lies
+    /// furthest in the future loses — a resident is evicted, or the incoming
+    /// ciphertext is bypassed (not cached) when it is itself the
+    /// furthest-needed, so dead data goes first and sooner-needed residents
+    /// survive. Next-use distances are exact — the trace is fully known at
+    /// simulation time, the same liveness information `LoweredTrace::hints`
+    /// is derived from — so this is the reference bound practical policies
+    /// (LRU, last-use hints) are measured against. (With variable-size
+    /// ciphertexts exact offline optimality is a knapsack problem; this is
+    /// the standard furthest-next-use heuristic, not a proven optimum.)
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural defect found in the trace.
+    pub fn op_timings_belady(
+        &self,
+        trace: &OpTrace,
+    ) -> Result<Vec<OpTiming>, crate::trace::TraceError> {
+        self.op_timings_impl(trace, None, true)
+    }
+
+    /// Runs a trace with Belady (furthest-next-use) ciphertext eviction — see
+    /// [`Simulator::op_timings_belady`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural defect found in the trace.
+    pub fn try_run_belady(&self, trace: &OpTrace) -> Result<SimReport, crate::trace::TraceError> {
+        Ok(self.fold_report(trace, &self.op_timings_belady(trace)?))
+    }
+
+    /// The shared cache-resolution sweep behind every `op_timings*` entry
+    /// point. `belady` switches the replacement policy from LRU (optionally
+    /// assisted by dead-ciphertext `hints`) to furthest-next-use.
+    fn op_timings_impl(
+        &self,
+        trace: &OpTrace,
+        hints: Option<&EvictionHints>,
+        belady: bool,
+    ) -> Result<Vec<OpTiming>, crate::trace::TraceError> {
         trace.validate()?;
         if let Some(hints) = hints {
             if hints.len() != trace.ops.len() {
@@ -394,7 +489,24 @@ impl Simulator {
             }
         }
         let forwarded = Self::forwarded_ids(trace);
-        let mut cache = CtCache::new(self.cache_capacity());
+        // Belady needs exact next-use positions: queue of op indices at which
+        // each ciphertext is (still) consumed, popped as accesses retire.
+        let mut use_positions: HashMap<CtId, VecDeque<u32>> = HashMap::new();
+        if belady {
+            for (i, op) in trace.ops.iter().enumerate() {
+                for &id in &op.inputs {
+                    use_positions.entry(id).or_default().push_back(i as u32);
+                }
+            }
+        }
+        let next_use_of = |q: Option<&VecDeque<u32>>| -> u32 {
+            q.and_then(|q| q.front().copied()).unwrap_or(u32::MAX)
+        };
+        let mut cache = if belady {
+            CacheModel::Belady(BeladyCache::new(self.cache_capacity()))
+        } else {
+            CacheModel::Lru(CtCache::new(self.cache_capacity()))
+        };
         let mut timings = Vec::with_capacity(trace.ops.len());
         for (index, traced) in trace.ops.iter().enumerate() {
             let cost = self.op_cost(traced.op, traced.level);
@@ -407,17 +519,29 @@ impl Simulator {
                 if forwarded.contains(&input) {
                     continue; // producer → consumer forwarding, not a cache access
                 }
-                if cache.touch(input) {
+                let next_use = if belady {
+                    let q = use_positions.get_mut(&input).expect("validated input");
+                    q.pop_front(); // this access
+                    next_use_of(Some(q))
+                } else {
+                    0
+                };
+                if cache.touch(input, next_use) {
                     hits += 1;
                 } else {
                     misses += 1;
                     miss_bytes += ct_bytes;
-                    cache.insert(input, ct_bytes);
+                    cache.insert(input, ct_bytes, next_use);
                 }
             }
             if let Some(out) = traced.output {
                 if !forwarded.contains(&out) {
-                    cache.insert(out, ct_bytes);
+                    let next_use = if belady {
+                        next_use_of(use_positions.get(&out))
+                    } else {
+                        0
+                    };
+                    cache.insert(out, ct_bytes, next_use);
                 }
             }
             if let Some(hints) = hints {
@@ -532,6 +656,129 @@ impl Simulator {
         self.config
             .scratchpad_bytes
             .saturating_sub(self.temp_data_bytes())
+    }
+}
+
+/// Replacement-policy dispatch for the cache sweep: LRU (the §5.3 software
+/// cache, optionally assisted by eviction hints) or Belady furthest-next-use.
+#[derive(Debug, Clone)]
+enum CacheModel {
+    Lru(CtCache),
+    Belady(BeladyCache),
+}
+
+impl CacheModel {
+    /// Hit test, refreshing recency (LRU) or the stored next-use (Belady).
+    fn touch(&mut self, id: CtId, next_use: u32) -> bool {
+        match self {
+            CacheModel::Lru(c) => c.touch(id),
+            CacheModel::Belady(c) => c.touch(id, next_use),
+        }
+    }
+
+    fn insert(&mut self, id: CtId, bytes: u64, next_use: u32) {
+        match self {
+            CacheModel::Lru(c) => c.insert(id, bytes),
+            CacheModel::Belady(c) => c.insert(id, bytes, next_use),
+        }
+    }
+
+    fn remove(&mut self, id: CtId) {
+        match self {
+            CacheModel::Lru(c) => c.remove(id),
+            CacheModel::Belady(c) => c.remove(id),
+        }
+    }
+
+    fn used_bytes(&self) -> u64 {
+        match self {
+            CacheModel::Lru(c) => c.used_bytes(),
+            CacheModel::Belady(c) => c.used_bytes(),
+        }
+    }
+}
+
+/// Belady-style (MIN) replacement: every resident ciphertext carries the op
+/// index of its next use (`u32::MAX` = never again); under pressure the
+/// furthest-needed ciphertext loses — evicted if resident, bypassed if
+/// incoming — so dead data goes first and the live set is what the future
+/// needs soonest.
+#[derive(Debug, Clone)]
+struct BeladyCache {
+    capacity: u64,
+    used: u64,
+    /// id → (bytes, next-use op index).
+    entries: HashMap<CtId, (u64, u32)>,
+}
+
+impl BeladyCache {
+    fn new(capacity: u64) -> Self {
+        Self {
+            capacity,
+            used: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    fn touch(&mut self, id: CtId, next_use: u32) -> bool {
+        if let Some(entry) = self.entries.get_mut(&id) {
+            entry.1 = next_use;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn remove(&mut self, id: CtId) {
+        if let Some((bytes, _)) = self.entries.remove(&id) {
+            self.used -= bytes;
+        }
+    }
+
+    fn insert(&mut self, id: CtId, bytes: u64, next_use: u32) {
+        if bytes > self.capacity {
+            return; // cannot cache at all
+        }
+        if self.touch(id, next_use) {
+            return;
+        }
+        if self.used + bytes > self.capacity {
+            // Pick victims furthest-next-use-first (ties to the larger id)
+            // until the incoming ciphertext fits — but commit the evictions
+            // only if *every* victim is needed later than the incoming one.
+            // Otherwise bypass (don't cache) and keep all residents: caching
+            // it would trade a sooner-needed resident for a later-needed
+            // newcomer. Deciding over the whole set before removing anything
+            // matters with variable ciphertext sizes, where a big newcomer
+            // can need several victims of mixed next-use distances.
+            let mut order: Vec<(u32, CtId)> = self
+                .entries
+                .iter()
+                .map(|(&id, &(_, nu))| (nu, id))
+                .collect();
+            order.sort_unstable_by(|a, b| b.cmp(a));
+            let mut freed = 0u64;
+            let mut victims = Vec::new();
+            for &(nu, vid) in &order {
+                if self.used - freed + bytes <= self.capacity {
+                    break;
+                }
+                if (nu, vid) < (next_use, id) {
+                    return; // a victim is needed sooner than the incoming
+                }
+                freed += self.entries[&vid].0;
+                victims.push(vid);
+            }
+            for vid in victims {
+                self.remove(vid);
+            }
+        }
+        self.entries.insert(id, (bytes, next_use));
+        self.used += bytes;
     }
 }
 
@@ -771,6 +1018,117 @@ mod tests {
         );
         assert!(hinted.ct_miss_bytes < plain.ct_miss_bytes);
         assert!(hinted.total_seconds <= plain.total_seconds);
+    }
+
+    #[test]
+    fn belady_matches_or_beats_lru_and_hints() {
+        use crate::trace::EvictionHints;
+        // The divergent-liveness shape where recency misleads LRU: Belady
+        // evicts the dead-but-recent values and must do at least as well as
+        // the last-use hints (which approximate the same future knowledge).
+        let ins = CkksInstance::ins1();
+        let mut b = TraceBuilder::new(&ins);
+        let hot = b.fresh_ct(27);
+        for k in 0..12 {
+            let t = b.fresh_ct(27);
+            let p = b.hmult_at(t, t, 27);
+            let q = b.hmult_at(p, p, 27);
+            if k % 2 == 0 {
+                b.hmult_at(q, hot, 27);
+            }
+        }
+        let trace = b.build();
+        let sim = Simulator::new(
+            BtsConfig::bts_default().with_scratchpad_bytes(384 * 1024 * 1024),
+            ins,
+        );
+        let plain = sim.run(&trace);
+        let hinted = sim
+            .try_run_with_hints(&trace, &EvictionHints::from_trace(&trace))
+            .unwrap();
+        let belady = sim.try_run_belady(&trace).unwrap();
+        assert!(
+            belady.cache_hit_rate() > plain.cache_hit_rate(),
+            "belady {} should beat LRU {}",
+            belady.cache_hit_rate(),
+            plain.cache_hit_rate()
+        );
+        assert!(belady.cache_hit_rate() >= hinted.cache_hit_rate());
+        assert!(belady.total_seconds <= plain.total_seconds);
+    }
+
+    #[test]
+    fn belady_bypass_decides_before_evicting() {
+        // Capacity 100: residents A (60 B, next use 10) and B (40 B, next
+        // use 5); incoming C (80 B, next use 7) needs both evicted, but B is
+        // needed sooner than C — so C must be bypassed with *both* residents
+        // kept, not A sacrificed before the bypass decision falls on B.
+        let mut cache = BeladyCache::new(100);
+        cache.insert(1, 60, 10); // A
+        cache.insert(2, 40, 5); // B
+        cache.insert(3, 80, 7); // C: bypassed
+        assert!(cache.touch(1, 10), "A must survive");
+        assert!(cache.touch(2, 5), "B must survive");
+        assert!(!cache.touch(3, 7), "C must not be cached");
+        assert_eq!(cache.used_bytes(), 100);
+        // When the incoming ciphertext is needed sooner than every victim,
+        // the evictions do commit.
+        cache.insert(4, 80, 2);
+        assert!(cache.touch(4, 2));
+        assert!(!cache.touch(1, 10));
+        assert!(!cache.touch(2, 5), "both residents evicted for the fit");
+    }
+
+    #[test]
+    fn belady_equals_lru_when_everything_fits() {
+        // With no capacity pressure no policy ever evicts, so the two sweeps
+        // must agree bit-for-bit.
+        let ins = CkksInstance::ins1();
+        let mut b = TraceBuilder::new(&ins);
+        let x = b.fresh_ct(27);
+        let y = b.fresh_ct(27);
+        for _ in 0..5 {
+            b.hmult_at(x, y, 27);
+        }
+        let trace = b.build();
+        let sim = Simulator::new(
+            BtsConfig::bts_default().with_scratchpad_bytes(4 * 1024 * 1024 * 1024),
+            ins,
+        );
+        let lru = sim.op_timings(&trace).unwrap();
+        let belady = sim.op_timings_belady(&trace).unwrap();
+        assert_eq!(lru, belady);
+    }
+
+    #[test]
+    fn merged_reports_sum_counters_and_weight_utilizations() {
+        let ins = CkksInstance::ins1();
+        let sim = Simulator::new(BtsConfig::bts_default(), ins.clone());
+        let mut b = TraceBuilder::new(&ins);
+        let x = b.fresh_ct(27);
+        b.hmult(x, x);
+        let t1 = b.build();
+        let mut b = TraceBuilder::new(&ins);
+        let y = b.fresh_ct(20);
+        let r = b.hrot(y, 3, 20);
+        b.hrescale_at(r, 20);
+        let t2 = b.build();
+        let r1 = sim.run(&t1);
+        let r2 = sim.run(&t2);
+        let mut merged = r1.clone();
+        merged.merge(&r2);
+        assert!((merged.total_seconds - (r1.total_seconds + r2.total_seconds)).abs() < 1e-15);
+        assert_eq!(merged.hbm_bytes, r1.hbm_bytes + r2.hbm_bytes);
+        assert_eq!(merged.cache_misses, r1.cache_misses + r2.cache_misses);
+        assert!((merged.energy_j - (r1.energy_j + r2.energy_j)).abs() < 1e-12);
+        let ops: usize = merged.per_op.values().map(|s| s.count).sum();
+        assert_eq!(ops, t1.len() + t2.len());
+        // Time-weighted utilization stays inside the two inputs' envelope.
+        let lo = r1.hbm_utilization.min(r2.hbm_utilization);
+        let hi = r1.hbm_utilization.max(r2.hbm_utilization);
+        assert!(merged.hbm_utilization >= lo - 1e-12 && merged.hbm_utilization <= hi + 1e-12);
+        assert_eq!(merged.scheduled_seconds, None);
+        assert_eq!(merged.parallel_speedup(), None);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! | [`sched`] | `bts-sched` | dependency-aware scheduler: traces as DAGs over functional units |
 //! | [`circuit`] | `bts-circuit` | shared `HeCircuit` IR + functional/trace backends |
 //! | [`workloads`] | `bts-workloads` | bootstrapping/HELR/ResNet/sorting as circuits |
+//! | [`serve`] | `bts-serve` | multi-tenant batch serving over one shared accelerator |
 //!
 //! # Quickstart
 //!
@@ -112,5 +113,6 @@ pub use bts_ckks as ckks;
 pub use bts_math as math;
 pub use bts_params as params;
 pub use bts_sched as sched;
+pub use bts_serve as serve;
 pub use bts_sim as sim;
 pub use bts_workloads as workloads;

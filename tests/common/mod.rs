@@ -1,0 +1,60 @@
+//! Helpers shared by the integration/property suites (each `tests/*.rs`
+//! file is its own crate; this directory module is compiled into the ones
+//! that declare `mod common;`).
+
+use bts::params::CkksInstance;
+use bts::sim::{OpTrace, TraceBuilder};
+
+/// Builds a random-but-valid trace: every op consumes ids that already exist
+/// (trace inputs or earlier outputs), levels stay within the budget, and
+/// random spans are marked as bootstrap regions (toggled roughly every
+/// `boot_period` ops). `live_cap` bounds the pool of reusable ciphertexts.
+/// A tiny deterministic LCG derives everything from `seed` alone.
+pub fn random_trace(
+    ins: &CkksInstance,
+    seed: u64,
+    ops: usize,
+    boot_period: usize,
+    live_cap: usize,
+) -> OpTrace {
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let mut b = TraceBuilder::new(ins);
+    let max_level = ins.max_level();
+    let mut live: Vec<(u64, usize)> = (0..3)
+        .map(|_| {
+            let level = next() % (max_level + 1);
+            (b.fresh_ct(level), level)
+        })
+        .collect();
+    for _ in 0..ops {
+        if next() % boot_period == 0 {
+            b.set_bootstrap_region(next() % 2 == 0);
+        }
+        let (a, la) = live[next() % live.len()];
+        let (c, lc) = live[next() % live.len()];
+        let level = la.min(lc);
+        let out = match next() % 8 {
+            0 => b.hmult_at(a, c, level),
+            1 => b.hrot(a, (next() % 64) as i64 - 32, la),
+            2 => b.conjugate(a, la),
+            3 => b.pmult(a, la),
+            4 => b.hadd(a, c, level),
+            5 => b.hrescale_at(a, la),
+            6 => b.cmult(a, la),
+            _ => b.cadd(a, la),
+        };
+        live.push((out, level));
+        if live.len() > live_cap {
+            live.remove(next() % live.len());
+        }
+    }
+    b.build()
+}

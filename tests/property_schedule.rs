@@ -8,53 +8,14 @@ use proptest::prelude::*;
 
 use bts::params::CkksInstance;
 use bts::sched::{FuKind, ListScheduler, MachineModel, ScheduleExt, TraceDag};
-use bts::sim::{BtsConfig, OpTrace, Simulator, TraceBuilder};
+use bts::sim::{BtsConfig, OpTrace, Simulator};
 
-/// Builds a random-but-valid trace: every op consumes ids that already exist
-/// (trace inputs or earlier outputs), levels stay within the budget, and
-/// random spans are marked as bootstrap regions.
+mod common;
+
+/// Random valid traces with this suite's historical shape (bootstrap toggles
+/// every ~11 ops, live pool of 24).
 fn random_trace(ins: &CkksInstance, seed: u64, ops: usize) -> OpTrace {
-    // Tiny deterministic LCG so the trace derives from the seed alone.
-    let mut state = seed
-        .wrapping_mul(6364136223846793005)
-        .wrapping_add(1442695040888963407);
-    let mut next = || {
-        state = state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        (state >> 33) as usize
-    };
-    let mut b = TraceBuilder::new(ins);
-    let max_level = ins.max_level();
-    let mut live: Vec<(u64, usize)> = (0..3)
-        .map(|_| {
-            let level = next() % (max_level + 1);
-            (b.fresh_ct(level), level)
-        })
-        .collect();
-    for _ in 0..ops {
-        if next() % 11 == 0 {
-            b.set_bootstrap_region(next() % 2 == 0);
-        }
-        let (a, la) = live[next() % live.len()];
-        let (c, lc) = live[next() % live.len()];
-        let level = la.min(lc);
-        let out = match next() % 8 {
-            0 => b.hmult_at(a, c, level),
-            1 => b.hrot(a, (next() % 64) as i64 - 32, la),
-            2 => b.conjugate(a, la),
-            3 => b.pmult(a, la),
-            4 => b.hadd(a, c, level),
-            5 => b.hrescale_at(a, la),
-            6 => b.cmult(a, la),
-            _ => b.cadd(a, la),
-        };
-        live.push((out, level));
-        if live.len() > 24 {
-            live.remove(next() % live.len());
-        }
-    }
-    b.build()
+    common::random_trace(ins, seed, ops, 11, 24)
 }
 
 proptest! {
