@@ -5,7 +5,9 @@
 
 use std::fmt::Write as _;
 
-use bts_circuit::{BootstrapPlan, Workload};
+use bts_circuit::{
+    compile as compile_bytecode, Backend, BootstrapPlan, PassPipeline, TraceBackend, Workload,
+};
 use bts_ckks::hmult_complexity;
 use bts_params::{min_nttu_count, sweep_dnum, BandwidthModel, CkksInstance, MinBoundModel, L_BOOT};
 use bts_sched::{FuKind, ScheduleExt};
@@ -511,6 +513,145 @@ pub fn slowdown() -> String {
     out
 }
 
+/// Per-workload compiler outcome on one instance: the raw builder circuit
+/// lowered by the tree-walking oracle versus the same circuit run through
+/// [`PassPipeline::standard`], compiled to bytecode, and lowered from there.
+struct CompileOutcome {
+    workload: String,
+    instance: String,
+    ops_before: usize,
+    ops_after: usize,
+    key_switches_before: usize,
+    key_switches_after: usize,
+    bootstraps_before: usize,
+    bootstraps_after: usize,
+    registers: u32,
+    serial_before: f64,
+    serial_after: f64,
+}
+
+/// Runs the optimizer + compiler over every registry workload on the given
+/// instances and simulates both forms serially at the paper's 1 TB/s design
+/// point. Key-switch counts are taken from the lowered traces, so bootstrap
+/// expansions are included — removing one refresh shows up as hundreds of
+/// key-switches saved, exactly as it does in simulated time.
+fn compile_outcomes(instances: &[CkksInstance]) -> Vec<CompileOutcome> {
+    let registry = standard_registry();
+    let pipeline = PassPipeline::standard();
+    let mut out = Vec::new();
+    for ins in instances {
+        let sim = Simulator::new(BtsConfig::bts_default(), ins.clone());
+        for (name, workload) in registry.iter() {
+            let circuit = workload
+                .build(ins)
+                .unwrap_or_else(|e| panic!("{name} on {}: {e}", ins.name()));
+            let optimized = pipeline
+                .optimize(&circuit)
+                .unwrap_or_else(|e| panic!("pipeline on {name}: {e}"));
+            let compiled =
+                compile_bytecode(&optimized).unwrap_or_else(|e| panic!("compile {name}: {e}"));
+            let before = TraceBackend::new()
+                .execute(&circuit)
+                .expect("raw circuits lower");
+            let after = TraceBackend::new()
+                .lower_compiled(&compiled)
+                .expect("bytecode lowers");
+            let rb = sim.run(&before.trace);
+            let ra = sim.run(&after.trace);
+            out.push(CompileOutcome {
+                workload: name.to_string(),
+                instance: ins.name().to_string(),
+                ops_before: before.trace.len(),
+                ops_after: after.trace.len(),
+                key_switches_before: before.trace.key_switch_count(),
+                key_switches_after: after.trace.key_switch_count(),
+                bootstraps_before: before.bootstrap_count,
+                bootstraps_after: after.bootstrap_count,
+                registers: compiled.reg_count,
+                serial_before: rb.total_seconds,
+                serial_after: ra.total_seconds,
+            });
+        }
+    }
+    out
+}
+
+/// The circuit compiler: per-workload effect of the standard pass pipeline
+/// (rotation/square CSE, mask-hoisting rescale scheduling, bootstrap
+/// placement, dead-value pruning) plus the bytecode register footprint, on
+/// INS-1 at 1 TB/s.
+pub fn compiler() -> String {
+    let mut out = header("Circuit compiler: standard pass pipeline + bytecode (INS-1, 1 TB/s)");
+    let _ = writeln!(
+        out,
+        "{:<16} {:>8} {:>8} {:>9} {:>9} {:>7} {:>7} {:>6} {:>10} {:>10}",
+        "workload",
+        "ops",
+        "ops'",
+        "keysw",
+        "keysw'",
+        "boots",
+        "boots'",
+        "regs",
+        "serial",
+        "serial'"
+    );
+    for o in compile_outcomes(&[CkksInstance::ins1()]) {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>8} {:>8} {:>9} {:>9} {:>7} {:>7} {:>6} {:>8.2}ms {:>8.2}ms",
+            o.workload,
+            o.ops_before,
+            o.ops_after,
+            o.key_switches_before,
+            o.key_switches_after,
+            o.bootstraps_before,
+            o.bootstraps_after,
+            o.registers,
+            o.serial_before * 1e3,
+            o.serial_after * 1e3,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(primed columns are post-pipeline; the optimized circuit is executed as flat\n\
+         bytecode whose trace is op-for-op identical to the tree-walking oracle on\n\
+         the same circuit, so the before/after delta is purely the pass pipeline's)"
+    );
+    out
+}
+
+/// The `compile` section of [`workloads_json`]: one row per registry workload
+/// × Table 4 instance at the bts-1tb design point.
+fn compile_json_rows() -> Vec<String> {
+    compile_outcomes(&CkksInstance::evaluation_set())
+        .into_iter()
+        .map(|o| {
+            format!(
+                concat!(
+                    "    {{\"workload\": \"{}\", \"instance\": \"{}\", \"config\": \"bts-1tb\", ",
+                    "\"ops_before\": {}, \"ops_after\": {}, ",
+                    "\"key_switches_before\": {}, \"key_switches_after\": {}, ",
+                    "\"bootstraps_before\": {}, \"bootstraps_after\": {}, ",
+                    "\"registers\": {}, ",
+                    "\"serial_seconds_before\": {:.6e}, \"serial_seconds_after\": {:.6e}}}"
+                ),
+                o.workload,
+                o.instance,
+                o.ops_before,
+                o.ops_after,
+                o.key_switches_before,
+                o.key_switches_after,
+                o.bootstraps_before,
+                o.bootstraps_after,
+                o.registers,
+                o.serial_before,
+                o.serial_after,
+            )
+        })
+        .collect()
+}
+
 /// The offered loads (burst sizes = concurrency) of the `serve` sweep.
 const SERVE_LOADS: [usize; 3] = [1, 2, 4];
 
@@ -519,11 +660,14 @@ const SERVE_LOADS: [usize; 3] = [1, 2, 4];
 /// through the `bts-sched` dependency-aware scheduler on every point of
 /// [`SweepGrid::paper_default`] (Table 4 instances × {1, 2} TB/s HBM), plus
 /// the `serve` section — the `bts-serve` co-scheduling sweep of the
-/// bootstrap workload at offered loads of 1, 2 and 4 concurrent jobs. The CI
-/// smoke step writes this to `BENCH_FIGURES.json` (and fails if any workload
-/// schedules slower than serial, or co-scheduled bootstrap throughput at
-/// 2 TB/s fails to beat one-at-a-time service), so the perf trajectory of
-/// the repo is diffable across PRs without parsing the human tables.
+/// bootstrap workload at offered loads of 1, 2 and 4 concurrent jobs — and
+/// the `compile` section, the circuit compiler's before/after ledger per
+/// workload and instance. The CI smoke step writes this to
+/// `BENCH_FIGURES.json` (and fails if any workload schedules slower than
+/// serial, if co-scheduled bootstrap throughput at 2 TB/s fails to beat
+/// one-at-a-time service, or if the pass pipeline grows any workload's
+/// key-switch count), so the perf trajectory of the repo is diffable across
+/// PRs without parsing the human tables.
 pub fn workloads_json() -> String {
     let registry = standard_registry();
     let grid = SweepGrid::paper_default();
@@ -583,10 +727,11 @@ pub fn workloads_json() -> String {
         .collect::<Vec<_>>()
         .join(", ");
     format!(
-        "{{\n  \"schema\": 3,\n  \"configs\": {{{}}},\n  \"results\": [\n{}\n  ],\n  \"serve\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": 4,\n  \"configs\": {{{}}},\n  \"results\": [\n{}\n  ],\n  \"serve\": [\n{}\n  ],\n  \"compile\": [\n{}\n  ]\n}}\n",
         configs,
         rows.join(",\n"),
-        serve_json_rows(&grid).join(",\n")
+        serve_json_rows(&grid).join(",\n"),
+        compile_json_rows().join(",\n")
     )
 }
 
@@ -900,6 +1045,7 @@ pub fn all() -> String {
         sched(),
         serve(),
         hints(),
+        compiler(),
         slowdown(),
     ]
     .join("\n")
@@ -908,6 +1054,14 @@ pub fn all() -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::OnceLock;
+
+    /// `workloads_json` regenerates the full sweep (scheduler, serve and
+    /// compiler sections); several tests assert on it, so build it once.
+    fn cached_json() -> &'static str {
+        static JSON: OnceLock<String> = OnceLock::new();
+        JSON.get_or_init(workloads_json)
+    }
 
     #[test]
     fn every_figure_renders_nonempty() {
@@ -925,8 +1079,8 @@ mod tests {
 
     #[test]
     fn workloads_json_covers_every_workload_and_instance() {
-        let json = workloads_json();
-        assert!(json.contains("\"schema\": 3"));
+        let json = cached_json();
+        assert!(json.contains("\"schema\": 4"));
         for name in ["amortized-mult", "bootstrap", "helr", "resnet20", "sorting"] {
             assert!(
                 json.contains(&format!("\"workload\": \"{name}\"")),
@@ -943,6 +1097,8 @@ mod tests {
         assert_eq!(json.matches("\"parallel_speedup\"").count(), 30);
         // Serve sweep: 3 instances × 2 configs × 3 offered loads.
         assert_eq!(json.matches("\"coscheduling_speedup\"").count(), 18);
+        // Compiler ledger: 5 workloads × 3 instances.
+        assert_eq!(json.matches("\"key_switches_before\"").count(), 15);
         // Structurally balanced (cheap well-formedness check without a JSON
         // parser dependency).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -953,7 +1109,7 @@ mod tests {
     #[test]
     fn serve_rows_gate_coscheduled_throughput() {
         // The CI smoke step enforces the same bounds on the committed file.
-        let json = workloads_json();
+        let json = cached_json();
         let field = |line: &str, name: &str| -> f64 {
             let tail = line.split(&format!("\"{name}\": ")).nth(1).unwrap();
             tail.split([',', '}'])
@@ -1028,7 +1184,7 @@ mod tests {
         // this keeps the invariant testable without regenerating it. Compare
         // the raw seconds, not the clamped parallel_speedup ratio, so a real
         // makespan > serial regression cannot hide behind the clamp.
-        let json = workloads_json();
+        let json = cached_json();
         let field = |line: &str, name: &str| -> f64 {
             let tail = line.split(&format!("\"{name}\": ")).nth(1).unwrap();
             tail.split([',', '}'])
@@ -1064,6 +1220,56 @@ mod tests {
         assert!(
             max_speedup > 1.05,
             "no workload shows measurable overlap: {max_speedup}"
+        );
+    }
+
+    #[test]
+    fn compile_rows_gate_key_switch_reduction() {
+        // The CI smoke step enforces the same bounds on the committed file:
+        // the pass pipeline must never grow a workload's key-switch count or
+        // serial time, and must strictly reduce key-switches on at least two
+        // workloads.
+        let json = cached_json();
+        let field = |line: &str, name: &str| -> f64 {
+            let tail = line.split(&format!("\"{name}\": ")).nth(1).unwrap();
+            tail.split([',', '}'])
+                .next()
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap()
+        };
+        let rows: Vec<&str> = json
+            .lines()
+            .filter(|l| l.contains("\"key_switches_before\""))
+            .collect();
+        assert_eq!(rows.len(), 15);
+        let mut strictly_reduced = std::collections::BTreeSet::new();
+        for row in &rows {
+            let before = field(row, "key_switches_before");
+            let after = field(row, "key_switches_after");
+            assert!(after <= before, "pipeline grew key-switches: {row}");
+            assert!(
+                field(row, "serial_seconds_after")
+                    <= field(row, "serial_seconds_before") * (1.0 + 1e-9),
+                "pipeline slowed a workload down: {row}"
+            );
+            assert!(field(row, "ops_after") <= field(row, "ops_before"));
+            assert!(field(row, "registers") >= 1.0);
+            if after < before {
+                let workload = row
+                    .split("\"workload\": \"")
+                    .nth(1)
+                    .unwrap()
+                    .split('"')
+                    .next()
+                    .unwrap();
+                strictly_reduced.insert(workload.to_string());
+            }
+        }
+        assert!(
+            strictly_reduced.len() >= 2,
+            "expected strict key-switch reduction on ≥ 2 workloads, got {strictly_reduced:?}"
         );
     }
 

@@ -1,3 +1,5 @@
+use std::collections::HashSet;
+
 use bts_params::{CkksInstance, L_BOOT};
 
 use crate::error::CircuitError;
@@ -48,6 +50,12 @@ pub struct CircuitBuilder {
     nodes: Vec<HeInstrNode>,
     outputs: Vec<ValueId>,
     values: Vec<ValueInfo>,
+    /// Results of bootstrap markers [`CircuitBuilder::ensure`] inserted on
+    /// its own initiative (as opposed to explicit
+    /// [`CircuitBuilder::bootstrap`] calls, which are application requests).
+    /// Only these are candidates for the redundant-trailing-marker prune in
+    /// [`CircuitBuilder::build`].
+    auto_bootstraps: HashSet<ValueId>,
 }
 
 impl CircuitBuilder {
@@ -59,6 +67,7 @@ impl CircuitBuilder {
             nodes: Vec::new(),
             outputs: Vec::new(),
             values: Vec::new(),
+            auto_bootstraps: HashSet::new(),
         }
     }
 
@@ -149,7 +158,9 @@ impl CircuitBuilder {
         }
         if self.can_bootstrap() {
             if self.usable_top_level() > level {
-                return self.bootstrap(v);
+                let refreshed = self.bootstrap(v)?;
+                self.auto_bootstraps.insert(refreshed);
+                return Ok(refreshed);
             }
             return Ok(v);
         }
@@ -367,9 +378,39 @@ impl CircuitBuilder {
         ))
     }
 
+    /// Whether any instruction after node `index` that (transitively) depends
+    /// on `root` consumes a level. Dependence is not propagated through
+    /// bootstrap or modulus-raise nodes — their result level does not depend
+    /// on their input's.
+    fn suffix_consumes_levels(nodes: &[HeInstrNode], index: usize, root: ValueId) -> bool {
+        let mut reach: HashSet<ValueId> = HashSet::from([root]);
+        for node in &nodes[index + 1..] {
+            let (a, b) = node.instr.operands();
+            if !(reach.contains(&a) || b.is_some_and(|b| reach.contains(&b))) {
+                continue;
+            }
+            match node.instr {
+                HeInstr::Rescale { .. } => return true,
+                HeInstr::Bootstrap { .. } | HeInstr::ModRaise { .. } => {}
+                _ => {
+                    reach.insert(node.result);
+                }
+            }
+        }
+        false
+    }
+
     /// Finalizes the circuit. If no output was declared, the last defined
     /// value (when one exists) becomes the output, so every circuit has
     /// something for the functional backend to decrypt.
+    ///
+    /// Bootstrap markers that [`CircuitBuilder::ensure`] inserted greedily
+    /// are pruned when nothing depending on them ever rescales: the reserve
+    /// rule fires one `ensure` before the budget actually runs out, so a
+    /// trailing refresh whose suffix consumes no further levels is pure
+    /// overhead (hundreds of key-switches on a paper instance). Explicit
+    /// [`CircuitBuilder::bootstrap`] calls are application requests and are
+    /// never pruned. Downstream levels are repaired by dataflow afterwards.
     pub fn build(mut self) -> HeCircuit {
         if self.outputs.is_empty() {
             if let Some(last) = self.nodes.last() {
@@ -378,11 +419,63 @@ impl CircuitBuilder {
                 self.outputs.push(input.id);
             }
         }
-        HeCircuit {
+        let circuit = HeCircuit {
             instance: self.instance,
             inputs: self.inputs,
             nodes: self.nodes,
             outputs: self.outputs,
+        };
+        let prunable: Vec<usize> = circuit
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, n)| {
+                self.auto_bootstraps.contains(&n.result)
+                    && matches!(n.instr, HeInstr::Bootstrap { .. })
+                    && !Self::suffix_consumes_levels(&circuit.nodes, *i, n.result)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if prunable.is_empty() {
+            return circuit;
+        }
+        let mut candidate = circuit.clone();
+        for &i in prunable.iter().rev() {
+            let node = candidate.nodes.remove(i);
+            let HeInstr::Bootstrap { a } = node.instr else {
+                unreachable!("prunable indices are bootstrap markers");
+            };
+            let redirect = |v: &mut ValueId| {
+                if *v == node.result {
+                    *v = a;
+                }
+            };
+            for n in &mut candidate.nodes {
+                match &mut n.instr {
+                    HeInstr::HMult { a, b } | HeInstr::HAdd { a, b } => {
+                        redirect(a);
+                        redirect(b);
+                    }
+                    HeInstr::HRot { a, .. }
+                    | HeInstr::Conjugate { a }
+                    | HeInstr::PMult { a, .. }
+                    | HeInstr::PAdd { a, .. }
+                    | HeInstr::Rescale { a }
+                    | HeInstr::CMult { a, .. }
+                    | HeInstr::CAdd { a, .. }
+                    | HeInstr::ModRaise { a }
+                    | HeInstr::Bootstrap { a } => redirect(a),
+                }
+            }
+            for out in &mut candidate.outputs {
+                redirect(out);
+            }
+        }
+        // The builder's invariants guarantee the pruned circuit re-analyzes;
+        // fall back to the unpruned circuit defensively if it ever does not.
+        match crate::passes::analysis::relevel(&mut candidate) {
+            Ok(_) => candidate,
+            Err(_) => circuit,
         }
     }
 }
@@ -439,13 +532,14 @@ mod tests {
         let mut b = CircuitBuilder::new(&ins1);
         let mut x = b.input();
         assert_eq!(b.level_of(x), 8);
-        // Burn the budget: ensure() must insert a bootstrap marker.
-        for _ in 0..8 {
+        // Burn the budget: ensure() must insert a bootstrap marker. One more
+        // square–rescale after the refresh keeps the marker load-bearing
+        // (build() prunes refreshes whose suffix consumes no levels).
+        for _ in 0..9 {
             x = b.ensure(x, 1).unwrap();
             let p = b.hmult(x, x).unwrap();
             x = b.rescale(p).unwrap();
         }
-        b.ensure(x, 1).unwrap();
         let circuit = b.build();
         assert_eq!(circuit.bootstrap_count(), 1);
         assert!(circuit.validate().is_ok());
@@ -462,6 +556,54 @@ mod tests {
             b.ensure(y, 1),
             Err(CircuitError::LevelExhausted { .. })
         ));
+    }
+
+    #[test]
+    fn redundant_trailing_auto_bootstrap_is_pruned() {
+        // Regression: the greedy ensure() reserve rule refreshes even when
+        // the remaining circuit consumes no further levels. The final circuit
+        // must not carry that marker — on a paper instance it would expand to
+        // hundreds of pointless key-switched ops.
+        let ins = CkksInstance::ins1();
+        let mut b = CircuitBuilder::new(&ins);
+        let mut x = b.input();
+        // Burn down to level 1 so the next ensure() trips the reserve rule.
+        for _ in 0..7 {
+            x = b.ensure(x, 1).unwrap();
+            let p = b.hmult(x, x).unwrap();
+            x = b.rescale(p).unwrap();
+        }
+        assert_eq!(b.level_of(x), 1);
+        // This inserts a marker — but the rest of the circuit is level-free
+        // (rotation + add).
+        let x = b.ensure(x, 1).unwrap();
+        assert_eq!(b.level_of(x), 8, "marker was inserted");
+        let r = b.hrot(x, 4).unwrap();
+        let s = b.hadd(x, r).unwrap();
+        b.output(s);
+        let circuit = b.build();
+        assert_eq!(circuit.bootstrap_count(), 0, "trailing refresh pruned");
+        assert!(circuit.validate().is_ok());
+        // The suffix was releveled to the un-refreshed level.
+        assert_eq!(circuit.nodes.last().unwrap().level, 1);
+        crate::passes::analysis::check(&circuit).unwrap();
+    }
+
+    #[test]
+    fn explicit_trailing_bootstrap_survives_build() {
+        // An application that *asks* for a refresh gets one, even when the
+        // suffix consumes no levels: explicit bootstrap() is interface.
+        let ins = CkksInstance::ins1();
+        let mut b = CircuitBuilder::new(&ins);
+        let mut x = b.input();
+        for _ in 0..8 {
+            let p = b.hmult(x, x).unwrap();
+            x = b.rescale(p).unwrap();
+        }
+        let refreshed = b.bootstrap(x).unwrap();
+        b.output(refreshed);
+        let circuit = b.build();
+        assert_eq!(circuit.bootstrap_count(), 1);
     }
 
     #[test]

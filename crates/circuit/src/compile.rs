@@ -1,0 +1,227 @@
+//! The circuit compiler: lowers a (typically pass-optimized) [`HeCircuit`]
+//! to flat [`CompiledCircuit`] bytecode. The work done once here — operand
+//! resolution, constant/rotation pooling, last-use analysis and linear-scan
+//! register allocation with a free list — is exactly the work the
+//! tree-walking backends redo per instruction via their `HashMap`
+//! environments, so executors of the compiled form run the same evaluator
+//! calls with none of the dispatch.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use crate::bytecode::{CompiledCircuit, CompiledInput, CompiledOp, Opcode, RegId};
+use crate::error::CircuitError;
+use crate::ir::{HeCircuit, HeInstr, ValueId};
+
+/// Compiles a circuit to schedule bytecode.
+///
+/// The emitted program preserves instruction order exactly (the IR is already
+/// scheduled), so a trace lowered from the bytecode is identical to one
+/// lowered by walking the IR, and a functional execution consumes the same
+/// randomness stream — the bit-equivalence the executor tests assert.
+///
+/// # Errors
+///
+/// Fails on an invalid source circuit; the emitted bytecode is re-validated
+/// before being returned, so a compiler bug surfaces as an error here rather
+/// than as an executor panic.
+pub fn compile(circuit: &HeCircuit) -> Result<CompiledCircuit, CircuitError> {
+    circuit.validate()?;
+    let output_set: HashSet<ValueId> = circuit.outputs.iter().copied().collect();
+
+    // Last use of every value, in node index space.
+    let mut last_use: HashMap<ValueId, usize> = HashMap::new();
+    for (i, node) in circuit.nodes.iter().enumerate() {
+        let (a, b) = node.instr.operands();
+        last_use.insert(a, i);
+        if let Some(b) = b {
+            last_use.insert(b, i);
+        }
+    }
+
+    // Pools. Rotations are pooled sorted-ascending so the non-zero subset
+    // (the keys to provision) matches `HeCircuit::rotations` order exactly.
+    let rotation_pool: Vec<i64> = circuit
+        .nodes
+        .iter()
+        .filter_map(|n| match n.instr {
+            HeInstr::HRot { rotation, .. } => Some(rotation),
+            _ => None,
+        })
+        .collect::<BTreeSet<i64>>()
+        .into_iter()
+        .collect();
+    let rotation_index: HashMap<i64, u32> = rotation_pool
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| (r, i as u32))
+        .collect();
+    let mut consts: Vec<f64> = Vec::new();
+    let mut const_index: HashMap<u64, u32> = HashMap::new();
+    let mut intern = |value: f64| -> u32 {
+        *const_index.entry(value.to_bits()).or_insert_with(|| {
+            consts.push(value);
+            (consts.len() - 1) as u32
+        })
+    };
+
+    // Linear-scan register allocation over the already-scheduled program.
+    let mut reg_of: HashMap<ValueId, RegId> = HashMap::new();
+    let mut free: Vec<RegId> = Vec::new();
+    let mut reg_count: RegId = 0;
+    let mut alloc = |free: &mut Vec<RegId>| -> RegId {
+        free.pop().unwrap_or_else(|| {
+            reg_count += 1;
+            reg_count - 1
+        })
+    };
+
+    let mut inputs = Vec::with_capacity(circuit.inputs.len());
+    for input in &circuit.inputs {
+        let reg = alloc(&mut free);
+        reg_of.insert(input.id, reg);
+        inputs.push(CompiledInput {
+            reg,
+            level: input.level,
+        });
+    }
+
+    let mut ops = Vec::with_capacity(circuit.nodes.len());
+    for (i, node) in circuit.nodes.iter().enumerate() {
+        let (a, b) = node.instr.operands();
+        let ra = reg_of[&a];
+        let rb = b.map(|b| reg_of[&b]);
+        let dies = |v: ValueId| last_use.get(&v) == Some(&i) && !output_set.contains(&v);
+        let free_a = dies(a);
+        let free_b = match b {
+            Some(b) if b != a => dies(b),
+            _ => false, // a == b frees the shared register once, via free_a
+        };
+        let (opcode, imm) = match node.instr {
+            HeInstr::HMult { .. } => (Opcode::HMult, 0),
+            HeInstr::HAdd { .. } => (Opcode::HAdd, 0),
+            HeInstr::HRot { rotation, .. } => (Opcode::HRot, rotation_index[&rotation]),
+            HeInstr::Conjugate { .. } => (Opcode::Conjugate, 0),
+            HeInstr::PMult { value, .. } => (Opcode::PMult, intern(value)),
+            HeInstr::PAdd { value, .. } => (Opcode::PAdd, intern(value)),
+            HeInstr::Rescale { .. } => (Opcode::Rescale, 0),
+            HeInstr::CMult { value, .. } => (Opcode::CMult, intern(value)),
+            HeInstr::CAdd { value, .. } => (Opcode::CAdd, intern(value)),
+            HeInstr::ModRaise { .. } => (Opcode::ModRaise, 0),
+            HeInstr::Bootstrap { .. } => (Opcode::Bootstrap, 0),
+        };
+        // Return dead registers before allocating the destination so results
+        // can land in-place over a dying operand.
+        if free_a {
+            free.push(ra);
+        }
+        if free_b {
+            free.push(rb.expect("free_b only set for binary ops"));
+        }
+        let dst = alloc(&mut free);
+        reg_of.insert(node.result, dst);
+        ops.push(CompiledOp {
+            opcode,
+            dst,
+            a: ra,
+            b: rb.unwrap_or(0),
+            imm,
+            level: node.level,
+            free_a,
+            free_b,
+        });
+    }
+
+    let compiled = CompiledCircuit {
+        instance: circuit.instance.clone(),
+        inputs,
+        ops,
+        outputs: circuit.outputs.iter().map(|v| reg_of[v]).collect(),
+        consts,
+        rotations: rotation_pool,
+        reg_count,
+    };
+    compiled.validate()?;
+    Ok(compiled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use bts_params::CkksInstance;
+    use bts_sim::HeOp;
+
+    #[test]
+    fn registers_are_recycled_and_pools_dedup() {
+        let ins = CkksInstance::toy(10, 8, 2);
+        let mut b = CircuitBuilder::new(&ins);
+        let x = b.input();
+        let mut cur = x;
+        for r in [3i64, 5, 3, 5] {
+            let rot = b.hrot(cur, r).unwrap();
+            let m = b.pmult(rot, 0.5).unwrap();
+            let s = b.hadd(m, m).unwrap();
+            let sq = b.hmult(s, s).unwrap();
+            cur = b.rescale(sq).unwrap();
+        }
+        b.output(cur);
+        let circuit = b.build();
+        let compiled = compile(&circuit).unwrap();
+        compiled.validate().unwrap();
+        assert_eq!(compiled.rotations, vec![3, 5]);
+        assert_eq!(compiled.consts, vec![0.5]);
+        assert_eq!(compiled.key_rotations(), circuit.rotations());
+        assert_eq!(compiled.op_counts(), circuit.op_counts());
+        // A straight-line chain should run in a handful of registers, not
+        // one per instruction.
+        assert!(
+            compiled.reg_count <= 4,
+            "expected a small register file, got {}",
+            compiled.reg_count
+        );
+        assert!(compiled.len() == circuit.len());
+    }
+
+    #[test]
+    fn output_registers_are_never_freed() {
+        let ins = CkksInstance::toy(10, 8, 2);
+        let mut b = CircuitBuilder::new(&ins);
+        let x = b.input();
+        let mid = b.hrot(x, 1).unwrap();
+        let end = b.cadd(mid, 0.25).unwrap();
+        b.output(mid); // mid stays live past its last use
+        b.output(end);
+        let compiled = compile(&b.build()).unwrap();
+        compiled.validate().unwrap();
+        assert_eq!(compiled.outputs.len(), 2);
+        // Registers are recycled, so an output *register id* may have been
+        // freed earlier while holding a different value. The invariant is
+        // temporal: after the write that defines an output, nothing frees
+        // that register.
+        for &out_reg in &compiled.outputs {
+            let last_write = compiled
+                .ops
+                .iter()
+                .rposition(|op| op.dst == out_reg)
+                .expect("outputs are produced by some op");
+            for op in &compiled.ops[last_write + 1..] {
+                assert!(!(op.free_a && op.a == out_reg));
+                assert!(!(op.free_b && op.b == out_reg));
+            }
+        }
+    }
+
+    #[test]
+    fn levels_carry_over_from_the_ir() {
+        let ins = CkksInstance::toy(10, 8, 2);
+        let mut b = CircuitBuilder::new(&ins);
+        let x = b.input();
+        let p = b.hmult(x, x).unwrap();
+        let r = b.rescale(p).unwrap();
+        b.output(r);
+        let compiled = compile(&b.build()).unwrap();
+        assert_eq!(compiled.ops[0].level, 8);
+        assert_eq!(compiled.ops[1].level, 8, "rescale records its input level");
+        assert_eq!(compiled.op_counts()[&HeOp::HRescale], 1);
+    }
+}

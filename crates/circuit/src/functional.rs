@@ -7,8 +7,28 @@ use bts_sim::HeOp;
 use rand::{rngs::StdRng, SeedableRng};
 
 use crate::backend::Backend;
+use crate::bytecode::{CompiledCircuit, Opcode};
 use crate::error::CircuitError;
 use crate::ir::{HeCircuit, HeInstr, ValueId};
+
+/// One primitive evaluator operation — the shared vocabulary of the
+/// tree-walking and the compiled executor, so both perform literally the
+/// same [`bts_ckks::Evaluator`] calls (the bit-equivalence the executor
+/// tests rely on). Bootstrap refreshes and modulus raises are not primitives:
+/// they need the backend's RNG or context internals and are handled by each
+/// executor's outer loop.
+#[derive(Debug, Clone, Copy)]
+enum PrimOp {
+    HMult,
+    HRot(i64),
+    Conjugate,
+    PMult(f64),
+    PAdd(f64),
+    HAdd,
+    Rescale,
+    CMult(f64),
+    CAdd(f64),
+}
 
 /// Result of executing a circuit on real RNS ciphertexts.
 #[derive(Debug, Clone)]
@@ -137,6 +157,155 @@ impl FunctionalBackend {
             .encode_at(&decoded, target_level, self.context.scale())?;
         Ok(self.context.encrypt(&pt, &self.secret, &mut self.rng)?)
     }
+
+    /// Applies one primitive evaluator op.
+    fn apply_prim(
+        &self,
+        op: PrimOp,
+        a: &Ciphertext,
+        b: Option<&Ciphertext>,
+    ) -> Result<Ciphertext, CircuitError> {
+        let eval = self.context.evaluator(&self.keys);
+        Ok(match op {
+            PrimOp::HMult => eval.mul(a, b.expect("binary op has two operands"))?,
+            PrimOp::HRot(rotation) => eval.rotate(a, rotation)?,
+            PrimOp::Conjugate => eval.conjugate(a)?,
+            PrimOp::PMult(value) => {
+                let slots = vec![Complex::new(value, 0.0); self.context.slots()];
+                let pt = self
+                    .context
+                    .encode_at(&slots, a.level(), self.context.scale())?;
+                eval.mul_plain(a, &pt)?
+            }
+            PrimOp::PAdd(value) => {
+                let slots = vec![Complex::new(value, 0.0); self.context.slots()];
+                let pt = self.context.encode_at(&slots, a.level(), a.scale())?;
+                eval.add_plain(a, &pt)?
+            }
+            PrimOp::HAdd => eval.add(a, b.expect("binary op has two operands"))?,
+            PrimOp::Rescale => eval.rescale(a)?,
+            PrimOp::CMult(value) => eval.mul_const(a, value)?,
+            PrimOp::CAdd(value) => eval.add_const(a, value)?,
+        })
+    }
+
+    /// Executes compiled bytecode on real ciphertexts, with a flat register
+    /// file instead of the tree walker's value map: operands resolve by
+    /// index, and a register is dropped the moment its `free_*` flag says the
+    /// value is dead, so peak ciphertext memory tracks the live set.
+    ///
+    /// Given the same instance, seed and inputs, the result is bit-identical
+    /// to [`Backend::execute`] on the source circuit: the program preserves
+    /// instruction order, provisioning the same rotation keys and consuming
+    /// the encryption/refresh randomness stream in the same order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bytecode validation and evaluator failures, plus the same
+    /// IR-vs-ciphertext level cross-check the tree walker performs.
+    pub fn execute_compiled(
+        &mut self,
+        compiled: &CompiledCircuit,
+    ) -> Result<FunctionalRun, CircuitError> {
+        compiled.validate()?;
+        let rotations = compiled.key_rotations();
+        {
+            let Self {
+                context,
+                secret,
+                keys,
+                rng,
+                ..
+            } = self;
+            context.add_rotation_keys(secret, keys, &rotations, rng)?;
+        }
+        let usable_top = compiled.instance.usable_top_level();
+
+        let mut regs: Vec<Option<Ciphertext>> = vec![None; compiled.reg_count as usize];
+        for (index, input) in compiled.inputs.iter().enumerate() {
+            let message = self
+                .input_messages
+                .get(index)
+                .cloned()
+                .unwrap_or_else(|| self.synthetic_message(index));
+            regs[input.reg as usize] = Some(self.encode_encrypt(&message, input.level)?);
+        }
+
+        let mut op_counts: BTreeMap<HeOp, usize> = BTreeMap::new();
+        let mut bootstrap_count = 0usize;
+        for (i, op) in compiled.ops.iter().enumerate() {
+            let reg = |r: u32| -> Result<&Ciphertext, CircuitError> {
+                regs[r as usize]
+                    .as_ref()
+                    .ok_or_else(|| CircuitError::InvalidCircuit(format!("op {i} reads dead r{r}")))
+            };
+            let result = match op.opcode {
+                Opcode::Bootstrap => {
+                    bootstrap_count += 1;
+                    let ct = reg(op.a)?.clone();
+                    self.refresh(&ct, usable_top)?
+                }
+                Opcode::ModRaise => self.mod_raise(reg(op.a)?),
+                opcode => {
+                    let prim = match opcode {
+                        Opcode::HMult => PrimOp::HMult,
+                        Opcode::HRot => PrimOp::HRot(compiled.rotations[op.imm as usize]),
+                        Opcode::Conjugate => PrimOp::Conjugate,
+                        Opcode::PMult => PrimOp::PMult(compiled.consts[op.imm as usize]),
+                        Opcode::PAdd => PrimOp::PAdd(compiled.consts[op.imm as usize]),
+                        Opcode::HAdd => PrimOp::HAdd,
+                        Opcode::Rescale => PrimOp::Rescale,
+                        Opcode::CMult => PrimOp::CMult(compiled.consts[op.imm as usize]),
+                        Opcode::CAdd => PrimOp::CAdd(compiled.consts[op.imm as usize]),
+                        Opcode::ModRaise | Opcode::Bootstrap => unreachable!(),
+                    };
+                    let b = if opcode.is_binary() {
+                        Some(reg(op.b)?)
+                    } else {
+                        None
+                    };
+                    self.apply_prim(prim, reg(op.a)?, b)?
+                }
+            };
+            let expected_level = match op.opcode {
+                Opcode::Rescale => op.level - 1,
+                Opcode::Bootstrap => usable_top,
+                _ => op.level,
+            };
+            if result.level() != expected_level {
+                return Err(CircuitError::InvalidCircuit(format!(
+                    "functional level {} of op {i} diverged from the bytecode level {expected_level}",
+                    result.level()
+                )));
+            }
+            if let Some(class) = op.opcode.op_class() {
+                *op_counts.entry(class).or_insert(0) += 1;
+            }
+            if op.free_a {
+                regs[op.a as usize] = None;
+            }
+            if op.free_b {
+                regs[op.b as usize] = None;
+            }
+            regs[op.dst as usize] = Some(result);
+        }
+
+        let mut outputs = Vec::with_capacity(compiled.outputs.len());
+        for &out in &compiled.outputs {
+            let ct = regs[out as usize]
+                .as_ref()
+                .expect("validated bytecode outputs are live");
+            outputs.push(
+                self.context
+                    .decode(&self.context.decrypt(ct, &self.secret)?)?,
+            );
+        }
+        Ok(FunctionalRun {
+            outputs,
+            op_counts,
+            bootstrap_count,
+        })
+    }
 }
 
 impl Backend for FunctionalBackend {
@@ -184,31 +353,20 @@ impl Backend for FunctionalBackend {
                 }
                 HeInstr::ModRaise { a } => self.mod_raise(get(a)),
                 instr => {
-                    let eval = self.context.evaluator(&self.keys);
-                    match instr {
-                        HeInstr::HMult { a, b } => eval.mul(get(a), get(b))?,
-                        HeInstr::HRot { a, rotation } => eval.rotate(get(a), rotation)?,
-                        HeInstr::Conjugate { a } => eval.conjugate(get(a))?,
-                        HeInstr::PMult { a, value } => {
-                            let ct = get(a);
-                            let slots = vec![Complex::new(value, 0.0); self.context.slots()];
-                            let pt =
-                                self.context
-                                    .encode_at(&slots, ct.level(), self.context.scale())?;
-                            eval.mul_plain(ct, &pt)?
-                        }
-                        HeInstr::PAdd { a, value } => {
-                            let ct = get(a);
-                            let slots = vec![Complex::new(value, 0.0); self.context.slots()];
-                            let pt = self.context.encode_at(&slots, ct.level(), ct.scale())?;
-                            eval.add_plain(ct, &pt)?
-                        }
-                        HeInstr::HAdd { a, b } => eval.add(get(a), get(b))?,
-                        HeInstr::Rescale { a } => eval.rescale(get(a))?,
-                        HeInstr::CMult { a, value } => eval.mul_const(get(a), value)?,
-                        HeInstr::CAdd { a, value } => eval.add_const(get(a), value)?,
+                    let prim = match instr {
+                        HeInstr::HMult { .. } => PrimOp::HMult,
+                        HeInstr::HRot { rotation, .. } => PrimOp::HRot(rotation),
+                        HeInstr::Conjugate { .. } => PrimOp::Conjugate,
+                        HeInstr::PMult { value, .. } => PrimOp::PMult(value),
+                        HeInstr::PAdd { value, .. } => PrimOp::PAdd(value),
+                        HeInstr::HAdd { .. } => PrimOp::HAdd,
+                        HeInstr::Rescale { .. } => PrimOp::Rescale,
+                        HeInstr::CMult { value, .. } => PrimOp::CMult(value),
+                        HeInstr::CAdd { value, .. } => PrimOp::CAdd(value),
                         HeInstr::ModRaise { .. } | HeInstr::Bootstrap { .. } => unreachable!(),
-                    }
+                    };
+                    let (a, b) = instr.operands();
+                    self.apply_prim(prim, get(a), b.map(&get))?
                 }
             };
             // Cross-check: the ciphertext's real level must match what the

@@ -18,6 +18,18 @@
 //! [`Workload`] trait and are looked up by name in a [`WorkloadRegistry`],
 //! so adding a scenario is one circuit-building function.
 //!
+//! Between the builder and the backends sits an optimizing compiler:
+//! [`PassPipeline::standard`] rewrites the SSA circuit (rotation CSE with
+//! plaintext-mask hoisting in [`CommonSubexprPass`], key-switch-aware
+//! rescale scheduling in [`RescaleSchedPass`], fixpoint bootstrap placement
+//! in [`BootstrapPlacePass`], dead-value pruning in [`DeadValuePass`]), and
+//! [`compile`] lowers any circuit to a flat register-machine
+//! [`CompiledCircuit`] both backends execute without per-op dispatch
+//! ([`TraceBackend::lower_compiled`], [`FunctionalBackend::execute_compiled`]).
+//! The tree-walking paths stay on as the oracle: differential tests hold the
+//! compiled executor bit-identical to them, trace for trace and slot for
+//! slot.
+//!
 //! ```
 //! use bts_circuit::{Backend, CircuitBuilder, FunctionalBackend, TraceBackend};
 //! use bts_params::CkksInstance;
@@ -50,17 +62,25 @@
 mod backend;
 mod bootstrap_plan;
 mod builder;
+pub mod bytecode;
+mod compile;
 mod error;
 mod functional;
 mod ir;
+pub mod passes;
 mod trace_backend;
 mod workload;
 
 pub use backend::Backend;
 pub use bootstrap_plan::BootstrapPlan;
 pub use builder::CircuitBuilder;
+pub use bytecode::{CompiledCircuit, CompiledInput, CompiledOp, Opcode, RegId};
+pub use compile::compile;
 pub use error::CircuitError;
 pub use functional::{FunctionalBackend, FunctionalRun};
 pub use ir::{CircuitInput, HeCircuit, HeInstr, HeInstrNode, ValueId};
+pub use passes::{
+    BootstrapPlacePass, CommonSubexprPass, DeadValuePass, Pass, PassPipeline, RescaleSchedPass,
+};
 pub use trace_backend::{LoweredTrace, TraceBackend};
 pub use workload::{Workload, WorkloadRegistry};

@@ -1,0 +1,258 @@
+//! Forward dataflow analysis over an [`HeCircuit`]: recomputes every value's
+//! level and scale exponent from first principles (the same rules
+//! [`crate::CircuitBuilder`] applies incrementally) and checks the CKKS scale
+//! discipline the functional evaluator enforces at runtime. Passes use it in
+//! two ways: [`check`] proves a rewritten circuit still satisfies every
+//! invariant, and [`relevel`] repairs the recorded execution levels after a
+//! structural rewrite (e.g. removing a bootstrap lowers everything downstream
+//! of it).
+
+use std::collections::HashMap;
+
+use crate::error::CircuitError;
+use crate::ir::{HeCircuit, HeInstr, ValueId};
+
+/// Level and scale facts for one SSA value, as recomputed by [`analyze`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValueFacts {
+    /// Ciphertext level the value sits at.
+    pub level: usize,
+    /// Scale as a power of the base scale Δ.
+    pub scale_exp: u32,
+}
+
+/// Result of a full forward analysis: per-value facts plus the execution
+/// level of every node (for [`HeInstr::Rescale`] the *input* level, matching
+/// the [`crate::HeInstrNode::level`] convention).
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Facts for every input and instruction result.
+    pub facts: HashMap<ValueId, ValueFacts>,
+    /// Execution level of each node, in program order.
+    pub exec_levels: Vec<usize>,
+}
+
+impl Analysis {
+    /// Facts for a value that the analysis proved defined.
+    pub fn of(&self, v: ValueId) -> ValueFacts {
+        self.facts[&v]
+    }
+}
+
+/// Recomputes levels and scale exponents for every value by forward dataflow
+/// and verifies the scale discipline: additions only combine equal scale
+/// exponents, rescales need a level to drop and a scale exponent ≥ 2, and
+/// bootstraps take base-scale (Δ^1) inputs.
+///
+/// The recorded [`crate::HeInstrNode::level`] fields are *ignored* here — use
+/// [`check`] to additionally verify them, or [`relevel`] to overwrite them
+/// with the recomputed values.
+///
+/// # Errors
+///
+/// Returns the first violation in program order ([`CircuitError::ScaleMismatch`],
+/// [`CircuitError::LevelExhausted`] or [`CircuitError::InvalidCircuit`]),
+/// after first re-running [`HeCircuit::validate`] for SSA well-formedness.
+pub fn analyze(circuit: &HeCircuit) -> Result<Analysis, CircuitError> {
+    circuit.validate()?;
+    let max_level = circuit.instance.max_level();
+    let usable_top = circuit.instance.usable_top_level();
+    let mut facts: HashMap<ValueId, ValueFacts> = HashMap::new();
+    for input in &circuit.inputs {
+        facts.insert(
+            input.id,
+            ValueFacts {
+                level: input.level,
+                scale_exp: 1,
+            },
+        );
+    }
+    let mut exec_levels = Vec::with_capacity(circuit.nodes.len());
+    for node in &circuit.nodes {
+        let (a, _) = node.instr.operands();
+        let fa = facts[&a];
+        let (exec, result) = match node.instr {
+            HeInstr::HMult { b, .. } => {
+                let fb = facts[&b];
+                let level = fa.level.min(fb.level);
+                (
+                    level,
+                    ValueFacts {
+                        level,
+                        scale_exp: fa.scale_exp + fb.scale_exp,
+                    },
+                )
+            }
+            HeInstr::HAdd { b, .. } => {
+                let fb = facts[&b];
+                if fa.scale_exp != fb.scale_exp {
+                    return Err(CircuitError::ScaleMismatch {
+                        a,
+                        b,
+                        exp_a: fa.scale_exp,
+                        exp_b: fb.scale_exp,
+                    });
+                }
+                let level = fa.level.min(fb.level);
+                (
+                    level,
+                    ValueFacts {
+                        level,
+                        scale_exp: fa.scale_exp,
+                    },
+                )
+            }
+            HeInstr::HRot { .. } | HeInstr::Conjugate { .. } => (fa.level, fa),
+            HeInstr::PAdd { .. } | HeInstr::CAdd { .. } => (fa.level, fa),
+            HeInstr::PMult { .. } | HeInstr::CMult { .. } => (
+                fa.level,
+                ValueFacts {
+                    level: fa.level,
+                    scale_exp: fa.scale_exp + 1,
+                },
+            ),
+            HeInstr::Rescale { .. } => {
+                if fa.level == 0 {
+                    return Err(CircuitError::LevelExhausted {
+                        value: a,
+                        level: 0,
+                        required: 1,
+                    });
+                }
+                if fa.scale_exp < 2 {
+                    return Err(CircuitError::InvalidCircuit(format!(
+                        "rescaling v{a} at scale Δ^{} would drop below the base scale",
+                        fa.scale_exp
+                    )));
+                }
+                (
+                    fa.level,
+                    ValueFacts {
+                        level: fa.level - 1,
+                        scale_exp: fa.scale_exp - 1,
+                    },
+                )
+            }
+            HeInstr::ModRaise { .. } => (
+                max_level,
+                ValueFacts {
+                    level: max_level,
+                    scale_exp: fa.scale_exp,
+                },
+            ),
+            HeInstr::Bootstrap { .. } => {
+                if fa.scale_exp != 1 {
+                    return Err(CircuitError::InvalidCircuit(format!(
+                        "bootstrap input v{a} must carry the base scale Δ^1, found Δ^{}",
+                        fa.scale_exp
+                    )));
+                }
+                (
+                    fa.level,
+                    ValueFacts {
+                        level: usable_top,
+                        scale_exp: 1,
+                    },
+                )
+            }
+        };
+        exec_levels.push(exec);
+        facts.insert(node.result, result);
+    }
+    Ok(Analysis { facts, exec_levels })
+}
+
+/// Runs [`analyze`] and additionally requires every recorded node level to
+/// equal the recomputed execution level — the invariant both backends rely on
+/// when charging costs and cross-checking ciphertext levels.
+///
+/// # Errors
+///
+/// Everything [`analyze`] reports, plus [`CircuitError::InvalidCircuit`] on a
+/// recorded/recomputed level mismatch.
+pub fn check(circuit: &HeCircuit) -> Result<Analysis, CircuitError> {
+    let analysis = analyze(circuit)?;
+    for (node, &exec) in circuit.nodes.iter().zip(&analysis.exec_levels) {
+        if node.level != exec {
+            return Err(CircuitError::InvalidCircuit(format!(
+                "node defining v{} records level {} but dataflow places it at {exec}",
+                node.result, node.level
+            )));
+        }
+    }
+    Ok(analysis)
+}
+
+/// Overwrites every node's recorded level with the recomputed execution
+/// level. Structural rewrites (bootstrap removal, rescale motion) call this
+/// to repair downstream levels in one sweep instead of patching by hand.
+///
+/// # Errors
+///
+/// Everything [`analyze`] reports; on error the circuit is left unmodified.
+pub fn relevel(circuit: &mut HeCircuit) -> Result<Analysis, CircuitError> {
+    let analysis = analyze(circuit)?;
+    for (node, &exec) in circuit.nodes.iter_mut().zip(&analysis.exec_levels) {
+        node.level = exec;
+    }
+    Ok(analysis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use bts_params::CkksInstance;
+
+    #[test]
+    fn builder_output_passes_check() {
+        let ins = CkksInstance::toy(10, 6, 2);
+        let mut b = CircuitBuilder::new(&ins);
+        let x = b.input();
+        let r = b.hrot(x, 3).unwrap();
+        let m = b.pmult(r, 0.5).unwrap();
+        let m2 = b.pmult(x, 0.5).unwrap();
+        let s = b.hadd(m, m2).unwrap();
+        let s = b.rescale(s).unwrap();
+        b.output(s);
+        let circuit = b.build();
+        let analysis = check(&circuit).unwrap();
+        assert_eq!(analysis.of(s).level, 5);
+        assert_eq!(analysis.of(s).scale_exp, 1);
+    }
+
+    #[test]
+    fn check_rejects_tampered_levels() {
+        let ins = CkksInstance::toy(10, 6, 2);
+        let mut b = CircuitBuilder::new(&ins);
+        let x = b.input();
+        let r = b.hrot(x, 1).unwrap();
+        b.output(r);
+        let mut circuit = b.build();
+        circuit.nodes[0].level = 3; // dataflow says 6
+        assert!(check(&circuit).is_err());
+        // relevel repairs it.
+        relevel(&mut circuit).unwrap();
+        assert!(check(&circuit).is_ok());
+    }
+
+    #[test]
+    fn analyze_rejects_scale_mismatched_adds() {
+        // Hand-built: add a Δ^2 product to a Δ^1 input.
+        let ins = CkksInstance::toy(10, 6, 2);
+        let mut b = CircuitBuilder::new(&ins);
+        let x = b.input();
+        let p = b.hmult(x, x).unwrap();
+        b.output(p);
+        let mut circuit = b.build();
+        circuit.nodes.push(crate::ir::HeInstrNode {
+            instr: HeInstr::HAdd { a: p, b: x },
+            result: 2,
+            level: 6,
+        });
+        assert!(matches!(
+            analyze(&circuit),
+            Err(CircuitError::ScaleMismatch { .. })
+        ));
+    }
+}

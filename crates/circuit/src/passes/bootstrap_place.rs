@@ -1,0 +1,203 @@
+//! Bootstrap placement as an optimization pass. [`crate::CircuitBuilder`]'s
+//! greedy `ensure()` trigger refreshes whenever the level budget dips to the
+//! requested depth *plus one reserve level* — the conservative rule FHE
+//! applications schedule by, which necessarily over-provisions: the final
+//! refresh of a circuit often guards a suffix that would have fit in the
+//! levels already available. With the whole program in hand, this pass has
+//! the global view the builder lacked: it tentatively deletes each marker
+//! (latest first, where slack accumulates), recomputes every downstream level
+//! by dataflow, and keeps the deletion only when the whole circuit still
+//! analyzes — every value within the level budget, every rescale above level
+//! 0. A bootstrap expands to hundreds of key-switches (the full
+//! CoeffToSlot → EvalMod → SlotToCoeff pipeline), so each deletion is by far
+//! the largest single win any pass in the pipeline can deliver.
+//!
+//! Markers whose result is itself a circuit output are kept even when
+//! removable: the caller asked for a refreshed, top-level ciphertext, and
+//! handing back the exhausted input instead would change the circuit's
+//! observable interface (this also keeps the `bootstrap` benchmark workload
+//! meaningful).
+
+use crate::error::CircuitError;
+use crate::ir::{HeCircuit, HeInstr, ValueId};
+use crate::passes::analysis;
+use crate::passes::Pass;
+
+/// Greedy latest-first bootstrap deletion under the level budget.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BootstrapPlacePass;
+
+/// Removes node `index` (a bootstrap marker), redirecting every use of its
+/// result to its input, and repairs downstream levels. Returns `None` if the
+/// resulting circuit no longer analyzes (the suffix genuinely needs the
+/// refresh).
+fn try_remove(circuit: &HeCircuit, index: usize) -> Option<HeCircuit> {
+    let HeInstr::Bootstrap { a } = circuit.nodes[index].instr else {
+        return None;
+    };
+    let removed = circuit.nodes[index].result;
+    if circuit.outputs.contains(&removed) {
+        return None;
+    }
+    let redirect = |v: ValueId| if v == removed { a } else { v };
+    let mut nodes = Vec::with_capacity(circuit.nodes.len() - 1);
+    for (i, node) in circuit.nodes.iter().enumerate() {
+        if i == index {
+            continue;
+        }
+        let mut node = *node;
+        node.instr = match node.instr {
+            HeInstr::HMult { a, b } => HeInstr::HMult {
+                a: redirect(a),
+                b: redirect(b),
+            },
+            HeInstr::HAdd { a, b } => HeInstr::HAdd {
+                a: redirect(a),
+                b: redirect(b),
+            },
+            HeInstr::HRot { a, rotation } => HeInstr::HRot {
+                a: redirect(a),
+                rotation,
+            },
+            HeInstr::Conjugate { a } => HeInstr::Conjugate { a: redirect(a) },
+            HeInstr::PMult { a, value } => HeInstr::PMult {
+                a: redirect(a),
+                value,
+            },
+            HeInstr::PAdd { a, value } => HeInstr::PAdd {
+                a: redirect(a),
+                value,
+            },
+            HeInstr::Rescale { a } => HeInstr::Rescale { a: redirect(a) },
+            HeInstr::CMult { a, value } => HeInstr::CMult {
+                a: redirect(a),
+                value,
+            },
+            HeInstr::CAdd { a, value } => HeInstr::CAdd {
+                a: redirect(a),
+                value,
+            },
+            HeInstr::ModRaise { a } => HeInstr::ModRaise { a: redirect(a) },
+            HeInstr::Bootstrap { a } => HeInstr::Bootstrap { a: redirect(a) },
+        };
+        nodes.push(node);
+    }
+    let mut candidate = HeCircuit {
+        instance: circuit.instance.clone(),
+        inputs: circuit.inputs.clone(),
+        nodes,
+        outputs: circuit.outputs.clone(),
+    };
+    analysis::relevel(&mut candidate).ok()?;
+    Some(candidate)
+}
+
+impl Pass for BootstrapPlacePass {
+    fn name(&self) -> &'static str {
+        "bootstrap-place"
+    }
+
+    fn run(&self, circuit: &HeCircuit) -> Result<HeCircuit, CircuitError> {
+        circuit.validate()?;
+        let mut current = circuit.clone();
+        // Latest-first: trailing markers guard the shortest suffixes and are
+        // the likeliest to be redundant; removing one never makes an earlier
+        // removal easier, but looping to a fixpoint keeps the result
+        // order-independent.
+        loop {
+            let markers: Vec<usize> = current
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| matches!(n.instr, HeInstr::Bootstrap { .. }))
+                .map(|(i, _)| i)
+                .collect();
+            let mut changed = false;
+            for &i in markers.iter().rev() {
+                if let Some(candidate) = try_remove(&current, i) {
+                    current = candidate;
+                    changed = true;
+                    break;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        analysis::check(&current)?;
+        Ok(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use bts_params::CkksInstance;
+
+    /// Burns `n` levels with square–rescale steps.
+    fn burn(b: &mut CircuitBuilder, mut x: u32, n: usize) -> u32 {
+        for _ in 0..n {
+            let p = b.hmult(x, x).unwrap();
+            x = b.rescale(p).unwrap();
+        }
+        x
+    }
+
+    #[test]
+    fn redundant_trailing_bootstrap_is_removed() {
+        // INS-1: 8 usable levels. Burn 7, ensure(1) triggers a refresh (the
+        // reserve rule), then burn only 1 — the suffix would have fit.
+        let ins = CkksInstance::ins1();
+        let mut b = CircuitBuilder::new(&ins);
+        let x = b.input();
+        let x = burn(&mut b, x, 7);
+        let x = b.ensure(x, 1).unwrap();
+        let x = burn(&mut b, x, 1);
+        b.output(x);
+        let circuit = b.build();
+        assert_eq!(circuit.bootstrap_count(), 1);
+
+        let out = BootstrapPlacePass.run(&circuit).unwrap();
+        assert_eq!(out.bootstrap_count(), 0, "suffix fits without the refresh");
+        analysis::check(&out).unwrap();
+        // The suffix now executes at the un-refreshed level.
+        assert_eq!(out.nodes.last().unwrap().level, 1);
+    }
+
+    #[test]
+    fn needed_bootstraps_stay_within_the_level_budget() {
+        // Burn the full budget, refresh, burn the full budget again: the
+        // refresh is load-bearing and must survive.
+        let ins = CkksInstance::ins1();
+        let top = ins.usable_top_level();
+        let mut b = CircuitBuilder::new(&ins);
+        let x = b.input();
+        let x = burn(&mut b, x, top);
+        let x = b.bootstrap(x).unwrap();
+        let x = burn(&mut b, x, top);
+        b.output(x);
+        let circuit = b.build();
+
+        let out = BootstrapPlacePass.run(&circuit).unwrap();
+        assert_eq!(out.bootstrap_count(), 1);
+        analysis::check(&out).unwrap();
+        for node in &out.nodes {
+            assert!(node.level <= ins.max_level());
+        }
+    }
+
+    #[test]
+    fn output_bootstraps_are_never_removed() {
+        // A refresh whose result is returned to the caller is interface, not
+        // slack — even though nothing downstream needs the levels.
+        let ins = CkksInstance::ins1();
+        let mut b = CircuitBuilder::new(&ins);
+        let x = b.input_at(0);
+        let refreshed = b.bootstrap(x).unwrap();
+        b.output(refreshed);
+        let circuit = b.build();
+        let out = BootstrapPlacePass.run(&circuit).unwrap();
+        assert_eq!(out.bootstrap_count(), 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! The optimizing pass pipeline over the [`HeCircuit`] SSA IR.
+//!
+//! [`crate::CircuitBuilder`] emits instructions 1:1 as the application
+//! requests them; nothing rewrites the program before it reaches a backend.
+//! Since key-switching dominates simulated time (92–96% on every evaluation
+//! workload), the highest-leverage optimizations are exactly circuit
+//! rewrites: fewer rotations/multiplications (CSE), rotations at lower levels
+//! (rescale scheduling), and fewer bootstrap expansions (placement). The
+//! standard pipeline runs, in order:
+//!
+//! 1. [`CommonSubexprPass`] — value-numbering CSE over all pure ops;
+//! 2. [`RescaleSchedPass`] — mask hoisting and rescale sinking, so
+//!    key-switches run with fewer limbs;
+//! 3. [`BootstrapPlacePass`] — deletes refreshes the level budget proves
+//!    unnecessary;
+//! 4. [`DeadValuePass`] — sweeps the dead originals the rewrites leave
+//!    behind.
+//!
+//! Every pass takes and returns a whole circuit; [`PassPipeline::optimize`]
+//! re-analyzes after each pass ([`analysis::check`]), so a rewrite that
+//! violates the level/scale discipline fails loudly instead of producing a
+//! circuit the functional evaluator would reject at runtime. Semantics
+//! preservation is enforced externally by the differential harness
+//! (`tests/property_passes.rs`): optimized circuits must decrypt to the same
+//! outputs as the unoptimized oracle on [`crate::FunctionalBackend`] and
+//! lower to validate-clean traces on [`crate::TraceBackend`].
+
+pub mod analysis;
+mod bootstrap_place;
+mod cse;
+mod dce;
+mod rescale;
+
+pub use bootstrap_place::BootstrapPlacePass;
+pub use cse::CommonSubexprPass;
+pub use dce::DeadValuePass;
+pub use rescale::RescaleSchedPass;
+
+use crate::error::CircuitError;
+use crate::ir::HeCircuit;
+
+/// One circuit-to-circuit rewrite. Passes must preserve the plaintext
+/// semantics of every circuit output (up to CKKS rescale/encryption noise)
+/// and return a circuit that satisfies [`analysis::check`].
+pub trait Pass {
+    /// Short stable name, used in diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Rewrites `circuit`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the input circuit is invalid, or if the rewrite produced a
+    /// circuit that no longer analyzes (a pass bug — never silent).
+    fn run(&self, circuit: &HeCircuit) -> Result<HeCircuit, CircuitError>;
+}
+
+/// An ordered sequence of passes.
+pub struct PassPipeline {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl std::fmt::Debug for PassPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PassPipeline")
+            .field("passes", &self.pass_names())
+            .finish()
+    }
+}
+
+impl Default for PassPipeline {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+impl PassPipeline {
+    /// An empty pipeline ([`PassPipeline::optimize`] only re-validates).
+    pub fn empty() -> Self {
+        Self { passes: Vec::new() }
+    }
+
+    /// The standard optimization pipeline:
+    /// CSE → rescale scheduling → bootstrap placement → dead-value sweep.
+    pub fn standard() -> Self {
+        let mut p = Self::empty();
+        p.push(CommonSubexprPass);
+        p.push(RescaleSchedPass);
+        p.push(BootstrapPlacePass);
+        p.push(DeadValuePass);
+        p
+    }
+
+    /// Appends a pass.
+    pub fn push(&mut self, pass: impl Pass + 'static) {
+        self.passes.push(Box::new(pass));
+    }
+
+    /// Names of the passes, in run order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs every pass in order, re-checking the level/scale analysis after
+    /// each one.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an invalid input circuit or on any pass whose output no
+    /// longer analyzes; the error names the offending pass.
+    pub fn optimize(&self, circuit: &HeCircuit) -> Result<HeCircuit, CircuitError> {
+        let mut current = circuit.clone();
+        analysis::check(&current)?;
+        for pass in &self.passes {
+            current = pass.run(&current).map_err(|e| {
+                CircuitError::InvalidCircuit(format!("pass '{}' failed: {e}", pass.name()))
+            })?;
+            analysis::check(&current).map_err(|e| {
+                CircuitError::InvalidCircuit(format!(
+                    "pass '{}' broke the circuit analysis: {e}",
+                    pass.name()
+                ))
+            })?;
+        }
+        Ok(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use bts_params::CkksInstance;
+    use bts_sim::HeOp;
+
+    #[test]
+    fn standard_pipeline_optimizes_a_mac_group_end_to_end() {
+        let ins = CkksInstance::toy(10, 6, 2);
+        let mut b = CircuitBuilder::new(&ins);
+        let x = b.input();
+        // Duplicate squares (CSE bait) feeding a rotate-mask-accumulate
+        // group (mask-hoist bait).
+        let s1 = b.hmult(x, x).unwrap();
+        let s2 = b.hmult(x, x).unwrap();
+        let sum = b.hadd(s1, s2).unwrap();
+        let cur = b.rescale(sum).unwrap();
+        let mut acc = b.pmult(cur, 0.5).unwrap();
+        for r in 1..=2 {
+            let rot = b.hrot(cur, r).unwrap();
+            let m = b.pmult(rot, 0.5).unwrap();
+            acc = b.hadd(acc, m).unwrap();
+        }
+        let out = b.rescale(acc).unwrap();
+        b.output(out);
+        let circuit = b.build();
+
+        let optimized = PassPipeline::standard().optimize(&circuit).unwrap();
+        assert!(optimized.validate().is_ok());
+        let counts = optimized.op_counts();
+        assert_eq!(counts[&HeOp::HMult], 1, "duplicate square merged");
+        assert_eq!(counts[&HeOp::PMult], 1, "masks hoisted");
+        assert_eq!(counts[&HeOp::HRot], 2);
+        assert!(optimized.len() < circuit.len());
+    }
+
+    #[test]
+    fn cse_is_idempotent() {
+        let ins = CkksInstance::toy(10, 6, 2);
+        let mut b = CircuitBuilder::new(&ins);
+        let x = b.input();
+        let r1 = b.hrot(x, 2).unwrap();
+        let r2 = b.hrot(x, 2).unwrap();
+        let s = b.hadd(r1, r2).unwrap();
+        b.output(s);
+        let circuit = b.build();
+        let once = CommonSubexprPass.run(&circuit).unwrap();
+        let twice = CommonSubexprPass.run(&once).unwrap();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn empty_pipeline_is_identity() {
+        let ins = CkksInstance::toy(10, 6, 2);
+        let mut b = CircuitBuilder::new(&ins);
+        let x = b.input();
+        let r = b.hrot(x, 1).unwrap();
+        b.output(r);
+        let circuit = b.build();
+        let out = PassPipeline::empty().optimize(&circuit).unwrap();
+        assert_eq!(out, circuit);
+    }
+}

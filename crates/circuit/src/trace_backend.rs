@@ -4,6 +4,7 @@ use bts_sim::{CtId, EvictionHints, OpTrace, TraceBuilder};
 
 use crate::backend::Backend;
 use crate::bootstrap_plan::BootstrapPlan;
+use crate::bytecode::{CompiledCircuit, Opcode};
 use crate::error::CircuitError;
 use crate::ir::{HeCircuit, HeInstr, ValueId};
 
@@ -47,6 +48,83 @@ impl TraceBackend {
     /// The bootstrap plan used for marker expansion.
     pub fn plan(&self) -> &BootstrapPlan {
         &self.plan
+    }
+
+    /// Lowers compiled bytecode to an op trace, operands resolved through a
+    /// flat register file instead of the tree walker's value map.
+    ///
+    /// Because [`crate::compile`] preserves instruction order, the trace is
+    /// *identical* (op for op, ciphertext id for ciphertext id) to what
+    /// [`Backend::execute`] produces from the source circuit — an equality
+    /// the executor tests assert outright.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bytecode validation failures and the same bootstrap-plan
+    /// checks as the tree-walking path.
+    pub fn lower_compiled(
+        &mut self,
+        compiled: &CompiledCircuit,
+    ) -> Result<LoweredTrace, CircuitError> {
+        compiled.validate()?;
+        let mut builder = TraceBuilder::new(&compiled.instance);
+        let mut regs: Vec<Option<CtId>> = vec![None; compiled.reg_count as usize];
+        for input in &compiled.inputs {
+            regs[input.reg as usize] = Some(builder.fresh_ct(input.level));
+        }
+        let mut bootstrap_count = 0usize;
+        for op in &compiled.ops {
+            let a = regs[op.a as usize].expect("validated bytecode reads live registers");
+            let level = op.level;
+            let out = match op.opcode {
+                Opcode::HMult | Opcode::HAdd => {
+                    let b = regs[op.b as usize].expect("validated bytecode reads live registers");
+                    match op.opcode {
+                        Opcode::HMult => builder.hmult_at(a, b, level),
+                        _ => builder.hadd(a, b, level),
+                    }
+                }
+                Opcode::HRot => builder.hrot(a, compiled.rotations[op.imm as usize], level),
+                Opcode::Conjugate => builder.conjugate(a, level),
+                Opcode::PMult => builder.pmult(a, level),
+                Opcode::PAdd => builder.padd(a, level),
+                Opcode::Rescale => builder.hrescale_at(a, level),
+                Opcode::CMult => builder.cmult(a, level),
+                Opcode::CAdd => builder.cadd(a, level),
+                Opcode::ModRaise => builder.mod_raise(a, compiled.instance.max_level()),
+                Opcode::Bootstrap => {
+                    if self.plan.levels_consumed() != bts_params::L_BOOT {
+                        return Err(CircuitError::InvalidCircuit(format!(
+                            "bootstrap plan consumes {} levels but the circuit IR assumes L_boot = {}",
+                            self.plan.levels_consumed(),
+                            bts_params::L_BOOT
+                        )));
+                    }
+                    if compiled.instance.max_level() < self.plan.levels_consumed() {
+                        return Err(CircuitError::CannotBootstrap {
+                            max_level: compiled.instance.max_level(),
+                            required: self.plan.levels_consumed(),
+                        });
+                    }
+                    bootstrap_count += 1;
+                    self.plan.append_to(&mut builder, a)
+                }
+            };
+            if op.free_a {
+                regs[op.a as usize] = None;
+            }
+            if op.free_b {
+                regs[op.b as usize] = None;
+            }
+            regs[op.dst as usize] = Some(out);
+        }
+        let trace = builder.build();
+        let hints = EvictionHints::from_trace(&trace);
+        Ok(LoweredTrace {
+            trace,
+            bootstrap_count,
+            hints,
+        })
     }
 }
 

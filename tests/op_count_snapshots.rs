@@ -1,0 +1,143 @@
+//! Golden op-count snapshots for the optimizer on the five registry
+//! workloads at paper instance INS-1, before and after the standard pass
+//! pipeline. These numbers are the compiler's observable contract: an
+//! innocent-looking pass change that silently alters what the benchmarks
+//! simulate shows up here as a diff, not as a mystery drift in
+//! BENCH_FIGURES.json.
+//!
+//! The trailing tests hold the compiled bytecode executor to the oracle
+//! standard on the same paper-scale circuits: the trace lowered from the
+//! bytecode must be *identical* — op for op, ciphertext id for ciphertext
+//! id — to the trace from the tree-walking backend.
+
+use bts::circuit::{compile, Backend, PassPipeline, TraceBackend};
+use bts::params::CkksInstance;
+use bts::workloads::standard_registry;
+
+/// `(workload, op_counts before, bootstraps before, op_counts after,
+/// bootstraps after)`, with op counts rendered as the `Debug` form of the
+/// `BTreeMap<HeOp, usize>` (deterministically ordered by op kind).
+const SNAPSHOTS: &[(&str, &str, usize, &str, usize)] = &[
+    (
+        "amortized-mult",
+        "{HMult: 8, HRescale: 8}",
+        1,
+        "{HMult: 8, HRescale: 8}",
+        1,
+    ),
+    ("bootstrap", "{}", 1, "{}", 1),
+    (
+        "helr",
+        "{HMult: 210, HRot: 720, PMult: 870, HAdd: 930, HRescale: 240, CMult: 90}",
+        59,
+        "{HMult: 150, HRot: 720, PMult: 90, HAdd: 930, HRescale: 240, CMult: 90}",
+        29,
+    ),
+    (
+        "resnet20",
+        "{HMult: 581, HRot: 610, PMult: 651, HAdd: 1190, HRescale: 342, CMult: 300}",
+        48,
+        "{HMult: 301, HRot: 610, PMult: 41, HAdd: 1190, HRescale: 342, CMult: 300}",
+        48,
+    ),
+    (
+        "sorting",
+        "{HMult: 4725, HRot: 315, PMult: 630, HAdd: 5145, HRescale: 4935, CMult: 4725}",
+        704,
+        "{HMult: 4725, HRot: 315, PMult: 210, HAdd: 5145, HRescale: 4935, CMult: 4725}",
+        704,
+    ),
+];
+
+#[test]
+fn registry_op_counts_match_the_golden_snapshots() {
+    let ins = CkksInstance::ins1();
+    let registry = standard_registry();
+    let mut seen = 0;
+    for &(name, before, bs_before, after, bs_after) in SNAPSHOTS {
+        let workload = registry.get(name).unwrap_or_else(|| panic!("{name}"));
+        let circuit = workload.build(&ins).unwrap();
+        assert_eq!(
+            format!("{:?}", circuit.op_counts()),
+            before,
+            "{name}: pre-pipeline op counts drifted"
+        );
+        assert_eq!(circuit.bootstrap_count(), bs_before, "{name}: bootstraps");
+        let optimized = PassPipeline::standard().optimize(&circuit).unwrap();
+        assert_eq!(
+            format!("{:?}", optimized.op_counts()),
+            after,
+            "{name}: post-pipeline op counts drifted"
+        );
+        assert_eq!(
+            optimized.bootstrap_count(),
+            bs_after,
+            "{name}: post-pipeline bootstraps"
+        );
+        seen += 1;
+    }
+    assert_eq!(seen, registry.iter().count(), "snapshot every workload");
+}
+
+#[test]
+fn pipeline_strictly_reduces_key_switches_on_at_least_two_workloads() {
+    // The acceptance bar for this compiler: no workload gets worse, and at
+    // least two get strictly cheaper in the metric that dominates simulated
+    // time (key-switching ops, bootstrap expansions included).
+    let ins = CkksInstance::ins1();
+    let plan_ks = bts::circuit::BootstrapPlan::paper_default().key_switch_count();
+    let ks = |c: &bts::circuit::HeCircuit| -> usize {
+        let direct: usize = c
+            .op_counts()
+            .iter()
+            .filter(|(op, _)| op.is_key_switching())
+            .map(|(_, n)| n)
+            .sum();
+        direct + c.bootstrap_count() * plan_ks
+    };
+    let mut strictly_reduced = 0;
+    for (name, workload) in standard_registry().iter() {
+        let circuit = workload.build(&ins).unwrap();
+        let optimized = PassPipeline::standard().optimize(&circuit).unwrap();
+        let (before, after) = (ks(&circuit), ks(&optimized));
+        assert!(after <= before, "{name}: pipeline grew key-switches");
+        if after < before {
+            strictly_reduced += 1;
+        }
+    }
+    assert!(
+        strictly_reduced >= 2,
+        "expected a strict key-switch reduction on at least two workloads, got {strictly_reduced}"
+    );
+}
+
+#[test]
+fn compiled_traces_are_identical_to_the_oracle_on_paper_workloads() {
+    // Bit-equivalence at paper scale: the functional backend is impractical
+    // at N = 2^17, but the trace is the exact op stream both executors
+    // perform, so trace identity is the strongest equivalence observable
+    // here — same ops, same levels, same ciphertext identities.
+    let ins = CkksInstance::ins1();
+    for (name, workload) in standard_registry().iter() {
+        let circuit = workload.build(&ins).unwrap();
+        for (tag, c) in [
+            ("raw", circuit.clone()),
+            (
+                "optimized",
+                PassPipeline::standard().optimize(&circuit).unwrap(),
+            ),
+        ] {
+            let compiled = compile(&c).unwrap();
+            assert_eq!(compiled.op_counts(), c.op_counts(), "{name}/{tag}");
+            assert_eq!(compiled.key_rotations(), c.rotations(), "{name}/{tag}");
+            let tree = TraceBackend::new().execute(&c).unwrap();
+            let flat = TraceBackend::new().lower_compiled(&compiled).unwrap();
+            assert!(tree.trace == flat.trace, "{name}/{tag}: traces diverged");
+            assert_eq!(tree.hints, flat.hints, "{name}/{tag}: hints diverged");
+            assert_eq!(
+                tree.bootstrap_count, flat.bootstrap_count,
+                "{name}/{tag}: bootstrap counts diverged"
+            );
+        }
+    }
+}

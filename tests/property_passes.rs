@@ -1,0 +1,308 @@
+//! Differential property tests for the circuit optimizer: whatever random
+//! (but magnitude-bounded) program the generator produces, every optimization
+//! pass — and the full standard pipeline — must preserve the decrypted
+//! outputs of the functional backend, keep the trace lowering structurally
+//! valid, and never grow the key-switch count. The compiled bytecode executor
+//! is held to a stricter bar: *bit-identical* outputs and an *identical* op
+//! trace, because compilation preserves instruction order and therefore the
+//! whole randomness stream.
+
+use bts::circuit::{
+    compile, Backend, BootstrapPlacePass, CircuitBuilder, CommonSubexprPass, DeadValuePass,
+    FunctionalBackend, FunctionalRun, HeCircuit, Pass, PassPipeline, RescaleSchedPass,
+    TraceBackend,
+};
+use bts::params::CkksInstance;
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Applies one op-code to the accumulator. Every step keeps plaintext
+/// magnitudes inside `[0, 1)` (squares, halvings, bounded affine maps and
+/// rotation averages only), so encryption noise — not value blow-up — is the
+/// only difference an optimized circuit can exhibit, and a fixed absolute
+/// tolerance is meaningful at any depth. Steps the builder refuses leave the
+/// accumulator unchanged; partially emitted steps just leave dead nodes for
+/// the dead-value pass to find.
+fn apply(b: &mut CircuitBuilder, cur: u32, code: u32) -> u32 {
+    match code % 7 {
+        // Square + rescale.
+        0 => match b.hmult(cur, cur) {
+            Ok(p) => b.rescale(p).unwrap_or(cur),
+            Err(_) => cur,
+        },
+        // Rotate.
+        1 => b.hrot(cur, 1 + (code as i64 % 5)).unwrap_or(cur),
+        // Halve via a plaintext mask.
+        2 => match b.pmult(cur, 0.5) {
+            Ok(m) => b.rescale(m).unwrap_or(cur),
+            Err(_) => cur,
+        },
+        // Bounded scalar affine map: x -> x/2 + 1/4.
+        3 => {
+            let Ok(h) = b.cmult(cur, 0.5) else { return cur };
+            let Ok(h) = b.rescale(h) else { return cur };
+            b.cadd(h, 0.25).unwrap_or(cur)
+        }
+        // Bounded plaintext affine map: x -> x/2 + 1/8.
+        4 => {
+            let Ok(m) = b.pmult(cur, 0.5) else { return cur };
+            let Ok(m) = b.rescale(m) else { return cur };
+            b.padd(m, 0.125).unwrap_or(cur)
+        }
+        // Rotation-mask MAC: rot(x, r)/2 + x/2, rescaled — the shape both
+        // CSE (on repeats) and mask hoisting fire on.
+        5 => {
+            let r = 1 + (code as i64 % 4);
+            let Ok(rot) = b.hrot(cur, r) else { return cur };
+            let Ok(m1) = b.pmult(rot, 0.5) else {
+                return cur;
+            };
+            let Ok(m2) = b.pmult(cur, 0.5) else {
+                return cur;
+            };
+            let Ok(s) = b.hadd(m1, m2) else { return cur };
+            b.rescale(s).unwrap_or(cur)
+        }
+        // Conjugate (a key-switching op distinct from rotation).
+        _ => b.conjugate(cur).unwrap_or(cur),
+    }
+}
+
+fn random_circuit(ins: &CkksInstance, codes: &[u32]) -> HeCircuit {
+    let mut b = CircuitBuilder::new(ins);
+    let mut cur = b.input();
+    for &code in codes {
+        cur = apply(&mut b, cur, code);
+    }
+    b.output(cur);
+    b.build()
+}
+
+/// Like [`random_circuit`] but with level pressure: an `ensure` before every
+/// step, so deep instances accumulate bootstrap markers.
+fn random_bootstrapping_circuit(ins: &CkksInstance, codes: &[u32]) -> HeCircuit {
+    let mut b = CircuitBuilder::new(ins);
+    let mut cur = b.input();
+    for &code in codes {
+        cur = b.ensure(cur, 2).unwrap_or(cur);
+        cur = apply(&mut b, cur, code);
+    }
+    b.output(cur);
+    b.build()
+}
+
+fn run_functional(
+    ins: &CkksInstance,
+    circuit: &HeCircuit,
+    seed: u64,
+) -> Result<FunctionalRun, TestCaseError> {
+    FunctionalBackend::new(ins, seed)
+        .map_err(|e| TestCaseError::Fail(format!("backend: {e}")))?
+        .execute(circuit)
+        .map_err(|e| TestCaseError::Fail(format!("execute: {e}")))
+}
+
+/// Asserts two functional runs decrypt to the same slots within `tol` —
+/// the optimized circuit provisions keys and consumes encryption randomness
+/// differently, so noise-level drift is expected; value drift is a bug.
+fn assert_outputs_close(
+    a: &FunctionalRun,
+    b: &FunctionalRun,
+    tol: f64,
+    what: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert!(
+        a.outputs.len() == b.outputs.len(),
+        "{}: output arity {} vs {}",
+        what,
+        a.outputs.len(),
+        b.outputs.len()
+    );
+    for (i, (oa, ob)) in a.outputs.iter().zip(&b.outputs).enumerate() {
+        for (j, (ca, cb)) in oa.iter().zip(ob).enumerate() {
+            prop_assert!(
+                (ca.re - cb.re).abs() < tol && (ca.im - cb.im).abs() < tol,
+                "{}: output {} slot {} drifted: {} vs {}",
+                what,
+                i,
+                j,
+                ca.re,
+                cb.re
+            );
+        }
+    }
+    Ok(())
+}
+
+fn key_switches(circuit: &HeCircuit) -> usize {
+    circuit
+        .op_counts()
+        .iter()
+        .filter(|(op, _)| op.is_key_switching())
+        .map(|(_, n)| n)
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every individual pass, and the full standard pipeline, preserves the
+    /// decrypted outputs and yields a circuit whose trace lowering still
+    /// validates. No pass may increase the key-switch count.
+    #[test]
+    fn passes_preserve_functional_outputs(
+        max_level in 4usize..10,
+        codes in proptest::collection::vec(any::<u32>(), 20),
+        seed in 1u64..1000,
+    ) {
+        let ins = CkksInstance::toy(10, max_level, 2);
+        let circuit = random_circuit(&ins, &codes);
+        let baseline = run_functional(&ins, &circuit, seed)?;
+        let base_ks = key_switches(&circuit);
+
+        let passes: Vec<Box<dyn Pass>> = vec![
+            Box::new(CommonSubexprPass),
+            Box::new(RescaleSchedPass),
+            Box::new(BootstrapPlacePass),
+            Box::new(DeadValuePass),
+        ];
+        for pass in &passes {
+            let opt = pass.run(&circuit);
+            prop_assert!(opt.is_ok(), "{} failed: {:?}", pass.name(), opt.err());
+            let opt = opt.unwrap();
+            prop_assert_eq!(&opt.outputs.len(), &circuit.outputs.len());
+            // Rewriting passes leave superseded nodes dead rather than
+            // sweeping them inline, so measure after a dead-value sweep.
+            let swept = DeadValuePass.run(&opt).unwrap();
+            prop_assert!(key_switches(&swept) <= base_ks, "{} grew key-switches", pass.name());
+            let lowered = TraceBackend::new().execute(&opt);
+            prop_assert!(lowered.is_ok());
+            prop_assert!(lowered.unwrap().trace.validate().is_ok());
+            let run = run_functional(&ins, &opt, seed)?;
+            assert_outputs_close(&baseline, &run, 3e-2, pass.name())?;
+        }
+
+        let opt = PassPipeline::standard().optimize(&circuit);
+        prop_assert!(opt.is_ok(), "pipeline failed: {:?}", opt.err());
+        let opt = opt.unwrap();
+        prop_assert!(key_switches(&opt) <= base_ks, "pipeline grew key-switches");
+        let run = run_functional(&ins, &opt, seed)?;
+        assert_outputs_close(&baseline, &run, 3e-2, "pipeline")?;
+        // The optimized circuit is as executable as the original.
+        prop_assert_eq!(run.op_counts, opt.op_counts());
+    }
+
+    /// The compiled bytecode executor is bit-identical to the tree walker:
+    /// same decrypted bits, same op counts, and the very same op trace —
+    /// both on the raw circuit and on its pipeline-optimized form.
+    #[test]
+    fn compiled_executor_is_bit_identical_to_the_tree_walker(
+        max_level in 4usize..10,
+        codes in proptest::collection::vec(any::<u32>(), 20),
+        seed in 1u64..1000,
+    ) {
+        let ins = CkksInstance::toy(10, max_level, 2);
+        let raw = random_circuit(&ins, &codes);
+        let optimized = PassPipeline::standard()
+            .optimize(&raw)
+            .expect("pipeline optimizes generated circuits");
+        for circuit in [&raw, &optimized] {
+            let compiled = compile(circuit);
+            prop_assert!(compiled.is_ok(), "compile failed: {:?}", compiled.err());
+            let compiled = compiled.unwrap();
+            prop_assert_eq!(compiled.op_counts(), circuit.op_counts());
+
+            // Trace side: identical op for op, ciphertext id for ciphertext id.
+            let tree = TraceBackend::new().execute(circuit).unwrap();
+            let flat = TraceBackend::new().lower_compiled(&compiled).unwrap();
+            prop_assert_eq!(&tree.trace, &flat.trace);
+            prop_assert_eq!(&tree.hints, &flat.hints);
+
+            // Functional side: same seed, bitwise-equal decrypted slots.
+            let tree_run = run_functional(&ins, circuit, seed)?;
+            let flat_run = FunctionalBackend::new(&ins, seed)
+                .unwrap()
+                .execute_compiled(&compiled)
+                .unwrap();
+            prop_assert_eq!(tree_run.outputs.len(), flat_run.outputs.len());
+            for (a, b) in tree_run.outputs.iter().zip(&flat_run.outputs) {
+                for (ca, cb) in a.iter().zip(b) {
+                    prop_assert!(
+                        ca.re.to_bits() == cb.re.to_bits() && ca.im.to_bits() == cb.im.to_bits(),
+                        "compiled executor diverged bitwise: {} vs {}",
+                        ca.re,
+                        cb.re
+                    );
+                }
+            }
+            prop_assert_eq!(&tree_run.op_counts, &flat_run.op_counts);
+            prop_assert_eq!(tree_run.bootstrap_count, flat_run.bootstrap_count);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CSE is idempotent: a second application changes nothing.
+    #[test]
+    fn cse_is_idempotent(
+        max_level in 2usize..12,
+        codes in proptest::collection::vec(any::<u32>(), 32),
+    ) {
+        let ins = CkksInstance::toy(10, max_level, 2);
+        let circuit = random_circuit(&ins, &codes);
+        let once = CommonSubexprPass.run(&circuit).unwrap();
+        let twice = CommonSubexprPass.run(&once).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// The dead-value pass never drops an output or an input, and the result
+    /// still validates and lowers.
+    #[test]
+    fn dce_preserves_the_interface(
+        max_level in 2usize..12,
+        codes in proptest::collection::vec(any::<u32>(), 32),
+    ) {
+        let ins = CkksInstance::toy(10, max_level, 2);
+        let circuit = random_circuit(&ins, &codes);
+        let opt = DeadValuePass.run(&circuit).unwrap();
+        prop_assert_eq!(&opt.outputs, &circuit.outputs);
+        prop_assert_eq!(&opt.inputs, &circuit.inputs);
+        prop_assert!(opt.len() <= circuit.len());
+        prop_assert!(opt.validate().is_ok());
+        prop_assert!(TraceBackend::new().execute(&opt).is_ok());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// On bootstrap-depth instances: the pipeline never adds refreshes, keeps
+    /// every value within the level budget, and still preserves the decrypted
+    /// outputs (bootstraps execute as oracle refreshes functionally, so the
+    /// tolerance is a touch looser).
+    #[test]
+    fn pipeline_preserves_outputs_through_bootstraps(
+        extra_levels in 0usize..6,
+        codes in proptest::collection::vec(any::<u32>(), 24),
+        seed in 1u64..1000,
+    ) {
+        let ins = CkksInstance::toy(10, 19 + extra_levels, 2);
+        let circuit = random_bootstrapping_circuit(&ins, &codes);
+        let opt = PassPipeline::standard().optimize(&circuit);
+        prop_assert!(opt.is_ok(), "pipeline failed: {:?}", opt.err());
+        let opt = opt.unwrap();
+        prop_assert!(opt.bootstrap_count() <= circuit.bootstrap_count());
+        for node in &opt.nodes {
+            prop_assert!(node.level <= ins.max_level());
+        }
+        let lowered = TraceBackend::new().execute(&opt).unwrap();
+        prop_assert!(lowered.trace.validate().is_ok());
+        prop_assert_eq!(lowered.bootstrap_count, opt.bootstrap_count());
+
+        let baseline = run_functional(&ins, &circuit, seed)?;
+        let run = run_functional(&ins, &opt, seed)?;
+        assert_outputs_close(&baseline, &run, 5e-2, "bootstrap pipeline")?;
+    }
+}
