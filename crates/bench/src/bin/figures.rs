@@ -40,6 +40,7 @@ fn main() {
             "fig10" => figures::fig10(),
             "sched" => figures::sched(),
             "serve" => figures::serve(),
+            "cluster" => figures::cluster(),
             "hints" => figures::hints(),
             "compile" => figures::compiler(),
             "slowdown" => figures::slowdown(),
@@ -55,7 +56,7 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown target '{other}'; expected one of: all table1 fig1 fig2 fig3b table3 table4 fig6 fig7a fig7b table5 table6 fig8 fig9 fig10 sched serve hints compile slowdown --json"
+                    "unknown target '{other}'; expected one of: all table1 fig1 fig2 fig3b table3 table4 fig6 fig7a fig7b table5 table6 fig8 fig9 fig10 sched serve cluster hints compile slowdown --json"
                 );
                 std::process::exit(2);
             }

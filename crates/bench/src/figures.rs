@@ -9,10 +9,11 @@ use bts_circuit::{
     compile as compile_bytecode, Backend, BootstrapPlan, PassPipeline, TraceBackend, Workload,
 };
 use bts_ckks::hmult_complexity;
+use bts_cluster::{serve_cluster, ChipSpec, ClusterOptions, Interconnect, PlacementPolicy};
 use bts_params::{min_nttu_count, sweep_dnum, BandwidthModel, CkksInstance, MinBoundModel, L_BOOT};
 use bts_sched::{FuKind, ScheduleExt};
-use bts_serve::{serve as serve_jobs, QueuePolicy, ServeOptions, SyntheticArrivals};
-use bts_sim::{hmult_timeline, AreaPowerModel, BtsConfig, Simulator};
+use bts_serve::{serve as serve_jobs, JobRequest, QueuePolicy, ServeOptions, SyntheticArrivals};
+use bts_sim::{hmult_timeline, ArchPreset, AreaPowerModel, BtsConfig, Simulator};
 use bts_workloads::{
     amortized_mult_per_slot, standard_registry, AmortizedMultWorkload, BaselineSet, HelrWorkload,
     ResNetWorkload, SortingWorkload, UNENCRYPTED_HELR_MS, UNENCRYPTED_RESNET_S,
@@ -660,14 +661,16 @@ const SERVE_LOADS: [usize; 3] = [1, 2, 4];
 /// through the `bts-sched` dependency-aware scheduler on every point of
 /// [`SweepGrid::paper_default`] (Table 4 instances × {1, 2} TB/s HBM), plus
 /// the `serve` section — the `bts-serve` co-scheduling sweep of the
-/// bootstrap workload at offered loads of 1, 2 and 4 concurrent jobs — and
-/// the `compile` section, the circuit compiler's before/after ledger per
-/// workload and instance. The CI smoke step writes this to
-/// `BENCH_FIGURES.json` (and fails if any workload schedules slower than
-/// serial, if co-scheduled bootstrap throughput at 2 TB/s fails to beat
-/// one-at-a-time service, or if the pass pipeline grows any workload's
-/// key-switch count), so the perf trajectory of the repo is diffable across
-/// PRs without parsing the human tables.
+/// bootstrap workload at offered loads of 1, 2 and 4 concurrent jobs — the
+/// `compile` section, the circuit compiler's before/after ledger per
+/// workload and instance — and the `cluster` section, the `bts-cluster`
+/// scaling curve (architecture presets × chip counts on the bootstrap
+/// stream). The CI smoke step writes this to `BENCH_FIGURES.json` (and fails
+/// if any workload schedules slower than serial, if co-scheduled bootstrap
+/// throughput at 2 TB/s fails to beat one-at-a-time service, if the pass
+/// pipeline grows any workload's key-switch count, or if the 4-chip BTS
+/// fleet fails to double single-chip throughput), so the perf trajectory of
+/// the repo is diffable across PRs without parsing the human tables.
 pub fn workloads_json() -> String {
     let registry = standard_registry();
     let grid = SweepGrid::paper_default();
@@ -727,11 +730,12 @@ pub fn workloads_json() -> String {
         .collect::<Vec<_>>()
         .join(", ");
     format!(
-        "{{\n  \"schema\": 4,\n  \"configs\": {{{}}},\n  \"results\": [\n{}\n  ],\n  \"serve\": [\n{}\n  ],\n  \"compile\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": 5,\n  \"configs\": {{{}}},\n  \"results\": [\n{}\n  ],\n  \"serve\": [\n{}\n  ],\n  \"compile\": [\n{}\n  ],\n  \"cluster\": [\n{}\n  ]\n}}\n",
         configs,
         rows.join(",\n"),
         serve_json_rows(&grid).join(",\n"),
-        compile_json_rows().join(",\n")
+        compile_json_rows().join(",\n"),
+        cluster_json_rows().join(",\n")
     )
 }
 
@@ -883,6 +887,161 @@ pub fn serve() -> String {
         report.mult_slots_per_sec(),
     );
     out
+}
+
+/// Chip counts of the cluster scaling sweep.
+const CLUSTER_CHIP_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Job count of the cluster sweep's bootstrap stream.
+const CLUSTER_JOBS: u64 = 16;
+
+/// Tenant pool of the cluster sweep's bootstrap stream.
+const CLUSTER_TENANTS: u32 = 4;
+
+/// The cluster sweep's job stream: [`CLUSTER_JOBS`] bootstrap jobs at t = 0
+/// from a pool of [`CLUSTER_TENANTS`] tenants on INS-1. The tenant pool is
+/// what makes scale-out pay: a bootstrap evk set is ~10 GiB at INS-1, so the
+/// interconnect charge amortizes over each tenant's jobs rather than being
+/// paid per job.
+fn cluster_stream() -> Vec<JobRequest> {
+    let ins = CkksInstance::ins1();
+    (0..CLUSTER_JOBS)
+        .map(|i| {
+            JobRequest::new(
+                i,
+                (i % CLUSTER_TENANTS as u64) as u32,
+                "bootstrap",
+                ins.clone(),
+                0.0,
+            )
+        })
+        .collect()
+}
+
+/// The cluster sweep's knobs for one (architecture, chip count) point:
+/// tenant-affinity placement (keys cross the interconnect once per tenant)
+/// over an NVLink-class accelerator fabric.
+fn cluster_sweep_options(preset: ArchPreset, chips: usize) -> ClusterOptions {
+    ClusterOptions::new(
+        ChipSpec::preset(preset, chips).with_interconnect(Interconnect::nvlink_class()),
+    )
+    .with_placement(PlacementPolicy::TenantAffinity)
+}
+
+/// The cluster layer (`bts-cluster`): throughput scaling of the bootstrap
+/// stream across architecture presets × chip counts, plus a placement-policy
+/// comparison on the BTS ×4 fleet. Single-chip rows charge zero interconnect
+/// and match `bts-serve` exactly; multi-chip rows pay ciphertext and
+/// evaluation-key movement over the fabric.
+pub fn cluster() -> String {
+    let mut out = header("Cluster layer: architecture x chip-count scaling (bts-cluster)");
+    let jobs = cluster_stream();
+    let _ = writeln!(
+        out,
+        "{} bootstrap jobs, {} tenants, INS-1, tenant-affinity placement, NVLink-class fabric",
+        CLUSTER_JOBS, CLUSTER_TENANTS
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>6} {:>12} {:>10} {:>10} {:>10} {:>12} {:>9}",
+        "preset", "chips", "makespan", "jobs/s", "scaling", "p99 (ms)", "moved (GiB)", "fairness"
+    );
+    for preset in ArchPreset::ALL {
+        let mut base = None;
+        for &chips in &CLUSTER_CHIP_COUNTS {
+            let report = serve_cluster(&jobs, cluster_sweep_options(preset, chips))
+                .expect("the sweep stream serves on every preset");
+            let throughput = report.throughput_jobs_per_sec();
+            let base_throughput = *base.get_or_insert(throughput);
+            let _ = writeln!(
+                out,
+                "{:<10} {:>6} {:>10.2}ms {:>10.1} {:>9.2}x {:>10.2} {:>12.2} {:>9.3}",
+                preset.name(),
+                chips,
+                report.makespan_seconds() * 1e3,
+                throughput,
+                throughput / base_throughput,
+                report.latency_percentile(99.0) * 1e3,
+                report.interconnect_bytes() as f64 / (1u64 << 30) as f64,
+                report.tenant_fairness(),
+            );
+        }
+    }
+    // Interleaved tenants (i % 4) on 4 chips make round-robin accidentally
+    // tenant-aligned; the placement comparison uses *blocked* tenants
+    // (4 consecutive jobs each) so the policies genuinely diverge.
+    let ins = CkksInstance::ins1();
+    let blocked: Vec<JobRequest> = (0..CLUSTER_JOBS)
+        .map(|i| {
+            JobRequest::new(
+                i,
+                (i / CLUSTER_TENANTS as u64) as u32,
+                "bootstrap",
+                ins.clone(),
+                0.0,
+            )
+        })
+        .collect();
+    let _ = writeln!(
+        out,
+        "placement comparison on BTS x4, blocked tenants, PCIe 5.0 (key movement hurts):"
+    );
+    let pcie = ChipSpec::preset(ArchPreset::Bts, 4);
+    for placement in PlacementPolicy::ALL {
+        let report = serve_cluster(
+            &blocked,
+            ClusterOptions::new(pcie.clone()).with_placement(placement),
+        )
+        .expect("the sweep stream serves under every placement");
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>10.1} jobs/s | moved {:>7.2} GiB | wire {:>8.2} ms | fairness {:.3}",
+            placement.label(),
+            report.throughput_jobs_per_sec(),
+            report.interconnect_bytes() as f64 / (1u64 << 30) as f64,
+            report.interconnect_seconds() * 1e3,
+            report.tenant_fairness(),
+        );
+    }
+    out
+}
+
+/// The `cluster` section of [`workloads_json`]: one row per architecture
+/// preset × chip count on the bootstrap stream ([`cluster_stream`]).
+fn cluster_json_rows() -> Vec<String> {
+    let jobs = cluster_stream();
+    let mut rows = Vec::new();
+    for preset in ArchPreset::ALL {
+        for &chips in &CLUSTER_CHIP_COUNTS {
+            let report = serve_cluster(&jobs, cluster_sweep_options(preset, chips))
+                .expect("the sweep stream serves on every preset");
+            rows.push(format!(
+                concat!(
+                    "    {{\"preset\": \"{}\", \"chips\": {}, \"placement\": \"{}\", ",
+                    "\"workload\": \"bootstrap\", \"instance\": \"INS-1\", \"jobs\": {}, ",
+                    "\"chips_used\": {}, \"makespan_seconds\": {:.6e}, ",
+                    "\"throughput_jobs_per_sec\": {:.4}, \"mult_slots_per_sec\": {:.6e}, ",
+                    "\"p50_latency_seconds\": {:.6e}, \"p99_latency_seconds\": {:.6e}, ",
+                    "\"tenant_fairness\": {:.4}, ",
+                    "\"interconnect_bytes\": {}, \"interconnect_seconds\": {:.6e}}}"
+                ),
+                report.label,
+                chips,
+                report.placement,
+                report.job_count(),
+                report.chips_used(),
+                report.makespan_seconds(),
+                report.throughput_jobs_per_sec(),
+                report.mult_slots_per_sec(),
+                report.latency_percentile(50.0),
+                report.latency_percentile(99.0),
+                report.tenant_fairness(),
+                report.interconnect_bytes(),
+                report.interconnect_seconds(),
+            ));
+        }
+    }
+    rows
 }
 
 /// Serial vs scheduled execution per workload (INS-1): the `bts-sched`
@@ -1044,6 +1203,7 @@ pub fn all() -> String {
         fig10(),
         sched(),
         serve(),
+        cluster(),
         hints(),
         compiler(),
         slowdown(),
@@ -1080,7 +1240,7 @@ mod tests {
     #[test]
     fn workloads_json_covers_every_workload_and_instance() {
         let json = cached_json();
-        assert!(json.contains("\"schema\": 4"));
+        assert!(json.contains("\"schema\": 5"));
         for name in ["amortized-mult", "bootstrap", "helr", "resnet20", "sorting"] {
             assert!(
                 json.contains(&format!("\"workload\": \"{name}\"")),
@@ -1099,6 +1259,8 @@ mod tests {
         assert_eq!(json.matches("\"coscheduling_speedup\"").count(), 18);
         // Compiler ledger: 5 workloads × 3 instances.
         assert_eq!(json.matches("\"key_switches_before\"").count(), 15);
+        // Cluster scaling curve: 4 architecture presets × 3 chip counts.
+        assert_eq!(json.matches("\"chips_used\"").count(), 12);
         // Structurally balanced (cheap well-formedness check without a JSON
         // parser dependency).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -1166,6 +1328,90 @@ mod tests {
             best > 1.05,
             "no instance shows substantial co-scheduling gain at 2 TB/s: {best}"
         );
+    }
+
+    #[test]
+    fn cluster_rows_gate_the_scaling_curve() {
+        // The CI smoke step enforces the same bounds on the committed file:
+        // at least three architecture presets, zero interconnect traffic on
+        // single-chip rows, and the 4-chip BTS fleet at least doubling
+        // single-chip throughput on the bootstrap stream at 1 TB/s.
+        let json = cached_json();
+        let field = |line: &str, name: &str| -> f64 {
+            let tail = line.split(&format!("\"{name}\": ")).nth(1).unwrap();
+            tail.split([',', '}'])
+                .next()
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap()
+        };
+        let rows: Vec<&str> = json
+            .lines()
+            .filter(|l| l.contains("\"chips_used\""))
+            .collect();
+        assert_eq!(rows.len(), 12);
+        let presets: std::collections::BTreeSet<&str> = rows
+            .iter()
+            .map(|l| {
+                l.split("\"preset\": \"")
+                    .nth(1)
+                    .unwrap()
+                    .split('"')
+                    .next()
+                    .unwrap()
+            })
+            .collect();
+        assert!(presets.len() >= 3, "presets covered: {presets:?}");
+        let throughput_of = |preset: &str, chips: f64| -> f64 {
+            let row = rows
+                .iter()
+                .find(|l| {
+                    l.contains(&format!("\"preset\": \"{preset}\"")) && field(l, "chips") == chips
+                })
+                .unwrap_or_else(|| panic!("no row for {preset} x{chips}"));
+            field(row, "throughput_jobs_per_sec")
+        };
+        for row in &rows {
+            assert!(field(row, "tenant_fairness") > 0.3, "fairness: {row}");
+            assert!(field(row, "throughput_jobs_per_sec") > 0.0, "idle: {row}");
+            if field(row, "chips") == 1.0 {
+                assert_eq!(
+                    field(row, "interconnect_bytes"),
+                    0.0,
+                    "single chip moved bytes: {row}"
+                );
+            } else {
+                assert!(
+                    field(row, "interconnect_bytes") > 0.0,
+                    "multi-chip moved nothing: {row}"
+                );
+            }
+        }
+        for preset in &presets {
+            assert!(
+                throughput_of(preset, 4.0) > throughput_of(preset, 1.0),
+                "{preset}: 4 chips not faster than 1"
+            );
+        }
+        // The acceptance gate: BTS at the paper's 1 TB/s design point scales
+        // to ≥ 2× on 4 chips.
+        assert!(
+            throughput_of("bts", 4.0) >= 2.0 * throughput_of("bts", 1.0),
+            "bts 4-chip throughput below 2x single chip"
+        );
+    }
+
+    #[test]
+    fn cluster_figure_reports_every_preset_and_placement() {
+        let text = cluster();
+        for preset in ["bts", "fab", "basalisc", "fpt"] {
+            assert!(text.contains(preset), "{preset} missing:\n{text}");
+        }
+        for placement in ["round-robin", "least-loaded", "tenant-affinity"] {
+            assert!(text.contains(placement), "{placement} missing:\n{text}");
+        }
+        assert!(text.lines().count() > 15);
     }
 
     #[test]

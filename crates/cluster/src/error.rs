@@ -1,0 +1,90 @@
+//! Errors a cluster serve call can surface.
+
+use bts_serve::ServeError;
+use bts_sim::ConfigError;
+
+/// Why the cluster layer refused or failed to run a batch.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// The chip spec asks for zero chips.
+    NoChips,
+    /// The per-chip hardware configuration fails
+    /// [`bts_sim::BtsConfig::validate`].
+    Config(ConfigError),
+    /// The interconnect model is malformed: non-positive/non-finite link
+    /// bandwidth or negative/non-finite latency.
+    Interconnect {
+        /// The rejected latency, seconds.
+        latency_seconds: f64,
+        /// The rejected link bandwidth, bytes/s.
+        bytes_per_sec: f64,
+    },
+    /// Preparing or serving a job failed; `chip` is `None` when the failure
+    /// happened during cluster-level validation or placement profiling
+    /// (before any chip was involved).
+    Serve {
+        /// Chip the failure occurred on, if dispatch had already happened.
+        chip: Option<usize>,
+        /// The underlying serving-layer error.
+        source: ServeError,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::NoChips => write!(f, "chip_count is 0; the cluster has no hardware"),
+            ClusterError::Config(source) => {
+                write!(f, "invalid per-chip configuration: {source}")
+            }
+            ClusterError::Interconnect {
+                latency_seconds,
+                bytes_per_sec,
+            } => write!(
+                f,
+                "invalid interconnect: latency {latency_seconds} s, link {bytes_per_sec} B/s \
+                 (latency must be finite and ≥ 0, bandwidth finite and > 0)"
+            ),
+            ClusterError::Serve {
+                chip: Some(c),
+                source,
+            } => {
+                write!(f, "chip {c} failed to serve its shard: {source}")
+            }
+            ClusterError::Serve { chip: None, source } => {
+                write!(f, "cluster admission failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Config(source) => Some(source),
+            ClusterError::Serve { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_context() {
+        assert!(ClusterError::NoChips.to_string().contains("chip_count"));
+        let e = ClusterError::Interconnect {
+            latency_seconds: -1.0,
+            bytes_per_sec: 0.0,
+        };
+        assert!(e.to_string().contains("latency -1"));
+        let e = ClusterError::Serve {
+            chip: Some(2),
+            source: ServeError::NoCapacity,
+        };
+        assert!(e.to_string().contains("chip 2"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

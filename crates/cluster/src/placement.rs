@@ -1,0 +1,186 @@
+//! Job → chip placement: which chip of the fleet serves which job.
+//!
+//! Placement runs once, up front, in arrival order — the cluster-level
+//! analogue of the serving layer's admission policies. All three policies
+//! are pure functions of the job stream, so placement is deterministic: the
+//! same jobs always land on the same chips.
+
+/// What the placement policies see of a job: enough to balance load and to
+/// keep a tenant's evaluation keys on one chip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementJob {
+    /// Tenant the job belongs to.
+    pub tenant: u32,
+    /// Arrival time in seconds (jobs are placed in this order).
+    pub arrival_seconds: f64,
+    /// Online closed-form cost estimate ([`bts_serve::estimate`]) — the
+    /// load gauge of [`PlacementPolicy::LeastLoaded`].
+    pub estimate_seconds: f64,
+    /// The job's evaluation-key working-set size in bytes — what re-placing
+    /// the tenant on another chip would have to stream over the interconnect.
+    pub evk_set_bytes: u64,
+}
+
+/// How the cluster shards a job stream across its chips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// Jobs go to chips cyclically in arrival order. Maximum spread, ignores
+    /// both load and key affinity.
+    #[default]
+    RoundRobin,
+    /// Each job goes to the chip with the least accumulated estimated work
+    /// (ties to the lowest chip id). Balances heterogeneous job mixes.
+    LeastLoaded,
+    /// Each *tenant* is pinned to one chip — the chip with the fewest pinned
+    /// tenants when the tenant is first seen (ties to the lowest chip id) —
+    /// so a tenant's evaluation-key set crosses the interconnect once and
+    /// then stays resident instead of being re-streamed per job.
+    TenantAffinity,
+}
+
+impl PlacementPolicy {
+    /// All policies, in display order.
+    pub const ALL: [PlacementPolicy; 3] = [
+        PlacementPolicy::RoundRobin,
+        PlacementPolicy::LeastLoaded,
+        PlacementPolicy::TenantAffinity,
+    ];
+
+    /// Stable short name (`round-robin`, `least-loaded`, `tenant-affinity`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlacementPolicy::RoundRobin => "round-robin",
+            PlacementPolicy::LeastLoaded => "least-loaded",
+            PlacementPolicy::TenantAffinity => "tenant-affinity",
+        }
+    }
+
+    /// Assigns every job a chip in `0..chips`. `jobs` must be in arrival
+    /// order (ties broken by submission order) — the cluster server sorts
+    /// before calling. Returns one chip index per job, parallel to `jobs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chips` is zero.
+    pub fn place(&self, jobs: &[PlacementJob], chips: usize) -> Vec<usize> {
+        assert!(chips > 0, "cannot place jobs on zero chips");
+        match self {
+            PlacementPolicy::RoundRobin => (0..jobs.len()).map(|i| i % chips).collect(),
+            PlacementPolicy::LeastLoaded => {
+                let mut load = vec![0.0f64; chips];
+                jobs.iter()
+                    .map(|job| {
+                        let chip = least_index(&load);
+                        load[chip] += job.estimate_seconds;
+                        chip
+                    })
+                    .collect()
+            }
+            PlacementPolicy::TenantAffinity => {
+                let mut home: std::collections::HashMap<u32, usize> =
+                    std::collections::HashMap::new();
+                let mut pinned = vec![0usize; chips];
+                jobs.iter()
+                    .map(|job| {
+                        *home.entry(job.tenant).or_insert_with(|| {
+                            let chip = least_index(&pinned);
+                            pinned[chip] += 1;
+                            chip
+                        })
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for PlacementPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Index of the smallest element, lowest index on ties.
+fn least_index<T: PartialOrd + Copy>(values: &[T]) -> usize {
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate().skip(1) {
+        if v < values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(tenant: u32, estimate: f64) -> PlacementJob {
+        PlacementJob {
+            tenant,
+            arrival_seconds: 0.0,
+            estimate_seconds: estimate,
+            evk_set_bytes: 112 * 1024 * 1024,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_chips() {
+        let jobs: Vec<_> = (0..5).map(|t| job(t, 1.0)).collect();
+        assert_eq!(
+            PlacementPolicy::RoundRobin.place(&jobs, 3),
+            vec![0, 1, 2, 0, 1]
+        );
+        // One chip degenerates to everything on chip 0.
+        assert_eq!(
+            PlacementPolicy::RoundRobin.place(&jobs, 1),
+            vec![0, 0, 0, 0, 0]
+        );
+    }
+
+    #[test]
+    fn least_loaded_balances_estimates() {
+        // A heavy job on chip 0, then three light ones: the light jobs fill
+        // chip 1 until it catches up.
+        let jobs = vec![job(0, 10.0), job(1, 1.0), job(2, 1.0), job(3, 1.0)];
+        assert_eq!(
+            PlacementPolicy::LeastLoaded.place(&jobs, 2),
+            vec![0, 1, 1, 1]
+        );
+        // Equal estimates tie-break to the lowest chip id.
+        let equal = vec![job(0, 1.0), job(1, 1.0), job(2, 1.0)];
+        assert_eq!(PlacementPolicy::LeastLoaded.place(&equal, 2), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn tenant_affinity_pins_each_tenant_to_one_chip() {
+        let jobs = vec![
+            job(7, 1.0),
+            job(3, 1.0),
+            job(7, 1.0),
+            job(5, 1.0),
+            job(3, 1.0),
+        ];
+        let chips = PlacementPolicy::TenantAffinity.place(&jobs, 2);
+        // Tenants land on the emptiest chip at first sight…
+        assert_eq!(chips, vec![0, 1, 0, 0, 1]);
+        // …and every later job of a tenant goes to the same chip.
+        assert_eq!(chips[0], chips[2]);
+        assert_eq!(chips[1], chips[4]);
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let jobs: Vec<_> = (0..12).map(|i| job(i % 4, (i % 3) as f64 + 0.5)).collect();
+        for policy in PlacementPolicy::ALL {
+            assert_eq!(policy.place(&jobs, 3), policy.place(&jobs, 3));
+            assert_eq!(policy.to_string(), policy.label());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero chips")]
+    fn zero_chips_panic() {
+        let _ = PlacementPolicy::RoundRobin.place(&[job(0, 1.0)], 0);
+    }
+}

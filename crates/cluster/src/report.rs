@@ -1,0 +1,235 @@
+//! What a cluster run reports: per-chip serving reports stitched into
+//! fleet-level throughput, utilization, fairness, and interconnect figures.
+//!
+//! Per-chip [`ServeReport`]s keep the *shifted* arrivals (original arrival
+//! plus interconnect transfer time) — that is what the chip actually saw.
+//! The cluster-level [`ClusterJobOutcome`]s keep the *original* arrivals, so
+//! cluster latency and fairness include the time jobs spent on the wire.
+
+use std::fmt::Write as _;
+
+use bts_serve::ServeReport;
+
+use crate::placement::PlacementPolicy;
+
+/// One job's fleet-level lifecycle: where it ran and when, measured from its
+/// original arrival at the cluster front door.
+#[derive(Debug, Clone)]
+pub struct ClusterJobOutcome {
+    /// The caller's job id.
+    pub id: u64,
+    /// Tenant the job belongs to.
+    pub tenant: u32,
+    /// Chip the job was placed on.
+    pub chip: usize,
+    /// Workload name.
+    pub workload: String,
+    /// Original arrival at the cluster, in seconds.
+    pub arrival_seconds: f64,
+    /// Interconnect time charged before the chip could see the job
+    /// (ciphertext inputs, plus the tenant's evaluation keys if this job
+    /// grew the tenant's resident key footprint on its chip).
+    pub transfer_seconds: f64,
+    /// When the chip's queueing policy admitted the job.
+    pub admitted_seconds: f64,
+    /// When the job's last op finished on its chip.
+    pub finish_seconds: f64,
+}
+
+impl ClusterJobOutcome {
+    /// End-to-end latency from the *original* arrival (`finish − arrival`),
+    /// so wire time counts against the cluster.
+    pub fn latency_seconds(&self) -> f64 {
+        self.finish_seconds - self.arrival_seconds
+    }
+}
+
+/// One chip's share of the run: its serving report plus what the
+/// interconnect moved to feed it.
+#[derive(Debug, Clone)]
+pub struct ChipOutcome {
+    /// Chip index within the spec.
+    pub chip: usize,
+    /// The chip's own serving report (arrivals shifted by transfer time).
+    pub report: ServeReport,
+    /// Bytes the interconnect moved to this chip (ciphertexts + evk sets).
+    pub interconnect_bytes: u64,
+    /// Seconds of interconnect time charged against this chip's jobs.
+    pub interconnect_seconds: f64,
+}
+
+/// Aggregate result of streaming a batch through a fleet of identical chips.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// The spec's display label (e.g. `"bts"`, `"fab"`).
+    pub label: String,
+    /// The placement policy that sharded the stream.
+    pub placement: PlacementPolicy,
+    /// Per-chip outcomes, indexed by chip. Idle chips carry empty reports.
+    pub chips: Vec<ChipOutcome>,
+    /// Per-job fleet-level outcomes, in submission order.
+    pub jobs: Vec<ClusterJobOutcome>,
+}
+
+impl ClusterReport {
+    /// Number of chips in the fleet (including idle ones).
+    pub fn chip_count(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// Number of served jobs.
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Cluster makespan: the latest chip-local makespan. Chips run
+    /// concurrently, so the fleet finishes when its slowest chip does.
+    pub fn makespan_seconds(&self) -> f64 {
+        self.chips
+            .iter()
+            .map(|c| c.report.makespan_seconds)
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Served jobs per second over the cluster makespan.
+    pub fn throughput_jobs_per_sec(&self) -> f64 {
+        let makespan = self.makespan_seconds();
+        if makespan <= 0.0 {
+            0.0
+        } else {
+            self.jobs.len() as f64 / makespan
+        }
+    }
+
+    /// Sustained amortized mult-slot throughput across the fleet: the sum of
+    /// every chip's refreshed slot-levels over the cluster makespan.
+    pub fn mult_slots_per_sec(&self) -> f64 {
+        let makespan = self.makespan_seconds();
+        if makespan <= 0.0 {
+            return 0.0;
+        }
+        self.chips
+            .iter()
+            .flat_map(|c| c.report.jobs.iter())
+            .map(|j| j.refreshed_slot_levels)
+            .sum::<f64>()
+            / makespan
+    }
+
+    /// Total bytes the interconnect moved (zero on a single-chip spec:
+    /// everything is already resident).
+    pub fn interconnect_bytes(&self) -> u64 {
+        self.chips.iter().map(|c| c.interconnect_bytes).sum()
+    }
+
+    /// Total interconnect seconds charged across the fleet.
+    pub fn interconnect_seconds(&self) -> f64 {
+        self.chips.iter().map(|c| c.interconnect_seconds).sum()
+    }
+
+    /// Mean end-to-end latency from original arrivals. Returns 0 for an
+    /// empty batch.
+    pub fn mean_latency_seconds(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        self.jobs
+            .iter()
+            .map(ClusterJobOutcome::latency_seconds)
+            .sum::<f64>()
+            / self.jobs.len() as f64
+    }
+
+    /// Latency at percentile `p` over fleet-level latencies (nearest rank,
+    /// `p` in `[0, 100]`). Returns 0 for an empty batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn latency_percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        let mut latencies: Vec<f64> = self
+            .jobs
+            .iter()
+            .map(ClusterJobOutcome::latency_seconds)
+            .collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let rank = ((p / 100.0) * latencies.len() as f64).ceil() as usize;
+        latencies[rank.clamp(1, latencies.len()) - 1]
+    }
+
+    /// Jain's fairness index over per-tenant mean *cluster* latency —
+    /// measured from original arrivals, so a tenant parked behind a slow
+    /// interconnect counts as unfairly treated even if its chip was fast.
+    /// Fewer than two tenants (or zero total latency) is perfectly fair.
+    pub fn tenant_fairness(&self) -> f64 {
+        let mut per_tenant: std::collections::BTreeMap<u32, (f64, usize)> =
+            std::collections::BTreeMap::new();
+        for j in &self.jobs {
+            let entry = per_tenant.entry(j.tenant).or_insert((0.0, 0));
+            entry.0 += j.latency_seconds();
+            entry.1 += 1;
+        }
+        if per_tenant.len() < 2 {
+            return 1.0;
+        }
+        let means: Vec<f64> = per_tenant
+            .values()
+            .map(|&(sum, n)| sum / n as f64)
+            .collect();
+        let total: f64 = means.iter().sum();
+        let squares: f64 = means.iter().map(|x| x * x).sum();
+        if squares <= 0.0 {
+            return 1.0;
+        }
+        total * total / (means.len() as f64 * squares)
+    }
+
+    /// Fraction of chips that served at least one job.
+    pub fn chips_used(&self) -> usize {
+        self.chips
+            .iter()
+            .filter(|c| !c.report.jobs.is_empty())
+            .count()
+    }
+
+    /// Renders the headline fleet figures plus one line per chip.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} x{} | placement {} | {} jobs | makespan {:.2} ms | {:.1} jobs/s | {:.3e} mult slots/s",
+            self.label,
+            self.chip_count(),
+            self.placement,
+            self.job_count(),
+            self.makespan_seconds() * 1e3,
+            self.throughput_jobs_per_sec(),
+            self.mult_slots_per_sec(),
+        );
+        let _ = writeln!(
+            out,
+            "latency p50 {:.2} ms p99 {:.2} ms | fairness {:.3} | interconnect {:.1} MiB ({:.3} ms)",
+            self.latency_percentile(50.0) * 1e3,
+            self.latency_percentile(99.0) * 1e3,
+            self.tenant_fairness(),
+            self.interconnect_bytes() as f64 / (1 << 20) as f64,
+            self.interconnect_seconds() * 1e3,
+        );
+        for c in &self.chips {
+            let _ = writeln!(
+                out,
+                "  chip {}: {} jobs | makespan {:.2} ms | HBM util {:.0}% | {:.1} MiB in",
+                c.chip,
+                c.report.job_count(),
+                c.report.makespan_seconds * 1e3,
+                c.report.utilizations[bts_sched::FuKind::Hbm.index()] * 100.0,
+                c.interconnect_bytes as f64 / (1 << 20) as f64,
+            );
+        }
+        out
+    }
+}

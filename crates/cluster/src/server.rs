@@ -1,0 +1,486 @@
+//! The cluster engine: placement in front of one [`BtsServer`] per chip.
+//!
+//! # Execution model
+//!
+//! 1. The spec and the whole batch are validated up front (fail fast, before
+//!    any chip is touched).
+//! 2. Every unique `(workload, instance)` pair is profiled once: circuit
+//!    lowered, online cost estimate computed, ciphertext-input and
+//!    evaluation-key footprints measured.
+//! 3. The [`PlacementPolicy`] shards the stream in
+//!    arrival order, one chip per job.
+//! 4. With more than one chip, each job is charged interconnect time before
+//!    its chip can see it: its ciphertext inputs always move, and its
+//!    tenant's evaluation-key set moves the first time (per chip) it is
+//!    needed — keys then stay resident, so pinning a tenant to one chip
+//!    (tenant affinity) pays the key transfer once. A single-chip spec
+//!    charges exactly zero and reproduces [`bts_serve::serve`] bit for bit.
+//! 5. Each chip runs its shard through its own admission loop; chips are
+//!    independent, so the fleet's makespan is the slowest chip's.
+//!
+//! Everything is deterministic: one `(jobs, spec, placement, policy,
+//! max_in_flight)` tuple always produces the same [`ClusterReport`].
+
+use std::collections::HashMap;
+
+use bts_serve::{
+    estimate_trace_seconds, BtsServer, JobRequest, QueuePolicy, ServeError, ServeOptions,
+};
+use bts_sim::Simulator;
+use bts_workloads::{standard_registry, WorkloadRegistry};
+
+use crate::error::ClusterError;
+use crate::placement::{PlacementJob, PlacementPolicy};
+use crate::report::{ChipOutcome, ClusterJobOutcome, ClusterReport};
+use crate::spec::ChipSpec;
+
+/// Knobs of one cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterOptions {
+    /// The fleet: chip design point, chip count, interconnect.
+    pub spec: ChipSpec,
+    /// How jobs are sharded across chips.
+    pub placement: PlacementPolicy,
+    /// Per-chip queueing policy in front of each accelerator.
+    pub policy: QueuePolicy,
+    /// Per-chip concurrency limit (jobs co-resident on one accelerator).
+    pub max_in_flight: usize,
+}
+
+impl ClusterOptions {
+    /// Round-robin placement, FIFO chips, two jobs in flight per chip.
+    pub fn new(spec: ChipSpec) -> Self {
+        Self {
+            spec,
+            placement: PlacementPolicy::RoundRobin,
+            policy: QueuePolicy::Fifo,
+            max_in_flight: 2,
+        }
+    }
+
+    /// Returns a copy with a different placement policy.
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Returns a copy with a different per-chip queueing policy.
+    pub fn with_policy(mut self, policy: QueuePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Returns a copy with a different per-chip concurrency limit.
+    pub fn with_max_in_flight(mut self, max_in_flight: usize) -> Self {
+        self.max_in_flight = max_in_flight;
+        self
+    }
+}
+
+/// What placement and interconnect charging need to know about one job's
+/// lowered circuit.
+struct JobProfile {
+    estimate_seconds: f64,
+    input_ct_bytes: u64,
+    evk_set_bytes: u64,
+}
+
+/// A multi-tenant batch server over a fleet of simulated accelerators.
+///
+/// The fleet is homogeneous, so one inner [`BtsServer`] — one
+/// (config, policy, capacity, registry) tuple — serves every chip's shard.
+pub struct ClusterServer {
+    server: BtsServer,
+    options: ClusterOptions,
+}
+
+impl std::fmt::Debug for ClusterServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterServer")
+            .field("server", &self.server)
+            .field("options", &self.options)
+            .finish()
+    }
+}
+
+impl ClusterServer {
+    /// A cluster over the five standard paper workloads.
+    pub fn new(options: ClusterOptions) -> Self {
+        Self::with_registry(options, standard_registry())
+    }
+
+    /// A cluster over a custom workload registry.
+    pub fn with_registry(options: ClusterOptions, registry: WorkloadRegistry) -> Self {
+        let server = BtsServer::with_registry(
+            ServeOptions::new(options.max_in_flight)
+                .with_config(options.spec.config.clone())
+                .with_policy(options.policy),
+            registry,
+        );
+        Self { server, options }
+    }
+
+    /// The run's knobs.
+    pub fn options(&self) -> &ClusterOptions {
+        &self.options
+    }
+
+    /// Shards a batch across the fleet and merges the per-chip reports.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast on an invalid spec ([`ClusterError::NoChips`],
+    /// [`ClusterError::Config`], [`ClusterError::Interconnect`]) or an
+    /// invalid batch ([`ClusterError::Serve`] with `chip: None`: unknown
+    /// workload, bad arrival, duplicate id, zero capacity, unbuildable
+    /// circuit). A per-chip serving failure — which validation should have
+    /// ruled out — surfaces as [`ClusterError::Serve`] with the chip index.
+    pub fn serve(&self, jobs: &[JobRequest]) -> Result<ClusterReport, ClusterError> {
+        self.options.spec.validate()?;
+        if self.options.max_in_flight == 0 {
+            return Err(admission(ServeError::NoCapacity));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for job in jobs {
+            if !job.arrival_seconds.is_finite() || job.arrival_seconds < 0.0 {
+                return Err(admission(ServeError::InvalidArrival {
+                    job: job.id,
+                    arrival_seconds: job.arrival_seconds,
+                }));
+            }
+            if !seen.insert(job.id) {
+                return Err(admission(ServeError::DuplicateJobId { job: job.id }));
+            }
+        }
+
+        // Profile each unique (workload, instance) pair once — bursts repeat
+        // them, and lowering is deterministic.
+        let mut profiles: Vec<std::rc::Rc<JobProfile>> = Vec::with_capacity(jobs.len());
+        for (j, job) in jobs.iter().enumerate() {
+            let twin = jobs[..j]
+                .iter()
+                .position(|p| p.workload == job.workload && p.instance == job.instance);
+            profiles.push(match twin {
+                Some(t) => std::rc::Rc::clone(&profiles[t]),
+                None => std::rc::Rc::new(self.profile(job)?),
+            });
+        }
+
+        // Placement sees the stream in arrival order (submission order on
+        // ties), exactly as the chips will.
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        order.sort_by(|&a, &b| {
+            jobs[a]
+                .arrival_seconds
+                .partial_cmp(&jobs[b].arrival_seconds)
+                .expect("validated arrivals")
+                .then(a.cmp(&b))
+        });
+        let placement_jobs: Vec<PlacementJob> = order
+            .iter()
+            .map(|&j| PlacementJob {
+                tenant: jobs[j].tenant,
+                arrival_seconds: jobs[j].arrival_seconds,
+                estimate_seconds: profiles[j].estimate_seconds,
+                evk_set_bytes: profiles[j].evk_set_bytes,
+            })
+            .collect();
+        let chip_count = self.options.spec.chip_count;
+        let placed = self.options.placement.place(&placement_jobs, chip_count);
+        let mut chip_of = vec![0usize; jobs.len()];
+        for (pos, &j) in order.iter().enumerate() {
+            chip_of[j] = placed[pos];
+        }
+
+        // Interconnect charging, in arrival order: ciphertext inputs always
+        // move; a tenant's evk set moves only when this job grows the
+        // tenant's resident key footprint on its chip. One chip means
+        // everything is already resident — zero charge by construction.
+        let link = self.options.spec.interconnect;
+        let mut transfer_seconds = vec![0.0f64; jobs.len()];
+        let mut transfer_bytes = vec![0u64; jobs.len()];
+        if chip_count > 1 {
+            let mut resident_evk: HashMap<(u32, usize), u64> = HashMap::new();
+            for &j in &order {
+                let chip = chip_of[j];
+                let resident = resident_evk.entry((jobs[j].tenant, chip)).or_insert(0);
+                let evk_delta = profiles[j].evk_set_bytes.saturating_sub(*resident);
+                *resident = (*resident).max(profiles[j].evk_set_bytes);
+                let bytes = profiles[j].input_ct_bytes + evk_delta;
+                transfer_bytes[j] = bytes;
+                transfer_seconds[j] = link.transfer_seconds(bytes);
+            }
+        }
+
+        // Each chip serves its shard independently through the one shared
+        // inner server (the fleet is homogeneous).
+        let mut chips = Vec::with_capacity(chip_count);
+        for chip in 0..chip_count {
+            let shard: Vec<JobRequest> = jobs
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| chip_of[j] == chip)
+                .map(|(j, job)| {
+                    let mut dispatched = job.clone();
+                    dispatched.arrival_seconds += transfer_seconds[j];
+                    dispatched
+                })
+                .collect();
+            let report = self
+                .server
+                .serve(&shard)
+                .map_err(|source| ClusterError::Serve {
+                    chip: Some(chip),
+                    source,
+                })?;
+            let interconnect_bytes = jobs
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| chip_of[j] == chip)
+                .map(|(j, _)| transfer_bytes[j])
+                .sum();
+            let interconnect_seconds = jobs
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| chip_of[j] == chip)
+                .map(|(j, _)| transfer_seconds[j])
+                .sum();
+            chips.push(ChipOutcome {
+                chip,
+                report,
+                interconnect_bytes,
+                interconnect_seconds,
+            });
+        }
+
+        // Fleet-level outcomes keep the original arrivals: the wire time a
+        // job spent getting to its chip counts against its cluster latency.
+        let outcomes = jobs
+            .iter()
+            .enumerate()
+            .map(|(j, job)| {
+                let chip = chip_of[j];
+                let served = chips[chip]
+                    .report
+                    .jobs
+                    .iter()
+                    .find(|o| o.id == job.id)
+                    .expect("every placed job was served by its chip");
+                ClusterJobOutcome {
+                    id: job.id,
+                    tenant: job.tenant,
+                    chip,
+                    workload: job.workload.clone(),
+                    arrival_seconds: job.arrival_seconds,
+                    transfer_seconds: transfer_seconds[j],
+                    admitted_seconds: served.admitted_seconds,
+                    finish_seconds: served.finish_seconds,
+                }
+            })
+            .collect();
+        Ok(ClusterReport {
+            label: self.options.spec.label.clone(),
+            placement: self.options.placement,
+            chips,
+            jobs: outcomes,
+        })
+    }
+
+    /// Lowers one request and measures what placement needs: cost estimate,
+    /// ciphertext-input footprint, evaluation-key footprint.
+    fn profile(&self, job: &JobRequest) -> Result<JobProfile, ClusterError> {
+        let workload = self.server.registry().get(&job.workload).ok_or_else(|| {
+            admission(ServeError::UnknownWorkload {
+                job: job.id,
+                workload: job.workload.clone(),
+            })
+        })?;
+        let lowered = workload.lower(&job.instance).map_err(|source| {
+            admission(ServeError::Circuit {
+                job: job.id,
+                source,
+            })
+        })?;
+        let simulator = Simulator::new(self.options.spec.config.clone(), job.instance.clone());
+        let estimate_seconds = estimate_trace_seconds(&simulator, &lowered.trace);
+        let input_ct_bytes = lowered
+            .trace
+            .input_levels
+            .iter()
+            .map(|&level| job.instance.ct_bytes(level))
+            .sum();
+        let evk_set_bytes = job.instance.evk_set_bytes(lowered.trace.rotation_keys);
+        Ok(JobProfile {
+            estimate_seconds,
+            input_ct_bytes,
+            evk_set_bytes,
+        })
+    }
+}
+
+/// A serving-layer error raised before any chip was involved.
+fn admission(source: ServeError) -> ClusterError {
+    ClusterError::Serve { chip: None, source }
+}
+
+/// One-call convenience: serve `jobs` over the standard registry.
+///
+/// # Errors
+///
+/// Propagates [`ClusterServer::serve`] failures.
+pub fn serve_cluster(
+    jobs: &[JobRequest],
+    options: ClusterOptions,
+) -> Result<ClusterReport, ClusterError> {
+    ClusterServer::new(options).serve(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Interconnect;
+    use bts_params::CkksInstance;
+    use bts_serve::{serve, SyntheticArrivals};
+    use bts_sim::ArchPreset;
+
+    #[test]
+    fn single_chip_cluster_reproduces_plain_serving() {
+        let ins = CkksInstance::ins1();
+        let jobs = SyntheticArrivals::burst(&ins, "bootstrap", 3);
+        let cluster = serve_cluster(
+            &jobs,
+            ClusterOptions::new(ChipSpec::preset(ArchPreset::Bts, 1)),
+        )
+        .unwrap();
+        let plain = serve(
+            &jobs,
+            ServeOptions::new(2).with_config(ArchPreset::Bts.config()),
+        )
+        .unwrap();
+        assert_eq!(cluster.chip_count(), 1);
+        assert_eq!(cluster.interconnect_bytes(), 0);
+        assert!((cluster.makespan_seconds() - plain.makespan_seconds).abs() < 1e-15);
+        for (c, p) in cluster.jobs.iter().zip(&plain.jobs) {
+            assert_eq!(c.id, p.id);
+            assert_eq!(c.chip, 0);
+            assert!((c.finish_seconds - p.finish_seconds).abs() < 1e-15);
+            assert!(c.transfer_seconds == 0.0);
+        }
+    }
+
+    /// The scaling-sweep stream: `count` bootstrap jobs at t = 0 from a pool
+    /// of `tenants` tenants.
+    fn bootstrap_stream(count: u64, tenants: u32) -> Vec<JobRequest> {
+        let ins = CkksInstance::ins1();
+        (0..count)
+            .map(|i| {
+                JobRequest::new(
+                    i,
+                    (i % tenants as u64) as u32,
+                    "bootstrap",
+                    ins.clone(),
+                    0.0,
+                )
+            })
+            .collect()
+    }
+
+    /// Tenant-affinity placement over an accelerator fabric: the
+    /// configuration the scaling curve is measured with (a bootstrap evk set
+    /// is ~10 GiB at INS-1, so keys must be pinned and the link must be
+    /// fabric-class for scale-out to pay off).
+    fn scaling_options(preset: ArchPreset, chips: usize) -> ClusterOptions {
+        let spec = ChipSpec::preset(preset, chips).with_interconnect(Interconnect::nvlink_class());
+        ClusterOptions::new(spec).with_placement(PlacementPolicy::TenantAffinity)
+    }
+
+    #[test]
+    fn more_chips_raise_throughput_on_a_burst() {
+        let jobs = bootstrap_stream(16, 4);
+        let one = serve_cluster(&jobs, scaling_options(ArchPreset::Bts, 1)).unwrap();
+        let four = serve_cluster(&jobs, scaling_options(ArchPreset::Bts, 4)).unwrap();
+        assert!(
+            four.throughput_jobs_per_sec() > 2.0 * one.throughput_jobs_per_sec(),
+            "4 chips {} jobs/s vs 1 chip {} jobs/s",
+            four.throughput_jobs_per_sec(),
+            one.throughput_jobs_per_sec()
+        );
+        assert!(four.interconnect_bytes() > 0);
+        assert_eq!(four.chips_used(), 4);
+    }
+
+    #[test]
+    fn tenant_affinity_moves_fewer_key_bytes_than_round_robin() {
+        // 2 tenants x 4 consecutive jobs each on 2 chips: round-robin lands
+        // every tenant on both chips (keys shipped twice per tenant);
+        // affinity pins each tenant's keys to one chip (shipped once).
+        let ins = CkksInstance::ins1();
+        let jobs: Vec<JobRequest> = (0..8)
+            .map(|i| JobRequest::new(i, (i / 4) as u32, "bootstrap", ins.clone(), 0.0))
+            .collect();
+        let spec = ChipSpec::preset(ArchPreset::Bts, 2);
+        let rr = serve_cluster(&jobs, ClusterOptions::new(spec.clone())).unwrap();
+        let affinity = serve_cluster(
+            &jobs,
+            ClusterOptions::new(spec).with_placement(PlacementPolicy::TenantAffinity),
+        )
+        .unwrap();
+        assert!(
+            affinity.interconnect_bytes() < rr.interconnect_bytes(),
+            "affinity {} B vs round-robin {} B",
+            affinity.interconnect_bytes(),
+            rr.interconnect_bytes()
+        );
+        // Both placements still serve every job exactly once.
+        assert_eq!(rr.job_count(), 8);
+        assert_eq!(affinity.job_count(), 8);
+    }
+
+    #[test]
+    fn invalid_specs_and_batches_fail_fast() {
+        let ins = CkksInstance::ins1();
+        let jobs = vec![JobRequest::new(0, 0, "bootstrap", ins.clone(), 0.0)];
+        assert!(matches!(
+            serve_cluster(
+                &jobs,
+                ClusterOptions::new(ChipSpec::preset(ArchPreset::Bts, 0))
+            ),
+            Err(ClusterError::NoChips)
+        ));
+        assert!(matches!(
+            serve_cluster(
+                &jobs,
+                ClusterOptions::new(ChipSpec::preset(ArchPreset::Bts, 2)).with_max_in_flight(0)
+            ),
+            Err(ClusterError::Serve {
+                chip: None,
+                source: ServeError::NoCapacity
+            })
+        ));
+        let unknown = vec![JobRequest::new(0, 0, "nope", ins.clone(), 0.0)];
+        assert!(matches!(
+            serve_cluster(
+                &unknown,
+                ClusterOptions::new(ChipSpec::preset(ArchPreset::Bts, 2))
+            ),
+            Err(ClusterError::Serve {
+                chip: None,
+                source: ServeError::UnknownWorkload { .. }
+            })
+        ));
+        let dup = vec![
+            JobRequest::new(0, 0, "bootstrap", ins.clone(), 0.0),
+            JobRequest::new(0, 1, "bootstrap", ins.clone(), 0.0),
+        ];
+        assert!(matches!(
+            serve_cluster(
+                &dup,
+                ClusterOptions::new(ChipSpec::preset(ArchPreset::Bts, 2))
+            ),
+            Err(ClusterError::Serve {
+                chip: None,
+                source: ServeError::DuplicateJobId { .. }
+            })
+        ));
+    }
+}

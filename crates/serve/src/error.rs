@@ -39,6 +39,9 @@ pub enum ServeError {
     },
     /// `max_in_flight` is zero — the server could never start a job.
     NoCapacity,
+    /// The hardware configuration fails [`bts_sim::BtsConfig::validate`]
+    /// (zero unit counts, non-positive bandwidths, …).
+    Config(bts_sim::ConfigError),
 }
 
 impl std::fmt::Display for ServeError {
@@ -66,6 +69,9 @@ impl std::fmt::Display for ServeError {
             ServeError::NoCapacity => {
                 write!(f, "max_in_flight is 0; the server can never start a job")
             }
+            ServeError::Config(source) => {
+                write!(f, "invalid hardware configuration: {source}")
+            }
         }
     }
 }
@@ -75,6 +81,7 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Circuit { source, .. } => Some(source),
             ServeError::Trace { source, .. } => Some(source),
+            ServeError::Config(source) => Some(source),
             _ => None,
         }
     }

@@ -52,8 +52,9 @@ pub struct QueuedJob {
     pub tenant: u32,
     /// Arrival time in seconds.
     pub arrival_seconds: f64,
-    /// Estimated service cost in seconds — the cost model's serial charge
-    /// for the job's lowered trace.
+    /// Estimated service cost in seconds — the online closed-form estimate
+    /// of the job's lowered trace ([`crate::estimate`]), not the oracle
+    /// serial charge.
     pub estimate_seconds: f64,
 }
 

@@ -44,6 +44,7 @@
 
 mod arrivals;
 mod error;
+pub mod estimate;
 mod job;
 mod policy;
 mod report;
@@ -51,6 +52,7 @@ mod server;
 
 pub use arrivals::SyntheticArrivals;
 pub use error::ServeError;
+pub use estimate::estimate_trace_seconds;
 pub use job::{JobRequest, QueuedJob};
 pub use policy::QueuePolicy;
 pub use report::{JobOutcome, ServeReport};

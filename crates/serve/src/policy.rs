@@ -10,9 +10,10 @@ pub enum QueuePolicy {
     /// First come, first served: earliest arrival wins.
     #[default]
     Fifo,
-    /// Shortest job first, by the cost model's serial estimate of the
-    /// lowered trace — minimizes mean latency under load, at the price of
-    /// starving long jobs while short ones keep arriving.
+    /// Shortest job first, by the *online* closed-form estimate of the
+    /// lowered trace (compiled op counts × cache-independent per-op charges,
+    /// see [`crate::estimate`]) — minimizes mean latency under load, at the
+    /// price of starving long jobs while short ones keep arriving.
     ShortestJobFirst,
     /// Round-robin across tenants: the next tenant (by id, cyclically after
     /// the last served one) with a waiting job goes first; within a tenant,

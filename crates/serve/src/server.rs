@@ -95,6 +95,10 @@ struct PreparedJob {
     timings: Vec<OpTiming>,
     report: SimReport,
     refreshed_slot_levels: f64,
+    /// Online closed-form cost estimate (`crate::estimate`) — what the SJF
+    /// policy ranks by. The oracle serial charge stays in `report` for the
+    /// per-job outcome figures.
+    estimate_seconds: f64,
 }
 
 impl BtsServer {
@@ -113,6 +117,11 @@ impl BtsServer {
         &self.options
     }
 
+    /// The workload registry the server resolves job names against.
+    pub fn registry(&self) -> &WorkloadRegistry {
+        &self.registry
+    }
+
     /// Streams a batch of jobs through the accelerator and reports per-job
     /// latencies plus the aggregate throughput/utilization/fairness figures.
     /// Jobs may be given in any order; arrival times define the stream.
@@ -127,6 +136,7 @@ impl BtsServer {
         if self.options.max_in_flight == 0 {
             return Err(ServeError::NoCapacity);
         }
+        self.options.config.validate().map_err(ServeError::Config)?;
         let mut seen = std::collections::HashSet::new();
         for job in jobs {
             if !job.arrival_seconds.is_finite() || job.arrival_seconds < 0.0 {
@@ -189,7 +199,7 @@ impl BtsServer {
                         submit_index: j,
                         tenant: jobs[j].tenant,
                         arrival_seconds: jobs[j].arrival_seconds,
-                        estimate_seconds: prepared[j].report.total_seconds,
+                        estimate_seconds: prepared[j].estimate_seconds,
                     })
                     .collect();
                 if candidates.is_empty() {
@@ -279,11 +289,13 @@ impl BtsServer {
         let usable_levels = job.instance.max_level().saturating_sub(L_BOOT);
         let refreshed_slot_levels =
             lowered.bootstrap_count as f64 * usable_levels as f64 * job.instance.slots() as f64;
+        let estimate_seconds = crate::estimate::estimate_trace_seconds(&simulator, &lowered.trace);
         Ok(PreparedJob {
             trace: lowered.trace,
             timings,
             report,
             refreshed_slot_levels,
+            estimate_seconds,
         })
     }
 }
@@ -490,6 +502,13 @@ mod tests {
         assert!(matches!(
             serve(&[], ServeOptions::new(0)),
             Err(ServeError::NoCapacity)
+        ));
+        // A config that fails validation is rejected before any preparation.
+        let mut broken = BtsConfig::bts_default();
+        broken.lsub = 0;
+        assert!(matches!(
+            serve(&[], ServeOptions::new(1).with_config(broken)),
+            Err(ServeError::Config(bts_sim::ConfigError::ZeroLsub))
         ));
         // A toy instance cannot bootstrap: circuit construction fails.
         let toy = vec![JobRequest::new(

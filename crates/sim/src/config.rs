@@ -1,10 +1,139 @@
 use bts_params::BandwidthModel;
 
+/// Why a [`BtsConfig`] was rejected by [`BtsConfig::validate`]: every variant
+/// names one field whose value would otherwise surface far downstream as a
+/// division-by-zero `NaN` in the cost model or a panic in the scheduler's
+/// channel setup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// `pe_count` is zero — every compute rate divides by it.
+    ZeroPeCount,
+    /// `pe_cols` or `pe_rows` is zero — the NoC model indexes the grid.
+    ZeroPeGridSide,
+    /// `pe_cols × pe_rows` does not equal `pe_count`.
+    PeGridMismatch {
+        /// The configured PE count.
+        pe_count: usize,
+        /// The product `pe_cols × pe_rows` that should equal it.
+        grid: usize,
+    },
+    /// `frequency_hz` is zero, negative or non-finite.
+    InvalidFrequency(f64),
+    /// `scratchpad_bytes` is zero — no room for even one temporary limb.
+    ZeroScratchpad,
+    /// `scratchpad_bw` is zero, negative or non-finite.
+    InvalidScratchpadBw(f64),
+    /// `noc_bisection_bw` is zero, negative or non-finite.
+    InvalidNocBw(f64),
+    /// `lsub` is zero — the MMAU rate divides by it.
+    ZeroLsub,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroPeCount => write!(f, "pe_count must be at least 1"),
+            ConfigError::ZeroPeGridSide => write!(f, "pe_cols and pe_rows must be at least 1"),
+            ConfigError::PeGridMismatch { pe_count, grid } => write!(
+                f,
+                "pe_cols × pe_rows = {grid} does not match pe_count = {pe_count}"
+            ),
+            ConfigError::InvalidFrequency(v) => {
+                write!(f, "frequency_hz = {v} must be finite and positive")
+            }
+            ConfigError::ZeroScratchpad => write!(f, "scratchpad_bytes must be at least 1"),
+            ConfigError::InvalidScratchpadBw(v) => {
+                write!(f, "scratchpad_bw = {v} must be finite and positive")
+            }
+            ConfigError::InvalidNocBw(v) => {
+                write!(f, "noc_bisection_bw = {v} must be finite and positive")
+            }
+            ConfigError::ZeroLsub => write!(f, "lsub must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Named accelerator design points: BTS itself plus the published
+/// configurations of three related FHE accelerators, so sweeps can put
+/// *architectures* on an axis next to instances and bandwidths ("how many
+/// FAB-class FPGAs equal one BTS?").
+///
+/// The non-BTS presets are approximations: they map each paper's headline
+/// resources (clock, on-chip SRAM, off-chip bandwidth, rough compute
+/// parallelism) onto the knobs of this repo's BTS-shaped cost model, not
+/// cycle-accurate reproductions of those microarchitectures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArchPreset {
+    /// The BTS ASIC design point of the source paper (2,048 PEs at 1.2 GHz,
+    /// 512 MiB scratchpad, 1 TB/s HBM).
+    Bts,
+    /// FAB (HPCA 2023): a bootstrappable-FHE FPGA design on a Xilinx Alveo
+    /// U280 — ~300 MHz, ~43 MiB of on-chip URAM/BRAM, ~460 GB/s HBM2.
+    Fab,
+    /// BASALISC (CHES 2023): a programmable BGV ASIC — ~1 GHz, tens of MiB
+    /// of on-chip SRAM, one HBM2E stack.
+    Basalisc,
+    /// FPT (CCS 2023): a fixed-pipeline torus-FHE bootstrapping FPGA on an
+    /// Alveo U280 — ~200 MHz, deeply pipelined, ~460 GB/s HBM2.
+    Fpt,
+}
+
+impl ArchPreset {
+    /// All presets, in display order.
+    pub const ALL: [ArchPreset; 4] = [
+        ArchPreset::Bts,
+        ArchPreset::Fab,
+        ArchPreset::Basalisc,
+        ArchPreset::Fpt,
+    ];
+
+    /// Stable short name (`bts`, `fab`, `basalisc`, `fpt`), used as the
+    /// architecture key in sweep rows and figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArchPreset::Bts => "bts",
+            ArchPreset::Fab => "fab",
+            ArchPreset::Basalisc => "basalisc",
+            ArchPreset::Fpt => "fpt",
+        }
+    }
+
+    /// One-line description of the design point.
+    pub fn description(&self) -> &'static str {
+        match self {
+            ArchPreset::Bts => "BTS ASIC (2048 PE @ 1.2 GHz, 512 MiB, 1 TB/s HBM)",
+            ArchPreset::Fab => "FAB FPGA (Alveo U280, 300 MHz, 43 MiB, 460 GB/s HBM2)",
+            ArchPreset::Basalisc => "BASALISC ASIC (1 GHz, 64 MiB, 512 GB/s HBM2E)",
+            ArchPreset::Fpt => "FPT FPGA (Alveo U280, 200 MHz, 40 MiB, 460 GB/s HBM2)",
+        }
+    }
+
+    /// The preset's hardware configuration. Always passes
+    /// [`BtsConfig::validate`].
+    pub fn config(&self) -> BtsConfig {
+        match self {
+            ArchPreset::Bts => BtsConfig::bts_default(),
+            ArchPreset::Fab => BtsConfig::fab(),
+            ArchPreset::Basalisc => BtsConfig::basalisc(),
+            ArchPreset::Fpt => BtsConfig::fpt(),
+        }
+    }
+}
+
+impl std::fmt::Display for ArchPreset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Hardware configuration of a BTS-style accelerator.
 ///
 /// The default values reproduce the paper's BTS design point (§5, §6.1); the
 /// builder-style `with_*` methods express the ablations of Fig. 9 and the
-/// scratchpad sweep of Fig. 10.
+/// scratchpad sweep of Fig. 10. [`ArchPreset`] names this and three related
+/// accelerators' published design points.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BtsConfig {
     /// Number of processing elements (2,048 in BTS).
@@ -55,6 +184,107 @@ impl BtsConfig {
             overlap_bconv_intt: false,
             ..Self::bts_default()
         }
+    }
+
+    /// An approximation of FAB's published design point (HPCA 2023): an FPGA
+    /// bootstrappable-FHE accelerator on a Xilinx Alveo U280 — ~300 MHz
+    /// fabric clock, ~43 MiB of usable URAM/BRAM, 460 GB/s HBM2, and roughly
+    /// a quarter of BTS's butterfly parallelism. The tiny scratchpad means
+    /// most ciphertext reuse spills to HBM (the cost model handles a
+    /// cache capacity of zero gracefully), which is exactly the FPGA story.
+    pub fn fab() -> Self {
+        Self {
+            pe_count: 512,
+            pe_cols: 32,
+            pe_rows: 16,
+            frequency_hz: 300e6,
+            scratchpad_bytes: 43 * 1024 * 1024,
+            scratchpad_bw: 2.5e12,
+            hbm: BandwidthModel::new(460e9),
+            lsub: 2,
+            overlap_bconv_intt: true,
+            noc_bisection_bw: 0.4e12,
+        }
+    }
+
+    /// An approximation of BASALISC's published design point (CHES 2023): a
+    /// programmable BGV ASIC at ~1 GHz with tens of MiB of on-chip SRAM and
+    /// a single HBM2E stack (~512 GB/s).
+    pub fn basalisc() -> Self {
+        Self {
+            pe_count: 1024,
+            pe_cols: 32,
+            pe_rows: 32,
+            frequency_hz: 1.0e9,
+            scratchpad_bytes: 64 * 1024 * 1024,
+            scratchpad_bw: 12.0e12,
+            hbm: BandwidthModel::new(512e9),
+            lsub: 2,
+            overlap_bconv_intt: true,
+            noc_bisection_bw: 1.2e12,
+        }
+    }
+
+    /// An approximation of FPT's published design point (CCS 2023): a
+    /// fixed-pipeline torus-FHE bootstrapping FPGA on an Alveo U280 —
+    /// ~200 MHz but very deeply pipelined (modelled as wide, slow lanes),
+    /// ~40 MiB of on-chip memory, 460 GB/s HBM2, no iNTT/BConv overlap (the
+    /// pipeline is fixed-function rather than dynamically scheduled).
+    pub fn fpt() -> Self {
+        Self {
+            pe_count: 1024,
+            pe_cols: 64,
+            pe_rows: 16,
+            frequency_hz: 200e6,
+            scratchpad_bytes: 40 * 1024 * 1024,
+            scratchpad_bw: 1.8e12,
+            hbm: BandwidthModel::new(460e9),
+            lsub: 4,
+            overlap_bconv_intt: false,
+            noc_bisection_bw: 0.3e12,
+        }
+    }
+
+    /// Checks every field for values that would otherwise surface downstream
+    /// as `NaN` rates, empty scheduler channels or panics: unit counts and
+    /// the scratchpad must be non-zero, all bandwidths and the clock must be
+    /// finite and strictly positive, and the PE grid must multiply out to
+    /// `pe_count`. (The HBM field is constructed through
+    /// [`BandwidthModel::new`], which already rejects non-positive values.)
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.pe_count == 0 {
+            return Err(ConfigError::ZeroPeCount);
+        }
+        if self.pe_cols == 0 || self.pe_rows == 0 {
+            return Err(ConfigError::ZeroPeGridSide);
+        }
+        let grid = self.pe_cols * self.pe_rows;
+        if grid != self.pe_count {
+            return Err(ConfigError::PeGridMismatch {
+                pe_count: self.pe_count,
+                grid,
+            });
+        }
+        if !(self.frequency_hz.is_finite() && self.frequency_hz > 0.0) {
+            return Err(ConfigError::InvalidFrequency(self.frequency_hz));
+        }
+        if self.scratchpad_bytes == 0 {
+            return Err(ConfigError::ZeroScratchpad);
+        }
+        if !(self.scratchpad_bw.is_finite() && self.scratchpad_bw > 0.0) {
+            return Err(ConfigError::InvalidScratchpadBw(self.scratchpad_bw));
+        }
+        if !(self.noc_bisection_bw.is_finite() && self.noc_bisection_bw > 0.0) {
+            return Err(ConfigError::InvalidNocBw(self.noc_bisection_bw));
+        }
+        if self.lsub == 0 {
+            return Err(ConfigError::ZeroLsub);
+        }
+        Ok(())
     }
 
     /// Returns a copy with a different scratchpad capacity (Fig. 7a, Fig. 10).
@@ -134,5 +364,114 @@ mod tests {
         let c = BtsConfig::bts_default();
         assert!((c.butterfly_rate() - 2048.0 * 1.2e9).abs() < 1.0);
         assert!((c.mmau_rate() - 4.0 * c.butterfly_rate()).abs() < 1.0);
+    }
+
+    #[test]
+    fn every_preset_validates_and_is_distinct() {
+        let mut names = std::collections::HashSet::new();
+        for preset in ArchPreset::ALL {
+            let config = preset.config();
+            config.validate().unwrap_or_else(|e| {
+                panic!("preset {} fails validation: {e}", preset.name());
+            });
+            assert!(names.insert(preset.name()), "duplicate preset name");
+            assert!(!preset.description().is_empty());
+            assert_eq!(preset.to_string(), preset.name());
+        }
+        // The FPGA presets are materially slower than the BTS ASIC.
+        let bts = ArchPreset::Bts.config();
+        assert!(ArchPreset::Fab.config().butterfly_rate() < bts.butterfly_rate() / 4.0);
+        assert!(ArchPreset::Fpt.config().butterfly_rate() < bts.butterfly_rate() / 4.0);
+        assert!(ArchPreset::Basalisc.config().hbm.bytes_per_sec() < bts.hbm.bytes_per_sec());
+    }
+
+    #[test]
+    fn validate_rejects_zero_pe_count() {
+        let mut c = BtsConfig::bts_default();
+        c.pe_count = 0;
+        c.pe_cols = 0;
+        c.pe_rows = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroPeCount));
+    }
+
+    #[test]
+    fn validate_rejects_zero_grid_side() {
+        let mut c = BtsConfig::bts_default();
+        c.pe_cols = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroPeGridSide));
+        let mut c = BtsConfig::bts_default();
+        c.pe_rows = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroPeGridSide));
+    }
+
+    #[test]
+    fn validate_rejects_grid_mismatch() {
+        let mut c = BtsConfig::bts_default();
+        c.pe_cols = 63;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::PeGridMismatch {
+                pe_count: 2048,
+                grid: 63 * 32,
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_frequency() {
+        for bad in [0.0, -1.2e9, f64::NAN, f64::INFINITY] {
+            let mut c = BtsConfig::bts_default();
+            c.frequency_hz = bad;
+            assert!(matches!(
+                c.validate(),
+                Err(ConfigError::InvalidFrequency(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_zero_scratchpad() {
+        let c = BtsConfig::bts_default().with_scratchpad_bytes(0);
+        assert_eq!(c.validate(), Err(ConfigError::ZeroScratchpad));
+    }
+
+    #[test]
+    fn validate_rejects_bad_scratchpad_bw() {
+        for bad in [0.0, -38.4e12, f64::NAN] {
+            let mut c = BtsConfig::bts_default();
+            c.scratchpad_bw = bad;
+            assert!(matches!(
+                c.validate(),
+                Err(ConfigError::InvalidScratchpadBw(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_noc_bw() {
+        let mut c = BtsConfig::bts_default();
+        c.noc_bisection_bw = -1.0;
+        assert!(matches!(c.validate(), Err(ConfigError::InvalidNocBw(_))));
+    }
+
+    #[test]
+    fn validate_rejects_zero_lsub() {
+        let mut c = BtsConfig::bts_default();
+        c.lsub = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroLsub));
+    }
+
+    #[test]
+    fn config_errors_render_their_field() {
+        assert!(ConfigError::ZeroPeCount.to_string().contains("pe_count"));
+        assert!(ConfigError::InvalidFrequency(-1.0)
+            .to_string()
+            .contains("frequency_hz"));
+        assert!(ConfigError::PeGridMismatch {
+            pe_count: 8,
+            grid: 6,
+        }
+        .to_string()
+        .contains("pe_count = 8"));
     }
 }

@@ -45,7 +45,7 @@ mod timeline;
 mod trace;
 mod twiddle;
 
-pub use config::BtsConfig;
+pub use config::{ArchPreset, BtsConfig, ConfigError};
 pub use cost::{AreaPowerModel, ComponentCost, EdapPoint};
 pub use engine::{OpClassStats, OpCost, OpTiming, SimReport, Simulator};
 pub use f1::{F1Model, PlatformRow};

@@ -1,0 +1,83 @@
+//! Cluster serving demo: streams one seeded batch of jobs from three tenants
+//! through two different fleets — two BTS chips vs four FAB chips — behind
+//! tenant-affinity placement and an NVLink-class fabric, then shows what the
+//! placement policy is worth on the BTS fleet.
+//!
+//! A single chip at 1 TB/s is evaluation-key-streaming bound, so a
+//! bootstrapping service scales out, not up: the cluster layer charges every
+//! ciphertext (and the first copy of each tenant's ~10 GiB evk set per chip)
+//! that crosses the interconnect, which is why placement matters.
+//!
+//! Run with: `cargo run --release --example cluster_demo`
+
+use bts::cluster::{serve_cluster, ChipSpec, ClusterOptions, Interconnect, PlacementPolicy};
+use bts::params::CkksInstance;
+use bts::serve::SyntheticArrivals;
+use bts::sim::ArchPreset;
+
+fn main() {
+    let ins = CkksInstance::ins1();
+    // 12 jobs from 3 tenants: mostly bootstrap refreshes with some amortized
+    // multiplication batches mixed in, arriving every ~4 ms.
+    let stream = SyntheticArrivals::new(ins, 2024)
+        .mean_interarrival_seconds(4e-3)
+        .tenants(3)
+        .mix(vec![
+            ("bootstrap".to_string(), 3.0),
+            ("amortized-mult".to_string(), 1.0),
+        ])
+        .generate(12);
+
+    println!("=== bts-cluster: one job stream, two fleets (INS-1) ===\n");
+
+    // 1. BTS x2 vs FAB x4, side by side, on the same stream.
+    let fleets = [
+        ChipSpec::preset(ArchPreset::Bts, 2).with_interconnect(Interconnect::nvlink_class()),
+        ChipSpec::preset(ArchPreset::Fab, 4).with_interconnect(Interconnect::nvlink_class()),
+    ];
+    for spec in fleets {
+        let report = serve_cluster(
+            &stream,
+            ClusterOptions::new(spec).with_placement(PlacementPolicy::TenantAffinity),
+        )
+        .expect("the stream serves on every fleet");
+        println!("{}", report.summary());
+        println!(
+            "  {:<4} {:<7} {:<15} {:>5} {:>9} {:>9} {:>9}",
+            "job", "tenant", "workload", "chip", "arrive", "wire", "latency"
+        );
+        for j in &report.jobs {
+            println!(
+                "  {:<4} {:<7} {:<15} {:>5} {:>7.2}ms {:>7.2}ms {:>7.2}ms",
+                j.id,
+                j.tenant,
+                j.workload,
+                j.chip,
+                j.arrival_seconds * 1e3,
+                j.transfer_seconds * 1e3,
+                j.latency_seconds() * 1e3,
+            );
+        }
+        println!();
+    }
+
+    // 2. What placement buys on the BTS x2 fleet: pinning a tenant's keys to
+    // one chip versus spreading its jobs (and re-shipping its keys).
+    println!("placement policies on BTS x2 (same stream):");
+    let spec = ChipSpec::preset(ArchPreset::Bts, 2).with_interconnect(Interconnect::nvlink_class());
+    for placement in PlacementPolicy::ALL {
+        let report = serve_cluster(
+            &stream,
+            ClusterOptions::new(spec.clone()).with_placement(placement),
+        )
+        .expect("the stream serves under every placement");
+        println!(
+            "  {:<16} {:>6.1} jobs/s | moved {:>6.2} GiB | p99 {:>7.2} ms | fairness {:.3}",
+            placement.label(),
+            report.throughput_jobs_per_sec(),
+            report.interconnect_bytes() as f64 / (1u64 << 30) as f64,
+            report.latency_percentile(99.0) * 1e3,
+            report.tenant_fairness(),
+        );
+    }
+}

@@ -13,6 +13,7 @@
 //! | [`circuit`] | `bts-circuit` | shared `HeCircuit` IR + functional/trace backends |
 //! | [`workloads`] | `bts-workloads` | bootstrapping/HELR/ResNet/sorting as circuits |
 //! | [`serve`] | `bts-serve` | multi-tenant batch serving over one shared accelerator |
+//! | [`cluster`] | `bts-cluster` | multi-chip fleets: placement policies + interconnect costs |
 //!
 //! # Quickstart
 //!
@@ -110,6 +111,7 @@
 
 pub use bts_circuit as circuit;
 pub use bts_ckks as ckks;
+pub use bts_cluster as cluster;
 pub use bts_math as math;
 pub use bts_params as params;
 pub use bts_sched as sched;

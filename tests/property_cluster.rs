@@ -1,0 +1,146 @@
+//! Property-based tests of the cluster-layer invariants behind `bts-cluster`:
+//! for any job stream, chip count, and placement policy, (a) every job lands
+//! on exactly one chip, (b) each chip's shard respects the single-chip serve
+//! brackets, (c) the cluster makespan is the max over per-chip makespans,
+//! (d) cluster runs are deterministic, and (e) a one-chip cluster moves zero
+//! interconnect bytes and reproduces plain `bts-serve` exactly.
+
+use proptest::prelude::*;
+
+use bts::cluster::{serve_cluster, ChipSpec, ClusterOptions, Interconnect, PlacementPolicy};
+use bts::params::CkksInstance;
+use bts::serve::{serve, JobRequest, ServeOptions, SyntheticArrivals};
+use bts::sim::ArchPreset;
+
+/// A seeded multi-tenant stream mixing bootstrap and amortized-mult jobs.
+fn random_stream(seed: u64, jobs: usize, tenants: u32) -> Vec<JobRequest> {
+    SyntheticArrivals::new(CkksInstance::ins1(), seed)
+        .mean_interarrival_seconds(5e-3)
+        .tenants(tenants)
+        .mix(vec![
+            ("bootstrap".to_string(), 2.0),
+            ("amortized-mult".to_string(), 1.0),
+        ])
+        .generate(jobs)
+}
+
+fn options(chips: usize, placement: PlacementPolicy) -> ClusterOptions {
+    let spec =
+        ChipSpec::preset(ArchPreset::Bts, chips).with_interconnect(Interconnect::pcie_gen5());
+    ClusterOptions::new(spec).with_placement(placement)
+}
+
+proptest! {
+    // Cluster runs lower real bootstrap circuits per chip, so few cases.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn every_job_lands_on_exactly_one_chip(
+        seed in any::<u64>(), chips in 1usize..5, placement_idx in 0usize..3,
+        jobs in 3usize..7, tenants in 1u32..4
+    ) {
+        let stream = random_stream(seed, jobs, tenants);
+        let report =
+            serve_cluster(&stream, options(chips, PlacementPolicy::ALL[placement_idx])).unwrap();
+        prop_assert_eq!(report.job_count(), stream.len());
+        // Each input id appears in exactly one chip's report, and the
+        // cluster-level outcome names that chip.
+        for job in &stream {
+            let holders: Vec<usize> = report
+                .chips
+                .iter()
+                .filter(|c| c.report.jobs.iter().any(|o| o.id == job.id))
+                .map(|c| c.chip)
+                .collect();
+            prop_assert!(holders.len() == 1, "job {} on {} chips", job.id, holders.len());
+            let outcome = report.jobs.iter().find(|o| o.id == job.id).unwrap();
+            prop_assert_eq!(outcome.chip, holders[0]);
+            prop_assert!((outcome.arrival_seconds - job.arrival_seconds).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn per_chip_brackets_and_cluster_makespan_hold(
+        seed in any::<u64>(), chips in 1usize..5, placement_idx in 0usize..3,
+        jobs in 3usize..7, tenants in 1u32..4
+    ) {
+        let stream = random_stream(seed, jobs, tenants);
+        let report =
+            serve_cluster(&stream, options(chips, PlacementPolicy::ALL[placement_idx])).unwrap();
+        let mut max_chip = 0.0f64;
+        for chip in &report.chips {
+            // Single-chip serve brackets apply to each shard: no job outlives
+            // its chip's makespan, and the chip never runs past the last
+            // admission plus the serial sum of its own work.
+            let eps = 1e-9 * chip.report.sum_serial_seconds().max(1e-12);
+            let max_admit = chip
+                .report
+                .jobs
+                .iter()
+                .map(|j| j.admitted_seconds)
+                .fold(0.0f64, f64::max);
+            for job in &chip.report.jobs {
+                prop_assert!(job.finish_seconds <= chip.report.makespan_seconds + eps);
+            }
+            prop_assert!(
+                chip.report.makespan_seconds <= max_admit + chip.report.sum_serial_seconds() + eps,
+                "chip {} makespan {} above its admission + serial bound",
+                chip.chip, chip.report.makespan_seconds
+            );
+            max_chip = max_chip.max(chip.report.makespan_seconds);
+        }
+        prop_assert!((report.makespan_seconds() - max_chip).abs() < 1e-18);
+        for outcome in &report.jobs {
+            prop_assert!(outcome.finish_seconds <= report.makespan_seconds() + 1e-12);
+            // Lifecycle ordering with wire time folded in: a job is admitted
+            // only after it arrives and its bytes land on the chip.
+            prop_assert!(
+                outcome.admitted_seconds
+                    >= outcome.arrival_seconds + outcome.transfer_seconds - 1e-15
+            );
+            prop_assert!(outcome.finish_seconds >= outcome.admitted_seconds - 1e-15);
+        }
+    }
+
+    #[test]
+    fn cluster_runs_are_deterministic(
+        seed in any::<u64>(), chips in 1usize..4, placement_idx in 0usize..3
+    ) {
+        let stream = random_stream(seed, 4, 2);
+        let opts = options(chips, PlacementPolicy::ALL[placement_idx]);
+        let a = serve_cluster(&stream, opts.clone()).unwrap();
+        let b = serve_cluster(&stream, opts).unwrap();
+        prop_assert!((a.makespan_seconds() - b.makespan_seconds()).abs() < 1e-18);
+        prop_assert_eq!(a.interconnect_bytes(), b.interconnect_bytes());
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            prop_assert_eq!(x.id, y.id);
+            prop_assert_eq!(x.chip, y.chip);
+            prop_assert!((x.finish_seconds - y.finish_seconds).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn one_chip_cluster_is_plain_serving_with_zero_interconnect(
+        seed in any::<u64>(), placement_idx in 0usize..3, jobs in 3usize..7
+    ) {
+        let stream = random_stream(seed, jobs, 2);
+        let report =
+            serve_cluster(&stream, options(1, PlacementPolicy::ALL[placement_idx])).unwrap();
+        prop_assert_eq!(report.interconnect_bytes(), 0);
+        prop_assert!(report.interconnect_seconds() == 0.0);
+        for outcome in &report.jobs {
+            prop_assert!(outcome.transfer_seconds == 0.0);
+        }
+        let plain = serve(
+            &stream,
+            ServeOptions::new(2).with_config(ArchPreset::Bts.config()),
+        )
+        .unwrap();
+        prop_assert!((report.makespan_seconds() - plain.makespan_seconds).abs() < 1e-18);
+        for outcome in &report.jobs {
+            let twin = plain.jobs.iter().find(|j| j.id == outcome.id).unwrap();
+            prop_assert!((outcome.finish_seconds - twin.finish_seconds).abs() < 1e-18);
+            prop_assert!((outcome.admitted_seconds - twin.admitted_seconds).abs() < 1e-18);
+        }
+    }
+}
