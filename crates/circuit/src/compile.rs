@@ -25,6 +25,7 @@ use crate::ir::{HeCircuit, HeInstr, ValueId};
 /// before being returned, so a compiler bug surfaces as an error here rather
 /// than as an executor panic.
 pub fn compile(circuit: &HeCircuit) -> Result<CompiledCircuit, CircuitError> {
+    let _span = bts_telemetry::span("circuit.compile");
     circuit.validate()?;
     let output_set: HashSet<ValueId> = circuit.outputs.iter().copied().collect();
 

@@ -672,6 +672,7 @@ impl CkksContext {
         d: &RnsPoly,
         evk: &EvaluationKey,
     ) -> crate::Result<(RnsPoly, RnsPoly)> {
+        let _span = bts_telemetry::span("ckks.key_switch");
         let level = d.limb_count() - 1;
         let k = self.num_special();
         let n = self.degree;

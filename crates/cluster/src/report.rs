@@ -140,25 +140,20 @@ impl ClusterReport {
             / self.jobs.len() as f64
     }
 
-    /// Latency at percentile `p` over fleet-level latencies (nearest rank,
-    /// `p` in `[0, 100]`). Returns 0 for an empty batch.
+    /// Latency at percentile `p` over fleet-level latencies (nearest rank
+    /// via the shared [`bts_telemetry::percentile_nearest_rank`], `p` in
+    /// `[0, 100]`). Returns 0 for an empty batch.
     ///
     /// # Panics
     ///
     /// Panics if `p` is outside `[0, 100]`.
     pub fn latency_percentile(&self, p: f64) -> f64 {
-        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
-        if self.jobs.is_empty() {
-            return 0.0;
-        }
-        let mut latencies: Vec<f64> = self
+        let latencies: Vec<f64> = self
             .jobs
             .iter()
             .map(ClusterJobOutcome::latency_seconds)
             .collect();
-        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-        let rank = ((p / 100.0) * latencies.len() as f64).ceil() as usize;
-        latencies[rank.clamp(1, latencies.len()) - 1]
+        bts_telemetry::percentile_nearest_rank(&latencies, p)
     }
 
     /// Jain's fairness index over per-tenant mean *cluster* latency —

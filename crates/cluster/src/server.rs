@@ -191,6 +191,23 @@ impl ClusterServer {
         for (pos, &j) in order.iter().enumerate() {
             chip_of[j] = placed[pos];
         }
+        let telemetry_on = bts_telemetry::enabled();
+        if telemetry_on {
+            use bts_telemetry::ArgValue;
+            let _scope = bts_telemetry::scope("cluster");
+            for &j in &order {
+                bts_telemetry::emit_instant(
+                    "placement",
+                    &jobs[j].workload,
+                    jobs[j].arrival_seconds,
+                    &[
+                        ("job", ArgValue::U64(jobs[j].id)),
+                        ("tenant", ArgValue::U64(u64::from(jobs[j].tenant))),
+                        ("chip", ArgValue::U64(chip_of[j] as u64)),
+                    ],
+                );
+            }
+        }
 
         // Interconnect charging, in arrival order: ciphertext inputs always
         // move; a tenant's evk set moves only when this job grows the
@@ -200,6 +217,7 @@ impl ClusterServer {
         let mut transfer_seconds = vec![0.0f64; jobs.len()];
         let mut transfer_bytes = vec![0u64; jobs.len()];
         if chip_count > 1 {
+            let _scope = telemetry_on.then(|| bts_telemetry::scope("cluster"));
             let mut resident_evk: HashMap<(u32, usize), u64> = HashMap::new();
             for &j in &order {
                 let chip = chip_of[j];
@@ -209,6 +227,23 @@ impl ClusterServer {
                 let bytes = profiles[j].input_ct_bytes + evk_delta;
                 transfer_bytes[j] = bytes;
                 transfer_seconds[j] = link.transfer_seconds(bytes);
+                if telemetry_on && bytes > 0 {
+                    use bts_telemetry::ArgValue;
+                    bts_telemetry::emit_complete(
+                        "interconnect",
+                        "transfer",
+                        jobs[j].arrival_seconds,
+                        transfer_seconds[j],
+                        &[
+                            ("job", ArgValue::U64(jobs[j].id)),
+                            ("chip", ArgValue::U64(chip as u64)),
+                            ("bytes", ArgValue::U64(bytes)),
+                            ("ct_bytes", ArgValue::U64(profiles[j].input_ct_bytes)),
+                            ("evk_bytes", ArgValue::U64(evk_delta)),
+                        ],
+                    );
+                    bts_telemetry::counter_add("cluster.interconnect_bytes", bytes);
+                }
             }
         }
 
@@ -226,6 +261,9 @@ impl ClusterServer {
                     dispatched
                 })
                 .collect();
+            // Everything this chip's admission loop and scheduler emit lands
+            // in a per-chip telemetry process (`chip0`, `chip1`, …).
+            let _chip_scope = telemetry_on.then(|| bts_telemetry::scope(format!("chip{chip}")));
             let report = self
                 .server
                 .serve(&shard)

@@ -185,6 +185,7 @@ impl BaseConverter {
         exact: bool,
         scratch: &mut BconvScratch,
     ) {
+        let _span = bts_telemetry::span("bconv.convert_into");
         let n = self.source.degree();
         let s = self.source.len();
         assert_eq!(srcs.len(), s, "one input limb per source limb");

@@ -93,6 +93,7 @@ impl NttTable {
     ///
     /// Panics if `values.len() != degree`.
     pub fn forward(&self, values: &mut [u64]) {
+        let _span = bts_telemetry::span("ntt.forward");
         assert_eq!(values.len(), self.degree, "length must equal the degree");
         let q = &self.modulus;
         let qv = q.value();
@@ -143,6 +144,7 @@ impl NttTable {
     ///
     /// Panics if `values.len() != degree`.
     pub fn inverse(&self, values: &mut [u64]) {
+        let _span = bts_telemetry::span("ntt.inverse");
         assert_eq!(values.len(), self.degree, "length must equal the degree");
         let q = &self.modulus;
         let qv = q.value();

@@ -582,6 +582,7 @@ impl MultiScheduler {
             start_seconds: start,
             end_seconds: end,
         });
+        let telemetry_on = bts_telemetry::enabled();
         for kind in FuKind::ALL {
             let k = kind.index();
             if demand.busy[k] <= 0.0 {
@@ -597,11 +598,45 @@ impl MultiScheduler {
                 start_seconds: res_start,
                 end_seconds: res_end,
             });
+            if telemetry_on {
+                use bts_telemetry::ArgValue;
+                // The start/end args carry the exact reservation floats so
+                // utilization derived from the event stream sums the same
+                // values in the same order as `unit_utilization`.
+                bts_telemetry::emit_complete(
+                    &format!("{}.{}", kind.label(), channel),
+                    &format!("J{}#{} {:?}@L{}", completion.tag, i, op, level),
+                    res_start,
+                    res_end - res_start,
+                    &[
+                        ("job", ArgValue::U64(u64::from(completion.tag))),
+                        ("op_index", ArgValue::U64(i as u64)),
+                        ("level", ArgValue::U64(level as u64)),
+                        ("channel", ArgValue::U64(channel as u64)),
+                        ("start_s", ArgValue::F64(res_start)),
+                        ("end_s", ArgValue::F64(res_end)),
+                    ],
+                );
+            }
         }
         self.makespan = self.makespan.max(end);
         if completed {
             self.active.remove(pos);
             self.pending.push_back(completion);
+            if telemetry_on {
+                use bts_telemetry::ArgValue;
+                let job = &self.jobs[j];
+                bts_telemetry::emit_instant(
+                    "sched",
+                    "job-complete",
+                    job.max_end,
+                    &[
+                        ("job", ArgValue::U64(u64::from(job.tag))),
+                        ("critical_path_s", ArgValue::F64(job.critical_path)),
+                        ("serial_s", ArgValue::F64(job.serial)),
+                    ],
+                );
+            }
         }
     }
 }

@@ -43,6 +43,7 @@
 #![warn(missing_debug_implementations)]
 
 mod arrivals;
+mod derived;
 mod error;
 pub mod estimate;
 mod job;
@@ -51,6 +52,7 @@ mod report;
 mod server;
 
 pub use arrivals::SyntheticArrivals;
+pub use derived::DerivedServeFigures;
 pub use error::ServeError;
 pub use estimate::estimate_trace_seconds;
 pub use job::{JobRequest, QueuedJob};

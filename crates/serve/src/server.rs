@@ -213,6 +213,29 @@ impl BtsServer {
                 admitted_at[j] = release;
                 last_tenant = Some(jobs[j].tenant);
                 in_flight += 1;
+                if bts_telemetry::enabled() {
+                    use bts_telemetry::ArgValue;
+                    bts_telemetry::emit_instant(
+                        "admission",
+                        &jobs[j].workload,
+                        release,
+                        &[
+                            ("job", ArgValue::U64(jobs[j].id)),
+                            ("tenant", ArgValue::U64(u64::from(jobs[j].tenant))),
+                            ("queued_s", ArgValue::F64(release - jobs[j].arrival_seconds)),
+                        ],
+                    );
+                    bts_telemetry::emit_counter(
+                        "queue",
+                        "queue",
+                        release,
+                        &[
+                            ("waiting", queue.len() as f64),
+                            ("in_flight", in_flight as f64),
+                        ],
+                    );
+                    bts_telemetry::gauge_set("serve.in_flight", in_flight as f64);
+                }
                 scheduler.add_job(j as u32, &prepared[j].trace, &prepared[j].timings, release);
             }
             // Machine full or queue drained: advance to the next completion.
@@ -222,6 +245,17 @@ impl BtsServer {
                 Some(done) => {
                     clock = clock.max(done.finish_seconds);
                     in_flight -= 1;
+                    if bts_telemetry::enabled() {
+                        bts_telemetry::emit_counter(
+                            "queue",
+                            "queue",
+                            clock,
+                            &[
+                                ("waiting", queue.len() as f64),
+                                ("in_flight", in_flight as f64),
+                            ],
+                        );
+                    }
                 }
                 None => break,
             }
@@ -235,7 +269,7 @@ impl BtsServer {
             let stats = multi
                 .job(j as u32)
                 .expect("every prepared job was admitted");
-            outcomes.push(JobOutcome {
+            let outcome = JobOutcome {
                 id: job.id,
                 tenant: job.tenant,
                 workload: job.workload.clone(),
@@ -247,7 +281,35 @@ impl BtsServer {
                 critical_path_seconds: stats.critical_path_seconds,
                 refreshed_slot_levels: prep.refreshed_slot_levels,
                 ops: prep.trace.len(),
-            });
+            };
+            if bts_telemetry::enabled() {
+                use bts_telemetry::ArgValue;
+                // The lifecycle args carry the exact report floats, so
+                // figures derived from the event stream match the report
+                // bitwise (see `crate::derived`).
+                bts_telemetry::emit_complete(
+                    "jobs",
+                    &outcome.workload,
+                    outcome.arrival_seconds,
+                    outcome.latency_seconds(),
+                    &[
+                        ("job", ArgValue::U64(outcome.id)),
+                        ("tenant", ArgValue::U64(u64::from(outcome.tenant))),
+                        ("queue_s", ArgValue::F64(outcome.queue_seconds())),
+                        ("service_s", ArgValue::F64(outcome.service_seconds())),
+                        ("latency_s", ArgValue::F64(outcome.latency_seconds())),
+                        ("finish_s", ArgValue::F64(outcome.finish_seconds)),
+                        (
+                            "critical_path_s",
+                            ArgValue::F64(outcome.critical_path_seconds),
+                        ),
+                    ],
+                );
+                bts_telemetry::counter_add("serve.jobs", 1);
+                bts_telemetry::observe("serve.latency_seconds", outcome.latency_seconds());
+                bts_telemetry::observe("serve.queue_seconds", outcome.queue_seconds());
+            }
+            outcomes.push(outcome);
             match &mut aggregate {
                 Some(agg) => agg.merge(&prep.report),
                 None => aggregate = Some(prep.report.clone()),
@@ -279,6 +341,11 @@ impl BtsServer {
                 source,
             })?;
         let simulator = Simulator::new(self.options.config.clone(), job.instance.clone());
+        // Engine per-op events of this sweep land in their own process, named
+        // after the (workload, instance) pair being charged.
+        let _prep_scope = bts_telemetry::enabled().then(|| {
+            bts_telemetry::scope(format!("prep/{}@{}", job.workload, job.instance.name()))
+        });
         let (timings, report) =
             simulator
                 .try_run_timed(&lowered.trace, None)

@@ -507,7 +507,11 @@ impl Simulator {
         } else {
             CacheModel::Lru(CtCache::new(self.cache_capacity()))
         };
+        let telemetry_on = bts_telemetry::enabled();
         let mut timings = Vec::with_capacity(trace.ops.len());
+        // Serialized op start time: the engine charges ops back to back, so
+        // the running sum places each op's interval on the telemetry track.
+        let mut serial_t = 0.0f64;
         for (index, traced) in trace.ops.iter().enumerate() {
             let cost = self.op_cost(traced.op, traced.level);
             // Ciphertext operand residency.
@@ -515,6 +519,8 @@ impl Simulator {
             let mut miss_bytes = cost.operand_bytes;
             let mut hits = 0usize;
             let mut misses = 0usize;
+            let mut evictions = 0usize;
+            let mut hint_evictions = 0usize;
             for &input in &traced.inputs {
                 if forwarded.contains(&input) {
                     continue; // producer → consumer forwarding, not a cache access
@@ -531,7 +537,7 @@ impl Simulator {
                 } else {
                     misses += 1;
                     miss_bytes += ct_bytes;
-                    cache.insert(input, ct_bytes, next_use);
+                    evictions += cache.insert(input, ct_bytes, next_use);
                 }
             }
             if let Some(out) = traced.output {
@@ -541,24 +547,65 @@ impl Simulator {
                     } else {
                         0
                     };
-                    cache.insert(out, ct_bytes, next_use);
+                    evictions += cache.insert(out, ct_bytes, next_use);
                 }
             }
             if let Some(hints) = hints {
                 if let Some(dead) = hints.evict_after.get(index) {
                     for &id in dead {
-                        cache.remove(id);
+                        if cache.remove(id) {
+                            hint_evictions += 1;
+                        }
                     }
                 }
             }
             let hbm_bytes = cost.evk_bytes + miss_bytes;
             let hbm_seconds = hbm_bytes as f64 / self.config.hbm.bytes_per_sec();
+            let seconds = cost.compute_seconds.max(hbm_seconds);
+            if telemetry_on {
+                use bts_telemetry::ArgValue;
+                bts_telemetry::emit_complete(
+                    "engine",
+                    &format!("{:?}@L{}", traced.op, traced.level),
+                    serial_t,
+                    seconds,
+                    &[
+                        ("index", ArgValue::U64(index as u64)),
+                        ("hbm_bytes", ArgValue::U64(hbm_bytes)),
+                        ("miss_bytes", ArgValue::U64(miss_bytes)),
+                        ("evk_bytes", ArgValue::U64(cost.evk_bytes)),
+                        ("cache_hits", ArgValue::U64(hits as u64)),
+                        ("cache_misses", ArgValue::U64(misses as u64)),
+                        ("evictions", ArgValue::U64(evictions as u64)),
+                        ("hint_evictions", ArgValue::U64(hint_evictions as u64)),
+                    ],
+                );
+                if evictions + hint_evictions > 0 {
+                    bts_telemetry::emit_instant(
+                        "scratchpad",
+                        "evict",
+                        serial_t,
+                        &[
+                            ("evictions", ArgValue::U64(evictions as u64)),
+                            ("hint_evictions", ArgValue::U64(hint_evictions as u64)),
+                            ("used_bytes", ArgValue::U64(cache.used_bytes())),
+                        ],
+                    );
+                }
+                bts_telemetry::counter_add("sim.cache.hits", hits as u64);
+                bts_telemetry::counter_add("sim.cache.misses", misses as u64);
+                bts_telemetry::counter_add(
+                    "sim.cache.evictions",
+                    (evictions + hint_evictions) as u64,
+                );
+            }
+            serial_t += seconds;
             timings.push(OpTiming {
                 cost,
                 miss_bytes,
                 hbm_bytes,
                 hbm_seconds,
-                seconds: cost.compute_seconds.max(hbm_seconds),
+                seconds,
                 cache_hits: hits,
                 cache_misses: misses,
                 scratch_bytes: cost.temp_bytes + cache.used_bytes(),
@@ -676,14 +723,17 @@ impl CacheModel {
         }
     }
 
-    fn insert(&mut self, id: CtId, bytes: u64, next_use: u32) {
+    /// Inserts, returning how many resident ciphertexts were evicted to make
+    /// room (0 on bypass or when the entry fit without pressure).
+    fn insert(&mut self, id: CtId, bytes: u64, next_use: u32) -> usize {
         match self {
             CacheModel::Lru(c) => c.insert(id, bytes),
             CacheModel::Belady(c) => c.insert(id, bytes, next_use),
         }
     }
 
-    fn remove(&mut self, id: CtId) {
+    /// Drops an entry; true if it was resident.
+    fn remove(&mut self, id: CtId) -> bool {
         match self {
             CacheModel::Lru(c) => c.remove(id),
             CacheModel::Belady(c) => c.remove(id),
@@ -733,19 +783,24 @@ impl BeladyCache {
         }
     }
 
-    fn remove(&mut self, id: CtId) {
+    fn remove(&mut self, id: CtId) -> bool {
         if let Some((bytes, _)) = self.entries.remove(&id) {
             self.used -= bytes;
+            true
+        } else {
+            false
         }
     }
 
-    fn insert(&mut self, id: CtId, bytes: u64, next_use: u32) {
+    /// Inserts, returning the number of evicted victims (0 on bypass).
+    fn insert(&mut self, id: CtId, bytes: u64, next_use: u32) -> usize {
         if bytes > self.capacity {
-            return; // cannot cache at all
+            return 0; // cannot cache at all
         }
         if self.touch(id, next_use) {
-            return;
+            return 0;
         }
+        let mut evicted = 0usize;
         if self.used + bytes > self.capacity {
             // Pick victims furthest-next-use-first (ties to the larger id)
             // until the incoming ciphertext fits — but commit the evictions
@@ -768,17 +823,19 @@ impl BeladyCache {
                     break;
                 }
                 if (nu, vid) < (next_use, id) {
-                    return; // a victim is needed sooner than the incoming
+                    return 0; // a victim is needed sooner than the incoming
                 }
                 freed += self.entries[&vid].0;
                 victims.push(vid);
             }
+            evicted = victims.len();
             for vid in victims {
                 self.remove(vid);
             }
         }
         self.entries.insert(id, (bytes, next_use));
         self.used += bytes;
+        evicted
     }
 }
 
@@ -819,34 +876,42 @@ impl CtCache {
     }
 
     /// Drops an entry (dead-ciphertext eviction hint), freeing its bytes.
-    fn remove(&mut self, id: CtId) {
+    /// Returns true if the entry was resident.
+    fn remove(&mut self, id: CtId) -> bool {
         if let Some(sz) = self.entries.remove(&id) {
             self.used -= sz;
             if let Some(pos) = self.order.iter().position(|&x| x == id) {
                 self.order.remove(pos);
             }
+            true
+        } else {
+            false
         }
     }
 
-    fn insert(&mut self, id: CtId, bytes: u64) {
+    /// Inserts, returning the number of LRU victims evicted to make room.
+    fn insert(&mut self, id: CtId, bytes: u64) -> usize {
         if bytes > self.capacity {
-            return; // cannot cache at all
+            return 0; // cannot cache at all
         }
         if self.entries.contains_key(&id) {
             self.touch(id);
-            return;
+            return 0;
         }
+        let mut evicted = 0usize;
         while self.used + bytes > self.capacity {
             let Some(victim) = self.order.pop_front() else {
                 break;
             };
             if let Some(sz) = self.entries.remove(&victim) {
                 self.used -= sz;
+                evicted += 1;
             }
         }
         self.entries.insert(id, bytes);
         self.order.push_back(id);
         self.used += bytes;
+        evicted
     }
 }
 

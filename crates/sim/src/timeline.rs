@@ -4,35 +4,10 @@ use crate::config::BtsConfig;
 use crate::engine::Simulator;
 use crate::trace::HeOp;
 
-/// One segment of the Fig. 8 HMult execution timeline.
-#[derive(Debug, Clone, PartialEq)]
-pub struct TimelineSegment {
-    /// Hardware resource the segment occupies (`"HBM"`, `"NTTU"`, `"BConvU"`,
-    /// `"ModMult/ModAdd"`).
-    pub unit: &'static str,
-    /// What the resource is doing (e.g. `"load evk.ax.Q"`, `"iNTT.d2"`).
-    pub label: String,
-    /// Segment start, in nanoseconds from the start of the op.
-    pub start_ns: f64,
-    /// Segment end, in nanoseconds.
-    pub end_ns: f64,
-}
-
-impl TimelineSegment {
-    fn new(unit: &'static str, label: impl Into<String>, start_ns: f64, end_ns: f64) -> Self {
-        Self {
-            unit,
-            label: label.into(),
-            start_ns,
-            end_ns,
-        }
-    }
-
-    /// Segment duration in nanoseconds.
-    pub fn duration_ns(&self) -> f64 {
-        self.end_ns - self.start_ns
-    }
-}
+// The segment type moved into the shared telemetry crate (the scheduler's
+// per-channel view and the trace exporters consume it too); re-exported here
+// so existing `bts_sim::TimelineSegment` users keep compiling.
+pub use bts_telemetry::TimelineSegment;
 
 /// Reconstructs the Fig. 8 timeline of one HMult at the given level: the evk
 /// limb streams on HBM, the three (i)NTT phases on the NTTUs, the two BConv

@@ -1,0 +1,63 @@
+//! CLI gate for exported Chrome traces: parses the file, checks it against
+//! the trace-event schema subset the workspace emits (required keys, valid
+//! phases, monotone timestamps per track) and optionally enforces a minimum
+//! track count. Exits non-zero on any violation — CI runs this on the trace
+//! produced by `cluster_demo`.
+//!
+//! ```text
+//! validate_trace <trace.json> [--min-tracks N]
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: validate_trace <trace.json> [--min-tracks N]");
+        return ExitCode::FAILURE;
+    };
+    let mut min_tracks = 0usize;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--min-tracks" => {
+                let Some(value) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--min-tracks needs an integer argument");
+                    return ExitCode::FAILURE;
+                };
+                min_tracks = value;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("validate_trace: cannot read {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match bts_telemetry::validate_chrome_trace(&text) {
+        Ok(check) => {
+            println!(
+                "{path}: OK — {} events, {} processes, {} tracks",
+                check.events, check.processes, check.tracks
+            );
+            if check.tracks < min_tracks {
+                eprintln!(
+                    "validate_trace: {} tracks < required minimum {min_tracks}",
+                    check.tracks
+                );
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("validate_trace: {path}: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! The global collector: one process-wide event buffer behind an atomic
+//! on/off switch.
+//!
+//! Everything here is built for "free when off": the only cost an
+//! instrumentation point pays while the collector is disabled is one relaxed
+//! atomic load — no locks, no allocation, no clock reads (asserted by the
+//! counting-allocator test in `tests/zero_alloc.rs`). When enabled, events go
+//! into a bounded in-memory buffer (overflow is counted, never reallocated
+//! past the cap) and are drained by the exporters in `crate::export`.
+//!
+//! Two thread-local stacks give events their context:
+//!
+//! * the **scope stack** ([`scope`]) names the Perfetto *process* an event
+//!   belongs to — the cluster layer pushes `chip3` around a chip's serving
+//!   loop and every simulated event inside lands in that chip's process;
+//! * the **span stack** ([`span`]) links real-time RAII spans to their
+//!   parents, so a `bconv.convert_into` span inside `ckks.key_switch` carries
+//!   its parent's id.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::event::{ArgValue, Event, EventKind};
+
+/// Hard cap on buffered events. Past it, new events are dropped (and counted
+/// in [`dropped_events`]) instead of growing without bound — a long
+/// telemetry-enabled test run stays at a bounded memory footprint and the
+/// exported trace keeps its prefix.
+pub const MAX_EVENTS: usize = 250_000;
+
+/// 0 = undecided (consult the environment on first use), 1 = off, 2 = on.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+static EVENTS: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+/// Epoch for real-time spans: set on the first span, so `ts` starts near 0.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+thread_local! {
+    static SCOPES: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static RT_TRACK: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Whether the collector is recording. The first call (per process) consults
+/// the environment: `BTS_TRACE`, `BTS_METRICS` or `BTS_TELEMETRY` (any
+/// non-empty value other than `BTS_TELEMETRY=0`) switch collection on.
+/// [`set_enabled`] overrides the environment either way.
+#[inline]
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => init_from_env(),
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let set = |key: &str| std::env::var_os(key).is_some_and(|v| !v.is_empty());
+    let on = set("BTS_TRACE")
+        || set("BTS_METRICS")
+        || matches!(std::env::var("BTS_TELEMETRY"), Ok(v) if !v.is_empty() && v != "0");
+    ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    on
+}
+
+/// Switches collection on or off, overriding the environment.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Number of events currently buffered.
+pub fn events_recorded() -> usize {
+    lock_events().len()
+}
+
+/// Number of events dropped because the buffer hit [`MAX_EVENTS`].
+pub fn dropped_events() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Drains and returns every buffered event (oldest first).
+pub fn take_events() -> Vec<Event> {
+    std::mem::take(&mut *lock_events())
+}
+
+/// Clones the buffered events without draining them.
+pub fn snapshot_events() -> Vec<Event> {
+    lock_events().clone()
+}
+
+/// Clears the event buffer, the dropped counter and the metrics registry.
+pub fn reset() {
+    lock_events().clear();
+    DROPPED.store(0, Ordering::Relaxed);
+    crate::metrics::reset_metrics();
+}
+
+fn lock_events() -> std::sync::MutexGuard<'static, Vec<Event>> {
+    // A panic while holding the lock only interrupts a push; the buffer
+    // itself stays well-formed, so poisoning is safe to shrug off.
+    EVENTS.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn record(event: Event) {
+    let mut buf = lock_events();
+    if buf.len() >= MAX_EVENTS {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+    } else {
+        buf.push(event);
+    }
+}
+
+/// The current thread's scope stack joined into a process name (`"bts"` when
+/// empty).
+pub fn current_process() -> String {
+    SCOPES.with(|s| {
+        let s = s.borrow();
+        if s.is_empty() {
+            "bts".to_string()
+        } else {
+            s.join("/")
+        }
+    })
+}
+
+/// RAII guard returned by [`scope`]; pops its name when dropped.
+#[derive(Debug)]
+pub struct ScopeGuard {
+    active: bool,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        if self.active {
+            SCOPES.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+/// Pushes a name onto the current thread's scope stack: every event emitted
+/// on this thread until the guard drops belongs to the (nested) process
+/// `outer/inner`. No-op (and allocation-free) while the collector is
+/// disabled.
+pub fn scope(name: impl Into<String>) -> ScopeGuard {
+    if !enabled() {
+        return ScopeGuard { active: false };
+    }
+    SCOPES.with(|s| s.borrow_mut().push(name.into()));
+    ScopeGuard { active: true }
+}
+
+/// Emits a closed interval in simulated time on `track` of the current scope
+/// process. `start_seconds`/`dur_seconds` are model seconds. No-op while
+/// disabled.
+pub fn emit_complete(
+    track: &str,
+    name: &str,
+    start_seconds: f64,
+    dur_seconds: f64,
+    args: &[(&'static str, ArgValue)],
+) {
+    if !enabled() {
+        return;
+    }
+    record(Event {
+        process: current_process(),
+        track: track.to_string(),
+        name: name.to_string(),
+        ts_ns: start_seconds * 1e9,
+        kind: EventKind::Complete {
+            dur_ns: dur_seconds * 1e9,
+        },
+        args: args.to_vec(),
+    });
+}
+
+/// Emits a point-in-time marker in simulated time. No-op while disabled.
+pub fn emit_instant(track: &str, name: &str, ts_seconds: f64, args: &[(&'static str, ArgValue)]) {
+    if !enabled() {
+        return;
+    }
+    record(Event {
+        process: current_process(),
+        track: track.to_string(),
+        name: name.to_string(),
+        ts_ns: ts_seconds * 1e9,
+        kind: EventKind::Instant,
+        args: args.to_vec(),
+    });
+}
+
+/// Emits a counter sample in simulated time; `series` become the counter's
+/// stacked values in the trace viewer. No-op while disabled.
+pub fn emit_counter(track: &str, name: &str, ts_seconds: f64, series: &[(&'static str, f64)]) {
+    if !enabled() {
+        return;
+    }
+    record(Event {
+        process: current_process(),
+        track: track.to_string(),
+        name: name.to_string(),
+        ts_ns: ts_seconds * 1e9,
+        kind: EventKind::Counter,
+        args: series.iter().map(|&(k, v)| (k, ArgValue::F64(v))).collect(),
+    });
+}
+
+/// A real-time RAII span: records a wall-clock `Complete` event on the
+/// emitting thread's track of the `realtime` process when dropped. Inactive
+/// (zero-cost, no clock read) while the collector is disabled.
+#[derive(Debug)]
+pub struct Span(Option<ActiveSpan>);
+
+#[derive(Debug)]
+struct ActiveSpan {
+    name: &'static str,
+    id: u64,
+    parent: u64,
+    start_ns: f64,
+}
+
+/// Opens a real-time span. Spans on one thread nest: the most recently opened
+/// live span is the parent of the next, recorded in the `parent_span_id` arg
+/// (0 = root). Returns an inactive guard while the collector is disabled.
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span(None);
+    }
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    let start_ns = epoch.elapsed().as_nanos() as f64;
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = SPAN_STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        let parent = s.last().copied().unwrap_or(0);
+        s.push(id);
+        parent
+    });
+    Span(Some(ActiveSpan {
+        name,
+        id,
+        parent,
+        start_ns,
+    }))
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(active) = self.0.take() else {
+            return;
+        };
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            if let Some(pos) = s.iter().rposition(|&id| id == active.id) {
+                s.remove(pos);
+            }
+        });
+        let end_ns = EPOCH
+            .get()
+            .map(|e| e.elapsed().as_nanos() as f64)
+            .unwrap_or(active.start_ns);
+        record(Event {
+            process: "realtime".to_string(),
+            track: realtime_track(),
+            name: active.name.to_string(),
+            ts_ns: active.start_ns,
+            kind: EventKind::Complete {
+                dur_ns: (end_ns - active.start_ns).max(0.0),
+            },
+            args: vec![
+                ("span_id", ArgValue::U64(active.id)),
+                ("parent_span_id", ArgValue::U64(active.parent)),
+            ],
+        });
+    }
+}
+
+/// Number of live real-time spans on the current thread. A balanced
+/// open/close discipline returns this to its prior value — the
+/// "spans properly closed" test hook.
+pub fn active_span_depth() -> usize {
+    SPAN_STACK.with(|s| s.borrow().len())
+}
+
+/// The current thread's real-time track name: the OS thread name if set, a
+/// stable `thread-N` otherwise.
+fn realtime_track() -> String {
+    RT_TRACK.with(|t| {
+        t.borrow_mut()
+            .get_or_insert_with(|| match std::thread::current().name() {
+                Some(name) => name.to_string(),
+                None => format!("thread-{}", NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed)),
+            })
+            .clone()
+    })
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    /// The collector is process-global; tests that toggle it serialize here.
+    pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        set_enabled(false);
+        let before = events_recorded();
+        emit_complete("t", "n", 0.0, 1.0, &[]);
+        emit_instant("t", "n", 0.0, &[]);
+        emit_counter("t", "n", 0.0, &[("v", 1.0)]);
+        let s = span("noop");
+        drop(s);
+        assert_eq!(events_recorded(), before);
+        assert_eq!(active_span_depth(), 0);
+    }
+
+    #[test]
+    fn scope_stack_shapes_the_process_name() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        set_enabled(true);
+        assert_eq!(current_process(), "bts");
+        {
+            let _outer = scope("chip0");
+            assert_eq!(current_process(), "chip0");
+            {
+                let _inner = scope("prep");
+                assert_eq!(current_process(), "chip0/prep");
+            }
+            assert_eq!(current_process(), "chip0");
+        }
+        assert_eq!(current_process(), "bts");
+    }
+
+    #[test]
+    fn spans_record_parent_linkage() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        set_enabled(true);
+        take_events();
+        {
+            let _outer = span("collector-test-outer");
+            let _inner = span("collector-test-inner");
+            assert_eq!(active_span_depth(), 2);
+        }
+        assert_eq!(active_span_depth(), 0);
+        let events = take_events();
+        let outer = events
+            .iter()
+            .find(|e| e.name == "collector-test-outer")
+            .unwrap();
+        let inner = events
+            .iter()
+            .find(|e| e.name == "collector-test-inner")
+            .unwrap();
+        assert_eq!(inner.arg_u64("parent_span_id"), outer.arg_u64("span_id"));
+        assert_eq!(outer.arg_u64("parent_span_id"), Some(0));
+        assert_eq!(outer.process, "realtime");
+    }
+
+    #[test]
+    fn buffer_overflow_is_counted_not_grown() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        set_enabled(true);
+        // Fill to the cap synthetically (push directly to keep the test fast
+        // enough only in spirit — here we just verify the bookkeeping by
+        // simulating a full buffer).
+        let filler = Event {
+            process: "p".to_string(),
+            track: "t".to_string(),
+            name: "f".to_string(),
+            ts_ns: 0.0,
+            kind: EventKind::Instant,
+            args: Vec::new(),
+        };
+        {
+            let mut buf = lock_events();
+            buf.clear();
+            buf.resize(MAX_EVENTS, filler);
+        }
+        let dropped_before = dropped_events();
+        emit_instant("t", "overflow", 0.0, &[]);
+        assert_eq!(events_recorded(), MAX_EVENTS);
+        assert_eq!(dropped_events(), dropped_before + 1);
+        reset();
+        assert_eq!(events_recorded(), 0);
+        assert_eq!(dropped_events(), 0);
+    }
+}

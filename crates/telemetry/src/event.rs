@@ -1,0 +1,207 @@
+//! The event model: what one telemetry record is.
+//!
+//! Every instrumentation point in the workspace — a simulated per-op charge,
+//! a scheduler channel reservation, a queue-depth sample, a wall-clock span
+//! around an NTT — produces the same [`Event`] shape. Simulated-time sources
+//! set `ts_ns` from model seconds (`seconds × 1e9`); real-time sources set it
+//! from a monotonic clock relative to the collector epoch. The Chrome
+//! trace-event exporter maps `(process, track)` to `(pid, tid)` so Perfetto
+//! renders one lane per functional unit, chip, queue or OS thread.
+
+/// A single argument value attached to an event (`args` in the Chrome trace).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// An unsigned integer (byte counts, hit/miss counts, ids).
+    U64(u64),
+    /// A float (seconds, rates).
+    F64(f64),
+    /// A string (labels).
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::U64(u64::from(v))
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// What kind of trace record an [`Event`] is. The variants map one-to-one
+/// onto Chrome trace-event phases.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A closed interval of known duration (phase `"X"`).
+    Complete {
+        /// Interval length in nanoseconds.
+        dur_ns: f64,
+    },
+    /// A point-in-time marker (phase `"i"`).
+    Instant,
+    /// A counter sample (phase `"C"`); the sampled series are the event's
+    /// numeric args.
+    Counter,
+}
+
+/// One telemetry record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Process-level grouping (Perfetto process): the scope stack at emission
+    /// time joined with `/` — `"bts"` at top level, `"chip1"` inside a
+    /// cluster chip, `"realtime"` for wall-clock spans.
+    pub process: String,
+    /// Track (Perfetto thread) inside the process: `"NTTU.0"`, `"queue"`,
+    /// `"interconnect"`, an OS thread name for real-time spans.
+    pub track: String,
+    /// Event name shown on the slice.
+    pub name: String,
+    /// Start (or sample) time in nanoseconds. Simulated-time events use model
+    /// seconds × 1e9; real-time events use nanoseconds since the collector
+    /// epoch.
+    pub ts_ns: f64,
+    /// The record kind.
+    pub kind: EventKind,
+    /// Key/value metadata (bytes moved, hit/miss counts, job ids, …).
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl Event {
+    /// End time: `ts_ns + dur_ns` for complete events, `ts_ns` otherwise.
+    pub fn end_ns(&self) -> f64 {
+        match self.kind {
+            EventKind::Complete { dur_ns } => self.ts_ns + dur_ns,
+            _ => self.ts_ns,
+        }
+    }
+
+    /// Looks up an argument by key.
+    pub fn arg(&self, key: &str) -> Option<&ArgValue> {
+        self.args.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Looks up an unsigned-integer argument by key.
+    pub fn arg_u64(&self, key: &str) -> Option<u64> {
+        match self.arg(key) {
+            Some(ArgValue::U64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a float argument by key.
+    pub fn arg_f64(&self, key: &str) -> Option<f64> {
+        match self.arg(key) {
+            Some(ArgValue::F64(v)) => Some(*v),
+            Some(ArgValue::U64(v)) => Some(*v as f64),
+            _ => None,
+        }
+    }
+}
+
+/// Checks that the [`EventKind::Complete`] events of every `(process, track)`
+/// pair are properly nested: any two intervals on one track are either
+/// disjoint or one contains the other. RAII span guards guarantee this by
+/// construction; the check catches hand-emitted intervals that would render
+/// as overlapping garbage in a trace viewer.
+///
+/// # Errors
+///
+/// Returns a description of the first overlapping-but-not-nested pair.
+pub fn check_proper_nesting(events: &[Event]) -> Result<(), String> {
+    let mut by_track: std::collections::BTreeMap<(&str, &str), Vec<(f64, f64)>> =
+        std::collections::BTreeMap::new();
+    for ev in events {
+        if let EventKind::Complete { dur_ns } = ev.kind {
+            by_track
+                .entry((ev.process.as_str(), ev.track.as_str()))
+                .or_default()
+                .push((ev.ts_ns, ev.ts_ns + dur_ns));
+        }
+    }
+    for ((process, track), intervals) in &by_track {
+        for (i, &(a0, a1)) in intervals.iter().enumerate() {
+            for &(b0, b1) in &intervals[i + 1..] {
+                let overlap = a0 < b1 && b0 < a1;
+                let nested = (a0 <= b0 && b1 <= a1) || (b0 <= a0 && a1 <= b1);
+                if overlap && !nested {
+                    return Err(format!(
+                        "track {process}/{track}: intervals [{a0}, {a1}] and \
+                         [{b0}, {b1}] overlap without nesting"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(track: &str, ts: f64, dur: f64) -> Event {
+        Event {
+            process: "p".to_string(),
+            track: track.to_string(),
+            name: "n".to_string(),
+            ts_ns: ts,
+            kind: EventKind::Complete { dur_ns: dur },
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn arg_lookup_by_key_and_type() {
+        let mut ev = complete("t", 0.0, 1.0);
+        ev.args = vec![("bytes", ArgValue::U64(7)), ("rate", ArgValue::F64(0.5))];
+        assert_eq!(ev.arg_u64("bytes"), Some(7));
+        assert_eq!(ev.arg_f64("rate"), Some(0.5));
+        assert_eq!(ev.arg_f64("bytes"), Some(7.0));
+        assert_eq!(ev.arg_u64("missing"), None);
+        assert_eq!(ev.end_ns(), 1.0);
+    }
+
+    #[test]
+    fn nesting_accepts_disjoint_and_contained() {
+        let events = vec![
+            complete("t", 0.0, 10.0),
+            complete("t", 2.0, 3.0),  // contained
+            complete("t", 20.0, 5.0), // disjoint
+            complete("u", 1.0, 100.0),
+        ];
+        check_proper_nesting(&events).unwrap();
+    }
+
+    #[test]
+    fn nesting_rejects_straddling_intervals() {
+        let events = vec![complete("t", 0.0, 10.0), complete("t", 5.0, 10.0)];
+        assert!(check_proper_nesting(&events).is_err());
+    }
+}

@@ -1,0 +1,431 @@
+//! A minimal JSON parser and the Chrome trace-event schema checker.
+//!
+//! The workspace is offline (no serde); examples and CI still need to prove
+//! that an exported trace is well-formed and schema-valid, so this module
+//! carries a small recursive-descent parser — enough JSON for trace files —
+//! and [`validate_chrome_trace`], the gate both the demos and the CI job run.
+
+use std::collections::BTreeSet;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as f64).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in source order (duplicate keys keep the last value on
+    /// lookup).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object member lookup (last occurrence wins).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => {
+                members.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document (trailing whitespace allowed, nothing
+/// else).
+///
+/// # Errors
+///
+/// Returns a message with the byte offset of the first syntax error.
+pub fn parse(input: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        text: input,
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(JsonValue::String(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", JsonValue::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn parse_keyword(&mut self, keyword: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            Ok(value)
+        } else {
+            Err(format!("expected '{keyword}' at byte {}", self.pos))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let code = self.parse_hex4()?;
+                            // Surrogate pairs are not reassembled — trace
+                            // content is ASCII-plus-BMP in practice; lone
+                            // surrogates map to the replacement character.
+                            out.push(char::from_u32(u32::from(code)).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(format!(
+                                "invalid escape '\\{}' at byte {}",
+                                char::from(other),
+                                self.pos - 1
+                            ));
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar. `pos` only ever advances by
+                    // whole ASCII tokens or `len_utf8()`, so it is always a
+                    // char boundary of the original `&str`.
+                    let c = self.text[self.pos..].chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u16, String> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err("truncated \\u escape".to_string());
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| "invalid \\u escape".to_string())?;
+        let code =
+            u16::from_str_radix(hex, 16).map_err(|_| format!("invalid \\u escape '{hex}'"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid number".to_string())?;
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+    }
+}
+
+/// What the schema check counted in a valid trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCheck {
+    /// Non-metadata events.
+    pub events: usize,
+    /// Distinct pids.
+    pub processes: usize,
+    /// Distinct (pid, tid) pairs among non-metadata events.
+    pub tracks: usize,
+}
+
+/// Validates a Chrome trace-event document against the subset of the format
+/// the repo emits and CI gates on:
+///
+/// * top level is an object with a `traceEvents` array;
+/// * every event carries `ph` (string), `name` (string), `ts` (number),
+///   `pid` (number) and `tid` (number);
+/// * `"X"` events carry a non-negative `dur`;
+/// * per `(pid, tid)` track, `ts` is monotone non-decreasing in array order
+///   (metadata `"M"` records exempt).
+///
+/// # Errors
+///
+/// Returns a description of the first violation (or parse error).
+pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
+    let root = parse(text)?;
+    let events = root
+        .get("traceEvents")
+        .ok_or_else(|| "missing 'traceEvents'".to_string())?
+        .as_array()
+        .ok_or_else(|| "'traceEvents' is not an array".to_string())?;
+
+    let mut processes: BTreeSet<u64> = BTreeSet::new();
+    let mut tracks: BTreeSet<(u64, u64)> = BTreeSet::new();
+    let mut last_ts: std::collections::HashMap<(u64, u64), f64> = std::collections::HashMap::new();
+    let mut counted = 0usize;
+
+    for (i, ev) in events.iter().enumerate() {
+        let field = |key: &str| {
+            ev.get(key)
+                .ok_or_else(|| format!("event {i}: missing '{key}'"))
+        };
+        let ph = field("ph")?
+            .as_str()
+            .ok_or_else(|| format!("event {i}: 'ph' is not a string"))?;
+        field("name")?
+            .as_str()
+            .ok_or_else(|| format!("event {i}: 'name' is not a string"))?;
+        let ts = field("ts")?
+            .as_number()
+            .ok_or_else(|| format!("event {i}: 'ts' is not a number"))?;
+        let pid = field("pid")?
+            .as_number()
+            .ok_or_else(|| format!("event {i}: 'pid' is not a number"))? as u64;
+        let tid = field("tid")?
+            .as_number()
+            .ok_or_else(|| format!("event {i}: 'tid' is not a number"))? as u64;
+        if ph == "M" {
+            continue;
+        }
+        if ph == "X" {
+            let dur = field("dur")?
+                .as_number()
+                .ok_or_else(|| format!("event {i}: 'dur' is not a number"))?;
+            if dur < 0.0 {
+                return Err(format!("event {i}: negative dur {dur}"));
+            }
+        }
+        if let Some(&prev) = last_ts.get(&(pid, tid)) {
+            if ts < prev {
+                return Err(format!(
+                    "event {i}: ts {ts} goes backwards on track ({pid}, {tid}) after {prev}"
+                ));
+            }
+        }
+        last_ts.insert((pid, tid), ts);
+        processes.insert(pid);
+        tracks.insert((pid, tid));
+        counted += 1;
+    }
+    Ok(TraceCheck {
+        events: counted,
+        processes: processes.len(),
+        tracks: tracks.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_strings_and_nesting() {
+        let v =
+            parse(r#"{"a": [1, -2.5, 1e3, true, false, null], "s": "x\n\"y\"A", "o": {"k": 2}}"#)
+                .unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 6);
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2].as_number(),
+            Some(1000.0)
+        );
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x\n\"y\"A"));
+        assert_eq!(v.get("o").unwrap().get("k").unwrap().as_number(), Some(2.0));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("12 34").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn validates_a_minimal_trace() {
+        let text = r#"{"traceEvents": [
+            {"ph":"M","name":"process_name","pid":1,"tid":0,"ts":0,"args":{"name":"bts"}},
+            {"ph":"X","name":"op","pid":1,"tid":1,"ts":0,"dur":5},
+            {"ph":"i","name":"mark","pid":1,"tid":1,"ts":3,"s":"t"},
+            {"ph":"C","name":"queue","pid":1,"tid":2,"ts":0,"args":{"waiting":2}}
+        ]}"#;
+        let check = validate_chrome_trace(text).unwrap();
+        assert_eq!(check.events, 3);
+        assert_eq!(check.processes, 1);
+        assert_eq!(check.tracks, 2);
+    }
+
+    #[test]
+    fn rejects_schema_violations() {
+        // Missing pid.
+        let missing = r#"{"traceEvents": [{"ph":"i","name":"m","tid":1,"ts":0}]}"#;
+        assert!(validate_chrome_trace(missing).is_err());
+        // Backwards ts on one track.
+        let backwards = r#"{"traceEvents": [
+            {"ph":"i","name":"a","pid":1,"tid":1,"ts":5},
+            {"ph":"i","name":"b","pid":1,"tid":1,"ts":4}
+        ]}"#;
+        assert!(validate_chrome_trace(backwards).is_err());
+        // Negative duration.
+        let negative =
+            r#"{"traceEvents": [{"ph":"X","name":"a","pid":1,"tid":1,"ts":5,"dur":-1}]}"#;
+        assert!(validate_chrome_trace(negative).is_err());
+        // Not a trace at all.
+        assert!(validate_chrome_trace("[]").is_err());
+    }
+}

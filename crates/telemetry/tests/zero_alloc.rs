@@ -1,0 +1,67 @@
+//! Proves the "free when off" contract: with the collector disabled, every
+//! instrumentation entry point performs zero heap allocations and records
+//! nothing. Runs as its own test binary (own process) so no other test can
+//! flip the global switch underneath it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn disabled_telemetry_allocates_nothing_and_records_nothing() {
+    // Decide the switch before measuring: set_enabled writes the atomic, so
+    // the env-probing first call (which allocates for env::var) never runs
+    // inside the measured window.
+    bts_telemetry::set_enabled(false);
+    assert!(!bts_telemetry::enabled());
+    let events_before = bts_telemetry::events_recorded();
+
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..1000 {
+        let _scope = bts_telemetry::scope("chip0");
+        let _span = bts_telemetry::span("ntt.forward");
+        bts_telemetry::emit_complete(
+            "NTTU.0",
+            "HMult@L27",
+            i as f64,
+            1.0,
+            &[("bytes", bts_telemetry::ArgValue::U64(i))],
+        );
+        bts_telemetry::emit_instant("scratchpad", "evict", i as f64, &[]);
+        bts_telemetry::emit_counter("queue", "queue", i as f64, &[("waiting", 3.0)]);
+        bts_telemetry::counter_add("sim.cache.hits", 1);
+        bts_telemetry::gauge_set("serve.in_flight", 2.0);
+        bts_telemetry::observe("serve.latency_seconds", 0.01);
+    }
+    let allocs_after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        allocs_after - allocs_before,
+        0,
+        "disabled telemetry must not allocate"
+    );
+    assert_eq!(bts_telemetry::events_recorded(), events_before);
+    assert!(bts_telemetry::metrics_snapshot().is_empty());
+}

@@ -9,13 +9,22 @@
 //! that crosses the interconnect, which is why placement matters.
 //!
 //! Run with: `cargo run --release --example cluster_demo`
+//!
+//! The run records a telemetry trace (set `BTS_TRACE=path.json` to choose
+//! where; defaults to `target/cluster_demo.trace.json`) — load it at
+//! <https://ui.perfetto.dev> to see per-chip functional-unit lanes, queue
+//! depths and interconnect transfers.
 
 use bts::cluster::{serve_cluster, ChipSpec, ClusterOptions, Interconnect, PlacementPolicy};
 use bts::params::CkksInstance;
 use bts::serve::SyntheticArrivals;
 use bts::sim::ArchPreset;
+use bts::telemetry;
 
 fn main() {
+    let session = telemetry::init(
+        &telemetry::TelemetryConfig::from_env().or_trace_path("target/cluster_demo.trace.json"),
+    );
     let ins = CkksInstance::ins1();
     // 12 jobs from 3 tenants: mostly bootstrap refreshes with some amortized
     // multiplication batches mixed in, arriving every ~4 ms.
@@ -80,4 +89,25 @@ fn main() {
             report.tenant_fairness(),
         );
     }
+
+    // Export the trace and prove it is what we claim: well-formed Chrome
+    // trace JSON with at least the per-chip unit lanes, the queue/admission
+    // lanes and the interconnect lane.
+    let summary = session.finish().expect("trace export writes");
+    let trace = summary.trace.expect("a trace path is always configured");
+    let text = std::fs::read_to_string(&trace.path).expect("trace file readable");
+    assert!(!text.is_empty(), "trace must not be empty");
+    let check = telemetry::validate_chrome_trace(&text).expect("trace must be schema-valid");
+    assert!(
+        check.tracks >= 3,
+        "expected >= 3 distinct tracks, got {}",
+        check.tracks
+    );
+    println!(
+        "\ntelemetry: {} events on {} tracks across {} processes -> {} (open in https://ui.perfetto.dev)",
+        check.events,
+        check.tracks,
+        check.processes,
+        trace.path.display(),
+    );
 }

@@ -6,12 +6,21 @@
 //! the same arrival stream.
 //!
 //! Run with: `cargo run --release --example serving_demo`
+//!
+//! The run records a telemetry trace (set `BTS_TRACE=path.json` to choose
+//! where; defaults to `target/serving_demo.trace.json`) — load it at
+//! <https://ui.perfetto.dev> to see the queue depth, admissions and per-job
+//! lifecycle spans next to the functional-unit lanes.
 
 use bts::params::{BandwidthModel, CkksInstance};
 use bts::serve::{serve, QueuePolicy, ServeOptions, SyntheticArrivals};
 use bts::sim::BtsConfig;
+use bts::telemetry;
 
 fn main() {
+    let session = telemetry::init(
+        &telemetry::TelemetryConfig::from_env().or_trace_path("target/serving_demo.trace.json"),
+    );
     let ins = CkksInstance::ins1();
     // The Fig. 9 2 TB/s point: compute matters, so co-scheduling has slack
     // to reclaim (at 1 TB/s the machine is evk-streaming bound end to end).
@@ -100,4 +109,20 @@ fn main() {
         );
     }
     println!("{}", report.summary());
+
+    // Export the trace and check it really is non-empty, well-formed Chrome
+    // trace JSON before pointing anyone at it.
+    let summary = session.finish().expect("trace export writes");
+    let trace = summary.trace.expect("a trace path is always configured");
+    let text = std::fs::read_to_string(&trace.path).expect("trace file readable");
+    assert!(!text.is_empty(), "trace must not be empty");
+    let check = telemetry::validate_chrome_trace(&text).expect("trace must be schema-valid");
+    assert!(check.events > 0, "trace must record events");
+    println!(
+        "\ntelemetry: {} events on {} tracks across {} processes -> {} (open in https://ui.perfetto.dev)",
+        check.events,
+        check.tracks,
+        check.processes,
+        trace.path.display(),
+    );
 }

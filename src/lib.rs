@@ -14,6 +14,7 @@
 //! | [`workloads`] | `bts-workloads` | bootstrapping/HELR/ResNet/sorting as circuits |
 //! | [`serve`] | `bts-serve` | multi-tenant batch serving over one shared accelerator |
 //! | [`cluster`] | `bts-cluster` | multi-chip fleets: placement policies + interconnect costs |
+//! | [`telemetry`] | `bts-telemetry` | unified tracing/metrics + Chrome-trace (Perfetto) export |
 //!
 //! # Quickstart
 //!
@@ -117,4 +118,5 @@ pub use bts_params as params;
 pub use bts_sched as sched;
 pub use bts_serve as serve;
 pub use bts_sim as sim;
+pub use bts_telemetry as telemetry;
 pub use bts_workloads as workloads;

@@ -1,0 +1,172 @@
+//! Integration tests of the unified telemetry stream: figures derived from
+//! the event stream match `ServeReport` bitwise, identical runs emit
+//! identical streams, and the RAII span layer leaves every span closed and
+//! properly nested after a real functional run.
+//!
+//! The collector is process-global, so these tests serialize on a lock and
+//! tag each run with a unique scope; filtering by the scope prefix isolates
+//! one run's events even though the buffer is shared.
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+use bts::ckks::{CkksContext, Complex};
+use bts::params::CkksInstance;
+use bts::sched::MachineModel;
+use bts::serve::{serve, DerivedServeFigures, ServeOptions, ServeReport, SyntheticArrivals};
+use bts::sim::BtsConfig;
+use bts::telemetry::{self, Event};
+use rand::SeedableRng;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Serves one seeded three-tenant stream under `scope` and returns the
+/// report plus only this run's events (scope prefix stripped back off).
+fn serve_under_scope(scope: &str, config: &BtsConfig) -> (ServeReport, Vec<Event>) {
+    let stream = SyntheticArrivals::new(CkksInstance::ins1(), 2024)
+        .mean_interarrival_seconds(3e-3)
+        .tenants(3)
+        .mix(vec![
+            ("bootstrap".to_string(), 2.0),
+            ("amortized-mult".to_string(), 1.0),
+        ])
+        .generate(6);
+    let report = {
+        let _scope = telemetry::scope(scope);
+        serve(&stream, ServeOptions::new(3).with_config(config.clone())).expect("stream serves")
+    };
+    let prefix = format!("{scope}/");
+    let events = telemetry::snapshot_events()
+        .into_iter()
+        .filter_map(|mut ev| {
+            if ev.process == scope {
+                ev.process = String::new();
+            } else if let Some(rest) = ev.process.strip_prefix(&prefix) {
+                ev.process = rest.to_string();
+            } else {
+                return None; // another run's events, or wall-clock spans
+            }
+            Some(ev)
+        })
+        .collect();
+    (report, events)
+}
+
+/// `ServeReport`'s utilization and latency figures recomputed purely from
+/// the event stream match the report bitwise: the events carry the exact
+/// floats, and the derivation performs the same additions in the same order.
+#[test]
+fn derived_figures_match_the_report_bitwise() {
+    let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    telemetry::set_enabled(true);
+    telemetry::reset();
+    let config = BtsConfig::bts_default();
+    let (report, events) = serve_under_scope("derive-run", &config);
+    assert_eq!(telemetry::dropped_events(), 0, "stream must be complete");
+    assert!(!events.is_empty());
+
+    let machine = MachineModel::from_config(&config);
+    let derived = DerivedServeFigures::from_events(&events, &machine);
+    assert_eq!(derived.job_count, report.job_count());
+    assert_eq!(
+        derived.makespan_seconds.to_bits(),
+        report.makespan_seconds.to_bits(),
+        "derived makespan {} != report makespan {}",
+        derived.makespan_seconds,
+        report.makespan_seconds
+    );
+    for (kind_index, (d, r)) in derived
+        .utilizations
+        .iter()
+        .zip(report.utilizations.iter())
+        .enumerate()
+    {
+        assert_eq!(
+            d.to_bits(),
+            r.to_bits(),
+            "unit class {kind_index}: derived utilization {d} != report {r}"
+        );
+    }
+    assert!(derived.utilizations.iter().any(|&u| u > 0.0));
+    assert_eq!(
+        derived.latency_p50_seconds.to_bits(),
+        report.latency_percentile(50.0).to_bits()
+    );
+    assert_eq!(
+        derived.latency_p99_seconds.to_bits(),
+        report.latency_percentile(99.0).to_bits()
+    );
+}
+
+/// Same seed, same config, same options: the two runs' event streams are
+/// identical, event by event, args and all (wall-clock spans excluded — they
+/// live on the separate `realtime` process by construction).
+#[test]
+fn identical_runs_emit_identical_streams() {
+    let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    telemetry::set_enabled(true);
+    telemetry::reset();
+    let config = BtsConfig::bts_default();
+    let (report_a, a) = serve_under_scope("det-run-a", &config);
+    let (report_b, b) = serve_under_scope("det-run-b", &config);
+    assert_eq!(telemetry::dropped_events(), 0, "stream must be complete");
+    assert!(!a.is_empty());
+    assert_eq!(a.len(), b.len());
+    for (i, (ea, eb)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(ea, eb, "event {i} differs between identical runs");
+    }
+    assert_eq!(report_a.makespan_seconds, report_b.makespan_seconds);
+}
+
+/// A real functional CKKS run leaves the span machinery clean: depth back to
+/// zero, every Complete interval properly nested per track, and every
+/// non-root span's parent id pointing at a recorded span.
+#[test]
+fn spans_close_and_nest_over_a_functional_run() {
+    let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    telemetry::set_enabled(true);
+    telemetry::reset();
+    assert_eq!(telemetry::active_span_depth(), 0);
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+    let ctx = CkksContext::new_toy(1 << 11, 4, 2).expect("toy context");
+    let (sk, keys) = ctx.generate_keys(&mut rng).expect("keys");
+    let eval = ctx.evaluator(&keys);
+    let x: Vec<Complex> = (0..ctx.slots())
+        .map(|i| Complex::new(0.25 + (i % 5) as f64 * 0.1, 0.0))
+        .collect();
+    let ct = ctx
+        .encrypt(&ctx.encode(&x).expect("encode"), &sk, &mut rng)
+        .expect("encrypt");
+    let prod = eval
+        .mul_rescale(&ct, &ct)
+        .expect("mult triggers key-switch");
+    let decoded = ctx
+        .decode(&ctx.decrypt(&prod, &sk).expect("decrypt"))
+        .expect("decode");
+    assert!((decoded[0].re - x[0].re * x[0].re).abs() < 1e-2);
+
+    assert_eq!(telemetry::active_span_depth(), 0, "all spans must close");
+    let spans: Vec<Event> = telemetry::snapshot_events()
+        .into_iter()
+        .filter(|ev| ev.process == "realtime")
+        .collect();
+    assert!(spans.iter().any(|ev| ev.name == "ntt.forward"));
+    assert!(spans.iter().any(|ev| ev.name == "ckks.key_switch"));
+    telemetry::check_proper_nesting(&spans).expect("spans nest per track");
+
+    let span_ids: HashSet<u64> = spans
+        .iter()
+        .filter_map(|ev| ev.arg_u64("span_id"))
+        .collect();
+    for ev in &spans {
+        let parent = ev
+            .arg_u64("parent_span_id")
+            .expect("every span records its parent");
+        assert!(
+            parent == 0 || span_ids.contains(&parent),
+            "span {:?} has dangling parent {parent}",
+            ev.name
+        );
+    }
+}
