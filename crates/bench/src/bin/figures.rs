@@ -41,6 +41,7 @@ fn main() {
             "sched" => figures::sched(),
             "serve" => figures::serve(),
             "cluster" => figures::cluster(),
+            "resilience" => figures::resilience(),
             "hints" => figures::hints(),
             "compile" => figures::compiler(),
             "slowdown" => figures::slowdown(),
@@ -56,7 +57,7 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown target '{other}'; expected one of: all table1 fig1 fig2 fig3b table3 table4 fig6 fig7a fig7b table5 table6 fig8 fig9 fig10 sched serve cluster hints compile slowdown --json"
+                    "unknown target '{other}'; expected one of: all table1 fig1 fig2 fig3b table3 table4 fig6 fig7a fig7b table5 table6 fig8 fig9 fig10 sched serve cluster resilience hints compile slowdown --json"
                 );
                 std::process::exit(2);
             }

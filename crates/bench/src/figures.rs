@@ -9,7 +9,10 @@ use bts_circuit::{
     compile as compile_bytecode, Backend, BootstrapPlan, PassPipeline, TraceBackend, Workload,
 };
 use bts_ckks::hmult_complexity;
-use bts_cluster::{serve_cluster, ChipSpec, ClusterOptions, Interconnect, PlacementPolicy};
+use bts_cluster::{
+    serve_cluster, ChipSpec, ClusterOptions, ClusterReport, FaultPlan, Interconnect,
+    PlacementPolicy,
+};
 use bts_params::{min_nttu_count, sweep_dnum, BandwidthModel, CkksInstance, MinBoundModel, L_BOOT};
 use bts_sched::{FuKind, ScheduleExt};
 use bts_serve::{serve as serve_jobs, JobRequest, QueuePolicy, ServeOptions, SyntheticArrivals};
@@ -663,14 +666,18 @@ const SERVE_LOADS: [usize; 3] = [1, 2, 4];
 /// the `serve` section — the `bts-serve` co-scheduling sweep of the
 /// bootstrap workload at offered loads of 1, 2 and 4 concurrent jobs — the
 /// `compile` section, the circuit compiler's before/after ledger per
-/// workload and instance — and the `cluster` section, the `bts-cluster`
+/// workload and instance — the `cluster` section, the `bts-cluster`
 /// scaling curve (architecture presets × chip counts on the bootstrap
-/// stream). The CI smoke step writes this to `BENCH_FIGURES.json` (and fails
+/// stream) — and the `resilience` section, the fault-injection sweep
+/// (queue policy × offered load × {0, 1} failed chips on the 4-chip BTS
+/// fleet). The CI smoke step writes this to `BENCH_FIGURES.json` (and fails
 /// if any workload schedules slower than serial, if co-scheduled bootstrap
 /// throughput at 2 TB/s fails to beat one-at-a-time service, if the pass
-/// pipeline grows any workload's key-switch count, or if the 4-chip BTS
-/// fleet fails to double single-chip throughput), so the perf trajectory of
-/// the repo is diffable across PRs without parsing the human tables.
+/// pipeline grows any workload's key-switch count, if the 4-chip BTS
+/// fleet fails to double single-chip throughput, if SLO attainment ever
+/// *rises* with offered load, or if losing one chip of four costs more than
+/// 40% of healthy goodput), so the perf trajectory of the repo is diffable
+/// across PRs without parsing the human tables.
 pub fn workloads_json() -> String {
     let registry = standard_registry();
     let grid = SweepGrid::paper_default();
@@ -730,12 +737,13 @@ pub fn workloads_json() -> String {
         .collect::<Vec<_>>()
         .join(", ");
     format!(
-        "{{\n  \"schema\": 5,\n  \"configs\": {{{}}},\n  \"results\": [\n{}\n  ],\n  \"serve\": [\n{}\n  ],\n  \"compile\": [\n{}\n  ],\n  \"cluster\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": 6,\n  \"configs\": {{{}}},\n  \"results\": [\n{}\n  ],\n  \"serve\": [\n{}\n  ],\n  \"compile\": [\n{}\n  ],\n  \"cluster\": [\n{}\n  ],\n  \"resilience\": [\n{}\n  ]\n}}\n",
         configs,
         rows.join(",\n"),
         serve_json_rows(&grid).join(",\n"),
         compile_json_rows().join(",\n"),
-        cluster_json_rows().join(",\n")
+        cluster_json_rows().join(",\n"),
+        resilience_json_rows().join(",\n")
     )
 }
 
@@ -1044,6 +1052,166 @@ fn cluster_json_rows() -> Vec<String> {
     rows
 }
 
+/// Offered-load points of the resilience sweep: mean interarrival seconds of
+/// the seeded job stream, from comfortably under the 4-chip fleet's service
+/// rate to deep overload.
+const RESILIENCE_INTERARRIVALS: [f64; 3] = [8e-3, 2e-3, 0.5e-3];
+
+/// Job count of the resilience sweep's stream.
+const RESILIENCE_JOBS: usize = 48;
+
+/// Per-job deadline slack of the resilience sweep: deadline = arrival + slack.
+const RESILIENCE_SLACK_SECONDS: f64 = 0.08;
+
+/// Bounded per-chip admission queue of the resilience sweep; overflow is shed
+/// at arrival instead of queueing without bound.
+const RESILIENCE_QUEUE_CAPACITY: usize = 4;
+
+/// Which chip the wounded runs of the resilience sweep kill.
+const RESILIENCE_KILLED_CHIP: usize = 1;
+
+/// The resilience sweep's job stream at one offered load: a seeded
+/// multi-tenant bootstrap-heavy mix on INS-1 where every job carries a
+/// deadline of arrival + [`RESILIENCE_SLACK_SECONDS`].
+fn resilience_stream(mean_interarrival: f64) -> Vec<JobRequest> {
+    SyntheticArrivals::new(CkksInstance::ins1(), 2024)
+        .mean_interarrival_seconds(mean_interarrival)
+        .tenants(4)
+        .mix(vec![
+            ("bootstrap".to_string(), 3.0),
+            ("amortized-mult".to_string(), 1.0),
+        ])
+        .generate(RESILIENCE_JOBS)
+        .into_iter()
+        .map(|j| {
+            let deadline = j.arrival_seconds + RESILIENCE_SLACK_SECONDS;
+            j.with_deadline(deadline)
+        })
+        .collect()
+}
+
+/// One measured point of the resilience sweep.
+struct ResiliencePoint {
+    policy: QueuePolicy,
+    mean_interarrival: f64,
+    failed_chips: usize,
+    report: ClusterReport,
+}
+
+/// Runs the resilience sweep: queue policy × offered load × {healthy fleet,
+/// fleet losing chip [`RESILIENCE_KILLED_CHIP`] halfway through the healthy
+/// makespan}, on a 4-chip BTS NVLink fleet with tenant-affinity placement,
+/// bounded queues and per-job deadlines.
+fn resilience_points() -> Vec<ResiliencePoint> {
+    let spec = ChipSpec::preset(ArchPreset::Bts, 4).with_interconnect(Interconnect::nvlink_class());
+    let options = |policy: QueuePolicy| {
+        ClusterOptions::new(spec.clone())
+            .with_placement(PlacementPolicy::TenantAffinity)
+            .with_policy(policy)
+            .with_queue_capacity(RESILIENCE_QUEUE_CAPACITY)
+    };
+    let mut points = Vec::new();
+    for policy in QueuePolicy::ALL {
+        for &mean_interarrival in &RESILIENCE_INTERARRIVALS {
+            let jobs = resilience_stream(mean_interarrival);
+            let healthy = serve_cluster(&jobs, options(policy))
+                .expect("the resilience stream serves on the healthy fleet");
+            let kill_at = healthy.makespan_seconds() * 0.5;
+            let wounded = serve_cluster(
+                &jobs,
+                options(policy).with_fault_plan(
+                    FaultPlan::none().with_chip_failure(RESILIENCE_KILLED_CHIP, kill_at),
+                ),
+            )
+            .expect("the wounded fleet still serves");
+            points.push(ResiliencePoint {
+                policy,
+                mean_interarrival,
+                failed_chips: 0,
+                report: healthy,
+            });
+            points.push(ResiliencePoint {
+                policy,
+                mean_interarrival,
+                failed_chips: 1,
+                report: wounded,
+            });
+        }
+    }
+    points
+}
+
+/// Resilience under overload and chip failure (`bts-fault` + `bts-serve` +
+/// `bts-cluster`): goodput and SLO attainment vs offered load per queue
+/// policy, with and without losing one chip of four mid-run. Load shedding
+/// (bounded queues) keeps goodput from collapsing past saturation, and
+/// failover re-places a dead chip's work on the survivors, so the wounded
+/// fleet degrades toward a 3-chip fleet instead of losing the run.
+pub fn resilience() -> String {
+    let mut out = header("Resilience: goodput and SLO vs offered load, healthy vs one dead chip");
+    let _ = writeln!(
+        out,
+        "{} jobs, 4 tenants, INS-1, BTS x4 NVLink, deadline = arrival + {:.0} ms, queue cap {}",
+        RESILIENCE_JOBS,
+        RESILIENCE_SLACK_SECONDS * 1e3,
+        RESILIENCE_QUEUE_CAPACITY
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>10} {:>6} {:>10} {:>8} {:>6} {:>9} {:>7} {:>7}",
+        "policy", "offered/s", "chips", "goodput/s", "SLO", "shed", "migrated", "missed", "retried"
+    );
+    for p in resilience_points() {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>10.0} {:>6} {:>10.1} {:>7.1}% {:>6} {:>9} {:>7} {:>7}",
+            p.policy.label(),
+            1.0 / p.mean_interarrival,
+            if p.failed_chips == 0 { "4" } else { "4-1" },
+            p.report.goodput_jobs_per_sec(),
+            p.report.slo_attainment() * 100.0,
+            p.report.shed_count(),
+            p.report.migration_count(),
+            p.report.deadline_missed_count(),
+            p.report.retry_count(),
+        );
+    }
+    out
+}
+
+/// The `resilience` section of [`workloads_json`]: one row per queue policy ×
+/// offered load × {0, 1} failed chips from [`resilience_points`].
+fn resilience_json_rows() -> Vec<String> {
+    resilience_points()
+        .into_iter()
+        .map(|p| {
+            format!(
+                concat!(
+                    "    {{\"policy\": \"{}\", \"mean_interarrival_seconds\": {:.6e}, ",
+                    "\"offered_jobs_per_sec\": {:.4}, \"failed_chips\": {}, ",
+                    "\"jobs\": {}, \"completed\": {}, \"shed\": {}, \"migrated\": {}, ",
+                    "\"retried\": {}, \"deadline_missed\": {}, ",
+                    "\"goodput_jobs_per_sec\": {:.4}, \"slo_attainment\": {:.4}, ",
+                    "\"makespan_seconds\": {:.6e}}}"
+                ),
+                p.policy.label(),
+                p.mean_interarrival,
+                1.0 / p.mean_interarrival,
+                p.failed_chips,
+                p.report.submitted_count(),
+                p.report.jobs.len(),
+                p.report.shed_count(),
+                p.report.migration_count(),
+                p.report.retry_count(),
+                p.report.deadline_missed_count(),
+                p.report.goodput_jobs_per_sec(),
+                p.report.slo_attainment(),
+                p.report.makespan_seconds(),
+            )
+        })
+        .collect()
+}
+
 /// Serial vs scheduled execution per workload (INS-1): the `bts-sched`
 /// subsystem's headline comparison. At the paper's 1 TB/s design point the
 /// machine is evk-streaming bound, so the schedule only recovers the slack of
@@ -1204,6 +1372,7 @@ pub fn all() -> String {
         sched(),
         serve(),
         cluster(),
+        resilience(),
         hints(),
         compiler(),
         slowdown(),
@@ -1240,7 +1409,7 @@ mod tests {
     #[test]
     fn workloads_json_covers_every_workload_and_instance() {
         let json = cached_json();
-        assert!(json.contains("\"schema\": 5"));
+        assert!(json.contains("\"schema\": 6"));
         for name in ["amortized-mult", "bootstrap", "helr", "resnet20", "sorting"] {
             assert!(
                 json.contains(&format!("\"workload\": \"{name}\"")),
@@ -1261,6 +1430,8 @@ mod tests {
         assert_eq!(json.matches("\"key_switches_before\"").count(), 15);
         // Cluster scaling curve: 4 architecture presets × 3 chip counts.
         assert_eq!(json.matches("\"chips_used\"").count(), 12);
+        // Resilience sweep: 3 policies × 3 offered loads × {0, 1} failed chips.
+        assert_eq!(json.matches("\"failed_chips\"").count(), 18);
         // Structurally balanced (cheap well-formedness check without a JSON
         // parser dependency).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -1400,6 +1571,104 @@ mod tests {
             throughput_of("bts", 4.0) >= 2.0 * throughput_of("bts", 1.0),
             "bts 4-chip throughput below 2x single chip"
         );
+    }
+
+    #[test]
+    fn resilience_rows_gate_graceful_degradation() {
+        // The CI smoke step enforces the same bounds on the committed file:
+        // SLO attainment must be monotone non-increasing in offered load for
+        // every (policy, failed-chip) curve, and losing one chip of four must
+        // keep at least 60% of the healthy fleet's goodput at every load —
+        // degradation, not collapse.
+        let json = cached_json();
+        let field = |line: &str, name: &str| -> f64 {
+            let tail = line.split(&format!("\"{name}\": ")).nth(1).unwrap();
+            tail.split([',', '}'])
+                .next()
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap()
+        };
+        let policy_of = |line: &str| -> String {
+            line.split("\"policy\": \"")
+                .nth(1)
+                .unwrap()
+                .split('"')
+                .next()
+                .unwrap()
+                .to_string()
+        };
+        let rows: Vec<&str> = json
+            .lines()
+            .filter(|l| l.contains("\"failed_chips\""))
+            .collect();
+        assert_eq!(rows.len(), 18);
+        for row in &rows {
+            let jobs = field(row, "jobs");
+            let completed = field(row, "completed");
+            let shed = field(row, "shed");
+            assert_eq!(completed + shed, jobs, "jobs unaccounted for: {row}");
+            assert!(
+                field(row, "goodput_jobs_per_sec") > 0.0,
+                "idle fleet: {row}"
+            );
+            let slo = field(row, "slo_attainment");
+            assert!((0.0..=1.0).contains(&slo), "SLO out of range: {row}");
+            if field(row, "failed_chips") == 1.0 {
+                assert!(
+                    field(row, "migrated") > 0.0,
+                    "chip failure with no migrations: {row}"
+                );
+            }
+        }
+        for policy in ["fifo", "sjf", "round-robin"] {
+            for failed in [0.0, 1.0] {
+                let mut curve: Vec<(f64, f64)> = rows
+                    .iter()
+                    .filter(|l| policy_of(l) == policy && field(l, "failed_chips") == failed)
+                    .map(|l| (field(l, "offered_jobs_per_sec"), field(l, "slo_attainment")))
+                    .collect();
+                assert_eq!(curve.len(), 3, "{policy}/{failed}");
+                curve.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                for pair in curve.windows(2) {
+                    assert!(
+                        pair[1].1 <= pair[0].1 + 1e-9,
+                        "{policy} (failed={failed}): SLO rose with offered load: {curve:?}"
+                    );
+                }
+            }
+            // Graceful degradation: at every offered load, the wounded fleet
+            // keeps ≥ 60% of healthy goodput (≈ a 3-of-4-chip fleet).
+            for &load in &RESILIENCE_INTERARRIVALS {
+                let goodput_at = |failed: f64| -> f64 {
+                    let row = rows
+                        .iter()
+                        .find(|l| {
+                            policy_of(l) == policy
+                                && field(l, "failed_chips") == failed
+                                && (field(l, "mean_interarrival_seconds") - load).abs()
+                                    < load * 1e-6
+                        })
+                        .unwrap_or_else(|| panic!("no row for {policy}@{load}/{failed}"));
+                    field(row, "goodput_jobs_per_sec")
+                };
+                assert!(
+                    goodput_at(1.0) >= 0.6 * goodput_at(0.0),
+                    "{policy}@{load}: one dead chip collapsed goodput"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resilience_figure_reports_every_policy_and_fleet_state() {
+        let text = resilience();
+        for policy in ["fifo", "sjf", "round-robin"] {
+            assert!(text.contains(policy), "{policy} missing:\n{text}");
+        }
+        assert!(text.contains("4-1"), "wounded rows missing:\n{text}");
+        assert!(text.lines().count() > 20);
     }
 
     #[test]

@@ -28,6 +28,21 @@ pub enum ClusterError {
         /// The underlying serving-layer error.
         source: ServeError,
     },
+    /// A chip needed for service is not available. With `job: None` the
+    /// fault plan references a chip index outside the fleet; with
+    /// `job: Some(id)` every chip that could take the job had already
+    /// failed when its re-placement came due — the fleet is dead.
+    ChipUnavailable {
+        /// The unavailable chip (out-of-range index, or the failed chip the
+        /// job was stranded on).
+        chip: usize,
+        /// The job that had nowhere left to run, if re-placement was
+        /// already underway.
+        job: Option<u64>,
+    },
+    /// The fault plan itself is malformed (bad rate, time, or degradation
+    /// window).
+    Fault(bts_fault::FaultError),
 }
 
 impl std::fmt::Display for ClusterError {
@@ -54,6 +69,17 @@ impl std::fmt::Display for ClusterError {
             ClusterError::Serve { chip: None, source } => {
                 write!(f, "cluster admission failed: {source}")
             }
+            ClusterError::ChipUnavailable {
+                chip,
+                job: Some(job),
+            } => write!(
+                f,
+                "job {job} stranded on failed chip {chip}: no surviving chip can take it"
+            ),
+            ClusterError::ChipUnavailable { chip, job: None } => {
+                write!(f, "fault plan references chip {chip} outside the fleet")
+            }
+            ClusterError::Fault(source) => write!(f, "invalid fault plan: {source}"),
         }
     }
 }
@@ -63,6 +89,7 @@ impl std::error::Error for ClusterError {
         match self {
             ClusterError::Config(source) => Some(source),
             ClusterError::Serve { source, .. } => Some(source),
+            ClusterError::Fault(source) => Some(source),
             _ => None,
         }
     }
@@ -86,5 +113,24 @@ mod tests {
         };
         assert!(e.to_string().contains("chip 2"));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn unavailable_chips_and_fault_plans_render_their_context() {
+        let stranded = ClusterError::ChipUnavailable {
+            chip: 1,
+            job: Some(42),
+        };
+        assert!(stranded.to_string().contains("job 42"));
+        assert!(stranded.to_string().contains("chip 1"));
+        let out_of_range = ClusterError::ChipUnavailable { chip: 9, job: None };
+        assert!(out_of_range.to_string().contains("chip 9"));
+        assert!(out_of_range.to_string().contains("outside the fleet"));
+        let fault = ClusterError::Fault(bts_fault::FaultError::InvalidRate { rate: -0.5 });
+        assert!(fault.to_string().contains("fault plan"));
+        assert!(
+            std::error::Error::source(&fault).is_some(),
+            "fault errors chain their source"
+        );
     }
 }

@@ -28,6 +28,15 @@
 //! A single-chip cluster charges zero interconnect and reproduces
 //! [`bts_serve::serve`] exactly, so the cluster layer is a strict
 //! generalization of the serving layer.
+//!
+//! The fleet also degrades gracefully instead of collapsing: a seeded
+//! [`FaultPlan`] can kill chips at simulated times, inject transient job
+//! faults, and degrade the interconnect. Jobs a dead chip interrupted are
+//! re-placed onto the least-loaded survivor (after capped exponential
+//! backoff, paying the wire again), bounded per-chip queues shed overload,
+//! and the [`ClusterReport`] carries shed/migrated/retried counts plus SLO
+//! attainment and goodput so the resilience figure can show a 4-chip fleet
+//! losing one chip landing near 3-chip goodput.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -43,3 +52,5 @@ pub use placement::{PlacementJob, PlacementPolicy};
 pub use report::{ChipOutcome, ClusterJobOutcome, ClusterReport};
 pub use server::{serve_cluster, ClusterOptions, ClusterServer};
 pub use spec::{ChipSpec, Interconnect};
+
+pub use bts_fault::{ChipFailure, FaultPlan, LinkDegradation, RetryPolicy};

@@ -8,7 +8,8 @@
 
 use std::fmt::Write as _;
 
-use bts_serve::ServeReport;
+use bts_fault::ChipFailure;
+use bts_serve::{ServeReport, ShedJob};
 
 use crate::placement::PlacementPolicy;
 
@@ -34,6 +35,14 @@ pub struct ClusterJobOutcome {
     pub admitted_seconds: f64,
     /// When the job's last op finished on its chip.
     pub finish_seconds: f64,
+    /// How many times the job was re-placed onto another chip after its
+    /// chip failed (0 for a job that stayed put).
+    pub migrations: u32,
+    /// Service attempts consumed on the final chip (1 plus transient-fault
+    /// redrives there).
+    pub attempts: u32,
+    /// The job's absolute deadline, if it had one.
+    pub deadline_seconds: Option<f64>,
 }
 
 impl ClusterJobOutcome {
@@ -41,6 +50,11 @@ impl ClusterJobOutcome {
     /// so wire time counts against the cluster.
     pub fn latency_seconds(&self) -> f64 {
         self.finish_seconds - self.arrival_seconds
+    }
+
+    /// Whether the deadline was met (`None` when the job has no deadline).
+    pub fn deadline_met(&self) -> Option<bool> {
+        self.deadline_seconds.map(|d| self.finish_seconds <= d)
     }
 }
 
@@ -67,8 +81,14 @@ pub struct ClusterReport {
     pub placement: PlacementPolicy,
     /// Per-chip outcomes, indexed by chip. Idle chips carry empty reports.
     pub chips: Vec<ChipOutcome>,
-    /// Per-job fleet-level outcomes, in submission order.
+    /// Per-job fleet-level outcomes for *completed* jobs, in submission
+    /// order.
     pub jobs: Vec<ClusterJobOutcome>,
+    /// Jobs the fleet gave up on — overload shedding, expired deadlines,
+    /// exhausted retry/migration budgets — with *original* arrivals.
+    pub shed: Vec<ShedJob>,
+    /// Chip failures the fault plan injected into this run.
+    pub failed_chips: Vec<ChipFailure>,
 }
 
 impl ClusterReport {
@@ -80,6 +100,86 @@ impl ClusterReport {
     /// Number of served jobs.
     pub fn job_count(&self) -> usize {
         self.jobs.len()
+    }
+
+    /// Number of jobs submitted to the fleet (completed plus shed — the
+    /// cluster resolves every job one way or the other).
+    pub fn submitted_count(&self) -> usize {
+        self.jobs.len() + self.shed.len()
+    }
+
+    /// Number of jobs the fleet gave up on.
+    pub fn shed_count(&self) -> usize {
+        self.shed.len()
+    }
+
+    /// Total chip-to-chip re-placements after chip failures.
+    pub fn migration_count(&self) -> u64 {
+        self.jobs.iter().map(|j| u64::from(j.migrations)).sum()
+    }
+
+    /// Total transient-fault redrives across completed and shed jobs.
+    pub fn retry_count(&self) -> u64 {
+        let completed: u64 = self
+            .jobs
+            .iter()
+            .map(|j| u64::from(j.attempts.saturating_sub(1)))
+            .sum();
+        let shed: u64 = self
+            .shed
+            .iter()
+            .map(|s| u64::from(s.attempts.saturating_sub(1)))
+            .sum();
+        completed + shed
+    }
+
+    /// Deadline-bearing jobs that missed: completed too late, or shed
+    /// before completion.
+    pub fn deadline_missed_count(&self) -> usize {
+        let late = self
+            .jobs
+            .iter()
+            .filter(|j| j.deadline_met() == Some(false))
+            .count();
+        let shed = self
+            .shed
+            .iter()
+            .filter(|s| s.deadline_seconds.is_some())
+            .count();
+        late + shed
+    }
+
+    /// Fraction of deadline-bearing submitted jobs that finished on time.
+    /// A run with no deadlines vacuously attains its (empty) SLO: 1.0.
+    pub fn slo_attainment(&self) -> f64 {
+        let met = self
+            .jobs
+            .iter()
+            .filter(|j| j.deadline_met() == Some(true))
+            .count();
+        let with_deadline = self
+            .jobs
+            .iter()
+            .filter(|j| j.deadline_seconds.is_some())
+            .count()
+            + self
+                .shed
+                .iter()
+                .filter(|s| s.deadline_seconds.is_some())
+                .count();
+        if with_deadline == 0 {
+            1.0
+        } else {
+            met as f64 / with_deadline as f64
+        }
+    }
+
+    /// Completed jobs per second over the cluster makespan — the figure
+    /// that degrades gracefully (instead of collapsing) when a chip dies.
+    /// Shed jobs never count, so under overload goodput saturates while
+    /// offered load keeps climbing.
+    pub fn goodput_jobs_per_sec(&self) -> f64 {
+        self.throughput_jobs_per_sec()
     }
 
     /// Cluster makespan: the latest chip-local makespan. Chips run
@@ -214,6 +314,23 @@ impl ClusterReport {
             self.interconnect_bytes() as f64 / (1 << 20) as f64,
             self.interconnect_seconds() * 1e3,
         );
+        if !self.failed_chips.is_empty() || !self.shed.is_empty() || self.migration_count() > 0 {
+            let failed: Vec<String> = self
+                .failed_chips
+                .iter()
+                .map(|f| format!("chip {} @ {:.2} ms", f.chip, f.at_seconds * 1e3))
+                .collect();
+            let _ = writeln!(
+                out,
+                "resilience: failed [{}] | shed {} | migrated {} | retried {} | deadline missed {} | SLO {:.1}%",
+                failed.join(", "),
+                self.shed_count(),
+                self.migration_count(),
+                self.retry_count(),
+                self.deadline_missed_count(),
+                self.slo_attainment() * 100.0,
+            );
+        }
         for c in &self.chips {
             let _ = writeln!(
                 out,

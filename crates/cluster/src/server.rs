@@ -1,30 +1,49 @@
-//! The cluster engine: placement in front of one [`BtsServer`] per chip.
+//! The cluster engine: placement in front of one [`BtsServer`] per chip,
+//! with failover when the fault plan kills chips mid-run.
 //!
 //! # Execution model
 //!
-//! 1. The spec and the whole batch are validated up front (fail fast, before
-//!    any chip is touched).
+//! 1. The spec, the fault plan, and the whole batch are validated up front
+//!    (fail fast, before any chip is touched).
 //! 2. Every unique `(workload, instance)` pair is profiled once: circuit
 //!    lowered, online cost estimate computed, ciphertext-input and
 //!    evaluation-key footprints measured.
 //! 3. The [`PlacementPolicy`] shards the stream in
 //!    arrival order, one chip per job.
-//! 4. With more than one chip, each job is charged interconnect time before
-//!    its chip can see it: its ciphertext inputs always move, and its
-//!    tenant's evaluation-key set moves the first time (per chip) it is
-//!    needed — keys then stay resident, so pinning a tenant to one chip
-//!    (tenant affinity) pays the key transfer once. A single-chip spec
-//!    charges exactly zero and reproduces [`bts_serve::serve`] bit for bit.
-//! 5. Each chip runs its shard through its own admission loop; chips are
-//!    independent, so the fleet's makespan is the slowest chip's.
+//! 4. With more than one chip, each dispatch is charged interconnect time
+//!    before its chip can see the job: its ciphertext inputs always move,
+//!    and its tenant's evaluation-key set moves the first time (per chip) it
+//!    is needed — keys then stay resident, so pinning a tenant to one chip
+//!    (tenant affinity) pays the key transfer once. Link-degradation windows
+//!    in the fault plan divide the bandwidth while they are active. A
+//!    single-chip spec charges exactly zero and reproduces
+//!    [`bts_serve::serve`] bit for bit.
+//! 5. Each chip runs its shard through its own admission loop (with its
+//!    failure time from the plan, if any); chips are independent, so the
+//!    fleet's makespan is the slowest chip's.
+//! 6. Jobs a failed chip interrupted are re-placed onto the least-loaded
+//!    surviving chip, becoming ready after the failure plus capped
+//!    exponential backoff — and paying the wire again for their ciphertexts
+//!    and any keys not already resident there. Re-placement repeats (a job
+//!    can outlive several failures) until every job has either completed or
+//!    been shed; a job whose dispatch count exhausts the retry budget is
+//!    shed instead of re-placed, and a job with no surviving chip to go to
+//!    is a [`ClusterError::ChipUnavailable`] — the fleet is dead.
 //!
-//! Everything is deterministic: one `(jobs, spec, placement, policy,
-//! max_in_flight)` tuple always produces the same [`ClusterReport`].
+//! The failed chip's final report keeps only the jobs that completed on it:
+//! the partial work it burned on migrated jobs is accounted through the
+//! re-placement delay (failure time + backoff + re-transfer), not through
+//! the dead chip's utilization.
+//!
+//! Everything is deterministic: one `(jobs, options)` pair — fault plan
+//! included — always produces the same [`ClusterReport`].
 
 use std::collections::HashMap;
 
+use bts_fault::FaultError;
 use bts_serve::{
-    estimate_trace_seconds, BtsServer, JobRequest, QueuePolicy, ServeError, ServeOptions,
+    estimate_trace_seconds, BtsServer, FaultPlan, JobRequest, QueuePolicy, RetryPolicy, ServeError,
+    ServeOptions, ServeReport, ShedJob, ShedReason,
 };
 use bts_sim::Simulator;
 use bts_workloads::{standard_registry, WorkloadRegistry};
@@ -45,16 +64,29 @@ pub struct ClusterOptions {
     pub policy: QueuePolicy,
     /// Per-chip concurrency limit (jobs co-resident on one accelerator).
     pub max_in_flight: usize,
+    /// Bound on each chip's waiting queue (`None` = unbounded).
+    pub queue_capacity: Option<usize>,
+    /// Retry budget shared by transient-fault redrives (within a chip) and
+    /// chip-failure re-placements (across chips): a job may be dispatched at
+    /// most `max_attempts` times.
+    pub retry: RetryPolicy,
+    /// What goes wrong during the run: chip failures, transient job faults,
+    /// interconnect degradation windows.
+    pub fault: FaultPlan,
 }
 
 impl ClusterOptions {
-    /// Round-robin placement, FIFO chips, two jobs in flight per chip.
+    /// Round-robin placement, FIFO chips, two jobs in flight per chip, no
+    /// faults.
     pub fn new(spec: ChipSpec) -> Self {
         Self {
             spec,
             placement: PlacementPolicy::RoundRobin,
             policy: QueuePolicy::Fifo,
             max_in_flight: 2,
+            queue_capacity: None,
+            retry: RetryPolicy::default(),
+            fault: FaultPlan::none(),
         }
     }
 
@@ -75,6 +107,24 @@ impl ClusterOptions {
         self.max_in_flight = max_in_flight;
         self
     }
+
+    /// Returns a copy with bounded per-chip waiting queues.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = Some(capacity);
+        self
+    }
+
+    /// Returns a copy with a different retry budget/backoff.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Returns a copy with a fault plan.
+    pub fn with_fault_plan(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
+    }
 }
 
 /// What placement and interconnect charging need to know about one job's
@@ -85,10 +135,43 @@ struct JobProfile {
     evk_set_bytes: u64,
 }
 
+/// One shipment of a job to a chip: the original placement, or a
+/// re-placement after a chip failure.
+#[derive(Debug, Clone, Copy)]
+struct Dispatch {
+    chip: usize,
+    /// When the job is ready to leave for the chip: its arrival for the
+    /// first dispatch; failure time + backoff for re-placements.
+    ready_seconds: f64,
+}
+
+/// Everything one evaluation round of the fleet produces.
+struct RoundState {
+    chip_reports: Vec<ServeReport>,
+    /// Per job: wire time of its *current* (last) dispatch.
+    transfer_seconds: Vec<f64>,
+    chip_bytes: Vec<u64>,
+    chip_transfer_seconds: Vec<f64>,
+    /// Jobs a failed chip cut: (submit index, chip, failure time).
+    interrupted: Vec<(usize, usize, f64)>,
+}
+
+/// Re-enables telemetry on drop — exploratory failover rounds run silent,
+/// and this must not leak on an early error return.
+struct TelemetryRestore;
+
+impl Drop for TelemetryRestore {
+    fn drop(&mut self) {
+        bts_telemetry::set_enabled(true);
+    }
+}
+
 /// A multi-tenant batch server over a fleet of simulated accelerators.
 ///
 /// The fleet is homogeneous, so one inner [`BtsServer`] — one
-/// (config, policy, capacity, registry) tuple — serves every chip's shard.
+/// (config, policy, capacity, registry) tuple — serves every chip's shard;
+/// a chip's failure time is layered on per chip via
+/// [`BtsServer::serve_with`].
 pub struct ClusterServer {
     server: BtsServer,
     options: ClusterOptions,
@@ -111,12 +194,15 @@ impl ClusterServer {
 
     /// A cluster over a custom workload registry.
     pub fn with_registry(options: ClusterOptions, registry: WorkloadRegistry) -> Self {
-        let server = BtsServer::with_registry(
-            ServeOptions::new(options.max_in_flight)
-                .with_config(options.spec.config.clone())
-                .with_policy(options.policy),
-            registry,
-        );
+        let mut base = ServeOptions::new(options.max_in_flight)
+            .with_config(options.spec.config.clone())
+            .with_policy(options.policy)
+            .with_retry(options.retry)
+            .with_fault_plan(options.fault.clone());
+        if let Some(capacity) = options.queue_capacity {
+            base = base.with_queue_capacity(capacity);
+        }
+        let server = BtsServer::with_registry(base, registry);
         Self { server, options }
     }
 
@@ -125,21 +211,35 @@ impl ClusterServer {
         &self.options
     }
 
-    /// Shards a batch across the fleet and merges the per-chip reports.
+    /// Shards a batch across the fleet, fails over around dead chips, and
+    /// merges the per-chip reports.
     ///
     /// # Errors
     ///
     /// Fails fast on an invalid spec ([`ClusterError::NoChips`],
-    /// [`ClusterError::Config`], [`ClusterError::Interconnect`]) or an
-    /// invalid batch ([`ClusterError::Serve`] with `chip: None`: unknown
-    /// workload, bad arrival, duplicate id, zero capacity, unbuildable
-    /// circuit). A per-chip serving failure — which validation should have
-    /// ruled out — surfaces as [`ClusterError::Serve`] with the chip index.
+    /// [`ClusterError::Config`], [`ClusterError::Interconnect`]), an
+    /// invalid fault plan ([`ClusterError::ChipUnavailable`] with
+    /// `job: None` for an out-of-range chip, [`ClusterError::Fault`]
+    /// otherwise) or an invalid batch ([`ClusterError::Serve`] with
+    /// `chip: None`: unknown workload, bad arrival or deadline, duplicate
+    /// id, zero capacity, unbuildable circuit). Mid-run,
+    /// [`ClusterError::ChipUnavailable`] with `job: Some(id)` means a job
+    /// had no surviving chip left to migrate to. A per-chip serving failure
+    /// — which validation should have ruled out — surfaces as
+    /// [`ClusterError::Serve`] with the chip index.
     pub fn serve(&self, jobs: &[JobRequest]) -> Result<ClusterReport, ClusterError> {
         self.options.spec.validate()?;
         if self.options.max_in_flight == 0 {
             return Err(admission(ServeError::NoCapacity));
         }
+        let chip_count = self.options.spec.chip_count;
+        let plan = &self.options.fault;
+        plan.validate(chip_count).map_err(|e| match e {
+            FaultError::ChipOutOfRange { chip, .. } => {
+                ClusterError::ChipUnavailable { chip, job: None }
+            }
+            other => ClusterError::Fault(other),
+        })?;
         let mut seen = std::collections::HashSet::new();
         for job in jobs {
             if !job.arrival_seconds.is_finite() || job.arrival_seconds < 0.0 {
@@ -147,6 +247,14 @@ impl ClusterServer {
                     job: job.id,
                     arrival_seconds: job.arrival_seconds,
                 }));
+            }
+            if let Some(d) = job.deadline_seconds {
+                if !d.is_finite() {
+                    return Err(admission(ServeError::InvalidDeadline {
+                        job: job.id,
+                        deadline_seconds: d,
+                    }));
+                }
             }
             if !seen.insert(job.id) {
                 return Err(admission(ServeError::DuplicateJobId { job: job.id }));
@@ -185,14 +293,13 @@ impl ClusterServer {
                 evk_set_bytes: profiles[j].evk_set_bytes,
             })
             .collect();
-        let chip_count = self.options.spec.chip_count;
         let placed = self.options.placement.place(&placement_jobs, chip_count);
         let mut chip_of = vec![0usize; jobs.len()];
         for (pos, &j) in order.iter().enumerate() {
             chip_of[j] = placed[pos];
         }
-        let telemetry_on = bts_telemetry::enabled();
-        if telemetry_on {
+        let ambient_telemetry = bts_telemetry::enabled();
+        if ambient_telemetry {
             use bts_telemetry::ArgValue;
             let _scope = bts_telemetry::scope("cluster");
             for &j in &order {
@@ -207,39 +314,276 @@ impl ClusterServer {
                     ],
                 );
             }
+            for f in &plan.chip_failures {
+                bts_telemetry::emit_instant(
+                    "faults",
+                    "chip-failure",
+                    f.at_seconds,
+                    &[("chip", ArgValue::U64(f.chip as u64))],
+                );
+            }
         }
 
-        // Interconnect charging, in arrival order: ciphertext inputs always
-        // move; a tenant's evk set moves only when this job grows the
-        // tenant's resident key footprint on its chip. One chip means
-        // everything is already resident — zero charge by construction.
+        // Failover fixed point. Each round evaluates the whole fleet from
+        // the current dispatch assignments; interrupted jobs are re-placed
+        // (or shed) and the fleet re-evaluated until every job resolves.
+        // With chip failures the intermediate rounds are throwaway work, so
+        // they run with telemetry suppressed and one final authoritative
+        // round re-emits everything (the engine is deterministic, so the
+        // re-run reproduces the converged round exactly).
+        let mut dispatches: Vec<Vec<Dispatch>> = jobs
+            .iter()
+            .enumerate()
+            .map(|(j, job)| {
+                vec![Dispatch {
+                    chip: chip_of[j],
+                    ready_seconds: job.arrival_seconds,
+                }]
+            })
+            .collect();
+        // Jobs the cluster itself shed (migration budget exhausted) — they
+        // stop being dispatched but their shipped bytes stay charged.
+        let mut cluster_shed = vec![false; jobs.len()];
+        let mut cluster_shed_jobs: Vec<ShedJob> = Vec::new();
+        let mut load = vec![0.0f64; chip_count];
+        for (j, d) in dispatches.iter().enumerate() {
+            load[d[0].chip] += profiles[j].estimate_seconds;
+        }
+        let may_migrate = !plan.chip_failures.is_empty();
+        let mut silencer = (may_migrate && ambient_telemetry).then(|| {
+            bts_telemetry::set_enabled(false);
+            TelemetryRestore
+        });
+        let mut state = loop {
+            let state = self.run_round(jobs, &profiles, &dispatches, &cluster_shed)?;
+            if state.interrupted.is_empty() {
+                break state;
+            }
+            // Re-place interrupted jobs in failure order (ties by id) onto
+            // the least-loaded surviving chip.
+            let mut cut = state.interrupted.clone();
+            cut.sort_by(|a, b| {
+                a.2.partial_cmp(&b.2)
+                    .expect("failure times are finite")
+                    .then(jobs[a.0].id.cmp(&jobs[b.0].id))
+            });
+            for (j, chip, failed_at) in cut {
+                let used = u32::try_from(dispatches[j].len()).unwrap_or(u32::MAX);
+                let job = &jobs[j];
+                if used >= self.options.retry.max_attempts {
+                    cluster_shed[j] = true;
+                    cluster_shed_jobs.push(ShedJob {
+                        id: job.id,
+                        tenant: job.tenant,
+                        workload: job.workload.clone(),
+                        arrival_seconds: job.arrival_seconds,
+                        shed_seconds: failed_at,
+                        reason: ShedReason::RetryBudgetExhausted,
+                        attempts: used,
+                        deadline_seconds: job.deadline_seconds,
+                    });
+                    continue;
+                }
+                let ready = job
+                    .arrival_seconds
+                    .max(failed_at + self.options.retry.backoff_seconds(used));
+                let target = (0..chip_count)
+                    .filter(|&c| plan.failure_of(c).is_none_or(|t| t > ready))
+                    .min_by(|&a, &b| {
+                        load[a]
+                            .partial_cmp(&load[b])
+                            .expect("loads are finite")
+                            .then(a.cmp(&b))
+                    });
+                let Some(to) = target else {
+                    return Err(ClusterError::ChipUnavailable {
+                        chip,
+                        job: Some(job.id),
+                    });
+                };
+                load[chip] -= profiles[j].estimate_seconds;
+                load[to] += profiles[j].estimate_seconds;
+                dispatches[j].push(Dispatch {
+                    chip: to,
+                    ready_seconds: ready,
+                });
+            }
+        };
+        if silencer.take().is_some() {
+            // Drop re-enabled telemetry; re-run the converged round so the
+            // event stream reflects the final assignment.
+            state = self.run_round(jobs, &profiles, &dispatches, &cluster_shed)?;
+        }
+        if ambient_telemetry {
+            use bts_telemetry::ArgValue;
+            let _scope = bts_telemetry::scope("cluster");
+            for (j, d) in dispatches.iter().enumerate() {
+                for (k, pair) in d.windows(2).enumerate() {
+                    bts_telemetry::emit_instant(
+                        "faults",
+                        "migrate",
+                        pair[1].ready_seconds,
+                        &[
+                            ("job", ArgValue::U64(jobs[j].id)),
+                            ("from", ArgValue::U64(pair[0].chip as u64)),
+                            ("to", ArgValue::U64(pair[1].chip as u64)),
+                            ("dispatch", ArgValue::U64(k as u64 + 2)),
+                        ],
+                    );
+                    bts_telemetry::counter_add("cluster.migrations", 1);
+                }
+            }
+            for s in &cluster_shed_jobs {
+                bts_telemetry::emit_instant(
+                    "faults",
+                    "shed",
+                    s.shed_seconds,
+                    &[
+                        ("job", ArgValue::U64(s.id)),
+                        ("tenant", ArgValue::U64(u64::from(s.tenant))),
+                        ("reason", ArgValue::Str(s.reason.label().to_string())),
+                        ("attempts", ArgValue::U64(u64::from(s.attempts))),
+                    ],
+                );
+                bts_telemetry::counter_add("cluster.shed", 1);
+            }
+        }
+
+        let mut chips = Vec::with_capacity(chip_count);
+        for (chip, report) in state.chip_reports.into_iter().enumerate() {
+            chips.push(ChipOutcome {
+                chip,
+                report,
+                interconnect_bytes: state.chip_bytes[chip],
+                interconnect_seconds: state.chip_transfer_seconds[chip],
+            });
+        }
+
+        // Fleet-level outcomes keep the original arrivals: the wire time a
+        // job spent getting to its chip counts against its cluster latency.
+        // Shed jobs — whether a chip or the cluster dropped them — are
+        // collected separately, with their original arrivals too.
+        let mut shed: Vec<ShedJob> = Vec::new();
+        let mut outcomes = Vec::new();
+        for (j, job) in jobs.iter().enumerate() {
+            let chip = dispatches[j].last().expect("every job is dispatched").chip;
+            if cluster_shed[j] {
+                let s = cluster_shed_jobs
+                    .iter()
+                    .find(|s| s.id == job.id)
+                    .expect("cluster-shed jobs are recorded");
+                shed.push(s.clone());
+                continue;
+            }
+            if let Some(served) = chips[chip].report.jobs.iter().find(|o| o.id == job.id) {
+                outcomes.push(ClusterJobOutcome {
+                    id: job.id,
+                    tenant: job.tenant,
+                    chip,
+                    workload: job.workload.clone(),
+                    arrival_seconds: job.arrival_seconds,
+                    transfer_seconds: state.transfer_seconds[j],
+                    admitted_seconds: served.admitted_seconds,
+                    finish_seconds: served.finish_seconds,
+                    migrations: u32::try_from(dispatches[j].len() - 1).unwrap_or(u32::MAX),
+                    attempts: served.attempts,
+                    deadline_seconds: job.deadline_seconds,
+                });
+            } else {
+                let mut s = chips[chip]
+                    .report
+                    .shed
+                    .iter()
+                    .find(|s| s.id == job.id)
+                    .expect("a dispatched, unshed, uncompleted job was shed by its chip")
+                    .clone();
+                s.arrival_seconds = job.arrival_seconds;
+                shed.push(s);
+            }
+        }
+        Ok(ClusterReport {
+            label: self.options.spec.label.clone(),
+            placement: self.options.placement,
+            chips,
+            jobs: outcomes,
+            shed,
+            failed_chips: plan.chip_failures.clone(),
+        })
+    }
+
+    /// Evaluates the fleet once from the current dispatch assignments:
+    /// charges the wire for every dispatch ever made (re-placements pay
+    /// again), then serves each chip's current shard with its failure time.
+    fn run_round(
+        &self,
+        jobs: &[JobRequest],
+        profiles: &[std::rc::Rc<JobProfile>],
+        dispatches: &[Vec<Dispatch>],
+        cluster_shed: &[bool],
+    ) -> Result<RoundState, ClusterError> {
+        let chip_count = self.options.spec.chip_count;
         let link = self.options.spec.interconnect;
+        let plan = &self.options.fault;
+        let telemetry_on = bts_telemetry::enabled();
+
+        // Interconnect charging over the full dispatch history, in shipment
+        // order: ciphertext inputs move on every dispatch; a tenant's evk
+        // set moves only when the dispatch grows the tenant's resident key
+        // footprint on that chip. Link-degradation windows stretch the
+        // streaming part. One chip means everything is already resident —
+        // zero charge by construction.
         let mut transfer_seconds = vec![0.0f64; jobs.len()];
-        let mut transfer_bytes = vec![0u64; jobs.len()];
+        let mut chip_bytes = vec![0u64; chip_count];
+        let mut chip_transfer_seconds = vec![0.0f64; chip_count];
         if chip_count > 1 {
             let _scope = telemetry_on.then(|| bts_telemetry::scope("cluster"));
+            let mut shipments: Vec<(usize, usize)> = dispatches
+                .iter()
+                .enumerate()
+                .flat_map(|(j, d)| (0..d.len()).map(move |k| (j, k)))
+                .collect();
+            shipments.sort_by(|&(aj, ak), &(bj, bk)| {
+                dispatches[aj][ak]
+                    .ready_seconds
+                    .partial_cmp(&dispatches[bj][bk].ready_seconds)
+                    .expect("ready times are finite")
+                    .then(aj.cmp(&bj))
+                    .then(ak.cmp(&bk))
+            });
             let mut resident_evk: HashMap<(u32, usize), u64> = HashMap::new();
-            for &j in &order {
-                let chip = chip_of[j];
-                let resident = resident_evk.entry((jobs[j].tenant, chip)).or_insert(0);
+            for (j, k) in shipments {
+                let d = dispatches[j][k];
+                let resident = resident_evk.entry((jobs[j].tenant, d.chip)).or_insert(0);
                 let evk_delta = profiles[j].evk_set_bytes.saturating_sub(*resident);
                 *resident = (*resident).max(profiles[j].evk_set_bytes);
                 let bytes = profiles[j].input_ct_bytes + evk_delta;
-                transfer_bytes[j] = bytes;
-                transfer_seconds[j] = link.transfer_seconds(bytes);
+                let factor = plan.bandwidth_factor_at(d.ready_seconds);
+                // The factor-1.0 branch keeps the fault-free path bitwise
+                // identical to the plain interconnect model.
+                let seconds = if factor == 1.0 {
+                    link.transfer_seconds(bytes)
+                } else {
+                    link.latency_seconds + bytes as f64 / (link.bytes_per_sec * factor)
+                };
+                chip_bytes[d.chip] += bytes;
+                chip_transfer_seconds[d.chip] += seconds;
+                if k + 1 == dispatches[j].len() {
+                    transfer_seconds[j] = seconds;
+                }
                 if telemetry_on && bytes > 0 {
                     use bts_telemetry::ArgValue;
                     bts_telemetry::emit_complete(
                         "interconnect",
                         "transfer",
-                        jobs[j].arrival_seconds,
-                        transfer_seconds[j],
+                        d.ready_seconds,
+                        seconds,
                         &[
                             ("job", ArgValue::U64(jobs[j].id)),
-                            ("chip", ArgValue::U64(chip as u64)),
+                            ("chip", ArgValue::U64(d.chip as u64)),
                             ("bytes", ArgValue::U64(bytes)),
                             ("ct_bytes", ArgValue::U64(profiles[j].input_ct_bytes)),
                             ("evk_bytes", ArgValue::U64(evk_delta)),
+                            ("bw_factor", ArgValue::F64(factor)),
                         ],
                     );
                     bts_telemetry::counter_add("cluster.interconnect_bytes", bytes);
@@ -247,80 +591,54 @@ impl ClusterServer {
             }
         }
 
-        // Each chip serves its shard independently through the one shared
-        // inner server (the fleet is homogeneous).
-        let mut chips = Vec::with_capacity(chip_count);
+        // Each chip serves its current shard (last dispatch, not shed by
+        // the cluster) through the one shared inner server, with its
+        // failure time layered on.
+        let mut chip_reports = Vec::with_capacity(chip_count);
+        let mut interrupted = Vec::new();
         for chip in 0..chip_count {
             let shard: Vec<JobRequest> = jobs
                 .iter()
                 .enumerate()
-                .filter(|&(j, _)| chip_of[j] == chip)
+                .filter(|&(j, _)| {
+                    !cluster_shed[j] && dispatches[j].last().expect("dispatched").chip == chip
+                })
                 .map(|(j, job)| {
+                    let d = dispatches[j].last().expect("dispatched");
                     let mut dispatched = job.clone();
-                    dispatched.arrival_seconds += transfer_seconds[j];
+                    dispatched.arrival_seconds = d.ready_seconds + transfer_seconds[j];
                     dispatched
                 })
                 .collect();
+            let mut chip_options = self.server.options().clone();
+            if let Some(t) = plan.failure_of(chip) {
+                chip_options = chip_options.with_failure_at(t);
+            }
             // Everything this chip's admission loop and scheduler emit lands
             // in a per-chip telemetry process (`chip0`, `chip1`, …).
             let _chip_scope = telemetry_on.then(|| bts_telemetry::scope(format!("chip{chip}")));
             let report = self
                 .server
-                .serve(&shard)
+                .serve_with(&shard, &chip_options)
                 .map_err(|source| ClusterError::Serve {
                     chip: Some(chip),
                     source,
                 })?;
-            let interconnect_bytes = jobs
-                .iter()
-                .enumerate()
-                .filter(|&(j, _)| chip_of[j] == chip)
-                .map(|(j, _)| transfer_bytes[j])
-                .sum();
-            let interconnect_seconds = jobs
-                .iter()
-                .enumerate()
-                .filter(|&(j, _)| chip_of[j] == chip)
-                .map(|(j, _)| transfer_seconds[j])
-                .sum();
-            chips.push(ChipOutcome {
-                chip,
-                report,
-                interconnect_bytes,
-                interconnect_seconds,
-            });
-        }
-
-        // Fleet-level outcomes keep the original arrivals: the wire time a
-        // job spent getting to its chip counts against its cluster latency.
-        let outcomes = jobs
-            .iter()
-            .enumerate()
-            .map(|(j, job)| {
-                let chip = chip_of[j];
-                let served = chips[chip]
-                    .report
-                    .jobs
+            for cut in &report.interrupted {
+                let j = jobs
                     .iter()
-                    .find(|o| o.id == job.id)
-                    .expect("every placed job was served by its chip");
-                ClusterJobOutcome {
-                    id: job.id,
-                    tenant: job.tenant,
-                    chip,
-                    workload: job.workload.clone(),
-                    arrival_seconds: job.arrival_seconds,
-                    transfer_seconds: transfer_seconds[j],
-                    admitted_seconds: served.admitted_seconds,
-                    finish_seconds: served.finish_seconds,
-                }
-            })
-            .collect();
-        Ok(ClusterReport {
-            label: self.options.spec.label.clone(),
-            placement: self.options.placement,
-            chips,
-            jobs: outcomes,
+                    .position(|job| job.id == cut.id)
+                    .expect("interrupted jobs come from the batch");
+                interrupted.push((j, chip, cut.interrupted_seconds));
+            }
+            chip_reports.push(report);
+        }
+        Ok(RoundState {
+            chip_reports,
+            transfer_seconds,
+            chip_bytes,
+            chip_transfer_seconds,
+            interrupted,
         })
     }
 
@@ -403,6 +721,7 @@ mod tests {
             assert_eq!(c.chip, 0);
             assert!((c.finish_seconds - p.finish_seconds).abs() < 1e-15);
             assert!(c.transfer_seconds == 0.0);
+            assert_eq!(c.migrations, 0);
         }
     }
 
@@ -520,5 +839,184 @@ mod tests {
                 source: ServeError::DuplicateJobId { .. }
             })
         ));
+        // A fault plan naming a chip the fleet does not have is rejected
+        // before any chip is touched.
+        assert!(matches!(
+            serve_cluster(
+                &jobs,
+                ClusterOptions::new(ChipSpec::preset(ArchPreset::Bts, 2))
+                    .with_fault_plan(FaultPlan::none().with_chip_failure(5, 1.0))
+            ),
+            Err(ClusterError::ChipUnavailable { chip: 5, job: None })
+        ));
+        // A malformed fault plan (bad rate) is a Fault error.
+        assert!(matches!(
+            serve_cluster(
+                &jobs,
+                ClusterOptions::new(ChipSpec::preset(ArchPreset::Bts, 2))
+                    .with_fault_plan(FaultPlan::none().with_transient_rate(2.0))
+            ),
+            Err(ClusterError::Fault(_))
+        ));
+    }
+
+    #[test]
+    fn a_chip_failure_migrates_work_to_survivors() {
+        let jobs = bootstrap_stream(12, 4);
+        let healthy = serve_cluster(&jobs, scaling_options(ArchPreset::Bts, 4)).unwrap();
+        assert_eq!(healthy.job_count(), 12);
+        // Kill chip 1 halfway through the healthy makespan: its unfinished
+        // jobs migrate to the three survivors and everything completes.
+        let kill_at = healthy.makespan_seconds() * 0.5;
+        let report = serve_cluster(
+            &jobs,
+            scaling_options(ArchPreset::Bts, 4)
+                .with_fault_plan(FaultPlan::none().with_chip_failure(1, kill_at)),
+        )
+        .unwrap();
+        assert_eq!(report.submitted_count(), 12);
+        assert_eq!(report.job_count(), 12, "no job is lost to the failure");
+        assert_eq!(report.failed_chips.len(), 1);
+        assert!(
+            report.migration_count() > 0,
+            "the dead chip had queued work"
+        );
+        for j in &report.jobs {
+            if j.migrations > 0 {
+                assert_ne!(j.chip, 1, "migrated jobs land on survivors");
+                assert!(j.finish_seconds > kill_at);
+            }
+        }
+        // Jobs that stayed on chip 1 finished before it died.
+        for j in report.jobs.iter().filter(|j| j.chip == 1) {
+            assert!(j.finish_seconds <= kill_at + 1e-15);
+        }
+        // Graceful degradation, not collapse: the wounded fleet still beats
+        // a healthy fleet of half the size, and pays more interconnect for
+        // the re-shipments.
+        let two = serve_cluster(&jobs, scaling_options(ArchPreset::Bts, 2)).unwrap();
+        assert!(report.makespan_seconds() < two.makespan_seconds());
+        assert!(report.interconnect_bytes() > healthy.interconnect_bytes());
+    }
+
+    #[test]
+    fn failover_is_deterministic() {
+        let jobs = bootstrap_stream(10, 3);
+        let opts = || {
+            scaling_options(ArchPreset::Bts, 3)
+                .with_fault_plan(FaultPlan::none().with_chip_failure(0, 0.05))
+        };
+        let a = serve_cluster(&jobs, opts()).unwrap();
+        let b = serve_cluster(&jobs, opts()).unwrap();
+        assert_eq!(a.job_count(), b.job_count());
+        assert_eq!(a.migration_count(), b.migration_count());
+        assert_eq!(
+            a.makespan_seconds().to_bits(),
+            b.makespan_seconds().to_bits()
+        );
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(x.chip, y.chip);
+            assert_eq!(x.finish_seconds.to_bits(), y.finish_seconds.to_bits());
+        }
+    }
+
+    #[test]
+    fn a_fleet_with_no_survivors_is_a_typed_error() {
+        let jobs = bootstrap_stream(2, 1);
+        let err = serve_cluster(
+            &jobs,
+            ClusterOptions::new(ChipSpec::preset(ArchPreset::Bts, 1))
+                .with_fault_plan(FaultPlan::none().with_chip_failure(0, 0.0)),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ClusterError::ChipUnavailable {
+                chip: 0,
+                job: Some(_)
+            }
+        ));
+    }
+
+    #[test]
+    fn migration_budget_exhaustion_sheds_instead_of_looping() {
+        // One retry attempt total: a job interrupted once has no budget
+        // left to be re-placed, so the failure sheds everything chip 0
+        // could not finish — but the survivors' jobs still complete.
+        let jobs = bootstrap_stream(8, 4);
+        let report = serve_cluster(
+            &jobs,
+            scaling_options(ArchPreset::Bts, 2)
+                .with_retry(RetryPolicy::no_retries())
+                .with_fault_plan(FaultPlan::none().with_chip_failure(0, 1e-3)),
+        )
+        .unwrap();
+        assert_eq!(report.submitted_count(), 8);
+        assert!(report.shed_count() > 0);
+        assert_eq!(report.migration_count(), 0);
+        for s in &report.shed {
+            assert_eq!(s.reason, ShedReason::RetryBudgetExhausted);
+        }
+        assert!(report.job_count() > 0, "the surviving chip still serves");
+    }
+
+    #[test]
+    fn link_degradation_slows_transfers_in_its_window() {
+        let jobs = bootstrap_stream(8, 4);
+        let base = ClusterOptions::new(
+            ChipSpec::preset(ArchPreset::Bts, 2).with_interconnect(Interconnect::pcie_gen5()),
+        );
+        let clean = serve_cluster(&jobs, base.clone()).unwrap();
+        let degraded = serve_cluster(
+            &jobs,
+            base.with_fault_plan(FaultPlan::none().with_link_degradation(0.0, 1e3, 0.25)),
+        )
+        .unwrap();
+        assert_eq!(degraded.job_count(), 8);
+        assert!(
+            degraded.interconnect_seconds() > 3.0 * clean.interconnect_seconds(),
+            "quartered bandwidth must roughly quadruple streaming time: {} vs {}",
+            degraded.interconnect_seconds(),
+            clean.interconnect_seconds()
+        );
+        assert_eq!(degraded.interconnect_bytes(), clean.interconnect_bytes());
+    }
+
+    #[test]
+    fn cluster_deadlines_and_queue_bounds_flow_through_to_chips() {
+        let ins = CkksInstance::ins1();
+        // 6 simultaneous jobs on 2 chips with per-chip queue bound 1 and
+        // concurrency 1: a chip's queue fills with one job before any
+        // same-instant admission, so of each chip's three arrivals one is
+        // queued (then served) and two are shed at arrival.
+        let jobs: Vec<JobRequest> = (0..6)
+            .map(|i| JobRequest::new(i, i as u32, "bootstrap", ins.clone(), 0.0))
+            .collect();
+        let report = serve_cluster(
+            &jobs,
+            ClusterOptions::new(ChipSpec::preset(ArchPreset::Bts, 2))
+                .with_max_in_flight(1)
+                .with_queue_capacity(1),
+        )
+        .unwrap();
+        assert_eq!(report.submitted_count(), 6);
+        assert_eq!(report.shed_count(), 4);
+        assert_eq!(report.job_count(), 2);
+        for s in &report.shed {
+            assert_eq!(s.reason, ShedReason::QueueFull);
+        }
+        // Deadlines pass through absolutely; an impossible one is missed.
+        let strict: Vec<JobRequest> = (0..2)
+            .map(|i| {
+                JobRequest::new(i, i as u32, "bootstrap", ins.clone(), 0.0).with_deadline(1e-9)
+            })
+            .collect();
+        let missed = serve_cluster(
+            &strict,
+            ClusterOptions::new(ChipSpec::preset(ArchPreset::Bts, 2)),
+        )
+        .unwrap();
+        assert!((missed.slo_attainment() - 0.0).abs() < 1e-15);
+        assert_eq!(missed.deadline_missed_count(), 2);
     }
 }

@@ -99,6 +99,14 @@ pub struct JobStats {
     pub critical_path_seconds: f64,
     /// Number of ops in the job.
     pub ops: usize,
+    /// Number of ops actually placed (`== ops` unless the job was
+    /// cancelled mid-flight).
+    pub placed_ops: usize,
+    /// Whether the job was cancelled via [`MultiScheduler::cancel_job`]
+    /// before completing. Cancelled jobs keep the machine time their placed
+    /// ops already consumed — the chip did the work before it died — but
+    /// never complete.
+    pub cancelled: bool,
 }
 
 impl JobStats {
@@ -189,12 +197,14 @@ impl MultiSchedule {
     /// Checks every structural invariant the multi-job scheduler guarantees:
     ///
     /// 1. each job's ops were placed in program order, starting no earlier
-    ///    than the job's release time,
+    ///    than the job's release time (all of them for completed jobs,
+    ///    exactly `placed_ops` for cancelled ones),
     /// 2. every op window is well-formed and inside `[0, makespan]`,
     /// 3. every reservation lies inside its op's window on a valid channel,
     /// 4. no channel holds two overlapping reservations,
     /// 5. `max_j (release_j + critical_path_j) ≤ makespan ≤
-    ///    max(release) + Σ serial` (up to float rounding),
+    ///    max(release) + Σ serial` (up to float rounding; the lower bound
+    ///    applies only to jobs that ran to completion),
     /// 6. every job's recorded finish is the max end over its ops.
     ///
     /// (Data-edge and barrier respect are checked against the traces by the
@@ -237,7 +247,13 @@ impl MultiSchedule {
         }
         for job in &self.jobs {
             let placed = next_index.get(&job.tag).copied().unwrap_or(0);
-            if placed != job.ops {
+            if placed != job.placed_ops {
+                return Err(format!(
+                    "job {} records {} placed ops but {} were placed",
+                    job.tag, job.placed_ops, placed
+                ));
+            }
+            if !job.cancelled && placed != job.ops {
                 return Err(format!(
                     "job {} has {} ops but {} were placed",
                     job.tag, job.ops, placed
@@ -253,7 +269,13 @@ impl MultiSchedule {
                     job.tag, job.finish_seconds, finish
                 ));
             }
-            let lower = job.release_seconds + job.critical_path_seconds;
+            // A cancelled job never ran its full DAG, so its critical path
+            // no longer lower-bounds the makespan.
+            let lower = if job.cancelled {
+                job.release_seconds
+            } else {
+                job.release_seconds + job.critical_path_seconds
+            };
             if lower > self.makespan_seconds + eps {
                 return Err(format!(
                     "job {} release + critical path {} exceeds makespan {}",
@@ -338,6 +360,7 @@ struct JobState {
     first_start: Option<f64>,
     serial: f64,
     critical_path: f64,
+    cancelled: bool,
 }
 
 /// Incremental list scheduler for a set of tagged job DAGs over one shared
@@ -431,6 +454,7 @@ impl MultiScheduler {
             first_start: None,
             serial,
             critical_path,
+            cancelled: false,
         });
         if empty {
             self.pending.push_back(JobCompletion {
@@ -446,6 +470,35 @@ impl MultiScheduler {
     /// Number of admitted jobs that still have unplaced ops.
     pub fn active_jobs(&self) -> usize {
         self.active.len()
+    }
+
+    /// Cancels a job mid-flight: its remaining ops will never be placed and
+    /// its completion will never be reported. Ops already placed keep their
+    /// channel reservations — the machine did that work before the
+    /// cancellation (a dying chip does not refund the cycles it burned).
+    ///
+    /// Returns `true` if the job was still in flight (unplaced ops remaining,
+    /// or fully placed with its completion not yet reported); `false` if the
+    /// tag is unknown, already cancelled, or its completion was already
+    /// handed out by [`MultiScheduler::run_until_completion`].
+    pub fn cancel_job(&mut self, tag: u32) -> bool {
+        let Some(j) = self.jobs.iter().position(|job| job.tag == tag) else {
+            return false;
+        };
+        if self.jobs[j].cancelled {
+            return false;
+        }
+        if let Some(pos) = self.active.iter().position(|&a| a == j) {
+            self.active.remove(pos);
+            self.jobs[j].cancelled = true;
+            return true;
+        }
+        if let Some(pos) = self.pending.iter().position(|c| c.tag == tag) {
+            self.pending.remove(pos);
+            self.jobs[j].cancelled = true;
+            return true;
+        }
+        false
     }
 
     /// Places ops greedily until the next job completion is known, and
@@ -507,6 +560,8 @@ impl MultiScheduler {
                     serial_seconds: j.serial,
                     critical_path_seconds: j.critical_path,
                     ops: j.ops.len(),
+                    placed_ops: j.next,
+                    cancelled: j.cancelled,
                 })
                 .collect(),
             makespan_seconds: self.makespan,
@@ -864,6 +919,81 @@ mod tests {
         assert_eq!(second.tag, 0);
         assert!(first.finish_seconds < second.finish_seconds);
         assert_eq!(scheduler.run_until_completion(), None);
+        scheduler.finish().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn cancelled_jobs_never_complete_and_invariants_still_hold() {
+        let ins = CkksInstance::ins1();
+        let long = keyswitch_heavy(&ins, 6);
+        let short = keyswitch_heavy(&ins, 1);
+        let sim = Simulator::new(BtsConfig::bts_default(), ins.clone());
+        let tm_long = sim.op_timings(&long).unwrap();
+        let tm_short = sim.op_timings(&short).unwrap();
+        let mut scheduler = MultiScheduler::new(MachineModel::from_config(sim.config()));
+        scheduler.add_job(0, &long, &tm_long, 0.0);
+        scheduler.add_job(1, &short, &tm_short, 0.0);
+        // Cancel the long job before any placement: only the short one runs.
+        assert!(scheduler.cancel_job(0));
+        assert!(!scheduler.cancel_job(0), "double cancel must be a no-op");
+        assert!(!scheduler.cancel_job(99), "unknown tag must be a no-op");
+        let done = scheduler.run_until_completion().unwrap();
+        assert_eq!(done.tag, 1);
+        assert_eq!(scheduler.run_until_completion(), None);
+        let multi = scheduler.finish();
+        multi.check_invariants().unwrap();
+        let j0 = multi.job(0).unwrap();
+        assert!(j0.cancelled);
+        assert_eq!(j0.placed_ops, 0);
+        assert_eq!(j0.finish_seconds, 0.0); // never started: finish = release
+        let j1 = multi.job(1).unwrap();
+        assert!(!j1.cancelled);
+        assert_eq!(j1.placed_ops, j1.ops);
+    }
+
+    #[test]
+    fn cancelling_a_partially_placed_job_keeps_its_burned_time() {
+        let ins = CkksInstance::ins1();
+        let long = keyswitch_heavy(&ins, 6);
+        let short = keyswitch_heavy(&ins, 1);
+        let sim = Simulator::new(BtsConfig::bts_default(), ins.clone());
+        let tm_long = sim.op_timings(&long).unwrap();
+        let tm_short = sim.op_timings(&short).unwrap();
+        let mut scheduler = MultiScheduler::new(MachineModel::from_config(sim.config()));
+        scheduler.add_job(0, &long, &tm_long, 0.0);
+        scheduler.add_job(1, &short, &tm_short, 0.0);
+        // Drive until the short job completes; the long one is mid-flight.
+        let first = scheduler.run_until_completion().unwrap();
+        assert_eq!(first.tag, 1);
+        assert!(
+            scheduler.cancel_job(0),
+            "mid-flight job must be cancellable"
+        );
+        assert_eq!(scheduler.run_until_completion(), None);
+        let multi = scheduler.finish();
+        multi.check_invariants().unwrap();
+        let j0 = multi.job(0).unwrap();
+        assert!(j0.cancelled);
+        assert!(j0.placed_ops < j0.ops, "cancel must stop further placement");
+        // Whatever was placed stays on the books.
+        let placed = multi.ops.iter().filter(|o| o.job == 0).count();
+        assert_eq!(placed, j0.placed_ops);
+    }
+
+    #[test]
+    fn cancelling_a_reported_completion_is_refused() {
+        let ins = CkksInstance::ins1();
+        let trace = keyswitch_heavy(&ins, 1);
+        let sim = Simulator::new(BtsConfig::bts_default(), ins.clone());
+        let timings = sim.op_timings(&trace).unwrap();
+        let mut scheduler = MultiScheduler::new(MachineModel::from_config(sim.config()));
+        scheduler.add_job(0, &trace, &timings, 0.0);
+        let done = scheduler.run_until_completion().unwrap();
+        assert_eq!(done.tag, 0);
+        assert!(
+            !scheduler.cancel_job(0),
+            "a completion already handed out cannot be revoked"
+        );
         scheduler.finish().check_invariants().unwrap();
     }
 

@@ -39,6 +39,27 @@ pub enum ServeError {
     },
     /// `max_in_flight` is zero — the server could never start a job.
     NoCapacity,
+    /// A job's deadline is non-finite (deadlines are absolute simulated
+    /// times; `None` means no deadline — an explicit one must be a number).
+    InvalidDeadline {
+        /// Id of the offending job.
+        job: u64,
+        /// The rejected deadline.
+        deadline_seconds: f64,
+    },
+    /// The bounded admission queue was full when the job arrived, and the
+    /// options demand hard rejection instead of silent shedding
+    /// ([`crate::ServeOptions::with_reject_on_full`]).
+    QueueFull {
+        /// Id of the rejected job.
+        job: u64,
+        /// The queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The retry policy allows zero attempts — no job could ever run.
+    NoAttempts,
+    /// The fault plan is malformed (bad rate, window, or failure time).
+    Fault(bts_fault::FaultError),
     /// The hardware configuration fails [`bts_sim::BtsConfig::validate`]
     /// (zero unit counts, non-positive bandwidths, …).
     Config(bts_sim::ConfigError),
@@ -69,6 +90,23 @@ impl std::fmt::Display for ServeError {
             ServeError::NoCapacity => {
                 write!(f, "max_in_flight is 0; the server can never start a job")
             }
+            ServeError::InvalidDeadline {
+                job,
+                deadline_seconds,
+            } => write!(
+                f,
+                "job {job} has invalid deadline {deadline_seconds} (must be finite)"
+            ),
+            ServeError::QueueFull { job, capacity } => write!(
+                f,
+                "job {job} rejected: admission queue full at capacity {capacity}"
+            ),
+            ServeError::NoAttempts => {
+                write!(f, "retry policy allows 0 attempts; no job could ever run")
+            }
+            ServeError::Fault(source) => {
+                write!(f, "invalid fault plan: {source}")
+            }
             ServeError::Config(source) => {
                 write!(f, "invalid hardware configuration: {source}")
             }
@@ -82,6 +120,7 @@ impl std::error::Error for ServeError {
             ServeError::Circuit { source, .. } => Some(source),
             ServeError::Trace { source, .. } => Some(source),
             ServeError::Config(source) => Some(source),
+            ServeError::Fault(source) => Some(source),
             _ => None,
         }
     }
@@ -100,5 +139,25 @@ mod tests {
         assert!(e.to_string().contains("job 7"));
         assert!(e.to_string().contains("nope"));
         assert!(ServeError::NoCapacity.to_string().contains("max_in_flight"));
+    }
+
+    #[test]
+    fn overload_and_fault_errors_render_their_context() {
+        let full = ServeError::QueueFull {
+            job: 12,
+            capacity: 3,
+        };
+        assert!(full.to_string().contains("job 12"));
+        assert!(full.to_string().contains("capacity 3"));
+        let deadline = ServeError::InvalidDeadline {
+            job: 9,
+            deadline_seconds: f64::NAN,
+        };
+        assert!(deadline.to_string().contains("job 9"));
+        let fault = ServeError::Fault(bts_fault::FaultError::InvalidRate { rate: 2.0 });
+        assert!(fault.to_string().contains("fault plan"));
+        use std::error::Error as _;
+        assert!(fault.source().is_some(), "fault errors chain their source");
+        assert!(ServeError::NoAttempts.to_string().contains("0 attempts"));
     }
 }

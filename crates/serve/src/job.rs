@@ -20,6 +20,10 @@ pub struct JobRequest {
     /// Arrival time of the job at the service queue, in seconds from the
     /// start of the simulation.
     pub arrival_seconds: f64,
+    /// Optional absolute completion deadline (seconds from the start of the
+    /// simulation, not relative to arrival). Jobs finishing after it count
+    /// against SLO attainment; jobs still queued when it passes are shed.
+    pub deadline_seconds: Option<f64>,
 }
 
 impl JobRequest {
@@ -37,7 +41,14 @@ impl JobRequest {
             workload: workload.into(),
             instance,
             arrival_seconds,
+            deadline_seconds: None,
         }
+    }
+
+    /// Returns a copy with an absolute completion deadline.
+    pub fn with_deadline(mut self, deadline_seconds: f64) -> Self {
+        self.deadline_seconds = Some(deadline_seconds);
+        self
     }
 }
 
@@ -70,5 +81,8 @@ mod tests {
         assert_eq!(job.workload, "bootstrap");
         assert_eq!(job.instance.name(), "INS-1");
         assert!((job.arrival_seconds - 0.5).abs() < 1e-15);
+        assert_eq!(job.deadline_seconds, None);
+        let strict = job.with_deadline(0.75);
+        assert_eq!(strict.deadline_seconds, Some(0.75));
     }
 }

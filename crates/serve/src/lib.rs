@@ -23,6 +23,13 @@
 //!   utilization, Jain fairness across tenants, and the batch's merged
 //!   [`bts_sim::SimReport`].
 //!
+//! The server also models overload and failure: bounded admission queues
+//! shed (or reject) arrivals past capacity, per-job deadlines gate SLO
+//! attainment and expire queued work, transient faults from a seeded
+//! [`FaultPlan`] redrive jobs under a capped-exponential [`RetryPolicy`],
+//! and a failure time cuts the run short, reporting unfinished work as
+//! [`InterruptedJob`]s for the cluster layer (`bts-cluster`) to migrate.
+//!
 //! ```
 //! use bts_params::{BandwidthModel, CkksInstance};
 //! use bts_serve::{serve, ServeOptions, SyntheticArrivals};
@@ -57,5 +64,7 @@ pub use error::ServeError;
 pub use estimate::estimate_trace_seconds;
 pub use job::{JobRequest, QueuedJob};
 pub use policy::QueuePolicy;
-pub use report::{JobOutcome, ServeReport};
+pub use report::{InterruptedJob, JobOutcome, ServeReport, ShedJob, ShedReason};
 pub use server::{serve, BtsServer, ServeOptions};
+
+pub use bts_fault::{FaultPlan, RetryPolicy};

@@ -35,6 +35,11 @@ pub struct JobOutcome {
     pub refreshed_slot_levels: f64,
     /// Number of ops in the job's lowered trace.
     pub ops: usize,
+    /// Total executions the job took (1 = no transient faults; each faulted
+    /// attempt redrives the whole trace after backoff).
+    pub attempts: u32,
+    /// The job's absolute deadline, if it had one.
+    pub deadline_seconds: Option<f64>,
 }
 
 impl JobOutcome {
@@ -64,6 +69,83 @@ impl JobOutcome {
             self.service_seconds() / self.serial_seconds
         }
     }
+
+    /// Whether the job met its deadline (`None` if it had none).
+    pub fn deadline_met(&self) -> Option<bool> {
+        self.deadline_seconds.map(|d| self.finish_seconds <= d)
+    }
+}
+
+/// Why the server dropped a job instead of completing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded admission queue was full when the job arrived.
+    QueueFull,
+    /// The job's deadline passed while it was still queued.
+    DeadlineExpired,
+    /// Every allowed execution faulted; the retry budget ran out.
+    RetryBudgetExhausted,
+}
+
+impl ShedReason {
+    /// Stable lowercase label (used in telemetry args and figures).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue-full",
+            ShedReason::DeadlineExpired => "deadline-expired",
+            ShedReason::RetryBudgetExhausted => "retry-budget-exhausted",
+        }
+    }
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A job the server dropped (load shedding, deadline expiry, or retry-budget
+/// exhaustion) instead of completing.
+#[derive(Debug, Clone)]
+pub struct ShedJob {
+    /// The caller's job id.
+    pub id: u64,
+    /// Tenant the job belongs to.
+    pub tenant: u32,
+    /// Workload name.
+    pub workload: String,
+    /// When the job arrived at the service queue.
+    pub arrival_seconds: f64,
+    /// When the server dropped it.
+    pub shed_seconds: f64,
+    /// Why it was dropped.
+    pub reason: ShedReason,
+    /// Executions the job consumed before being dropped (0 when shed at
+    /// arrival, `max_attempts` when its retry budget ran out).
+    pub attempts: u32,
+    /// The job's absolute deadline, if it had one.
+    pub deadline_seconds: Option<f64>,
+}
+
+/// A job cut short by a chip failure: neither completed nor deliberately
+/// shed. The cluster layer migrates these onto surviving chips.
+#[derive(Debug, Clone)]
+pub struct InterruptedJob {
+    /// The caller's job id.
+    pub id: u64,
+    /// Tenant the job belongs to.
+    pub tenant: u32,
+    /// Workload name.
+    pub workload: String,
+    /// When the job arrived at the service queue.
+    pub arrival_seconds: f64,
+    /// Executions the job had consumed when the chip died (a mid-flight
+    /// attempt counts: its work is lost).
+    pub attempts: u32,
+    /// When the chip failed, in seconds.
+    pub interrupted_seconds: f64,
+    /// The job's absolute deadline, if it had one.
+    pub deadline_seconds: Option<f64>,
 }
 
 /// Aggregate result of streaming a batch of jobs through one simulated
@@ -74,8 +156,16 @@ pub struct ServeReport {
     pub policy: QueuePolicy,
     /// Concurrency limit (jobs co-resident on the accelerator).
     pub max_in_flight: usize,
-    /// Per-job outcomes, in submission order.
+    /// Per-job outcomes of *completed* jobs, in submission order.
     pub jobs: Vec<JobOutcome>,
+    /// Jobs dropped instead of completed, in the order they were dropped.
+    pub shed: Vec<ShedJob>,
+    /// Jobs cut short by a chip failure, in submission order. Empty unless
+    /// the run was given a failure time.
+    pub interrupted: Vec<InterruptedJob>,
+    /// When the accelerator died mid-run, if it did
+    /// ([`crate::ServeOptions::with_failure_at`]).
+    pub failed_at_seconds: Option<f64>,
     /// Completion time of the last job, from t = 0.
     pub makespan_seconds: f64,
     /// Busy fraction of each functional-unit class over the makespan,
@@ -91,6 +181,91 @@ impl ServeReport {
     /// Number of served jobs.
     pub fn job_count(&self) -> usize {
         self.jobs.len()
+    }
+
+    /// Number of jobs submitted, whatever became of them.
+    pub fn submitted_count(&self) -> usize {
+        self.jobs.len() + self.shed.len() + self.interrupted.len()
+    }
+
+    /// Number of jobs dropped (shed, expired, or out of retries).
+    pub fn shed_count(&self) -> usize {
+        self.shed.len()
+    }
+
+    /// Total redriven executions across the run: every attempt beyond each
+    /// job's first, whether the job eventually completed or was dropped.
+    pub fn retry_count(&self) -> u64 {
+        let completed: u64 = self
+            .jobs
+            .iter()
+            .map(|j| u64::from(j.attempts.saturating_sub(1)))
+            .sum();
+        let shed: u64 = self
+            .shed
+            .iter()
+            .map(|s| u64::from(s.attempts.saturating_sub(1)))
+            .sum();
+        completed + shed
+    }
+
+    /// Jobs that had a deadline and missed it: completed too late, shed, or
+    /// interrupted (a dropped job with a deadline missed by definition).
+    pub fn deadline_missed_count(&self) -> usize {
+        let late = self
+            .jobs
+            .iter()
+            .filter(|j| j.deadline_met() == Some(false))
+            .count();
+        let shed = self
+            .shed
+            .iter()
+            .filter(|s| s.deadline_seconds.is_some())
+            .count();
+        let cut = self
+            .interrupted
+            .iter()
+            .filter(|i| i.deadline_seconds.is_some())
+            .count();
+        late + shed + cut
+    }
+
+    /// Fraction of deadline-bearing jobs that met their deadline. 1.0 when
+    /// no job had a deadline (a vacuous SLO is always attained).
+    pub fn slo_attainment(&self) -> f64 {
+        let met = self
+            .jobs
+            .iter()
+            .filter(|j| j.deadline_met() == Some(true))
+            .count();
+        let with_deadline = self
+            .jobs
+            .iter()
+            .filter(|j| j.deadline_seconds.is_some())
+            .count()
+            + self
+                .shed
+                .iter()
+                .filter(|s| s.deadline_seconds.is_some())
+                .count()
+            + self
+                .interrupted
+                .iter()
+                .filter(|i| i.deadline_seconds.is_some())
+                .count();
+        if with_deadline == 0 {
+            1.0
+        } else {
+            met as f64 / with_deadline as f64
+        }
+    }
+
+    /// *Completed* jobs per second over the makespan — unlike
+    /// [`ServeReport::throughput_jobs_per_sec`] this is already goodput,
+    /// since `jobs` holds only completions; the separate name keeps sweep
+    /// code honest about what it plots under overload.
+    pub fn goodput_jobs_per_sec(&self) -> f64 {
+        self.throughput_jobs_per_sec()
     }
 
     /// Sum of every job's serial charge — what one-at-a-time execution
@@ -229,6 +404,26 @@ impl ServeReport {
             self.utilizations[FuKind::Elementwise.index()] * 100.0,
             self.utilizations[FuKind::Hbm.index()] * 100.0
         );
+        if !self.shed.is_empty()
+            || !self.interrupted.is_empty()
+            || self.failed_at_seconds.is_some()
+            || self.retry_count() > 0
+            || self.jobs.iter().any(|j| j.deadline_seconds.is_some())
+        {
+            let _ = writeln!(
+                out,
+                "resilience: shed {} | retried {} | interrupted {} | deadline missed {} | SLO {:.1}%{}",
+                self.shed_count(),
+                self.retry_count(),
+                self.interrupted.len(),
+                self.deadline_missed_count(),
+                self.slo_attainment() * 100.0,
+                match self.failed_at_seconds {
+                    Some(t) => format!(" | chip died at {:.2} ms", t * 1e3),
+                    None => String::new(),
+                }
+            );
+        }
         out
     }
 }
@@ -250,6 +445,8 @@ mod tests {
             critical_path_seconds: (finish - admitted) * 0.5,
             refreshed_slot_levels: 1000.0,
             ops: 10,
+            attempts: 1,
+            deadline_seconds: None,
         }
     }
 
@@ -259,6 +456,9 @@ mod tests {
             policy: QueuePolicy::Fifo,
             max_in_flight: 2,
             jobs,
+            shed: Vec::new(),
+            interrupted: Vec::new(),
+            failed_at_seconds: None,
             makespan_seconds: makespan,
             utilizations: [0.5; FuKind::COUNT],
             aggregate: None,
@@ -316,5 +516,64 @@ mod tests {
         assert!(skewed.tenant_fairness() < 0.8);
         let single = report(vec![outcome(0, 0, 0.0, 0.0, 1.0)]);
         assert!((single.tenant_fairness() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resilience_counts_cover_shed_retried_and_missed() {
+        let mut on_time = outcome(0, 0, 0.0, 0.0, 1.0);
+        on_time.deadline_seconds = Some(2.0);
+        let mut late = outcome(1, 0, 0.0, 0.5, 3.0);
+        late.deadline_seconds = Some(2.0);
+        late.attempts = 2; // one redrive
+        let mut r = report(vec![on_time, late]);
+        r.shed.push(ShedJob {
+            id: 2,
+            tenant: 1,
+            workload: "bootstrap".into(),
+            arrival_seconds: 0.1,
+            shed_seconds: 0.1,
+            reason: ShedReason::QueueFull,
+            attempts: 0,
+            deadline_seconds: Some(1.0),
+        });
+        r.shed.push(ShedJob {
+            id: 3,
+            tenant: 1,
+            workload: "bootstrap".into(),
+            arrival_seconds: 0.2,
+            shed_seconds: 2.5,
+            reason: ShedReason::RetryBudgetExhausted,
+            attempts: 3,
+            deadline_seconds: None,
+        });
+        assert_eq!(r.submitted_count(), 4);
+        assert_eq!(r.shed_count(), 2);
+        assert_eq!(r.retry_count(), 1 + 2); // late's redrive + the exhausted job's two
+                                            // Deadlines: on_time met; late missed; the queue-full shed had one.
+        assert_eq!(r.deadline_missed_count(), 2);
+        assert!((r.slo_attainment() - 1.0 / 3.0).abs() < 1e-15);
+        assert_eq!(r.jobs[0].deadline_met(), Some(true));
+        assert_eq!(r.jobs[1].deadline_met(), Some(false));
+        assert!((r.goodput_jobs_per_sec() - r.throughput_jobs_per_sec()).abs() < 1e-15);
+        let text = r.summary();
+        assert!(
+            text.contains("resilience:"),
+            "summary grows a resilience line"
+        );
+        assert!(text.contains("shed 2"));
+    }
+
+    #[test]
+    fn vacuous_slo_is_attained_and_clean_runs_stay_quiet() {
+        let r = report(vec![outcome(0, 0, 0.0, 0.0, 1.0)]);
+        assert!((r.slo_attainment() - 1.0).abs() < 1e-15);
+        assert_eq!(r.deadline_missed_count(), 0);
+        assert_eq!(r.retry_count(), 0);
+        assert!(
+            !r.summary().contains("resilience:"),
+            "fault-free, deadline-free summaries keep their old shape"
+        );
+        assert_eq!(ShedReason::QueueFull.to_string(), "queue-full");
+        assert_eq!(ShedReason::DeadlineExpired.label(), "deadline-expired");
     }
 }

@@ -10,26 +10,46 @@
 //! contention is not charged). The event loop then drives the
 //! [`bts_sched::MultiScheduler`]:
 //!
-//! 1. while the accelerator holds fewer than `max_in_flight` jobs and some
-//!    queued job has arrived by the current clock, the [`QueuePolicy`] picks
-//!    the next admission (release time = admission time);
-//! 2. the scheduler interleaves the active jobs' ops on the shared
+//! 1. arrivals (and retry redrives) that are due join the waiting queue —
+//!    unless a bounded queue is full, in which case the new arrival is shed
+//!    with [`crate::ShedReason::QueueFull`] (or the whole call fails with
+//!    [`ServeError::QueueFull`] under
+//!    [`ServeOptions::with_reject_on_full`]);
+//! 2. waiting jobs whose deadline has already passed are shed — admitting
+//!    them could only burn machine time on a guaranteed SLO miss;
+//! 3. while the accelerator holds fewer than `max_in_flight` jobs and the
+//!    waiting queue is non-empty, the [`QueuePolicy`] picks the next
+//!    admission (release time = admission time);
+//! 4. the scheduler interleaves the active jobs' ops on the shared
 //!    NTTU/BConvU/element-wise/HBM channels until one job completes;
-//! 3. the completion advances the clock and frees a slot — back to 1.
+//! 5. the completion advances the clock and frees a slot. If the job's
+//!    `(id, attempt)` draws a transient fault from the [`FaultPlan`], the
+//!    attempt's work is lost: the job redrives after capped exponential
+//!    backoff ([`bts_fault::RetryPolicy`]) until its budget runs out, at
+//!    which point it is shed with
+//!    [`crate::ShedReason::RetryBudgetExhausted`].
 //!
-//! An idle machine jumps the clock to the next arrival. Everything is
-//! deterministic: one `(jobs, policy, config, max_in_flight)` tuple always
-//! produces the same [`ServeReport`].
+//! An idle machine jumps the clock to the next arrival. If the run has a
+//! failure time ([`ServeOptions::with_failure_at`] — the cluster layer sets
+//! it per chip from its [`FaultPlan`]), any work finishing after it never
+//! completes: in-flight jobs are cancelled in the scheduler and reported as
+//! [`crate::InterruptedJob`]s alongside everything still queued, for the
+//! cluster layer to migrate.
+//!
+//! Everything is deterministic: one `(jobs, options)` pair always produces
+//! the same [`ServeReport`], and a fault-free plan reproduces the plain
+//! fault-free run bit for bit.
 
+use bts_fault::{FaultPlan, RetryPolicy};
 use bts_params::L_BOOT;
-use bts_sched::{MachineModel, MultiScheduler};
+use bts_sched::{MachineModel, MultiSchedule, MultiScheduler};
 use bts_sim::{BtsConfig, OpTiming, OpTrace, SimReport, Simulator};
 use bts_workloads::{standard_registry, WorkloadRegistry};
 
 use crate::error::ServeError;
 use crate::job::{JobRequest, QueuedJob};
 use crate::policy::QueuePolicy;
-use crate::report::{JobOutcome, ServeReport};
+use crate::report::{InterruptedJob, JobOutcome, ServeReport, ShedJob, ShedReason};
 
 /// Knobs of one serving run.
 #[derive(Debug, Clone)]
@@ -42,16 +62,38 @@ pub struct ServeOptions {
     /// one-at-a-time service; higher values let ops of different jobs
     /// interleave on the functional units.
     pub max_in_flight: usize,
+    /// Bound on the waiting queue (jobs arrived but not admitted). `None`
+    /// means unbounded; `Some(n)` sheds (or rejects) arrivals past `n`.
+    /// Retry redrives are exempt — they already hold a budget.
+    pub queue_capacity: Option<usize>,
+    /// On a full bounded queue: `false` (default) sheds the arrival and
+    /// keeps serving; `true` fails the whole call with
+    /// [`ServeError::QueueFull`].
+    pub reject_on_full: bool,
+    /// Retry budget and backoff for transient job faults.
+    pub retry: RetryPolicy,
+    /// What goes wrong during the run. The serve layer uses the plan's
+    /// transient-fault draws; chip failures matter at the cluster layer.
+    pub fault: FaultPlan,
+    /// If set, the accelerator dies at this simulated time: work finishing
+    /// after it never completes and is reported as interrupted. The cluster
+    /// layer sets this per chip from its fault plan.
+    pub fail_at_seconds: Option<f64>,
 }
 
 impl ServeOptions {
     /// FIFO service of up to `max_in_flight` concurrent jobs on the default
-    /// BTS design point.
+    /// BTS design point, with an unbounded queue and no faults.
     pub fn new(max_in_flight: usize) -> Self {
         Self {
             config: BtsConfig::bts_default(),
             policy: QueuePolicy::Fifo,
             max_in_flight,
+            queue_capacity: None,
+            reject_on_full: false,
+            retry: RetryPolicy::default(),
+            fault: FaultPlan::none(),
+            fail_at_seconds: None,
         }
     }
 
@@ -65,6 +107,67 @@ impl ServeOptions {
     pub fn with_policy(mut self, policy: QueuePolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Returns a copy with a bounded waiting queue of `capacity` jobs.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = Some(capacity);
+        self
+    }
+
+    /// Returns a copy that fails the whole call with
+    /// [`ServeError::QueueFull`] instead of shedding when the bounded queue
+    /// overflows.
+    pub fn with_reject_on_full(mut self) -> Self {
+        self.reject_on_full = true;
+        self
+    }
+
+    /// Returns a copy with a different retry budget/backoff.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Returns a copy with a fault plan.
+    pub fn with_fault_plan(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Returns a copy whose accelerator dies at `fail_at_seconds`.
+    pub fn with_failure_at(mut self, fail_at_seconds: f64) -> Self {
+        self.fail_at_seconds = Some(fail_at_seconds);
+        self
+    }
+
+    /// Checks the options the way [`BtsConfig::validate`] checks a hardware
+    /// configuration: typed errors instead of deadlocks or panics later.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoCapacity`] when `max_in_flight` is 0 (the admission
+    /// loop could never start a job), [`ServeError::NoAttempts`] when the
+    /// retry budget is 0, plus config and fault-plan validation failures.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.max_in_flight == 0 {
+            return Err(ServeError::NoCapacity);
+        }
+        if self.retry.max_attempts == 0 {
+            return Err(ServeError::NoAttempts);
+        }
+        self.config.validate().map_err(ServeError::Config)?;
+        // Chip indices are a cluster-level concern; at the serve level any
+        // chip id is in range — only rates, times, and windows are checked.
+        self.fault.validate(usize::MAX).map_err(ServeError::Fault)?;
+        if let Some(t) = self.fail_at_seconds {
+            if !t.is_finite() || t < 0.0 {
+                return Err(ServeError::Fault(bts_fault::FaultError::InvalidTime {
+                    seconds: t,
+                }));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -101,6 +204,15 @@ struct PreparedJob {
     estimate_seconds: f64,
 }
 
+/// A job execution waiting to happen: attempt 0 is the original arrival,
+/// later attempts are retry redrives becoming ready after backoff.
+#[derive(Debug, Clone, Copy)]
+struct PendingRun {
+    j: usize,
+    attempt: u32,
+    ready_seconds: f64,
+}
+
 impl BtsServer {
     /// A server over the five standard paper workloads.
     pub fn new(options: ServeOptions) -> Self {
@@ -129,14 +241,28 @@ impl BtsServer {
     /// # Errors
     ///
     /// Fails fast — before any scheduling — if the options or any job is
-    /// invalid (unknown workload, bad arrival time, duplicate id, zero
-    /// capacity) or a job's circuit cannot be built or lowered for its
-    /// instance.
+    /// invalid (unknown workload, bad arrival or deadline, duplicate id,
+    /// zero capacity or retry budget) or a job's circuit cannot be built or
+    /// lowered for its instance. With
+    /// [`ServeOptions::with_reject_on_full`], also fails mid-run on queue
+    /// overflow with [`ServeError::QueueFull`].
     pub fn serve(&self, jobs: &[JobRequest]) -> Result<ServeReport, ServeError> {
-        if self.options.max_in_flight == 0 {
-            return Err(ServeError::NoCapacity);
-        }
-        self.options.config.validate().map_err(ServeError::Config)?;
+        self.serve_with(jobs, &self.options)
+    }
+
+    /// Like [`BtsServer::serve`] but with explicit options, so one server
+    /// (and its registry) can run variations — the cluster layer uses this
+    /// to give each chip its own failure time.
+    ///
+    /// # Errors
+    ///
+    /// As [`BtsServer::serve`].
+    pub fn serve_with(
+        &self,
+        jobs: &[JobRequest],
+        options: &ServeOptions,
+    ) -> Result<ServeReport, ServeError> {
+        options.validate()?;
         let mut seen = std::collections::HashSet::new();
         for job in jobs {
             if !job.arrival_seconds.is_finite() || job.arrival_seconds < 0.0 {
@@ -144,6 +270,14 @@ impl BtsServer {
                     job: job.id,
                     arrival_seconds: job.arrival_seconds,
                 });
+            }
+            if let Some(d) = job.deadline_seconds {
+                if !d.is_finite() {
+                    return Err(ServeError::InvalidDeadline {
+                        job: job.id,
+                        deadline_seconds: d,
+                    });
+                }
             }
             if !seen.insert(job.id) {
                 return Err(ServeError::DuplicateJobId { job: job.id });
@@ -160,24 +294,42 @@ impl BtsServer {
                 .position(|p| p.workload == job.workload && p.instance == job.instance);
             prepared.push(match twin {
                 Some(t) => std::rc::Rc::clone(&prepared[t]),
-                None => std::rc::Rc::new(self.prepare(job)?),
+                None => std::rc::Rc::new(self.prepare(job, options)?),
             });
         }
 
+        let fail_at = options.fail_at_seconds;
+        let retry = options.retry;
+
         // Admission loop over the shared scheduler.
-        let machine = MachineModel::from_config(&self.options.config);
+        let machine = MachineModel::from_config(&options.config);
         let mut scheduler = MultiScheduler::new(machine);
-        let mut queue: Vec<usize> = (0..jobs.len()).collect();
-        // Serve order is by arrival regardless of slice order; sorting the
-        // queue keeps the policy's tie-breaks meaningful.
-        queue.sort_by(|&a, &b| {
-            jobs[a]
-                .arrival_seconds
-                .partial_cmp(&jobs[b].arrival_seconds)
+        // Executions not yet due, sorted by (ready, submit index): initially
+        // one attempt-0 entry per job at its arrival; retries re-enter here.
+        let mut upcoming: Vec<PendingRun> = (0..jobs.len())
+            .map(|j| PendingRun {
+                j,
+                attempt: 0,
+                ready_seconds: jobs[j].arrival_seconds,
+            })
+            .collect();
+        upcoming.sort_by(|a, b| {
+            a.ready_seconds
+                .partial_cmp(&b.ready_seconds)
                 .expect("validated arrivals")
-                .then(a.cmp(&b))
+                .then(a.j.cmp(&b.j))
         });
+        // Arrived but not admitted, in arrival order.
+        let mut waiting: Vec<PendingRun> = Vec::new();
         let mut admitted_at = vec![0.0f64; jobs.len()];
+        // Scheduler tags are assigned per admission (a retried job runs
+        // under a fresh tag); tag → (submit index, attempt).
+        let mut tag_info: Vec<(usize, u32)> = Vec::new();
+        // Per job: Some((tag, attempt)) while on the machine.
+        let mut on_machine: Vec<Option<(u32, u32)>> = vec![None; jobs.len()];
+        // Per job: Some((tag, attempts)) once completed for real.
+        let mut completed: Vec<Option<(u32, u32)>> = vec![None; jobs.len()];
+        let mut shed: Vec<ShedJob> = Vec::new();
         let mut clock = 0.0f64;
         let mut last_tenant: Option<u32> = None;
         // Jobs admitted but not yet completed — the real concurrency gauge.
@@ -185,44 +337,112 @@ impl BtsServer {
         // *placed*, which can precede its finish; a slot only frees at the
         // completion event.)
         let mut in_flight = 0usize;
-        loop {
-            // Admit while there is capacity and someone has arrived by the
-            // clock. A free slot with nobody arrived yet simply waits for
-            // the next arrival (jump the clock to it): admission then
-            // happens at arrival time, whether or not other jobs are still
-            // mid-flight — a free slot never sits idle past an arrival.
-            while in_flight < self.options.max_in_flight && !queue.is_empty() {
-                let candidates: Vec<QueuedJob> = queue
-                    .iter()
-                    .filter(|&&j| jobs[j].arrival_seconds <= clock)
-                    .map(|&j| QueuedJob {
-                        submit_index: j,
-                        tenant: jobs[j].tenant,
-                        arrival_seconds: jobs[j].arrival_seconds,
-                        estimate_seconds: prepared[j].estimate_seconds,
-                    })
-                    .collect();
-                if candidates.is_empty() {
-                    clock = jobs[queue[0]].arrival_seconds; // arrival-sorted
+        let mut dead = false;
+
+        let drop_job = |e: PendingRun, at: f64, reason: ShedReason, shed: &mut Vec<ShedJob>| {
+            let job = &jobs[e.j];
+            shed.push(ShedJob {
+                id: job.id,
+                tenant: job.tenant,
+                workload: job.workload.clone(),
+                arrival_seconds: job.arrival_seconds,
+                shed_seconds: at,
+                reason,
+                attempts: e.attempt,
+                deadline_seconds: job.deadline_seconds,
+            });
+            if bts_telemetry::enabled() {
+                use bts_telemetry::ArgValue;
+                bts_telemetry::emit_instant(
+                    "faults",
+                    "shed",
+                    at,
+                    &[
+                        ("job", ArgValue::U64(job.id)),
+                        ("tenant", ArgValue::U64(u64::from(job.tenant))),
+                        ("reason", ArgValue::Str(reason.label().to_string())),
+                        ("attempts", ArgValue::U64(u64::from(e.attempt))),
+                    ],
+                );
+                bts_telemetry::counter_add("serve.shed", 1);
+            }
+        };
+
+        'serve: loop {
+            // 1. Ingest due arrivals and redrives, bounding the queue.
+            while upcoming.first().is_some_and(|e| e.ready_seconds <= clock) {
+                let e = upcoming.remove(0);
+                let full = options
+                    .queue_capacity
+                    .is_some_and(|cap| waiting.len() >= cap);
+                if full && e.attempt == 0 {
+                    let capacity = options.queue_capacity.expect("full implies a bound");
+                    if options.reject_on_full {
+                        return Err(ServeError::QueueFull {
+                            job: jobs[e.j].id,
+                            capacity,
+                        });
+                    }
+                    drop_job(e, e.ready_seconds, ShedReason::QueueFull, &mut shed);
                     continue;
                 }
-                let pick = self.options.policy.select(&candidates, last_tenant);
-                let j = candidates[pick].submit_index;
-                queue.retain(|&q| q != j);
-                let release = clock.max(jobs[j].arrival_seconds);
-                admitted_at[j] = release;
-                last_tenant = Some(jobs[j].tenant);
+                waiting.push(e);
+            }
+            // 2. Shed waiting jobs whose deadline has already passed.
+            let mut i = 0;
+            while i < waiting.len() {
+                let e = waiting[i];
+                if jobs[e.j].deadline_seconds.is_some_and(|d| d <= clock) {
+                    waiting.remove(i);
+                    let d = jobs[e.j].deadline_seconds.expect("checked above");
+                    drop_job(
+                        e,
+                        d.max(e.ready_seconds),
+                        ShedReason::DeadlineExpired,
+                        &mut shed,
+                    );
+                } else {
+                    i += 1;
+                }
+            }
+            // 3. Admit while there is capacity and someone is waiting. A
+            // free slot with nobody arrived yet waits for the next arrival
+            // (the clock jump below): admission then happens at arrival
+            // time, whether or not other jobs are still mid-flight — a free
+            // slot never sits idle past an arrival.
+            while in_flight < options.max_in_flight && !waiting.is_empty() {
+                let candidates: Vec<QueuedJob> = waiting
+                    .iter()
+                    .map(|e| QueuedJob {
+                        submit_index: e.j,
+                        tenant: jobs[e.j].tenant,
+                        arrival_seconds: e.ready_seconds,
+                        estimate_seconds: prepared[e.j].estimate_seconds,
+                    })
+                    .collect();
+                let pick = options.policy.select(&candidates, last_tenant);
+                let e = waiting.remove(pick);
+                let release = clock.max(e.ready_seconds);
+                admitted_at[e.j] = release;
+                last_tenant = Some(jobs[e.j].tenant);
                 in_flight += 1;
+                let tag = u32::try_from(tag_info.len()).expect("tag space");
+                tag_info.push((e.j, e.attempt));
+                on_machine[e.j] = Some((tag, e.attempt));
                 if bts_telemetry::enabled() {
                     use bts_telemetry::ArgValue;
                     bts_telemetry::emit_instant(
                         "admission",
-                        &jobs[j].workload,
+                        &jobs[e.j].workload,
                         release,
                         &[
-                            ("job", ArgValue::U64(jobs[j].id)),
-                            ("tenant", ArgValue::U64(u64::from(jobs[j].tenant))),
-                            ("queued_s", ArgValue::F64(release - jobs[j].arrival_seconds)),
+                            ("job", ArgValue::U64(jobs[e.j].id)),
+                            ("tenant", ArgValue::U64(u64::from(jobs[e.j].tenant))),
+                            (
+                                "queued_s",
+                                ArgValue::F64(release - jobs[e.j].arrival_seconds),
+                            ),
+                            ("attempt", ArgValue::U64(u64::from(e.attempt))),
                         ],
                     );
                     bts_telemetry::emit_counter(
@@ -230,19 +450,41 @@ impl BtsServer {
                         "queue",
                         release,
                         &[
-                            ("waiting", queue.len() as f64),
+                            ("waiting", (waiting.len() + upcoming.len()) as f64),
                             ("in_flight", in_flight as f64),
                         ],
                     );
                     bts_telemetry::gauge_set("serve.in_flight", in_flight as f64);
                 }
-                scheduler.add_job(j as u32, &prepared[j].trace, &prepared[j].timings, release);
+                scheduler.add_job(tag, &prepared[e.j].trace, &prepared[e.j].timings, release);
             }
-            // Machine full or queue drained: advance to the next completion.
-            // (`None` implies the queue is empty too — with a free slot and
-            // queued work the admission loop above would have admitted.)
+            // 4. Idle with future work: jump the clock to the next arrival —
+            // unless it lands at/after the failure time, in which case it
+            // can never be served (drain in-flight completions first).
+            if in_flight < options.max_in_flight && waiting.is_empty() && !upcoming.is_empty() {
+                let next = upcoming[0].ready_seconds;
+                if fail_at.is_none_or(|t| next < t) {
+                    clock = clock.max(next);
+                    continue 'serve;
+                }
+                if in_flight == 0 {
+                    dead = true;
+                    break 'serve;
+                }
+            }
+            // 5. Machine full or nothing admittable: advance to the next
+            // completion. (`None` implies nothing is queued either — with a
+            // free slot and reachable work, steps 3/4 would have acted.)
             match scheduler.run_until_completion() {
                 Some(done) => {
+                    if fail_at.is_some_and(|t| done.finish_seconds > t) {
+                        // Completions come back in finish order: everything
+                        // still on the machine also finishes after the chip
+                        // dies. The job stays marked on-machine and is
+                        // reported interrupted below.
+                        dead = true;
+                        break 'serve;
+                    }
                     clock = clock.max(done.finish_seconds);
                     in_flight -= 1;
                     if bts_telemetry::enabled() {
@@ -251,24 +493,155 @@ impl BtsServer {
                             "queue",
                             clock,
                             &[
-                                ("waiting", queue.len() as f64),
+                                ("waiting", (waiting.len() + upcoming.len()) as f64),
                                 ("in_flight", in_flight as f64),
                             ],
                         );
                     }
+                    let (j, attempt) = tag_info[done.tag as usize];
+                    on_machine[j] = None;
+                    if options.fault.transient_faults(jobs[j].id, attempt) {
+                        // The attempt burned its full service time, then
+                        // faulted at the end (conservative redrive).
+                        let used = attempt + 1;
+                        if bts_telemetry::enabled() {
+                            use bts_telemetry::ArgValue;
+                            bts_telemetry::emit_instant(
+                                "faults",
+                                "fault",
+                                done.finish_seconds,
+                                &[
+                                    ("job", ArgValue::U64(jobs[j].id)),
+                                    ("tenant", ArgValue::U64(u64::from(jobs[j].tenant))),
+                                    ("attempt", ArgValue::U64(u64::from(attempt))),
+                                ],
+                            );
+                            bts_telemetry::counter_add("serve.faults", 1);
+                        }
+                        if used >= retry.max_attempts {
+                            let e = PendingRun {
+                                j,
+                                attempt: used,
+                                ready_seconds: done.finish_seconds,
+                            };
+                            drop_job(
+                                e,
+                                done.finish_seconds,
+                                ShedReason::RetryBudgetExhausted,
+                                &mut shed,
+                            );
+                        } else {
+                            let ready = done.finish_seconds + retry.backoff_seconds(used);
+                            let pos = upcoming.partition_point(|p| {
+                                p.ready_seconds < ready || (p.ready_seconds == ready && p.j < j)
+                            });
+                            upcoming.insert(
+                                pos,
+                                PendingRun {
+                                    j,
+                                    attempt: used,
+                                    ready_seconds: ready,
+                                },
+                            );
+                            if bts_telemetry::enabled() {
+                                use bts_telemetry::ArgValue;
+                                bts_telemetry::emit_instant(
+                                    "faults",
+                                    "retry",
+                                    ready,
+                                    &[
+                                        ("job", ArgValue::U64(jobs[j].id)),
+                                        ("attempt", ArgValue::U64(u64::from(used))),
+                                        ("backoff_s", ArgValue::F64(retry.backoff_seconds(used))),
+                                    ],
+                                );
+                                bts_telemetry::counter_add("serve.retries", 1);
+                            }
+                        }
+                    } else {
+                        completed[j] = Some((done.tag, attempt + 1));
+                    }
                 }
-                None => break,
+                None => break 'serve,
             }
         }
+
+        // A dead run: cancel whatever is still on the machine and classify
+        // everything not completed and not shed as interrupted, in
+        // submission order — the cluster layer's migration work-list.
+        let mut interrupted: Vec<InterruptedJob> = Vec::new();
+        if dead {
+            let t = fail_at.expect("death implies a failure time");
+            if bts_telemetry::enabled() {
+                use bts_telemetry::ArgValue;
+                bts_telemetry::emit_instant(
+                    "faults",
+                    "chip-failure",
+                    t,
+                    &[("in_flight", ArgValue::U64(in_flight as u64))],
+                );
+            }
+            for &(tag, _) in on_machine.iter().flatten() {
+                // False when the scheduler already handed the completion
+                // out (the one that exposed the death) — its placed ops
+                // stay on the books either way.
+                scheduler.cancel_job(tag);
+            }
+            let leftovers = waiting.iter().chain(upcoming.iter());
+            let mut cut: Vec<(usize, u32)> = leftovers.map(|e| (e.j, e.attempt)).collect();
+            cut.extend(
+                on_machine
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(j, m)| m.map(|(_, attempt)| (j, attempt + 1))),
+            );
+            cut.sort_unstable();
+            for (j, attempts) in cut {
+                let job = &jobs[j];
+                interrupted.push(InterruptedJob {
+                    id: job.id,
+                    tenant: job.tenant,
+                    workload: job.workload.clone(),
+                    arrival_seconds: job.arrival_seconds,
+                    attempts,
+                    interrupted_seconds: t,
+                    deadline_seconds: job.deadline_seconds,
+                });
+            }
+        }
+
         let multi = scheduler.finish();
         debug_assert!(multi.check_invariants().is_ok());
+
+        // A dead run's makespan is the last *real* completion, not the
+        // scheduler horizon (which includes work the failure threw away).
+        let makespan_seconds = if dead {
+            completed
+                .iter()
+                .flatten()
+                .map(|&(tag, _)| {
+                    multi
+                        .job(tag)
+                        .expect("completed job has stats")
+                        .finish_seconds
+                })
+                .fold(0.0f64, f64::max)
+        } else {
+            multi.makespan_seconds
+        };
+        let utilizations = if dead {
+            clipped_utilizations(&multi, makespan_seconds)
+        } else {
+            multi.utilizations()
+        };
 
         let mut aggregate: Option<SimReport> = None;
         let mut outcomes = Vec::with_capacity(jobs.len());
         for (j, (job, prep)) in jobs.iter().zip(&prepared).enumerate() {
-            let stats = multi
-                .job(j as u32)
-                .expect("every prepared job was admitted");
+            let Some((tag, attempts)) = completed[j] else {
+                continue;
+            };
+            let stats = multi.job(tag).expect("completed job has stats");
             let outcome = JobOutcome {
                 id: job.id,
                 tenant: job.tenant,
@@ -281,6 +654,8 @@ impl BtsServer {
                 critical_path_seconds: stats.critical_path_seconds,
                 refreshed_slot_levels: prep.refreshed_slot_levels,
                 ops: prep.trace.len(),
+                attempts,
+                deadline_seconds: job.deadline_seconds,
             };
             if bts_telemetry::enabled() {
                 use bts_telemetry::ArgValue;
@@ -303,11 +678,30 @@ impl BtsServer {
                             "critical_path_s",
                             ArgValue::F64(outcome.critical_path_seconds),
                         ),
+                        ("attempts", ArgValue::U64(u64::from(outcome.attempts))),
                     ],
                 );
                 bts_telemetry::counter_add("serve.jobs", 1);
                 bts_telemetry::observe("serve.latency_seconds", outcome.latency_seconds());
                 bts_telemetry::observe("serve.queue_seconds", outcome.queue_seconds());
+                if outcome.deadline_met() == Some(false) {
+                    bts_telemetry::emit_instant(
+                        "faults",
+                        "deadline-miss",
+                        outcome.finish_seconds,
+                        &[
+                            ("job", ArgValue::U64(outcome.id)),
+                            (
+                                "late_s",
+                                ArgValue::F64(
+                                    outcome.finish_seconds
+                                        - outcome.deadline_seconds.expect("missed implies set"),
+                                ),
+                            ),
+                        ],
+                    );
+                    bts_telemetry::counter_add("serve.deadline_missed", 1);
+                }
             }
             outcomes.push(outcome);
             match &mut aggregate {
@@ -316,17 +710,20 @@ impl BtsServer {
             }
         }
         Ok(ServeReport {
-            policy: self.options.policy,
-            max_in_flight: self.options.max_in_flight,
+            policy: options.policy,
+            max_in_flight: options.max_in_flight,
             jobs: outcomes,
-            makespan_seconds: multi.makespan_seconds,
-            utilizations: multi.utilizations(),
+            shed,
+            interrupted,
+            failed_at_seconds: dead.then(|| fail_at.expect("death implies a failure time")),
+            makespan_seconds,
+            utilizations,
             aggregate,
         })
     }
 
     /// Lowers one request and resolves its per-op charges.
-    fn prepare(&self, job: &JobRequest) -> Result<PreparedJob, ServeError> {
+    fn prepare(&self, job: &JobRequest, options: &ServeOptions) -> Result<PreparedJob, ServeError> {
         let workload =
             self.registry
                 .get(&job.workload)
@@ -340,7 +737,7 @@ impl BtsServer {
                 job: job.id,
                 source,
             })?;
-        let simulator = Simulator::new(self.options.config.clone(), job.instance.clone());
+        let simulator = Simulator::new(options.config.clone(), job.instance.clone());
         // Engine per-op events of this sweep land in their own process, named
         // after the (workload, instance) pair being charged.
         let _prep_scope = bts_telemetry::enabled().then(|| {
@@ -365,6 +762,25 @@ impl BtsServer {
             estimate_seconds,
         })
     }
+}
+
+/// Utilizations of a schedule whose machine died: reservations are clipped
+/// to the surviving makespan (work past the last real completion was thrown
+/// away by the failure).
+fn clipped_utilizations(multi: &MultiSchedule, makespan: f64) -> [f64; bts_sched::FuKind::COUNT] {
+    use bts_sched::FuKind;
+    let mut out = [0.0; FuKind::COUNT];
+    if makespan <= 0.0 {
+        return out;
+    }
+    for kind in FuKind::ALL {
+        let reserved: f64 = multi.busy[kind.index()]
+            .iter()
+            .map(|b| b.end_seconds.min(makespan) - b.start_seconds.min(makespan))
+            .sum();
+        out[kind.index()] = reserved / (multi.machine.channels(kind) as f64 * makespan);
+    }
+    out
 }
 
 /// One-call convenience: serve `jobs` over the standard registry.
@@ -406,7 +822,11 @@ mod tests {
         assert!(report.mult_slots_per_sec() > 0.0);
         for j in &report.jobs {
             assert!(j.latency_seconds() >= j.critical_path_seconds - 1e-12);
+            assert_eq!(j.attempts, 1);
         }
+        assert!(report.shed.is_empty());
+        assert!(report.interrupted.is_empty());
+        assert_eq!(report.failed_at_seconds, None);
     }
 
     #[test]
@@ -558,6 +978,12 @@ mod tests {
             serve(&bad_arrival, ServeOptions::new(1)),
             Err(ServeError::InvalidArrival { .. })
         ));
+        let bad_deadline =
+            vec![JobRequest::new(0, 0, "bootstrap", ins.clone(), 0.0).with_deadline(f64::NAN)];
+        assert!(matches!(
+            serve(&bad_deadline, ServeOptions::new(1)),
+            Err(ServeError::InvalidDeadline { job: 0, .. })
+        ));
         let dup = vec![
             JobRequest::new(0, 0, "bootstrap", ins.clone(), 0.0),
             JobRequest::new(0, 1, "bootstrap", ins.clone(), 0.0),
@@ -566,9 +992,38 @@ mod tests {
             serve(&dup, ServeOptions::new(1)),
             Err(ServeError::DuplicateJobId { .. })
         ));
+        // The zero-capacity deadlock is a typed validation error, caught
+        // before any scheduling — with or without jobs in the batch.
         assert!(matches!(
             serve(&[], ServeOptions::new(0)),
             Err(ServeError::NoCapacity)
+        ));
+        assert!(matches!(
+            ServeOptions::new(0).validate(),
+            Err(ServeError::NoCapacity)
+        ));
+        let boot = vec![JobRequest::new(0, 0, "bootstrap", ins.clone(), 0.0)];
+        assert!(matches!(
+            serve(&boot, ServeOptions::new(0)),
+            Err(ServeError::NoCapacity)
+        ));
+        // A zero retry budget could never run anything.
+        assert!(matches!(
+            ServeOptions::new(1)
+                .with_retry(bts_fault::RetryPolicy {
+                    max_attempts: 0,
+                    ..bts_fault::RetryPolicy::default()
+                })
+                .validate(),
+            Err(ServeError::NoAttempts)
+        ));
+        // A malformed fault plan is rejected up front.
+        assert!(matches!(
+            serve(
+                &[],
+                ServeOptions::new(1).with_fault_plan(FaultPlan::none().with_transient_rate(1.5))
+            ),
+            Err(ServeError::Fault(_))
         ));
         // A config that fails validation is rejected before any preparation.
         let mut broken = BtsConfig::bts_default();
@@ -616,5 +1071,188 @@ mod tests {
             agg.per_op.values().map(|s| s.count).sum::<usize>(),
             3 * lowered.trace.len()
         );
+    }
+
+    #[test]
+    fn bounded_queue_sheds_overflow_and_serves_the_rest() {
+        // Five simultaneous arrivals, one slot, a queue bound of 2: the
+        // queue fills in submission order before any admission happens at
+        // that instant, so the last three arrivals are shed at arrival.
+        let ins = CkksInstance::ins1();
+        let jobs: Vec<JobRequest> = (0..5)
+            .map(|i| JobRequest::new(i, i as u32, "bootstrap", ins.clone(), 0.0))
+            .collect();
+        let report = serve(&jobs, options_2tb(1).with_queue_capacity(2)).unwrap();
+        assert_eq!(report.job_count() + report.shed_count(), 5);
+        assert_eq!(report.shed_count(), 3);
+        for s in &report.shed {
+            assert_eq!(s.reason, ShedReason::QueueFull);
+            assert_eq!(s.attempts, 0);
+            assert!((s.shed_seconds - s.arrival_seconds).abs() < 1e-15);
+        }
+        let shed_ids: Vec<u64> = report.shed.iter().map(|s| s.id).collect();
+        assert_eq!(shed_ids, vec![2, 3, 4]);
+        // An unbounded queue serves all five.
+        let unbounded = serve(&jobs, options_2tb(1)).unwrap();
+        assert_eq!(unbounded.job_count(), 5);
+        // Reject-on-full turns the same overflow into a typed error.
+        let rejected = serve(
+            &jobs,
+            options_2tb(1).with_queue_capacity(2).with_reject_on_full(),
+        );
+        assert!(matches!(
+            rejected,
+            Err(ServeError::QueueFull {
+                job: 2,
+                capacity: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn expired_deadlines_shed_queued_jobs_and_late_finishes_miss_slo() {
+        let ins = CkksInstance::ins1();
+        // Calibrate: one bootstrap alone takes T seconds.
+        let solo = serve(
+            &[JobRequest::new(9, 0, "bootstrap", ins.clone(), 0.0)],
+            options_2tb(1),
+        )
+        .unwrap();
+        let t = solo.makespan_seconds;
+        // One slot: job 0 occupies it until T; job 1's deadline expires
+        // while it waits; job 2 is admitted at ~T, finishes at ~2T, after
+        // its 1.5T deadline; job 3 has a generous deadline and meets it.
+        let jobs = vec![
+            JobRequest::new(0, 0, "bootstrap", ins.clone(), 0.0),
+            JobRequest::new(1, 1, "bootstrap", ins.clone(), 0.0).with_deadline(0.5 * t),
+            JobRequest::new(2, 2, "bootstrap", ins.clone(), 0.0).with_deadline(1.5 * t),
+            JobRequest::new(3, 3, "bootstrap", ins.clone(), 0.0).with_deadline(1e3),
+        ];
+        let report = serve(&jobs, options_2tb(1)).unwrap();
+        assert_eq!(report.shed_count(), 1);
+        assert_eq!(report.shed[0].id, 1);
+        assert_eq!(report.shed[0].reason, ShedReason::DeadlineExpired);
+        assert_eq!(report.job_count(), 3);
+        let late = report.jobs.iter().find(|j| j.id == 2).unwrap();
+        assert_eq!(late.deadline_met(), Some(false));
+        let ok = report.jobs.iter().find(|j| j.id == 3).unwrap();
+        assert_eq!(ok.deadline_met(), Some(true));
+        // SLO: 3 deadline-bearing jobs (1 shed, 1 late, 1 met) → 1/3.
+        assert!((report.slo_attainment() - 1.0 / 3.0).abs() < 1e-15);
+        assert_eq!(report.deadline_missed_count(), 2);
+    }
+
+    #[test]
+    fn transient_faults_redrive_within_budget_and_shed_beyond_it() {
+        let ins = CkksInstance::ins1();
+        let jobs = SyntheticArrivals::burst(&ins, "bootstrap", 3);
+        // Rate 1: every attempt faults, so every job exhausts its budget.
+        let all_fail = serve(
+            &jobs,
+            options_2tb(2)
+                .with_fault_plan(FaultPlan::none().with_seed(5).with_transient_rate(0.999)),
+        )
+        .unwrap();
+        assert_eq!(all_fail.job_count(), 0);
+        assert_eq!(all_fail.shed_count(), 3);
+        for s in &all_fail.shed {
+            assert_eq!(s.reason, ShedReason::RetryBudgetExhausted);
+            assert_eq!(s.attempts, RetryPolicy::default().max_attempts);
+        }
+        assert_eq!(
+            all_fail.retry_count(),
+            3 * u64::from(RetryPolicy::default().max_attempts - 1)
+        );
+        // A moderate rate: some jobs retry and still complete; the redriven
+        // run takes longer than the clean one.
+        let clean = serve(&jobs, options_2tb(2)).unwrap();
+        let flaky = serve(
+            &jobs,
+            options_2tb(2).with_fault_plan(FaultPlan::none().with_seed(3).with_transient_rate(0.4)),
+        )
+        .unwrap();
+        let redriven: u32 = flaky.jobs.iter().map(|j| j.attempts - 1).sum::<u32>();
+        if redriven > 0 {
+            assert!(flaky.makespan_seconds > clean.makespan_seconds);
+        }
+        assert_eq!(flaky.job_count() + flaky.shed_count(), 3);
+    }
+
+    #[test]
+    fn zero_fault_plan_reproduces_the_plain_run_bitwise() {
+        let ins = CkksInstance::ins1();
+        let jobs = SyntheticArrivals::new(ins, 42)
+            .mean_interarrival_seconds(5e-3)
+            .tenants(2)
+            .generate(5);
+        let plain = serve(&jobs, options_2tb(2)).unwrap();
+        let with_plan = serve(
+            &jobs,
+            options_2tb(2)
+                .with_fault_plan(FaultPlan::none().with_seed(77))
+                .with_retry(RetryPolicy::default()),
+        )
+        .unwrap();
+        assert_eq!(
+            plain.makespan_seconds.to_bits(),
+            with_plan.makespan_seconds.to_bits()
+        );
+        assert_eq!(plain.jobs.len(), with_plan.jobs.len());
+        for (a, b) in plain.jobs.iter().zip(&with_plan.jobs) {
+            assert_eq!(a.finish_seconds.to_bits(), b.finish_seconds.to_bits());
+            assert_eq!(a.admitted_seconds.to_bits(), b.admitted_seconds.to_bits());
+            assert_eq!(a.attempts, b.attempts);
+        }
+        for (a, b) in plain.utilizations.iter().zip(&with_plan.utilizations) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn a_failing_accelerator_interrupts_unfinished_work() {
+        let ins = CkksInstance::ins1();
+        let jobs = SyntheticArrivals::new(ins, 11)
+            .mean_interarrival_seconds(5e-3)
+            .tenants(2)
+            .generate(6);
+        let healthy = serve(&jobs, options_2tb(2)).unwrap();
+        assert_eq!(healthy.job_count(), 6);
+        // Kill the accelerator mid-run: some jobs complete, the rest are
+        // interrupted at the failure time, none are lost.
+        let fail_at = healthy.makespan_seconds * 0.5;
+        let report = serve(&jobs, options_2tb(2).with_failure_at(fail_at)).unwrap();
+        assert_eq!(report.failed_at_seconds, Some(fail_at));
+        assert_eq!(report.job_count() + report.interrupted.len(), 6);
+        assert!(!report.interrupted.is_empty(), "half the run must be cut");
+        assert!(report.job_count() > 0, "work before the failure completes");
+        for j in &report.jobs {
+            assert!(j.finish_seconds <= fail_at + 1e-15);
+        }
+        for i in &report.interrupted {
+            assert!((i.interrupted_seconds - fail_at).abs() < 1e-15);
+        }
+        assert!(report.makespan_seconds <= fail_at + 1e-15);
+        // Dying at t = 0 interrupts everything.
+        let stillborn = serve(&jobs, options_2tb(2).with_failure_at(0.0)).unwrap();
+        assert_eq!(stillborn.job_count(), 0);
+        assert_eq!(stillborn.interrupted.len(), 6);
+        assert_eq!(stillborn.makespan_seconds, 0.0);
+    }
+
+    #[test]
+    fn serve_with_overrides_the_constructed_options() {
+        let ins = CkksInstance::ins1();
+        let jobs = SyntheticArrivals::burst(&ins, "bootstrap", 2);
+        let server = BtsServer::new(options_2tb(2));
+        let plain = server.serve(&jobs).unwrap();
+        let killed = server
+            .serve_with(
+                &jobs,
+                &options_2tb(2).with_failure_at(plain.makespan_seconds * 0.1),
+            )
+            .unwrap();
+        assert!(killed.job_count() < plain.job_count() || !killed.interrupted.is_empty());
+        // The original options are untouched.
+        assert_eq!(server.options().fail_at_seconds, None);
     }
 }

@@ -1,11 +1,13 @@
 //! CLI gate for exported Chrome traces: parses the file, checks it against
 //! the trace-event schema subset the workspace emits (required keys, valid
 //! phases, monotone timestamps per track) and optionally enforces a minimum
-//! track count. Exits non-zero on any violation — CI runs this on the trace
-//! produced by `cluster_demo`.
+//! track count and the presence of named events. Exits non-zero on any
+//! violation — CI runs this on the traces produced by `cluster_demo`,
+//! including a fault-injected run that must contain its
+//! `chip-failure`/`migrate` events.
 //!
 //! ```text
-//! validate_trace <trace.json> [--min-tracks N]
+//! validate_trace <trace.json> [--min-tracks N] [--require-event NAME]...
 //! ```
 
 use std::process::ExitCode;
@@ -13,10 +15,11 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(path) = args.next() else {
-        eprintln!("usage: validate_trace <trace.json> [--min-tracks N]");
+        eprintln!("usage: validate_trace <trace.json> [--min-tracks N] [--require-event NAME]...");
         return ExitCode::FAILURE;
     };
     let mut min_tracks = 0usize;
+    let mut required_events: Vec<String> = Vec::new();
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--min-tracks" => {
@@ -25,6 +28,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 min_tracks = value;
+            }
+            "--require-event" => {
+                let Some(name) = args.next() else {
+                    eprintln!("--require-event needs an event name argument");
+                    return ExitCode::FAILURE;
+                };
+                required_events.push(name);
             }
             other => {
                 eprintln!("unknown argument '{other}'");
@@ -52,6 +62,29 @@ fn main() -> ExitCode {
                     check.tracks
                 );
                 return ExitCode::FAILURE;
+            }
+            if !required_events.is_empty() {
+                let names = match bts_telemetry::trace_event_names(&text) {
+                    Ok(names) => names,
+                    Err(err) => {
+                        eprintln!("validate_trace: {path}: {err}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                for required in &required_events {
+                    if !names.iter().any(|n| n == required) {
+                        eprintln!(
+                            "validate_trace: {path}: required event '{required}' absent \
+                             (present: {})",
+                            names.join(", ")
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+                println!(
+                    "{path}: required events present: {}",
+                    required_events.join(", ")
+                );
             }
             ExitCode::SUCCESS
         }

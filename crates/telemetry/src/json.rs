@@ -369,6 +369,36 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
     })
 }
 
+/// Collects the distinct names of non-metadata events in a trace document,
+/// sorted. Smoke tests use this to assert a fault-injected run actually
+/// recorded its fault/migration events ([`TraceCheck`] only counts).
+///
+/// # Errors
+///
+/// Returns the parse or schema error (the trace is validated first — names
+/// from a malformed trace would be meaningless).
+pub fn trace_event_names(text: &str) -> Result<Vec<String>, String> {
+    validate_chrome_trace(text)?;
+    let root = parse(text)?;
+    let events = root
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("validated above");
+    let mut names: BTreeSet<String> = BTreeSet::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(JsonValue::as_str).expect("validated");
+        if ph == "M" {
+            continue;
+        }
+        let name = ev
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .expect("validated");
+        names.insert(name.to_string());
+    }
+    Ok(names.into_iter().collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -408,6 +438,20 @@ mod tests {
         assert_eq!(check.events, 3);
         assert_eq!(check.processes, 1);
         assert_eq!(check.tracks, 2);
+    }
+
+    #[test]
+    fn event_names_are_collected_sorted_without_metadata() {
+        let text = r#"{"traceEvents": [
+            {"ph":"M","name":"process_name","pid":1,"tid":0,"ts":0,"args":{"name":"bts"}},
+            {"ph":"X","name":"op","pid":1,"tid":1,"ts":0,"dur":5},
+            {"ph":"i","name":"chip-failure","pid":1,"tid":1,"ts":3,"s":"t"},
+            {"ph":"i","name":"migrate","pid":1,"tid":1,"ts":4,"s":"t"},
+            {"ph":"i","name":"migrate","pid":1,"tid":1,"ts":5,"s":"t"}
+        ]}"#;
+        let names = trace_event_names(text).unwrap();
+        assert_eq!(names, vec!["chip-failure", "migrate", "op"]);
+        assert!(trace_event_names("[]").is_err(), "invalid traces refuse");
     }
 
     #[test]

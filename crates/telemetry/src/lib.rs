@@ -62,7 +62,7 @@ pub use collector::{
 };
 pub use event::{check_proper_nesting, ArgValue, Event, EventKind};
 pub use export::{chrome_trace_json, export_chrome_trace, export_metrics, ExportSummary};
-pub use json::{validate_chrome_trace, TraceCheck};
+pub use json::{trace_event_names, validate_chrome_trace, TraceCheck};
 pub use metrics::{
     counter_add, gauge_set, metrics_dump, metrics_snapshot, observe, reset_metrics, Histogram,
     Metric, LATENCY_BUCKET_BOUNDS,

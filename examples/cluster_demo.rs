@@ -10,18 +10,44 @@
 //!
 //! Run with: `cargo run --release --example cluster_demo`
 //!
+//! Pass `--kill-chip N` to also inject a chip failure into a 4-chip BTS
+//! fleet halfway through the run: chip N dies, its queued and in-flight
+//! jobs migrate to the survivors (paying the wire again after backoff), and
+//! the resilience summary shows goodput degrading gracefully instead of
+//! collapsing.
+//!
 //! The run records a telemetry trace (set `BTS_TRACE=path.json` to choose
 //! where; defaults to `target/cluster_demo.trace.json`) — load it at
 //! <https://ui.perfetto.dev> to see per-chip functional-unit lanes, queue
-//! depths and interconnect transfers.
+//! depths, interconnect transfers and (with `--kill-chip`) the
+//! `chip-failure`/`migrate` fault instants.
 
-use bts::cluster::{serve_cluster, ChipSpec, ClusterOptions, Interconnect, PlacementPolicy};
+use bts::cluster::{
+    serve_cluster, ChipSpec, ClusterOptions, FaultPlan, Interconnect, PlacementPolicy,
+};
 use bts::params::CkksInstance;
 use bts::serve::SyntheticArrivals;
 use bts::sim::ArchPreset;
 use bts::telemetry;
 
 fn main() {
+    let mut kill_chip: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--kill-chip" => {
+                let Some(chip) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--kill-chip needs a chip index");
+                    std::process::exit(1);
+                };
+                kill_chip = Some(chip);
+            }
+            other => {
+                eprintln!("unknown argument '{other}' (usage: cluster_demo [--kill-chip N])");
+                std::process::exit(1);
+            }
+        }
+    }
     let session = telemetry::init(
         &telemetry::TelemetryConfig::from_env().or_trace_path("target/cluster_demo.trace.json"),
     );
@@ -87,6 +113,35 @@ fn main() {
             report.interconnect_bytes() as f64 / (1u64 << 30) as f64,
             report.latency_percentile(99.0) * 1e3,
             report.tenant_fairness(),
+        );
+    }
+
+    // 3. Optional failover drill: kill one chip of a BTS x4 fleet halfway
+    // through the healthy run and watch the fleet degrade gracefully.
+    if let Some(chip) = kill_chip {
+        let spec =
+            ChipSpec::preset(ArchPreset::Bts, 4).with_interconnect(Interconnect::nvlink_class());
+        let options =
+            || ClusterOptions::new(spec.clone()).with_placement(PlacementPolicy::TenantAffinity);
+        let healthy = serve_cluster(&stream, options()).expect("the healthy fleet serves");
+        let kill_at = healthy.makespan_seconds() * 0.5;
+        let wounded = serve_cluster(
+            &stream,
+            options().with_fault_plan(FaultPlan::none().with_chip_failure(chip, kill_at)),
+        )
+        .expect("the wounded fleet still serves");
+        println!(
+            "\nfailover drill: BTS x4, chip {chip} dies at {:.2} ms",
+            kill_at * 1e3
+        );
+        println!("{}", wounded.summary());
+        println!(
+            "  goodput {:.1} -> {:.1} jobs/s ({:.0}% of healthy); {} migrated, {} shed",
+            healthy.goodput_jobs_per_sec(),
+            wounded.goodput_jobs_per_sec(),
+            100.0 * wounded.goodput_jobs_per_sec() / healthy.goodput_jobs_per_sec(),
+            wounded.migration_count(),
+            wounded.shed_count(),
         );
     }
 

@@ -12,6 +12,7 @@
 //! | [`sched`] | `bts-sched` | dependency-aware scheduler: traces as DAGs over functional units |
 //! | [`circuit`] | `bts-circuit` | shared `HeCircuit` IR + functional/trace backends |
 //! | [`workloads`] | `bts-workloads` | bootstrapping/HELR/ResNet/sorting as circuits |
+//! | [`fault`] | `bts-fault` | seeded fault injection: chip failures, transient faults, retries |
 //! | [`serve`] | `bts-serve` | multi-tenant batch serving over one shared accelerator |
 //! | [`cluster`] | `bts-cluster` | multi-chip fleets: placement policies + interconnect costs |
 //! | [`telemetry`] | `bts-telemetry` | unified tracing/metrics + Chrome-trace (Perfetto) export |
@@ -113,6 +114,7 @@
 pub use bts_circuit as circuit;
 pub use bts_ckks as ckks;
 pub use bts_cluster as cluster;
+pub use bts_fault as fault;
 pub use bts_math as math;
 pub use bts_params as params;
 pub use bts_sched as sched;

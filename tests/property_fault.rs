@@ -1,0 +1,216 @@
+//! Property-based tests of the fault-injection layer (`bts-fault`) and its
+//! integration into `bts-serve` and `bts-cluster`: (a) fault plans and whole
+//! faulted runs are seed-deterministic down to the bit, (b) a zero-fault plan
+//! is observationally invisible — reports match the fault-free run bitwise,
+//! (c) every submitted job resolves to exactly one of completed/shed, never
+//! both, and (d) the telemetry stream of a faulted run is itself
+//! reproducible event for event.
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+
+use bts::cluster::{
+    serve_cluster, ChipSpec, ClusterOptions, FaultPlan, Interconnect, PlacementPolicy, RetryPolicy,
+};
+use bts::params::CkksInstance;
+use bts::serve::{serve, JobRequest, ServeOptions, ServeReport, SyntheticArrivals};
+use bts::sim::ArchPreset;
+use bts::telemetry::{self, Event};
+
+static TELEMETRY_LOCK: Mutex<()> = Mutex::new(());
+
+/// A seeded multi-tenant stream mixing bootstrap and amortized-mult jobs.
+fn random_stream(seed: u64, jobs: usize, tenants: u32) -> Vec<JobRequest> {
+    SyntheticArrivals::new(CkksInstance::ins1(), seed)
+        .mean_interarrival_seconds(4e-3)
+        .tenants(tenants)
+        .mix(vec![
+            ("bootstrap".to_string(), 2.0),
+            ("amortized-mult".to_string(), 1.0),
+        ])
+        .generate(jobs)
+}
+
+/// Bitwise equality of two serve reports over everything fault injection can
+/// perturb: completions (ids, admission, finish), sheds, and the makespan.
+fn assert_reports_bitwise_equal(a: &ServeReport, b: &ServeReport) {
+    assert_eq!(a.makespan_seconds.to_bits(), b.makespan_seconds.to_bits());
+    assert_eq!(a.jobs.len(), b.jobs.len());
+    for (ja, jb) in a.jobs.iter().zip(&b.jobs) {
+        assert_eq!(ja.id, jb.id);
+        assert_eq!(ja.attempts, jb.attempts);
+        assert_eq!(ja.admitted_seconds.to_bits(), jb.admitted_seconds.to_bits());
+        assert_eq!(ja.finish_seconds.to_bits(), jb.finish_seconds.to_bits());
+    }
+    assert_eq!(a.shed.len(), b.shed.len());
+    for (sa, sb) in a.shed.iter().zip(&b.shed) {
+        assert_eq!(sa.id, sb.id);
+        assert_eq!(sa.reason, sb.reason);
+        assert_eq!(sa.shed_seconds.to_bits(), sb.shed_seconds.to_bits());
+    }
+    for (ua, ub) in a.utilizations.iter().zip(&b.utilizations) {
+        assert_eq!(ua.to_bits(), ub.to_bits());
+    }
+}
+
+proptest! {
+    // Every case lowers real bootstrap circuits, so keep case counts small.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Same seed, same horizon: `FaultPlan::random` is a pure function, and
+    /// a serve run under the plan is bitwise reproducible.
+    #[test]
+    fn same_seed_reproduces_the_plan_and_the_faulted_run(
+        seed in any::<u64>(), chips in 1usize..5, jobs in 3usize..7
+    ) {
+        let plan_a = FaultPlan::random(seed, chips, 0.2);
+        let plan_b = FaultPlan::random(seed, chips, 0.2);
+        prop_assert_eq!(&plan_a, &plan_b);
+
+        let stream = random_stream(seed, jobs, 3);
+        let options = || ServeOptions::new(2)
+            .with_fault_plan(FaultPlan::none().with_seed(seed).with_transient_rate(0.3));
+        let a = serve(&stream, options()).unwrap();
+        let b = serve(&stream, options()).unwrap();
+        assert_reports_bitwise_equal(&a, &b);
+    }
+
+    /// A zero-fault plan (and the default retry policy that comes with it)
+    /// leaves no trace: the run matches the plain fault-free serve bitwise.
+    #[test]
+    fn zero_fault_plans_are_observationally_invisible(
+        seed in any::<u64>(), jobs in 3usize..7, tenants in 1u32..4
+    ) {
+        let stream = random_stream(seed, jobs, tenants);
+        let plain = serve(&stream, ServeOptions::new(2)).unwrap();
+        let planned = serve(
+            &stream,
+            ServeOptions::new(2)
+                .with_fault_plan(FaultPlan::none().with_seed(seed))
+                .with_retry(RetryPolicy::default()),
+        )
+        .unwrap();
+        assert_reports_bitwise_equal(&plain, &planned);
+        prop_assert!(plain.shed.is_empty());
+        prop_assert!(plain.failed_at_seconds.is_none());
+    }
+
+    /// Under any mix of overload shedding, transient faults, and a chip
+    /// failure, every submitted job ends in exactly one bucket: completed,
+    /// shed, or interrupted-by-the-dead-chip — never more than one.
+    #[test]
+    fn no_job_is_both_shed_and_completed(
+        seed in any::<u64>(), jobs in 4usize..8, rate in 0.0f64..0.9,
+        queue_cap in 1usize..4
+    ) {
+        let stream = random_stream(seed, jobs, 3);
+        let report = serve(
+            &stream,
+            ServeOptions::new(2)
+                .with_queue_capacity(queue_cap)
+                .with_fault_plan(
+                    FaultPlan::none().with_seed(seed).with_transient_rate(rate),
+                ),
+        )
+        .unwrap();
+        let completed: HashSet<u64> = report.jobs.iter().map(|j| j.id).collect();
+        let shed: HashSet<u64> = report.shed.iter().map(|s| s.id).collect();
+        prop_assert!(completed.is_disjoint(&shed), "jobs both shed and completed");
+        prop_assert_eq!(completed.len() + shed.len(), stream.len());
+    }
+
+    /// The same partition law holds across a whole cluster with a mid-run
+    /// chip failure: completions, sheds and migrations never overlap, and a
+    /// wounded fleet still accounts for every submitted job.
+    #[test]
+    fn cluster_failover_accounts_for_every_job(
+        seed in any::<u64>(), jobs in 4usize..8, kill_chip in 0usize..3
+    ) {
+        let stream = random_stream(seed, jobs, 3);
+        let spec = ChipSpec::preset(ArchPreset::Bts, 3)
+            .with_interconnect(Interconnect::nvlink_class());
+        let healthy = serve_cluster(
+            &stream,
+            ClusterOptions::new(spec.clone()).with_placement(PlacementPolicy::TenantAffinity),
+        )
+        .unwrap();
+        let kill_at = healthy.makespan_seconds() * 0.5;
+        let options = || ClusterOptions::new(spec.clone())
+            .with_placement(PlacementPolicy::TenantAffinity)
+            .with_fault_plan(FaultPlan::none().with_chip_failure(kill_chip, kill_at));
+        let wounded = serve_cluster(&stream, options()).unwrap();
+        let completed: HashSet<u64> = wounded.jobs.iter().map(|j| j.id).collect();
+        let shed: HashSet<u64> = wounded.shed.iter().map(|s| s.id).collect();
+        prop_assert!(completed.is_disjoint(&shed));
+        prop_assert_eq!(completed.len() + shed.len(), stream.len());
+        // Nothing completes on the dead chip after its failure time.
+        for j in &wounded.jobs {
+            if j.chip == kill_chip {
+                prop_assert!(j.finish_seconds <= kill_at + 1e-12);
+            }
+        }
+        // And the wounded run is itself seed-deterministic.
+        let again = serve_cluster(&stream, options()).unwrap();
+        prop_assert_eq!(
+            wounded.makespan_seconds().to_bits(),
+            again.makespan_seconds().to_bits()
+        );
+        prop_assert_eq!(wounded.migration_count(), again.migration_count());
+    }
+}
+
+/// Serves one faulted stream under a unique telemetry scope and returns this
+/// run's events (scope prefix stripped, other runs' events filtered out).
+fn faulted_events_under_scope(scope: &str) -> Vec<Event> {
+    let stream = random_stream(2024, 6, 3);
+    {
+        let _scope = telemetry::scope(scope);
+        serve(
+            &stream,
+            ServeOptions::new(2)
+                .with_queue_capacity(2)
+                .with_fault_plan(FaultPlan::none().with_seed(7).with_transient_rate(0.5)),
+        )
+        .expect("faulted stream serves");
+    }
+    let prefix = format!("{scope}/");
+    telemetry::snapshot_events()
+        .into_iter()
+        .filter_map(|mut ev| {
+            if ev.process == scope {
+                ev.process = String::new();
+            } else if let Some(rest) = ev.process.strip_prefix(&prefix) {
+                ev.process = rest.to_string();
+            } else {
+                return None;
+            }
+            Some(ev)
+        })
+        .collect()
+}
+
+/// Two faulted runs with the same seed emit the same telemetry stream event
+/// for event — faults, retries and sheds included.
+#[test]
+fn faulted_runs_emit_identical_telemetry_streams() {
+    let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    telemetry::set_enabled(true);
+    telemetry::reset();
+    let a = faulted_events_under_scope("fault-det-a");
+    let b = faulted_events_under_scope("fault-det-b");
+    assert_eq!(telemetry::dropped_events(), 0, "stream must be complete");
+    assert!(!a.is_empty());
+    assert!(
+        a.iter()
+            .any(|e| e.name == "fault" || e.name == "retry" || e.name == "shed"),
+        "expected fault/retry/shed instants in the stream"
+    );
+    assert_eq!(a.len(), b.len());
+    for (i, (ea, eb)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(ea, eb, "event {i} differs between identical faulted runs");
+    }
+    telemetry::set_enabled(false);
+    telemetry::reset();
+}
